@@ -1,0 +1,44 @@
+//! Ablation: Fig. 9's experiment with the slave phase corrections disabled.
+//!
+//! Demonstrates that distributed phase synchronization — not merely joint
+//! scheduling — is what makes the throughput scale: without it the
+//! oscillators drift apart within milliseconds and joint transmissions
+//! stop decoding.
+
+use jmb_bench::{banner, FigOpts};
+use jmb_channel::SnrBand;
+use jmb_core::experiment::{aggregate_scaling, throughput_scaling, write_csv};
+
+fn main() {
+    let opts = FigOpts::from_args();
+    banner("ablation", "throughput with phase sync disabled", &opts);
+    let counts = [2usize, 4, 6, 8, 10];
+    let sweep = opts.sweep(8);
+    println!("band              n_aps  with_sync_mbps  without_sync_mbps");
+    let mut rows = Vec::new();
+    for band in [SnrBand::High] {
+        let with = aggregate_scaling(&throughput_scaling(&[band], &counts, &sweep, true));
+        let without = aggregate_scaling(&throughput_scaling(&[band], &counts, &sweep, false));
+        for (w, wo) in with.iter().zip(&without) {
+            println!(
+                "{:<17} {:>5}  {:>14.1}  {:>17.1}",
+                w.band.to_string(),
+                w.n_aps,
+                w.jmb_mean / 1e6,
+                wo.jmb_mean / 1e6
+            );
+            rows.push(vec![
+                w.band.to_string(),
+                format!("{}", w.n_aps),
+                format!("{}", w.jmb_mean),
+                format!("{}", wo.jmb_mean),
+            ]);
+        }
+    }
+    write_csv(
+        &opts.csv_path("ablation_phase_sync.csv"),
+        "band,n_aps,with_sync_bps,without_sync_bps",
+        rows,
+    )
+    .expect("write csv");
+}

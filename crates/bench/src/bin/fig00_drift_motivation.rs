@@ -1,0 +1,40 @@
+//! §1/§5.2 motivation: phase error of naive CFO extrapolation vs JMB's
+//! direct phase measurement, as elapsed time grows.
+//!
+//! Paper's numbers: a 10 Hz estimation error reaches 0.35 rad (20°) within
+//! 5.5 ms; 100 Hz reaches π within 20 ms. Direct measurement stays flat.
+
+use jmb_bench::{banner, FigOpts};
+use jmb_core::experiment::{drift_motivation, write_csv};
+
+fn main() {
+    let opts = FigOpts::from_args();
+    banner("fig00", "naive extrapolation vs direct measurement", &opts);
+    let horizons: Vec<f64> = [0.5e-3, 1e-3, 2e-3, 5.5e-3, 10e-3, 20e-3, 50e-3].to_vec();
+    let trials = if opts.quick { 100 } else { 1000 };
+    let mut rows = Vec::new();
+    println!("cfo_err_hz  t_ms   naive_rad  direct_rad");
+    for err in [1.0, 10.0, 100.0] {
+        for p in drift_motivation(err, &horizons, trials, opts.seed) {
+            println!(
+                "{err:>9.0}  {:>5.1}  {:>9.4}  {:>9.4}",
+                p.elapsed_s * 1e3,
+                p.naive_err_rad,
+                p.direct_err_rad
+            );
+            rows.push(vec![
+                format!("{err}"),
+                format!("{}", p.elapsed_s),
+                format!("{}", p.naive_err_rad),
+                format!("{}", p.direct_err_rad),
+            ]);
+        }
+    }
+    write_csv(
+        &opts.csv_path("fig00_drift_motivation.csv"),
+        "cfo_error_hz,elapsed_s,naive_err_rad,direct_err_rad",
+        rows,
+    )
+    .expect("write csv");
+    println!("paper anchor: 10 Hz × 5.5 ms → 0.35 rad (20°); direct stays ≈ 0.01 rad");
+}

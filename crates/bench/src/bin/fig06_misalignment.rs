@@ -1,0 +1,41 @@
+//! Fig. 6 — degradation of SNR due to phase misalignment.
+//!
+//! 2×2 zero-forcing, 100 random channel matrices, misalignment 0–0.5 rad,
+//! at 10 and 20 dB. Paper: 0.35 rad costs ≈ 8 dB at 20 dB SNR, and the
+//! reduction is larger at higher SNR.
+
+use jmb_bench::{banner, FigOpts};
+use jmb_core::experiment::{snr_reduction_vs_misalignment, write_csv};
+
+fn main() {
+    let opts = FigOpts::from_args();
+    banner("fig06", "SNR reduction vs phase misalignment", &opts);
+    let phis: Vec<f64> = (0..=10).map(|i| i as f64 * 0.05).collect();
+    let n_mat = if opts.quick { 30 } else { 100 };
+    let pts = snr_reduction_vs_misalignment(&phis, &[10.0, 20.0], n_mat, opts.seed);
+    println!("misalign_rad  snr_db  reduction_db");
+    let mut rows = Vec::new();
+    for p in &pts {
+        println!(
+            "{:>12.2}  {:>6.0}  {:>12.2}",
+            p.misalignment_rad, p.snr_db, p.reduction_db
+        );
+        rows.push(vec![
+            format!("{}", p.misalignment_rad),
+            format!("{}", p.snr_db),
+            format!("{}", p.reduction_db),
+        ]);
+    }
+    write_csv(
+        &opts.csv_path("fig06_misalignment.csv"),
+        "misalignment_rad,snr_db,reduction_db",
+        rows,
+    )
+    .expect("write csv");
+    let anchor = pts
+        .iter()
+        .find(|p| p.snr_db == 20.0 && (p.misalignment_rad - 0.35).abs() < 0.026);
+    if let Some(a) = anchor {
+        println!("paper anchor: 0.35 rad @ 20 dB → paper ≈ 8 dB, measured {:.1} dB", a.reduction_db);
+    }
+}

@@ -1,0 +1,38 @@
+//! Fig. 7 — CDF of the phase misalignment JMB actually achieves.
+//!
+//! Full sample-level probe: lead and slave alternate OFDM symbols after the
+//! real synchronisation pipeline; the receiver tracks the deviation of
+//! their relative phase from its first observation.
+//!
+//! Paper: median 0.017 rad, 95th percentile 0.05 rad.
+
+use jmb_bench::{banner, FigOpts};
+use jmb_core::experiment::{misalignment_samples, write_csv};
+use jmb_dsp::stats::Cdf;
+
+fn main() {
+    let opts = FigOpts::from_args();
+    banner("fig07", "CDF of achieved phase misalignment", &opts);
+    let (runs, rounds) = if opts.quick { (4, 15) } else { (12, 40) };
+    let samples = misalignment_samples(runs, rounds, opts.seed).expect("probe");
+    let cdf = Cdf::new(&samples);
+    println!("fraction  misalignment_rad");
+    let mut rows = Vec::new();
+    for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99] {
+        println!("{q:>8.2}  {:>16.4}", cdf.quantile(q));
+    }
+    for (v, f) in cdf.values.iter().zip(&cdf.fractions) {
+        rows.push(vec![format!("{f}"), format!("{v}")]);
+    }
+    write_csv(
+        &opts.csv_path("fig07_misalignment_cdf.csv"),
+        "fraction,misalignment_rad",
+        rows,
+    )
+    .expect("write csv");
+    println!(
+        "paper anchors: median 0.017 rad (measured {:.4}), 95th pct 0.05 rad (measured {:.4})",
+        cdf.quantile(0.5),
+        cdf.quantile(0.95)
+    );
+}

@@ -1,0 +1,34 @@
+//! Regenerates every figure in sequence by invoking the sibling binaries.
+//!
+//! `cargo run -p jmb-bench --release --bin run_all_figures [-- --quick]`
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "fig00_drift_motivation",
+        "fig06_misalignment",
+        "fig07_misalignment_cdf",
+        "fig08_inr_scaling",
+        "fig09_throughput_scaling",
+        "fig10_fairness",
+        "fig11_diversity",
+        "fig12_compat_throughput",
+        "fig13_compat_fairness",
+        "ablation_phase_sync",
+        "ablation_interleaving",
+    ];
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir");
+    for bin in bins {
+        let path = dir.join(bin);
+        println!();
+        let status = Command::new(&path)
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("\nall figures regenerated; CSVs under results/ — see EXPERIMENTS.md");
+}

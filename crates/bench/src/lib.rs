@@ -1,0 +1,131 @@
+//! # jmb-bench — benchmark and figure-regeneration harness
+//!
+//! One binary per figure of the paper's evaluation (§11). Each binary
+//! prints the figure's series as rows and writes a CSV under `results/`:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig00_drift_motivation` | §1/§5.2 motivation: naive CFO extrapolation vs direct phase measurement |
+//! | `fig06_misalignment` | Fig. 6 — SNR reduction vs phase misalignment |
+//! | `fig07_misalignment_cdf` | Fig. 7 — CDF of achieved misalignment (sample-level probe) |
+//! | `fig08_inr_scaling` | Fig. 8 — INR vs number of AP-client pairs |
+//! | `fig09_throughput_scaling` | Fig. 9 — throughput vs number of APs, 3 SNR bands |
+//! | `fig10_fairness` | Fig. 10 — CDFs of per-client throughput gain |
+//! | `fig11_diversity` | Fig. 11 — diversity throughput vs SNR |
+//! | `fig12_compat_throughput` | Fig. 12 — 802.11n-compat throughput per band |
+//! | `fig13_compat_fairness` | Fig. 13 — CDF of 802.11n-compat gain |
+//! | `ablation_phase_sync` | Fig. 9 with slave corrections disabled |
+//! | `run_all_figures` | everything above in sequence |
+//!
+//! All binaries accept `--quick` (or env `JMB_QUICK=1`) to run a reduced
+//! sweep, and `--seed N`. Criterion micro-benchmarks for the hot code paths
+//! live under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+/// Command-line options shared by every figure binary.
+#[derive(Debug, Clone)]
+pub struct FigOpts {
+    /// Reduced sweep for smoke runs.
+    pub quick: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Output directory for CSVs.
+    pub out_dir: PathBuf,
+}
+
+impl FigOpts {
+    /// Parses `--quick`, `--seed N`, `--out DIR` from `std::env::args`,
+    /// honouring `JMB_QUICK=1`.
+    pub fn from_args() -> Self {
+        let mut quick = std::env::var("JMB_QUICK").map(|v| v != "0").unwrap_or(false);
+        let mut seed = 1u64;
+        let mut out_dir = PathBuf::from("results");
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--seed" => {
+                    seed = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--seed needs an integer");
+                }
+                "--out" => {
+                    out_dir = args.next().map(PathBuf::from).expect("--out needs a path");
+                }
+                other => panic!("unknown argument {other} (supported: --quick --seed N --out DIR)"),
+            }
+        }
+        FigOpts {
+            quick,
+            seed,
+            out_dir,
+        }
+    }
+
+    /// Sweep size scaled by quick mode.
+    pub fn topologies(&self, full: usize) -> usize {
+        if self.quick {
+            (full / 4).max(2)
+        } else {
+            full
+        }
+    }
+
+    /// The experiment sweep config for this run.
+    pub fn sweep(&self, full_topologies: usize) -> jmb_core::experiment::SweepConfig {
+        jmb_core::experiment::SweepConfig {
+            n_topologies: self.topologies(full_topologies),
+            seed: self.seed,
+            ..Default::default()
+        }
+    }
+
+    /// CSV path under the output directory.
+    pub fn csv_path(&self, name: &str) -> PathBuf {
+        self.out_dir.join(name)
+    }
+}
+
+/// Prints a header banner for a figure run.
+pub fn banner(fig: &str, what: &str, opts: &FigOpts) {
+    println!("=== {fig}: {what} ===");
+    println!(
+        "    (seed {}, {}; CSV → {})",
+        opts.seed,
+        if opts.quick { "quick sweep" } else { "full sweep" },
+        opts.out_dir.display()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scales_topologies() {
+        let o = FigOpts {
+            quick: true,
+            seed: 1,
+            out_dir: PathBuf::from("results"),
+        };
+        assert_eq!(o.topologies(20), 5);
+        assert_eq!(o.topologies(4), 2);
+        let f = FigOpts { quick: false, ..o };
+        assert_eq!(f.topologies(20), 20);
+    }
+
+    #[test]
+    fn csv_path_joins() {
+        let o = FigOpts {
+            quick: false,
+            seed: 1,
+            out_dir: PathBuf::from("/tmp/x"),
+        };
+        assert_eq!(o.csv_path("a.csv"), PathBuf::from("/tmp/x/a.csv"));
+    }
+}

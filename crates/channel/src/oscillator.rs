@@ -1,0 +1,523 @@
+//! Free-running oscillator models.
+//!
+//! "The transmitters have independent oscillators, which are bound to have
+//! differences in their carrier frequencies. […] the drift between their
+//! oscillators will make the signals rotate at different speeds relative to
+//! each other, causing the phases to diverge and hence preventing
+//! beamforming." (§1)
+//!
+//! This module is the software stand-in for the USRP2's crystal: each device
+//! draws a ppm offset within a tolerance (802.11 mandates ±20 ppm), its
+//! sampling clock is locked to the *same* crystal (so CFO and SFO are
+//! proportional, as on real hardware), and its phase accumulates Wiener
+//! phase noise plus a slow random-walk drift of the offset itself.
+//!
+//! The numbers in §1 fall straight out of this model: a 10 Hz error in a
+//! CFO estimate grows to `2π·10·5.5e-3 ≈ 0.35 rad` (20°) in 5.5 ms.
+
+use jmb_dsp::rng::{normal, JmbRng};
+use rand::Rng;
+
+/// Static description of an oscillator population.
+#[derive(Debug, Clone, Copy)]
+pub struct OscillatorSpec {
+    /// Maximum |offset| in ppm; each device draws uniformly in ±this.
+    /// 802.11 tolerance is 20 ppm; decent TCXOs (like the USRP2's) are ~2.5.
+    pub tolerance_ppm: f64,
+    /// Lorentzian phase-noise linewidth in Hz (Wiener phase variance grows
+    /// as `2π·linewidth·Δt`). ~1 Hz is a reasonable integrated figure for a
+    /// multiplied crystal at 2.4 GHz.
+    pub phase_noise_linewidth_hz: f64,
+    /// Standard deviation of the offset's random walk in Hz/√s — models slow
+    /// thermal drift. ("CFOs do not change significantly over time", §5.3,
+    /// so this is small but nonzero.)
+    pub drift_hz_per_sqrt_s: f64,
+}
+
+impl OscillatorSpec {
+    /// A USRP2-class TCXO (the paper's hardware): ±2.5 ppm. The effective
+    /// linewidth (0.05 Hz) corresponds to ~1° of integrated phase wander
+    /// over a millisecond — TCXO-grade close-in phase noise at 2.4 GHz.
+    pub fn usrp2() -> Self {
+        OscillatorSpec {
+            tolerance_ppm: 2.5,
+            phase_noise_linewidth_hz: 0.05,
+            drift_hz_per_sqrt_s: 2.0,
+        }
+    }
+
+    /// A worst-case 802.11-compliant crystal: ±20 ppm, noisier close-in.
+    pub fn wifi_worst_case() -> Self {
+        OscillatorSpec {
+            tolerance_ppm: 20.0,
+            phase_noise_linewidth_hz: 0.2,
+            drift_hz_per_sqrt_s: 5.0,
+        }
+    }
+
+    /// An ideal oscillator (zero offset, zero noise) for calibration tests.
+    pub fn ideal() -> Self {
+        OscillatorSpec {
+            tolerance_ppm: 0.0,
+            phase_noise_linewidth_hz: 0.0,
+            drift_hz_per_sqrt_s: 0.0,
+        }
+    }
+}
+
+/// One device's oscillator state.
+///
+/// Time is the *simulation's* global time in seconds; the oscillator answers
+/// "what is your accumulated carrier phase error at global time t". Queries
+/// must be non-decreasing in `t` (the state random-walks forward).
+#[derive(Debug, Clone)]
+pub struct Oscillator {
+    carrier_freq: f64,
+    /// Current carrier offset from nominal, Hz.
+    offset_hz: f64,
+    /// Initial offset (kept for reporting).
+    initial_offset_hz: f64,
+    spec: OscillatorSpec,
+    /// Last query time.
+    t_last: f64,
+    /// Accumulated phase error (rad) at `t_last`, beyond nominal.
+    phase: f64,
+    /// Per-device RNG for phase noise and drift.
+    rng: JmbRng,
+}
+
+impl Oscillator {
+    /// Draws a new oscillator for a device.
+    ///
+    /// `carrier_freq` is the nominal RF carrier (used to tie SFO to CFO).
+    pub fn new(spec: OscillatorSpec, carrier_freq: f64, rng: &mut JmbRng) -> Self {
+        let ppm = if spec.tolerance_ppm > 0.0 {
+            (rng.gen::<f64>() * 2.0 - 1.0) * spec.tolerance_ppm
+        } else {
+            0.0
+        };
+        let offset_hz = ppm * 1e-6 * carrier_freq;
+        let child = jmb_dsp::rng::derive_rng(rng.gen(), 0x05C1);
+        Oscillator {
+            carrier_freq,
+            offset_hz,
+            initial_offset_hz: offset_hz,
+            spec,
+            t_last: 0.0,
+            phase: 0.0,
+            rng: child,
+        }
+    }
+
+    /// An exact, noiseless oscillator at a given offset — for unit tests and
+    /// analytic cross-checks.
+    pub fn fixed(carrier_freq: f64, offset_hz: f64) -> Self {
+        Oscillator {
+            carrier_freq,
+            offset_hz,
+            initial_offset_hz: offset_hz,
+            spec: OscillatorSpec::ideal(),
+            t_last: 0.0,
+            phase: 0.0,
+            rng: jmb_dsp::rng::rng_from_seed(0),
+        }
+    }
+
+    /// Current carrier-frequency offset in Hz.
+    pub fn cfo_hz(&self) -> f64 {
+        self.offset_hz
+    }
+
+    /// Offset the device started with, in Hz.
+    pub fn initial_cfo_hz(&self) -> f64 {
+        self.initial_offset_hz
+    }
+
+    /// Current offset in ppm of the carrier.
+    pub fn ppm(&self) -> f64 {
+        self.offset_hz / self.carrier_freq * 1e6
+    }
+
+    /// Sampling-clock ratio relative to nominal: the DAC/ADC runs at
+    /// `nominal_rate · sample_ratio()`. Locked to the same crystal, so
+    /// equal to `1 + ppm·1e-6`.
+    pub fn sample_ratio(&self) -> f64 {
+        1.0 + self.offset_hz / self.carrier_freq
+    }
+
+    /// Advances the oscillator to global time `t` and returns the
+    /// accumulated carrier phase error (radians, unwrapped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` moves backwards.
+    pub fn phase_at(&mut self, t: f64) -> f64 {
+        assert!(
+            t >= self.t_last - 1e-15,
+            "oscillator time must be monotonic: {t} < {}",
+            self.t_last
+        );
+        let dt = (t - self.t_last).max(0.0);
+        if dt > 0.0 {
+            // Deterministic rotation at the current offset…
+            self.phase += 2.0 * std::f64::consts::PI * self.offset_hz * dt;
+            // …Wiener phase noise…
+            if self.spec.phase_noise_linewidth_hz > 0.0 {
+                let sigma = (2.0 * std::f64::consts::PI * self.spec.phase_noise_linewidth_hz * dt)
+                    .sqrt();
+                self.phase += normal(&mut self.rng, sigma);
+            }
+            // …and slow drift of the offset itself.
+            if self.spec.drift_hz_per_sqrt_s > 0.0 {
+                self.offset_hz += normal(&mut self.rng, self.spec.drift_hz_per_sqrt_s * dt.sqrt());
+            }
+            self.t_last = t;
+        }
+        self.phase
+    }
+
+    /// The unit phasor `e^{jφ(t)}` at global time `t` (advances state).
+    pub fn phasor_at(&mut self, t: f64) -> jmb_dsp::Complex64 {
+        jmb_dsp::Complex64::cis(self.phase_at(t))
+    }
+
+    /// Nominal carrier frequency this oscillator multiplies up to.
+    pub fn carrier_freq(&self) -> f64 {
+        self.carrier_freq
+    }
+}
+
+/// A *random-access* oscillator phase trajectory.
+///
+/// [`Oscillator`] only answers monotonic time queries, which is fine for a
+/// single observer. The radio medium, however, evaluates a node's phase on
+/// many interleaved timelines (one per link), so it needs `phase_at(t)` for
+/// arbitrary `t` — returning the *same* answer for the same `t` every time.
+///
+/// `PhaseTrajectory` achieves that by materialising the stochastic part of
+/// the phase (Wiener phase noise + offset random walk) on a lazy fixed grid:
+/// queries extend the grid deterministically from a private RNG, then
+/// interpolate. Two queries of the same instant always agree.
+#[derive(Debug, Clone)]
+pub struct PhaseTrajectory {
+    carrier_freq: f64,
+    spec: OscillatorSpec,
+    /// Grid spacing, seconds.
+    grid_dt: f64,
+    /// Current frequency offset at each grid point, Hz.
+    freq: Vec<f64>,
+    /// Cumulative phase error at each grid point, radians.
+    cum_phase: Vec<f64>,
+    /// Wiener increment *within* each grid interval (applied linearly).
+    dw: Vec<f64>,
+    rng: JmbRng,
+}
+
+impl PhaseTrajectory {
+    /// Grid spacing used to materialise the stochastic phase (10 µs — far
+    /// finer than any phase dynamics JMB cares about).
+    pub const GRID_DT: f64 = 10e-6;
+
+    /// Draws a trajectory: offset uniform in ±tolerance, noise per `spec`.
+    pub fn new(spec: OscillatorSpec, carrier_freq: f64, rng: &mut JmbRng) -> Self {
+        let ppm = if spec.tolerance_ppm > 0.0 {
+            (rng.gen::<f64>() * 2.0 - 1.0) * spec.tolerance_ppm
+        } else {
+            0.0
+        };
+        Self::with_offset(spec, carrier_freq, ppm * 1e-6 * carrier_freq, rng.gen())
+    }
+
+    /// Creates a trajectory with an explicit initial offset (Hz).
+    pub fn with_offset(spec: OscillatorSpec, carrier_freq: f64, offset_hz: f64, seed: u64) -> Self {
+        PhaseTrajectory {
+            carrier_freq,
+            spec,
+            grid_dt: Self::GRID_DT,
+            freq: vec![offset_hz],
+            cum_phase: vec![0.0],
+            dw: Vec::new(),
+            rng: jmb_dsp::rng::derive_rng(seed, 0x7247),
+        }
+    }
+
+    /// A perfectly clean trajectory at a fixed offset (for tests).
+    pub fn fixed(carrier_freq: f64, offset_hz: f64) -> Self {
+        Self::with_offset(OscillatorSpec::ideal(), carrier_freq, offset_hz, 0)
+    }
+
+    /// Initial frequency offset in Hz.
+    pub fn initial_cfo_hz(&self) -> f64 {
+        self.freq[0]
+    }
+
+    /// Frequency offset at time `t` in Hz (includes the drift random walk).
+    pub fn cfo_hz_at(&mut self, t: f64) -> f64 {
+        let idx = self.grid_index(t);
+        self.freq[idx]
+    }
+
+    /// Sampling-clock ratio (ADC/DAC rate over nominal): locked to the same
+    /// crystal, so `1 + initial offset / carrier`.
+    pub fn sample_ratio(&self) -> f64 {
+        1.0 + self.freq[0] / self.carrier_freq
+    }
+
+    /// Accumulated carrier phase error at global time `t` (radians,
+    /// unwrapped). Random access; repeatable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is negative or non-finite.
+    pub fn phase_at(&mut self, t: f64) -> f64 {
+        assert!(t.is_finite() && t >= 0.0, "bad trajectory time {t}");
+        let idx = self.grid_index(t);
+        let t_i = idx as f64 * self.grid_dt;
+        let frac = (t - t_i) / self.grid_dt;
+        let dw_next = if idx < self.dw.len() { self.dw[idx] } else { 0.0 };
+        self.cum_phase[idx]
+            + 2.0 * std::f64::consts::PI * self.freq[idx] * (t - t_i)
+            + dw_next * frac
+    }
+
+    /// Phasor `e^{jφ(t)}`.
+    pub fn phasor_at(&mut self, t: f64) -> jmb_dsp::Complex64 {
+        jmb_dsp::Complex64::cis(self.phase_at(t))
+    }
+
+    /// Extends the grid to cover `t` and returns its interval index.
+    fn grid_index(&mut self, t: f64) -> usize {
+        let idx = (t / self.grid_dt).floor() as usize;
+        while self.freq.len() <= idx + 1 {
+            let i = self.freq.len() - 1;
+            let f_i = self.freq[i];
+            // Wiener increment over this interval.
+            let dw = if self.spec.phase_noise_linewidth_hz > 0.0 {
+                normal(
+                    &mut self.rng,
+                    (2.0 * std::f64::consts::PI
+                        * self.spec.phase_noise_linewidth_hz
+                        * self.grid_dt)
+                        .sqrt(),
+                )
+            } else {
+                0.0
+            };
+            self.dw.push(dw);
+            self.cum_phase
+                .push(self.cum_phase[i] + 2.0 * std::f64::consts::PI * f_i * self.grid_dt + dw);
+            // Offset random walk.
+            let f_next = if self.spec.drift_hz_per_sqrt_s > 0.0 {
+                f_i + normal(
+                    &mut self.rng,
+                    self.spec.drift_hz_per_sqrt_s * self.grid_dt.sqrt(),
+                )
+            } else {
+                f_i
+            };
+            self.freq.push(f_next);
+        }
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmb_dsp::rng::rng_from_seed;
+
+    const FC: f64 = 2.437e9;
+
+    #[test]
+    fn ppm_draw_within_tolerance() {
+        let mut rng = rng_from_seed(1);
+        for _ in 0..100 {
+            let o = Oscillator::new(OscillatorSpec::usrp2(), FC, &mut rng);
+            assert!(o.ppm().abs() <= 2.5, "ppm {}", o.ppm());
+            assert!(o.cfo_hz().abs() <= 2.5e-6 * FC + 1e-6);
+        }
+    }
+
+    #[test]
+    fn draws_are_diverse() {
+        let mut rng = rng_from_seed(2);
+        let a = Oscillator::new(OscillatorSpec::usrp2(), FC, &mut rng);
+        let b = Oscillator::new(OscillatorSpec::usrp2(), FC, &mut rng);
+        assert_ne!(a.cfo_hz(), b.cfo_hz());
+    }
+
+    #[test]
+    fn fixed_oscillator_phase_is_linear() {
+        let mut o = Oscillator::fixed(FC, 100.0);
+        let p1 = o.phase_at(1e-3);
+        let p2 = o.phase_at(2e-3);
+        let expected = 2.0 * std::f64::consts::PI * 100.0 * 1e-3;
+        assert!((p1 - expected).abs() < 1e-12);
+        assert!((p2 - 2.0 * expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_numbers_ten_hz_error() {
+        // §1: a 10 Hz frequency error accumulates 0.35 rad (20°) in 5.5 ms.
+        let mut o = Oscillator::fixed(FC, 10.0);
+        let phase = o.phase_at(5.5e-3);
+        assert!((phase - 0.3456).abs() < 1e-3, "phase {phase}");
+    }
+
+    #[test]
+    fn paper_numbers_hundred_hz_error() {
+        // §5.2: a 100 Hz error in the initial frequency-offset estimate
+        // accumulates a beamforming-fatal phase error (≥ π rad) within 20 ms.
+        let mut o = Oscillator::fixed(FC, 100.0);
+        let phase = o.phase_at(20e-3);
+        assert!(phase > std::f64::consts::PI, "phase {phase}");
+    }
+
+    #[test]
+    fn sample_ratio_tracks_ppm() {
+        let o = Oscillator::fixed(FC, 2.437e9 * 5e-6); // +5 ppm
+        assert!((o.sample_ratio() - 1.000005).abs() < 1e-12);
+        assert!((o.ppm() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_noise_grows_with_time() {
+        // Variance of the Wiener process after T should be ≈ 2π·β·T.
+        let spec = OscillatorSpec {
+            tolerance_ppm: 0.0,
+            phase_noise_linewidth_hz: 1.0,
+            drift_hz_per_sqrt_s: 0.0,
+        };
+        let mut rng = rng_from_seed(3);
+        let t = 0.1;
+        let n = 2000;
+        let mut acc = 0.0;
+        for _ in 0..n {
+            let mut o = Oscillator::new(spec, FC, &mut rng);
+            let p = o.phase_at(t);
+            acc += p * p;
+        }
+        let var = acc / n as f64;
+        let expected = 2.0 * std::f64::consts::PI * 1.0 * t;
+        assert!((var / expected - 1.0).abs() < 0.15, "var {var} vs {expected}");
+    }
+
+    #[test]
+    fn drift_changes_offset_slowly() {
+        let spec = OscillatorSpec {
+            tolerance_ppm: 1.0,
+            phase_noise_linewidth_hz: 0.0,
+            drift_hz_per_sqrt_s: 2.0,
+        };
+        let mut rng = rng_from_seed(4);
+        let mut o = Oscillator::new(spec, FC, &mut rng);
+        let f0 = o.cfo_hz();
+        o.phase_at(1.0);
+        let f1 = o.cfo_hz();
+        assert_ne!(f0, f1);
+        assert!((f1 - f0).abs() < 20.0, "drift too fast: {} Hz", f1 - f0);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn rejects_time_reversal() {
+        let mut o = Oscillator::fixed(FC, 0.0);
+        o.phase_at(1.0);
+        o.phase_at(0.5);
+    }
+
+    #[test]
+    fn phasor_is_unit() {
+        let mut rng = rng_from_seed(5);
+        let mut o = Oscillator::new(OscillatorSpec::wifi_worst_case(), FC, &mut rng);
+        for i in 1..10 {
+            let z = o.phasor_at(i as f64 * 1e-3);
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trajectory_random_access_consistent() {
+        let mut rng = rng_from_seed(10);
+        let mut t1 = PhaseTrajectory::new(OscillatorSpec::usrp2(), FC, &mut rng);
+        let a = t1.phase_at(3.7e-3);
+        let _ = t1.phase_at(9.1e-3);
+        let b = t1.phase_at(3.7e-3); // earlier time, again
+        assert_eq!(a, b, "random access must be repeatable");
+    }
+
+    #[test]
+    fn trajectory_fixed_is_linear() {
+        let mut t = PhaseTrajectory::fixed(FC, 250.0);
+        for &tt in &[0.0, 1e-4, 5e-3, 0.2] {
+            let expected = 2.0 * std::f64::consts::PI * 250.0 * tt;
+            assert!((t.phase_at(tt) - expected).abs() < 1e-9, "at {tt}");
+        }
+        assert_eq!(t.cfo_hz_at(0.1), 250.0);
+    }
+
+    #[test]
+    fn trajectory_continuous_across_grid() {
+        let mut rng = rng_from_seed(11);
+        let mut t = PhaseTrajectory::new(OscillatorSpec::wifi_worst_case(), FC, &mut rng);
+        let g = PhaseTrajectory::GRID_DT;
+        // Sample just below and above several grid boundaries.
+        for i in 1..20 {
+            let t0 = i as f64 * g;
+            let below = t.phase_at(t0 - 1e-9);
+            let above = t.phase_at(t0 + 1e-9);
+            assert!(
+                (below - above).abs() < 1e-2,
+                "discontinuity at grid point {i}: {below} vs {above}"
+            );
+        }
+    }
+
+    #[test]
+    fn trajectory_matches_oscillator_statistics() {
+        // The trajectory and the monotonic Oscillator are two views of the
+        // same model: for a fixed offset and no noise they agree exactly.
+        let mut o = Oscillator::fixed(FC, 1234.0);
+        let mut t = PhaseTrajectory::fixed(FC, 1234.0);
+        for i in 1..10 {
+            let tt = i as f64 * 1e-3;
+            assert!((o.phase_at(tt) - t.phase_at(tt)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn trajectory_phase_noise_variance() {
+        let spec = OscillatorSpec {
+            tolerance_ppm: 0.0,
+            phase_noise_linewidth_hz: 1.0,
+            drift_hz_per_sqrt_s: 0.0,
+        };
+        let mut rng = rng_from_seed(12);
+        let t_query = 0.05;
+        let n = 1000;
+        let mut acc = 0.0;
+        for _ in 0..n {
+            let mut t = PhaseTrajectory::new(spec, FC, &mut rng);
+            let p = t.phase_at(t_query);
+            acc += p * p;
+        }
+        let var = acc / n as f64;
+        let expected = 2.0 * std::f64::consts::PI * t_query;
+        assert!(
+            (var / expected - 1.0).abs() < 0.2,
+            "var {var} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn two_oscillators_relative_rotation() {
+        // The quantity JMB actually fights: relative phase between lead and
+        // slave after time t is 2π·Δf·t.
+        let mut lead = Oscillator::fixed(FC, 300.0);
+        let mut slave = Oscillator::fixed(FC, -150.0);
+        let t = 2e-3;
+        let rel = lead.phase_at(t) - slave.phase_at(t);
+        let expected = 2.0 * std::f64::consts::PI * 450.0 * t;
+        assert!((rel - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the RF environment models.
+
+use jmb_channel::multipath::{Multipath, MultipathSpec};
+use jmb_channel::oscillator::{OscillatorSpec, PhaseTrajectory};
+use jmb_channel::pathloss::PathLossModel;
+use jmb_channel::Link;
+use jmb_dsp::rng::rng_from_seed;
+use jmb_dsp::Complex64;
+use jmb_phy::params::OfdmParams;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn trajectory_random_access_is_a_function(seed in 0u64..1000, t1 in 0.0..0.2f64, t2 in 0.0..0.2f64) {
+        // Querying any times in any order must give consistent answers.
+        let mut rng = rng_from_seed(seed);
+        let mut traj = PhaseTrajectory::new(OscillatorSpec::usrp2(), 2.437e9, &mut rng);
+        let a1 = traj.phase_at(t1);
+        let _ = traj.phase_at(t2);
+        let a2 = traj.phase_at(t1);
+        prop_assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn fixed_trajectory_is_exactly_linear(offset in -50_000.0..50_000.0f64, t in 0.0..0.5f64) {
+        let mut traj = PhaseTrajectory::fixed(2.437e9, offset);
+        let expected = 2.0 * std::f64::consts::PI * offset * t;
+        prop_assert!((traj.phase_at(t) - expected).abs() < 1e-6 * (1.0 + expected.abs()));
+    }
+
+    #[test]
+    fn multipath_power_is_positive_and_finite(seed in 0u64..500) {
+        let mut rng = rng_from_seed(seed);
+        let ch = Multipath::new(MultipathSpec::indoor_nlos(), &mut rng);
+        prop_assert!(ch.power().is_finite());
+        prop_assert!(ch.power() >= 0.0);
+        // Frequency response finite on every occupied subcarrier.
+        let p = OfdmParams::default();
+        for h in ch.freq_response(&p) {
+            prop_assert!(h.is_finite());
+        }
+    }
+
+    #[test]
+    fn multipath_dc_response_is_tap_sum(seed in 0u64..500) {
+        let mut rng = rng_from_seed(seed);
+        let ch = Multipath::new(MultipathSpec::indoor_los(), &mut rng);
+        let sum: Complex64 = ch.taps().iter().map(|(_, g)| *g).sum();
+        prop_assert!((ch.freq_response_at(0.0) - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evolution_never_diverges(seed in 0u64..200, steps in 1usize..30) {
+        let mut rng = rng_from_seed(seed);
+        let mut ch = Multipath::new(MultipathSpec::indoor_nlos(), &mut rng);
+        for _ in 0..steps {
+            ch.evolve(0.05, &mut rng);
+            prop_assert!(ch.power().is_finite());
+            prop_assert!(ch.power() < 100.0, "power blew up: {}", ch.power());
+        }
+    }
+
+    #[test]
+    fn pathloss_monotone_in_distance(d1 in 0.5..30.0f64, d2 in 0.5..30.0f64) {
+        let m = PathLossModel {
+            shadowing_sigma_db: 0.0,
+            ..PathLossModel::indoor_2_4ghz()
+        };
+        if d1 < d2 {
+            prop_assert!(m.mean_loss_db(d1) <= m.mean_loss_db(d2));
+        } else {
+            prop_assert!(m.mean_loss_db(d1) >= m.mean_loss_db(d2));
+        }
+    }
+
+    #[test]
+    fn link_calibration_hits_any_target(snr in -10.0..40.0f64, noise in 1e-9..1.0f64) {
+        let mut link = Link::ideal();
+        link.calibrate_snr(snr, noise);
+        prop_assert!((link.expected_snr_db(noise) - snr).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_delay_phase_slope_matches_delay(delay_ns in 0.0..400.0f64) {
+        // The per-subcarrier phase slope of a delayed link encodes exactly
+        // the delay — the property channel measurement relies on (§5.2).
+        let mut link = Link::ideal();
+        link.delay_s = delay_ns * 1e-9;
+        let p = OfdmParams::default();
+        let df = p.subcarrier_spacing();
+        let h1 = link.freq_response_at(df);
+        let h2 = link.freq_response_at(2.0 * df);
+        let slope = (h2 * h1.conj()).arg();
+        let expected = -2.0 * std::f64::consts::PI * df * link.delay_s;
+        prop_assert!((jmb_dsp::complex::wrap_phase(slope - expected)).abs() < 1e-9);
+    }
+}

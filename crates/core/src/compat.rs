@@ -1,0 +1,594 @@
+//! 802.11n compatibility mode (§6).
+//!
+//! Off-the-shelf 802.11n clients cannot receive JMB's interleaved
+//! measurement packet, and a K-antenna client can only measure K channels
+//! per sounding. JMB works around both with two tricks:
+//!
+//! 1. **Sync header from legacy symbols** (§6.1) — the lead prefixes
+//!    mixed-mode packets whose legacy preamble the slaves use exactly like
+//!    the custom sync header. Protocol-wise this is identical to the flow
+//!    already modelled in [`crate::fastnet`]/[`crate::net`].
+//! 2. **Reference-antenna channel stitching** (§6.2) — a series of
+//!    two-stream soundings, each containing the reference antenna `L1`
+//!    plus one other antenna. The accumulated oscillator phase between
+//!    sounding times is measured *through* `L1`'s channels (to the client
+//!    and to the slave AP), and each antenna's measurement is rotated back
+//!    to the common reference time `t₀`:
+//!
+//!    ```text
+//!    Δφ(S→R) = Δφ(L1→R) − Δφ(L1→S)
+//!    ```
+//!
+//! This module models that flow over the fast medium with 2-antenna APs
+//! (two medium nodes sharing one oscillator trajectory — antennas on one
+//! device share a crystal) and 2-antenna clients, reproducing the paper's
+//! "combine two 2×2 MIMO systems into a 4×4 MIMO system" testbed (§10b).
+
+use crate::error::JmbError;
+use crate::phasesync::PhaseSync;
+use crate::precoder::Precoder;
+use jmb_channel::multipath::{Multipath, MultipathSpec};
+use jmb_channel::oscillator::{OscillatorSpec, PhaseTrajectory};
+use jmb_channel::Link;
+use jmb_dsp::rng::{complex_gaussian, normal, JmbRng};
+use jmb_dsp::{CMat, Complex64};
+use jmb_phy::chanest::ChannelEstimate;
+use jmb_phy::params::OfdmParams;
+use jmb_phy::rates::Mcs;
+use jmb_sim::{NodeId, SubcarrierMedium};
+use rand::Rng;
+
+/// Antennas per AP and per client in the 802.11n testbed (§10b).
+pub const ANTS: usize = 2;
+
+/// Configuration of the 802.11n-compat network: 2 two-antenna APs serving
+/// 2 two-antenna clients.
+#[derive(Debug, Clone)]
+pub struct CompatConfig {
+    /// OFDM numerology (the paper uses the 20 MHz profile here).
+    pub params: OfdmParams,
+    /// Number of 2-antenna APs.
+    pub n_aps: usize,
+    /// Number of 2-antenna clients.
+    pub n_clients: usize,
+    /// AP oscillator population (one crystal per device). The paper's
+    /// compat testbed still uses USRP2 APs (§10b) — only the clients are
+    /// off-the-shelf cards.
+    pub osc_spec: OscillatorSpec,
+    /// Client oscillator population (Intel 5300-class, ±20 ppm worst case).
+    /// Client crystals never enter the inter-AP phase synchronisation; they
+    /// are tracked by the clients' own pilot processing.
+    pub client_osc_spec: OscillatorSpec,
+    /// Per-bin noise variance.
+    pub noise_var: f64,
+    /// AP↔AP link SNR, dB.
+    pub ap_ap_snr_db: f64,
+    /// Per-client target SNR, dB.
+    pub client_snr_db: Vec<f64>,
+    /// Gap between consecutive soundings, seconds (a packet + SIFS-ish).
+    pub sounding_gap_s: f64,
+    /// Number of repeated sounding rounds averaged per antenna.
+    pub sounding_avg: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl CompatConfig {
+    /// The paper's §10b arrangement at a given SNR band target.
+    pub fn default_with(client_snr_db: f64, seed: u64) -> Self {
+        CompatConfig {
+            params: OfdmParams::new(jmb_phy::params::ChannelProfile::Wifi20MHz),
+            n_aps: 2,
+            n_clients: 2,
+            osc_spec: OscillatorSpec::usrp2(),
+            client_osc_spec: OscillatorSpec::wifi_worst_case(),
+            noise_var: 1.0,
+            ap_ap_snr_db: 30.0,
+            client_snr_db: vec![client_snr_db; 2],
+            sounding_gap_s: 300e-6,
+            sounding_avg: 8,
+            seed,
+        }
+    }
+}
+
+/// The compat-mode network.
+pub struct CompatNet {
+    cfg: CompatConfig,
+    medium: SubcarrierMedium,
+    /// `ap_ants[a][i]` = medium node of AP `a`'s antenna `i`.
+    ap_ants: Vec<[NodeId; ANTS]>,
+    /// `client_ants[c][i]`.
+    client_ants: Vec<[NodeId; ANTS]>,
+    /// Per-slave-AP phase sync (lead is AP 0).
+    sync: Vec<PhaseSync>,
+    /// Stitched channel at t₀: rows = client antennas, cols = AP antennas.
+    h_meas: Option<Vec<CMat>>,
+    occupied: Vec<i32>,
+    now: f64,
+    rng: JmbRng,
+}
+
+impl CompatNet {
+    /// Builds the network. Antennas of one device share an oscillator
+    /// trajectory (cloning a [`PhaseTrajectory`] yields an identical,
+    /// deterministic future — two antennas on one crystal).
+    pub fn new(cfg: CompatConfig) -> Result<Self, JmbError> {
+        if cfg.n_aps < 2 || cfg.n_clients == 0 {
+            return Err(JmbError::BadConfig("compat mode needs ≥2 APs and ≥1 client"));
+        }
+        if cfg.client_snr_db.len() != cfg.n_clients {
+            return Err(JmbError::BadConfig("client_snr_db length mismatch"));
+        }
+        if cfg.n_aps * ANTS < cfg.n_clients * ANTS {
+            return Err(JmbError::BadConfig("not enough AP antennas"));
+        }
+        let mut rng = jmb_dsp::rng::rng_from_seed(cfg.seed);
+        let mut medium = SubcarrierMedium::new(cfg.params.clone(), rng.gen());
+        let carrier = cfg.params.carrier_freq;
+
+        let mut ap_ants = Vec::with_capacity(cfg.n_aps);
+        for _ in 0..cfg.n_aps {
+            let traj = PhaseTrajectory::new(cfg.osc_spec, carrier, &mut rng);
+            let a0 = medium.add_node(traj.clone(), cfg.noise_var);
+            let a1 = medium.add_node(traj, cfg.noise_var);
+            ap_ants.push([a0, a1]);
+        }
+        let mut client_ants = Vec::with_capacity(cfg.n_clients);
+        for _ in 0..cfg.n_clients {
+            let traj = PhaseTrajectory::new(cfg.client_osc_spec, carrier, &mut rng);
+            let c0 = medium.add_node(traj.clone(), cfg.noise_var);
+            let c1 = medium.add_node(traj, cfg.noise_var);
+            client_ants.push([c0, c1]);
+        }
+
+        // Links: AP antenna → everything. Antennas of one device get
+        // independent fading (half-wavelength separation) but identical
+        // large-scale SNR targets.
+        for a in 0..cfg.n_aps {
+            for b in 0..cfg.n_aps {
+                if a == b {
+                    continue;
+                }
+                for &tx in &ap_ants[a] {
+                    for &rx in &ap_ants[b] {
+                        let mut link = Link::new(
+                            Complex64::from_polar(1.0, jmb_dsp::rng::random_phase(&mut rng)),
+                            rng.gen::<f64>() * 30e-9,
+                            Multipath::new(MultipathSpec::indoor_los(), &mut rng),
+                        );
+                        link.calibrate_snr(cfg.ap_ap_snr_db, cfg.noise_var);
+                        medium.set_link(tx, rx, link);
+                    }
+                }
+            }
+        }
+        for (c, ants) in client_ants.iter().enumerate() {
+            for (a, ap) in ap_ants.iter().enumerate() {
+                let snr = if a == c {
+                    cfg.client_snr_db[c] // "its" AP is strongest
+                } else {
+                    cfg.client_snr_db[c] - rng.gen::<f64>() * 6.0
+                };
+                for &tx in ap {
+                    for &rx in ants {
+                        let mut link = Link::new(
+                            Complex64::from_polar(1.0, jmb_dsp::rng::random_phase(&mut rng)),
+                            rng.gen::<f64>() * 60e-9,
+                            Multipath::new(MultipathSpec::indoor_nlos(), &mut rng),
+                        );
+                        link.calibrate_snr(snr, cfg.noise_var);
+                        medium.set_link(tx, rx, link);
+                    }
+                }
+            }
+        }
+
+        let sync = (1..cfg.n_aps).map(|_| PhaseSync::new()).collect();
+        let occupied = cfg.params.occupied_subcarriers();
+        Ok(CompatNet {
+            cfg,
+            medium,
+            ap_ants,
+            client_ants,
+            sync,
+            h_meas: None,
+            occupied,
+            now: 1e-4,
+            rng,
+        })
+    }
+
+    /// Current time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advances time.
+    pub fn advance(&mut self, dt: f64) {
+        assert!(dt >= 0.0);
+        self.now += dt;
+    }
+
+    /// All AP antenna nodes in column order (AP 0 ant 0, AP 0 ant 1, …).
+    fn tx_nodes(&self) -> Vec<NodeId> {
+        self.ap_ants.iter().flatten().copied().collect()
+    }
+
+    /// All client antenna nodes in row order.
+    fn rx_nodes(&self) -> Vec<NodeId> {
+        self.client_ants.iter().flatten().copied().collect()
+    }
+
+    fn noisy_channel(&mut self, tx: NodeId, rx: NodeId, k: i32, t: f64, n_avg: usize) -> Complex64 {
+        let var = self.cfg.noise_var / n_avg as f64;
+        self.medium.channel_at(tx, rx, k, t) + complex_gaussian(&mut self.rng, var)
+    }
+
+    /// The §6.2 stitched channel measurement.
+    ///
+    /// Sounding `s` (at time `t_s = t₀ + s·gap`) carries two streams: the
+    /// reference antenna `L1` and the `s`-th non-reference antenna. Every
+    /// client antenna measures both; every slave AP measures `L1 → self`.
+    /// Measurements of antenna `X` taken at `t_s` are rotated back to `t₀`
+    /// by `Δφ(L1→R) − Δφ(L1→X's AP)`.
+    pub fn run_stitched_measurement(&mut self) -> Result<(), JmbError> {
+        let t0 = self.now;
+        let gap = self.cfg.sounding_gap_s;
+        let avg = self.cfg.sounding_avg;
+        let txs = self.tx_nodes();
+        let rxs = self.rx_nodes();
+        let l1 = txs[0];
+        let n_tx = txs.len();
+        let n_rx = rxs.len();
+        let n_k = self.occupied.len();
+
+        // Sounding schedule: antenna index 1.. measured at sounding s =
+        // its position in the non-reference list; L1 measured at t0.
+        let mut h = vec![CMat::zeros(n_rx, n_tx); n_k];
+
+        // Per-receiver reference-channel observations of L1 at every
+        // sounding time (for Δφ(L1→R)). The accumulated rotation is a
+        // common phase plus a small sampling-offset slope across the band,
+        // so the per-subcarrier raw ratios are smoothed by a linear-phase
+        // fit before being applied — a raw per-subcarrier rotation would
+        // inject its full estimation noise into every stitched entry.
+        let occupied = self.occupied.clone();
+        for s in 0..n_tx {
+            // Sounding s measures antenna column s (s=0 is the L1-only
+            // baseline sounding).
+            let t_s = t0 + s as f64 * gap;
+            let ap_of_x = s / ANTS;
+            for (r, &rx) in rxs.iter().enumerate() {
+                if s == 0 {
+                    for (k_idx, &k) in occupied.iter().enumerate() {
+                        h[k_idx][(r, 0)] = self.noisy_channel(l1, rx, k, t0, avg);
+                    }
+                    continue;
+                }
+                // Raw per-subcarrier rotation phasors.
+                let mut raw = Vec::with_capacity(n_k);
+                for &k in &occupied {
+                    let l1_now = self.noisy_channel(l1, rx, k, t_s, avg);
+                    let l1_ref = self.noisy_channel(l1, rx, k, t0, avg);
+                    let dphi_l1_r = l1_now * l1_ref.conj();
+                    let rot = if ap_of_x == 0 {
+                        // Same device as L1: X shares L1's oscillator, so
+                        // the accumulated offset vs this receiver is
+                        // exactly Δφ(L1→R).
+                        dphi_l1_r
+                    } else {
+                        // Slave AP: Δφ(X→R) = Δφ(L1→R) − Δφ(L1→S).
+                        let sap = self.ap_ants[ap_of_x][0];
+                        let l1_s_now = self.noisy_channel(l1, sap, k, t_s, avg);
+                        let l1_s_ref = self.noisy_channel(l1, sap, k, t0, avg);
+                        let dphi_l1_s = l1_s_now * l1_s_ref.conj();
+                        dphi_l1_r * dphi_l1_s.conj()
+                    };
+                    raw.push(rot);
+                }
+                let ks: Vec<f64> = occupied.iter().map(|&k| k as f64).collect();
+                let (common, slope) = jmb_dsp::complex::fit_linear_phase(&ks, &raw);
+                let x = txs[s];
+                for (k_idx, &k) in occupied.iter().enumerate() {
+                    let meas = self.noisy_channel(x, rx, k, t_s, avg);
+                    let rot_back =
+                        Complex64::cis(-(common + slope * k as f64));
+                    h[k_idx][(r, s)] = meas * rot_back;
+                }
+            }
+        }
+
+        // Slave phase-sync references (anchored at t0) + CFO seeds from the
+        // sounding series (span = (n_tx−1)·gap).
+        let span = (n_tx - 1) as f64 * gap;
+        let seed_sigma = (0.02 / (2.0 * std::f64::consts::PI * span)).max(5.0);
+        for a in 1..self.cfg.n_aps {
+            let sap = self.ap_ants[a][0];
+            let gains: Vec<Complex64> = occupied
+                .iter()
+                .map(|&k| self.noisy_channel(l1, sap, k, t0, 2))
+                .collect();
+            let est = ChannelEstimate {
+                subcarriers: occupied.clone(),
+                gains,
+            };
+            let true_cfo = {
+                let f_l = self.medium.trajectory_mut(l1).cfo_hz_at(t0);
+                let f_s = self.medium.trajectory_mut(sap).cfo_hz_at(t0);
+                f_l - f_s
+            };
+            let seed = true_cfo + normal(&mut self.rng, seed_sigma);
+            self.sync[a - 1].set_reference(est.clone());
+            self.sync[a - 1].seed_cfo(&est, seed, seed_sigma, t0);
+        }
+
+        self.h_meas = Some(h);
+        self.now = t0 + n_tx as f64 * gap + 100e-6;
+        Ok(())
+    }
+
+    /// The stitched channel (after measurement).
+    pub fn measured_channel(&self) -> Option<&[CMat]> {
+        self.h_meas.as_deref()
+    }
+
+    /// One virtual 4×4 joint transmission: returns per-*stream* SINR
+    /// (dB) per subcarrier, streams ordered like client antennas.
+    pub fn joint_sinr(&mut self, packet_duration_s: f64) -> Result<Vec<Vec<f64>>, JmbError> {
+        let h = self.h_meas.clone().ok_or(JmbError::NoReference)?;
+        let precoder = Precoder::zero_forcing(&h)?;
+        let t_h = self.now;
+        let t_meas = t_h + 20e-6;
+        let txs = self.tx_nodes();
+        let rxs = self.rx_nodes();
+        let l1 = txs[0];
+        let occupied = self.occupied.clone();
+
+        // Slave corrections from the legacy-symbol header (§6.1).
+        let mut corr: Vec<Option<crate::phasesync::PhaseCorrection>> =
+            vec![None; self.cfg.n_aps];
+        for a in 1..self.cfg.n_aps {
+            let sap = self.ap_ants[a][0];
+            let gains: Vec<Complex64> = occupied
+                .iter()
+                .map(|&k| self.noisy_channel(l1, sap, k, t_meas, 2))
+                .collect();
+            let est = ChannelEstimate {
+                subcarriers: occupied.clone(),
+                gains,
+            };
+            let raw = {
+                let f_l = self.medium.trajectory_mut(l1).cfo_hz_at(t_meas);
+                let f_s = self.medium.trajectory_mut(sap).cfo_hz_at(t_meas);
+                f_l - f_s + normal(&mut self.rng, 200.0)
+            };
+            self.sync[a - 1].observe_header(&est, raw, t_meas);
+            corr[a] = Some(self.sync[a - 1].correction(&est)?);
+        }
+
+        let t_d = t_h + 20e-6 + 150e-6;
+        let probes = [t_d + 0.25 * packet_duration_s, t_d + 0.75 * packet_duration_s];
+        let nv = self.cfg.noise_var;
+        let spacing = self.cfg.params.subcarrier_spacing();
+        let carrier = self.cfg.params.carrier_freq;
+        let n_streams = rxs.len();
+        let mut out = vec![vec![0.0; occupied.len()]; n_streams];
+        for (k_idx, &k) in occupied.iter().enumerate() {
+            let w = precoder.weights_at(k_idx).clone();
+            let mut sig = vec![0.0; n_streams];
+            let mut intf = vec![0.0; n_streams];
+            for &t in &probes {
+                let h_now = self.medium.channel_matrix(&txs, &rxs, k, t);
+                let mut eff = CMat::zeros(n_streams, txs.len());
+                for (i, _tx) in txs.iter().enumerate() {
+                    let ap = i / ANTS;
+                    let c = match &corr[ap] {
+                        Some(c) => c.correction_at(k, t - t_meas, spacing, carrier),
+                        None => Complex64::ONE,
+                    };
+                    for r in 0..n_streams {
+                        eff[(r, i)] = h_now[(r, i)] * c;
+                    }
+                }
+                let g = eff.mul_mat(&w).expect("shapes fixed");
+                for r in 0..n_streams {
+                    sig[r] += g[(r, r)].norm_sqr();
+                    for s in 0..n_streams {
+                        if s != r {
+                            intf[r] += g[(r, s)].norm_sqr();
+                        }
+                    }
+                }
+            }
+            for r in 0..n_streams {
+                out[r][k_idx] =
+                    jmb_dsp::stats::lin_to_db((sig[r] / 2.0) / (nv + intf[r] / 2.0));
+            }
+        }
+        self.now = t_d + packet_duration_s + 100e-6;
+        Ok(out)
+    }
+
+    /// JMB throughput for each client: both its streams at the jointly
+    /// selected rate, served concurrently.
+    pub fn jmb_throughput(&mut self, payload_bytes: usize) -> Result<Vec<f64>, JmbError> {
+        let params = self.cfg.params.clone();
+        let duration =
+            crate::baseline::frame_airtime(&params, Mcs::ALL[4], payload_bytes);
+        let per_stream = self.joint_sinr(duration)?;
+        let mcs = crate::baseline::select_joint_mcs(&per_stream);
+        let Some(mcs) = mcs else {
+            return Ok(vec![0.0; self.cfg.n_clients]);
+        };
+        let over = crate::baseline::JmbOverheads::new(&params, 150e-6, 1.5e-3, 0.25)
+            .with_aggregation(4);
+        let mut out = Vec::with_capacity(self.cfg.n_clients);
+        for c in 0..self.cfg.n_clients {
+            let mut total = 0.0;
+            for ant in 0..ANTS {
+                total += crate::baseline::jmb_client_throughput(
+                    &params,
+                    mcs,
+                    &per_stream[c * ANTS + ant],
+                    payload_bytes,
+                    &over,
+                );
+            }
+            out.push(total);
+        }
+        Ok(out)
+    }
+
+    /// 802.11n baseline throughput for each client: its own AP transmits a
+    /// 2-stream MIMO packet (receiver-side zero forcing), and each
+    /// transmitter gets an equal share of the medium (§11.5 methodology).
+    pub fn dot11n_throughput(&mut self, payload_bytes: usize) -> Vec<f64> {
+        let t = self.now;
+        let params = self.cfg.params.clone();
+        let nv = self.cfg.noise_var;
+        let occupied = self.occupied.clone();
+        let mut out = Vec::with_capacity(self.cfg.n_clients);
+        for c in 0..self.cfg.n_clients {
+            let ap = c.min(self.cfg.n_aps - 1); // its designated AP
+            let txs = self.ap_ants[ap].to_vec();
+            let rxs = self.client_ants[c].to_vec();
+            // Per-stream post-ZF SNR: streams at half power each;
+            // SNR_s = (1/2)/(nv·[(HᴴH)⁻¹]_ss).
+            let mut stream_snrs = vec![Vec::with_capacity(occupied.len()); ANTS];
+            for &k in &occupied {
+                let h = self.medium.channel_matrix(&txs, &rxs, k, t);
+                let gram = h.hermitian().mul_mat(&h).expect("2x2");
+                match gram.inverse() {
+                    Ok(inv) => {
+                        for (s, snrs) in stream_snrs.iter_mut().enumerate() {
+                            let denom = inv[(s, s)].re.max(1e-12);
+                            snrs.push(jmb_dsp::stats::lin_to_db(0.5 / (nv * denom)));
+                        }
+                    }
+                    Err(_) => {
+                        for snrs in stream_snrs.iter_mut() {
+                            snrs.push(-30.0);
+                        }
+                    }
+                }
+            }
+            let mut rate = 0.0;
+            for snrs in &stream_snrs {
+                rate += crate::baseline::dot11_client_throughput_with_mac(
+                    &params,
+                    snrs,
+                    1,
+                    payload_bytes,
+                    crate::baseline::DOT11_MAC_OVERHEAD_S,
+                );
+            }
+            // Equal share of the medium between the transmitters.
+            out.push(rate / self.cfg.n_aps as f64);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stitched_measurement_matches_truth() {
+        // The stitched H (referred to t0) must match the true channel at t0
+        // up to per-row phase references and measurement noise — i.e. the
+        // rotation-back must cancel the oscillator drift between soundings.
+        let mut net = CompatNet::new(CompatConfig::default_with(25.0, 1)).unwrap();
+        let t0 = net.now();
+        // Ground truth at t0 before the measurement advances time.
+        let txs = net.tx_nodes();
+        let rxs = net.rx_nodes();
+        let mut truth = vec![CMat::zeros(4, 4); net.occupied.len()];
+        let occ = net.occupied.clone();
+        for (k_idx, &k) in occ.iter().enumerate() {
+            truth[k_idx] = net.medium.channel_matrix(&txs, &rxs, k, t0);
+        }
+        net.run_stitched_measurement().unwrap();
+        let h = net.measured_channel().unwrap();
+        // Column-relative comparison per row (per-row phase is arbitrary).
+        let mut worst: f64 = 0.0;
+        for k_idx in [0usize, 25, 51] {
+            for r in 0..4 {
+                for i in 1..4 {
+                    let m_ratio = h[k_idx][(r, i)] / h[k_idx][(r, 0)];
+                    let t_ratio = truth[k_idx][(r, i)] / truth[k_idx][(r, 0)];
+                    let err = (m_ratio / t_ratio - Complex64::ONE).abs();
+                    worst = worst.max(err);
+                }
+            }
+        }
+        assert!(worst < 0.25, "worst stitching error {worst}");
+    }
+
+    #[test]
+    fn joint_4x4_sinr_usable() {
+        let mut net = CompatNet::new(CompatConfig::default_with(22.0, 2)).unwrap();
+        net.run_stitched_measurement().unwrap();
+        net.advance(2e-3);
+        let sinrs = net.joint_sinr(300e-6).unwrap();
+        assert_eq!(sinrs.len(), 4);
+        for (s, per_k) in sinrs.iter().enumerate() {
+            let mean = jmb_dsp::stats::mean(per_k);
+            assert!(mean > 3.0, "stream {s}: mean SINR {mean}");
+        }
+    }
+
+    #[test]
+    fn jmb_beats_dot11n_on_average() {
+        // Fig. 12's claim: ~1.67–1.83× average gain. Verify the direction
+        // with a small ensemble.
+        let mut gains = Vec::new();
+        for seed in 0..6 {
+            let mut net = CompatNet::new(CompatConfig::default_with(22.0, 10 + seed)).unwrap();
+            net.run_stitched_measurement().unwrap();
+            net.advance(2e-3);
+            let jmb: f64 = net.jmb_throughput(1500).unwrap().iter().sum();
+            let dot: f64 = net.dot11n_throughput(1500).iter().sum();
+            if dot > 0.0 {
+                gains.push(jmb / dot);
+            }
+        }
+        let mean = jmb_dsp::stats::mean(&gains);
+        // Paper: 1.67–1.83× average. Our reproduction lands lower (~1.2–
+        // 1.5×: the jointly selected rate pays the min over four streams
+        // while the baseline rate-adapts per client); the directional claim
+        // and the ≤2× theoretical bound are the assertions here, and
+        // EXPERIMENTS.md records the quantitative delta.
+        assert!(mean > 1.1, "mean gain {mean}");
+        assert!(mean < 2.2, "mean gain {mean} exceeds the 2× bound implausibly");
+    }
+
+    #[test]
+    fn shared_crystal_antennas_rotate_together() {
+        let mut net = CompatNet::new(CompatConfig::default_with(20.0, 3)).unwrap();
+        let [a0, a1] = net.ap_ants[0];
+        let p0 = net.medium.trajectory_mut(a0).phase_at(1e-3);
+        let p1 = net.medium.trajectory_mut(a1).phase_at(1e-3);
+        assert_eq!(p0, p1, "antennas of one AP must share the oscillator");
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut bad = CompatConfig::default_with(20.0, 1);
+        bad.n_aps = 1;
+        assert!(CompatNet::new(bad).is_err());
+        let mut bad2 = CompatConfig::default_with(20.0, 1);
+        bad2.client_snr_db.pop();
+        assert!(CompatNet::new(bad2).is_err());
+    }
+
+    #[test]
+    fn joint_requires_measurement() {
+        let mut net = CompatNet::new(CompatConfig::default_with(20.0, 4)).unwrap();
+        assert!(matches!(
+            net.joint_sinr(1e-4),
+            Err(JmbError::NoReference)
+        ));
+    }
+}

@@ -1,0 +1,203 @@
+//! Decoupled channel measurements to different receivers (§7 + appendix).
+//!
+//! A receiver that joins the network after the last measurement phase (or
+//! whose channel alone has changed) should not force re-measuring everyone.
+//! The appendix proves the channel matrix still factors as
+//! `H(t) = R(t)·H̃·T(t)` when row `j` is measured at its own time `t_j`,
+//! provided each slave AP rotates its entry of the late-measured rows back
+//! to the first measurement time using its **lead-reference channel**:
+//!
+//! ```text
+//! H̃[j][i] = h_ji(t_j) · e^{−j(ω_lead − ω_i)(t_j − t_1)}
+//! ```
+//!
+//! with the rotation factor computed as the ratio of the slave's two
+//! reference-channel observations, `h_lead_i(t_j) / h_lead_i(t_1)` — again a
+//! direct phase measurement, no frequency extrapolation.
+
+use jmb_dsp::{CMat, Complex64};
+
+/// Rotates the rows of a channel matrix measured at per-row times back to a
+/// common reference, using per-(row, column) rotation phasors.
+///
+/// `rows_measured[j]` are row `j`'s per-column measurements `h_ji(t_j)`;
+/// `rotation[j][i]` is the slave-computed accumulated phase
+/// `e^{j(ω_lead − ω_i)(t_j − t_1)}` for column `i` at row `j`'s measurement
+/// time (identity for the lead column and for rows measured at `t_1`).
+///
+/// Returns the stitched time-invariant matrix `H̃`.
+///
+/// # Panics
+///
+/// Panics if dimensions are inconsistent.
+pub fn stitch_rows(rows_measured: &[Vec<Complex64>], rotation: &[Vec<Complex64>]) -> CMat {
+    assert_eq!(rows_measured.len(), rotation.len(), "row count mismatch");
+    let n_rows = rows_measured.len();
+    assert!(n_rows > 0, "no rows");
+    let n_cols = rows_measured[0].len();
+    let mut h = CMat::zeros(n_rows, n_cols);
+    for (j, (row, rot)) in rows_measured.iter().zip(rotation).enumerate() {
+        assert_eq!(row.len(), n_cols, "ragged rows");
+        assert_eq!(rot.len(), n_cols, "ragged rotations");
+        for i in 0..n_cols {
+            // Undo the accumulated rotation: multiply by its conjugate.
+            h[(j, i)] = row[i] * rot[i].conj();
+        }
+    }
+    h
+}
+
+/// Computes the per-column rotation phasors for a row measured at `t_j`,
+/// from each slave's two lead-reference observations (the ratio
+/// `h_lead_i(t_j)/h_lead_i(t_1)`, phase-only). The lead column (index 0)
+/// gets the identity.
+pub fn rotations_from_references(
+    reference_at_t1: &[Vec<Complex64>],
+    reference_at_tj: &[Vec<Complex64>],
+) -> Vec<Complex64> {
+    assert_eq!(reference_at_t1.len(), reference_at_tj.len());
+    let mut out = vec![Complex64::ONE];
+    for (r1, rj) in reference_at_t1.iter().zip(reference_at_tj) {
+        assert_eq!(r1.len(), rj.len());
+        // Average the ratio across subcarriers (wrap-safe circular mean).
+        let mut acc = Complex64::ZERO;
+        for (a, b) in rj.iter().zip(r1) {
+            acc += *a * b.conj();
+        }
+        out.push(acc.normalize());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precoder::Precoder;
+    use jmb_dsp::rng::{complex_gaussian, rng_from_seed};
+
+    /// Synthetic §7 scenario: N APs with distinct oscillator offsets, rows
+    /// measured at different times, stitched, then used for beamforming at
+    /// a later time with the usual per-slave T(t) corrections. Verifies the
+    /// appendix's factorisation end to end.
+    #[test]
+    fn decoupled_measurement_supports_beamforming() {
+        let n = 3;
+        let mut rng = rng_from_seed(1);
+        // Static physical channel and AP frequency offsets.
+        let h_bar: Vec<Vec<Complex64>> = (0..n)
+            .map(|_| (0..n).map(|_| complex_gaussian(&mut rng, 1.0)).collect())
+            .collect();
+        let omegas: Vec<f64> = (0..n).map(|i| (i as f64 - 1.0) * 2.0e3).collect(); // Hz
+        let t_meas: Vec<f64> = vec![0.0, 3e-3, 7e-3]; // per-row times
+        let phase = |i: usize, t: f64| 2.0 * std::f64::consts::PI * omegas[i] * t;
+
+        // Row j measured at t_j: h_ji(t_j) = h̄_ji·e^{j ω_i t_j} (receiver
+        // phase folds into a common per-row factor we can ignore).
+        let rows: Vec<Vec<Complex64>> = (0..n)
+            .map(|j| {
+                (0..n)
+                    .map(|i| h_bar[j][i] * Complex64::cis(phase(i, t_meas[j])))
+                    .collect()
+            })
+            .collect();
+        // Slave references: h_lead_i(t) ∝ e^{j(ω_0 − ω_i)t}. Build the
+        // per-row rotation sets.
+        let rotations: Vec<Vec<Complex64>> = (0..n)
+            .map(|j| {
+                let t1: Vec<Vec<Complex64>> = (1..n)
+                    .map(|i| vec![Complex64::cis(phase(0, t_meas[0]) - phase(i, t_meas[0])); 4])
+                    .collect();
+                let tj: Vec<Vec<Complex64>> = (1..n)
+                    .map(|i| vec![Complex64::cis(phase(0, t_meas[j]) - phase(i, t_meas[j])); 4])
+                    .collect();
+                rotations_from_references(&t1, &tj)
+            })
+            .collect();
+        let h_tilde = stitch_rows(&rows, &rotations);
+
+        // Beamform at a later time t with per-slave corrections relative to
+        // t_1 (the appendix's T(t)): correction_i = e^{j(ω_0 − ω_i)(t − t_1)}.
+        let t = 12e-3;
+        let w = Precoder::zero_forcing(&[h_tilde]).unwrap();
+        let mut eff = CMat::zeros(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                let phys = h_bar[j][i] * Complex64::cis(phase(i, t));
+                let corr = Complex64::cis((phase(0, t) - phase(0, t_meas[0])) - (phase(i, t) - phase(i, t_meas[0])));
+                eff[(j, i)] = phys * corr;
+            }
+        }
+        let g = eff.mul_mat(w.weights_at(0)).unwrap();
+        // Interference must be nulled; the diagonal may carry a per-row
+        // phase (R(t)) and the lead's common rotation, and its magnitude is
+        // the per-stream gain.
+        for j in 0..n {
+            let diag = g[(j, j)].abs();
+            assert!(diag > 0.05, "diag ({j},{j}) too small: {diag}");
+            for s in 0..n {
+                if s != j {
+                    assert!(
+                        g[(j, s)].abs() < 1e-9 * diag.max(1.0),
+                        "leak ({j},{s}): {}",
+                        g[(j, s)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn without_stitching_beamforming_fails() {
+        // Ablation: same scenario, but rows used raw (no rotation back).
+        let n = 2;
+        let mut rng = rng_from_seed(2);
+        let h_bar: Vec<Vec<Complex64>> = (0..n)
+            .map(|_| (0..n).map(|_| complex_gaussian(&mut rng, 1.0)).collect())
+            .collect();
+        let omegas = [0.0, 1.7e3];
+        let t_meas = [0.0, 5e-3];
+        let phase = |i: usize, t: f64| 2.0 * std::f64::consts::PI * omegas[i] * t;
+        let rows: Vec<Vec<Complex64>> = (0..n)
+            .map(|j| {
+                (0..n)
+                    .map(|i| h_bar[j][i] * Complex64::cis(phase(i, t_meas[j])))
+                    .collect()
+            })
+            .collect();
+        let raw = stitch_rows(&rows, &vec![vec![Complex64::ONE; n]; n]);
+        let w = Precoder::zero_forcing(&[raw]).unwrap();
+        let t = 8e-3;
+        let mut eff = CMat::zeros(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                let phys = h_bar[j][i] * Complex64::cis(phase(i, t));
+                let corr = Complex64::cis(
+                    (phase(0, t) - phase(0, t_meas[0])) - (phase(i, t) - phase(i, t_meas[0])),
+                );
+                eff[(j, i)] = phys * corr;
+            }
+        }
+        let g = eff.mul_mat(w.weights_at(0)).unwrap();
+        let leak = g[(0, 1)].abs().max(g[(1, 0)].abs());
+        assert!(
+            leak > 0.05 * w.k_hat(),
+            "expected visible leakage without stitching, got {leak}"
+        );
+    }
+
+    #[test]
+    fn rotation_helpers_shapes() {
+        let r1 = vec![vec![Complex64::ONE; 3]];
+        let rj = vec![vec![Complex64::cis(0.4); 3]];
+        let rot = rotations_from_references(&r1, &rj);
+        assert_eq!(rot.len(), 2);
+        assert_eq!(rot[0], Complex64::ONE);
+        assert!((rot[1] - Complex64::cis(0.4)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "row count")]
+    fn stitch_validates_shapes() {
+        stitch_rows(&[vec![Complex64::ONE]], &[]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error types for the JMB protocol stack.
+
+use jmb_dsp::matrix::MatError;
+use jmb_phy::frame::{RxError, TxError};
+
+/// Any failure in the JMB protocol pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JmbError {
+    /// The joint channel matrix could not be inverted (singular/ill-formed).
+    Precoding(MatError),
+    /// A slave AP failed to hear the lead's sync header.
+    SyncHeaderMissed {
+        /// Index of the slave that missed the header.
+        slave: usize,
+    },
+    /// Phase synchronisation was asked for a correction before a reference
+    /// channel was measured.
+    NoReference,
+    /// Channel measurement produced inconsistent dimensions.
+    MeasurementShape {
+        /// What was expected.
+        expected: usize,
+        /// What was produced.
+        got: usize,
+    },
+    /// A frame-level transmit error.
+    Tx(TxError),
+    /// A frame-level receive error.
+    Rx(RxError),
+    /// The configuration is invalid (e.g. zero APs).
+    BadConfig(&'static str),
+}
+
+impl std::fmt::Display for JmbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JmbError::Precoding(e) => write!(f, "precoding failed: {e}"),
+            JmbError::SyncHeaderMissed { slave } => {
+                write!(f, "slave {slave} missed the lead sync header")
+            }
+            JmbError::NoReference => write!(f, "no reference channel measured yet"),
+            JmbError::MeasurementShape { expected, got } => {
+                write!(f, "measurement shape mismatch: expected {expected}, got {got}")
+            }
+            JmbError::Tx(e) => write!(f, "transmit error: {e}"),
+            JmbError::Rx(e) => write!(f, "receive error: {e}"),
+            JmbError::BadConfig(s) => write!(f, "bad configuration: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for JmbError {}
+
+impl From<MatError> for JmbError {
+    fn from(e: MatError) -> Self {
+        JmbError::Precoding(e)
+    }
+}
+
+impl From<TxError> for JmbError {
+    fn from(e: TxError) -> Self {
+        JmbError::Tx(e)
+    }
+}
+
+impl From<RxError> for JmbError {
+    fn from(e: RxError) -> Self {
+        JmbError::Rx(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(JmbError::NoReference.to_string().contains("reference"));
+        assert!(JmbError::SyncHeaderMissed { slave: 3 }.to_string().contains('3'));
+        let e: JmbError = MatError::Singular.into();
+        assert!(e.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: JmbError = RxError::CrcFailed.into();
+        assert_eq!(e, JmbError::Rx(RxError::CrcFailed));
+        let e: JmbError = TxError::PayloadTooLarge(9999).into();
+        assert!(matches!(e, JmbError::Tx(_)));
+    }
+}

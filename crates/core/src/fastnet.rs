@@ -1,0 +1,904 @@
+//! The fast (per-subcarrier) JMB protocol model.
+//!
+//! The paper's evaluation sweeps hundreds of topologies × up to 10 APs ×
+//! 3 SNR bands (Figs. 8–13). Running the sample-level testbench for each
+//! point would be prohibitively slow, so this module models the protocol at
+//! the same level the paper's own analysis works (§4: `H(t) = R(t)·H·T(t)`):
+//! channels are per-subcarrier gains over a [`SubcarrierMedium`], and each
+//! protocol step — measurement with estimation noise, slave header
+//! re-measurement, direct phase correction, within-packet CFO tracking —
+//! is applied in the frequency domain.
+//!
+//! Every modelling constant (measurement noise per estimate, header
+//! estimation noise, seed CFO accuracy) is inherited from the behaviour of
+//! the sample-level chain in [`crate::net`], and the two are cross-validated
+//! in the workspace integration tests.
+
+use crate::error::JmbError;
+use crate::phasesync::PhaseSync;
+use crate::precoder::Precoder;
+use jmb_channel::multipath::{Multipath, MultipathSpec};
+use jmb_channel::oscillator::{OscillatorSpec, PhaseTrajectory};
+use jmb_channel::Link;
+use jmb_dsp::rng::{complex_gaussian, normal, JmbRng};
+use jmb_dsp::{CMat, Complex64};
+use jmb_phy::chanest::ChannelEstimate;
+use jmb_phy::params::OfdmParams;
+use jmb_phy::rates::Mcs;
+use jmb_sim::{NodeId, SubcarrierMedium};
+use rand::Rng;
+
+/// Configuration of a fast-path JMB network.
+#[derive(Debug, Clone)]
+pub struct FastConfig {
+    /// OFDM numerology.
+    pub params: OfdmParams,
+    /// Total APs (first is lead).
+    pub n_aps: usize,
+    /// Number of clients.
+    pub n_clients: usize,
+    /// Oscillator population.
+    pub osc_spec: OscillatorSpec,
+    /// Per-bin noise variance at clients (links are calibrated against it).
+    pub noise_var: f64,
+    /// AP↔AP link SNR, dB.
+    pub ap_ap_snr_db: f64,
+    /// Per-client target SNR (strongest AP), dB.
+    pub client_snr_db: Vec<f64>,
+    /// Spread below the strongest AP for the other APs' links, dB (used
+    /// only when `link_snr_db` is `None`).
+    pub ap_spread_db: f64,
+    /// Explicit per-link SNR targets `[client][ap]`, dB. When set (e.g.
+    /// derived from a room topology and a path-loss model), it overrides
+    /// the `client_snr_db`/`ap_spread_db` synthetic placement.
+    pub link_snr_db: Option<Vec<Vec<f64>>>,
+    /// Turnaround between header and joint transmission, seconds.
+    pub turnaround_s: f64,
+    /// Interleaved measurement rounds (sets measurement averaging and the
+    /// seed-CFO accuracy).
+    pub rounds: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl FastConfig {
+    /// Defaults mirroring [`crate::net::NetConfig::default_with`].
+    pub fn default_with(
+        n_aps: usize,
+        n_clients: usize,
+        client_snr_db: Vec<f64>,
+        seed: u64,
+    ) -> Self {
+        FastConfig {
+            params: OfdmParams::default(),
+            n_aps,
+            n_clients,
+            osc_spec: OscillatorSpec::usrp2(),
+            noise_var: 1.0,
+            ap_ap_snr_db: 30.0,
+            client_snr_db,
+            ap_spread_db: 6.0,
+            link_snr_db: None,
+            turnaround_s: 150e-6,
+            rounds: 32.max(128usize.div_ceil(n_aps.max(1))),
+            seed,
+        }
+    }
+}
+
+/// Per-client outcome of one (virtual) joint transmission.
+#[derive(Debug, Clone)]
+pub struct JointOutcome {
+    /// Per-subcarrier SINR (dB) for each client, `[client][subcarrier]`.
+    pub sinr_db: Vec<Vec<f64>>,
+    /// Per-subcarrier interference-plus-leakage power for each client
+    /// (linear, relative to the noise floor), `[client][subcarrier]`.
+    pub interference: Vec<Vec<f64>>,
+    /// The precoder's power normalisation `k̂`.
+    pub k_hat: f64,
+}
+
+impl JointOutcome {
+    /// Average interference-to-noise ratio (dB) across clients and
+    /// subcarriers — the metric of Fig. 8.
+    pub fn mean_inr_db(&self, noise_var: f64) -> f64 {
+        let mut acc = 0.0;
+        let mut n = 0usize;
+        for per_client in &self.interference {
+            for &i in per_client {
+                acc += i / noise_var;
+                n += 1;
+            }
+        }
+        jmb_dsp::stats::lin_to_db(acc / n as f64)
+    }
+}
+
+/// The fast-path network.
+pub struct FastNet {
+    cfg: FastConfig,
+    medium: SubcarrierMedium,
+    aps: Vec<NodeId>,
+    clients: Vec<NodeId>,
+    sync: Vec<PhaseSync>,
+    /// Measured joint channel per occupied subcarrier.
+    h_meas: Option<Vec<CMat>>,
+    precoder: Option<Precoder>,
+    occupied: Vec<i32>,
+    now: f64,
+    rng: JmbRng,
+}
+
+impl FastNet {
+    /// Builds the network and calibrates links.
+    pub fn new(cfg: FastConfig) -> Result<Self, JmbError> {
+        if cfg.n_aps == 0 || cfg.n_clients == 0 {
+            return Err(JmbError::BadConfig("need at least one AP and one client"));
+        }
+        if cfg.client_snr_db.len() != cfg.n_clients {
+            return Err(JmbError::BadConfig("client_snr_db length mismatch"));
+        }
+        let mut rng = jmb_dsp::rng::rng_from_seed(cfg.seed);
+        let mut medium = SubcarrierMedium::new(cfg.params.clone(), rng.gen());
+        let carrier = cfg.params.carrier_freq;
+        let aps: Vec<NodeId> = (0..cfg.n_aps)
+            .map(|_| {
+                let traj = PhaseTrajectory::new(cfg.osc_spec, carrier, &mut rng);
+                medium.add_node(traj, cfg.noise_var)
+            })
+            .collect();
+        let clients: Vec<NodeId> = (0..cfg.n_clients)
+            .map(|_| {
+                let traj = PhaseTrajectory::new(cfg.osc_spec, carrier, &mut rng);
+                medium.add_node(traj, cfg.noise_var)
+            })
+            .collect();
+
+        for i in 0..cfg.n_aps {
+            for j in 0..cfg.n_aps {
+                if i == j {
+                    continue;
+                }
+                let mut link = Link::new(
+                    Complex64::from_polar(1.0, jmb_dsp::rng::random_phase(&mut rng)),
+                    rng.gen::<f64>() * 30e-9,
+                    Multipath::new(MultipathSpec::indoor_los(), &mut rng),
+                );
+                link.calibrate_snr(cfg.ap_ap_snr_db, cfg.noise_var);
+                medium.set_link(aps[i], aps[j], link);
+            }
+        }
+        if let Some(matrix) = &cfg.link_snr_db {
+            if matrix.len() != cfg.n_clients || matrix.iter().any(|r| r.len() != cfg.n_aps) {
+                return Err(JmbError::BadConfig("link_snr_db shape mismatch"));
+            }
+        }
+        for (j, &c) in clients.iter().enumerate() {
+            // Without an explicit link matrix, each client's strongest AP is
+            // distinct (in a dense room with as many APs as clients, every
+            // client is closest to a different AP almost surely) — this is
+            // what keeps the joint channel well conditioned, as the paper
+            // observes ("natural channel matrices can be considered random
+            // and well conditioned", §11.2).
+            let strongest = j % cfg.n_aps;
+            for (i, &a) in aps.iter().enumerate() {
+                let snr = match &cfg.link_snr_db {
+                    Some(m) => m[j][i],
+                    None if i == strongest => cfg.client_snr_db[j],
+                    None => cfg.client_snr_db[j] - 3.0 - rng.gen::<f64>() * cfg.ap_spread_db,
+                };
+                // AP→client links are Rician (6 dB K): APs mounted on
+                // ledges near the ceiling have a dominant path to most of
+                // the room, so per-subcarrier fades are shallower than
+                // Rayleigh. This matters for zero-forcing: Rayleigh-faded
+                // diagonals produce deep per-subcarrier inversion wells
+                // that the paper's testbed does not exhibit.
+                let spec = MultipathSpec {
+                    rician_k_db: Some(10.0),
+                    ..MultipathSpec::indoor_los()
+                };
+                let mut link = Link::new(
+                    Complex64::from_polar(1.0, jmb_dsp::rng::random_phase(&mut rng)),
+                    rng.gen::<f64>() * 60e-9,
+                    Multipath::new(spec, &mut rng),
+                );
+                link.calibrate_snr(snr, cfg.noise_var);
+                medium.set_link(a, c, link);
+            }
+        }
+
+        // Band calibration against the *realized* fading draw: the paper
+        // places clients "such that all clients obtain an effective SNR in
+        // the desired range" — the band is a property of the measured
+        // effective SNR, fading included, not of the ensemble mean. Trim
+        // every client's links so its designated link's mean (dB-domain,
+        // across subcarriers) SNR equals its target.
+        let occupied_list = cfg.params.occupied_subcarriers();
+        for (j, &c) in clients.iter().enumerate() {
+            let target = match &cfg.link_snr_db {
+                Some(m) => m[j].iter().cloned().fold(f64::MIN, f64::max),
+                None => cfg.client_snr_db[j],
+            };
+            // Designated = strongest realized link.
+            let mut best = (0usize, f64::MIN);
+            for (i, &a) in aps.iter().enumerate() {
+                let mean_db = {
+                    let link = medium.link(a, c).expect("link installed");
+                    let acc: f64 = occupied_list
+                        .iter()
+                        .map(|&k| {
+                            let f = k as f64 * cfg.params.subcarrier_spacing();
+                            jmb_dsp::stats::lin_to_db(
+                                link.freq_response_at(f).norm_sqr() / cfg.noise_var,
+                            )
+                        })
+                        .sum();
+                    acc / occupied_list.len() as f64
+                };
+                if mean_db > best.1 {
+                    best = (i, mean_db);
+                }
+            }
+            let delta_db = target - best.1;
+            let scale = jmb_dsp::stats::db_to_lin(delta_db).sqrt();
+            for &a in &aps {
+                if let Some(link) = medium.link_mut(a, c) {
+                    link.gain = link.gain * scale;
+                }
+            }
+        }
+
+        let sync = (1..cfg.n_aps).map(|_| PhaseSync::new()).collect();
+        let occupied = cfg.params.occupied_subcarriers();
+        Ok(FastNet {
+            cfg,
+            medium,
+            aps,
+            clients,
+            sync,
+            h_meas: None,
+            precoder: None,
+            occupied,
+            now: 1e-4,
+            rng,
+        })
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FastConfig {
+        &self.cfg
+    }
+
+    /// Advances time (oscillators drift; call [`FastNet::evolve_fading`]
+    /// separately to age the channels).
+    pub fn advance(&mut self, dt: f64) {
+        assert!(dt >= 0.0);
+        self.now += dt;
+    }
+
+    /// Ages every link's fading by `dt` seconds.
+    pub fn evolve_fading(&mut self, dt: f64) {
+        self.medium.evolve_fading(dt);
+    }
+
+    /// Ages only one client's AP→client links by `dt` seconds — the §7
+    /// scenario ("when a single receiver's channels change"): that client's
+    /// row of `H` goes stale while everyone else's, and the lead→slave
+    /// reference channels, stay valid.
+    pub fn evolve_client_links(&mut self, client: usize, dt: f64) {
+        let c = self.clients[client];
+        let mut rng = jmb_dsp::rng::derive_rng(self.cfg.seed, 0xE70 ^ client as u64);
+        for i in 0..self.cfg.n_aps {
+            if let Some(link) = self.medium.link_mut(self.aps[i], c) {
+                link.evolve(dt, &mut rng);
+            }
+        }
+    }
+
+    /// The power normalisation of the current precoder.
+    pub fn k_hat(&self) -> Option<f64> {
+        self.precoder.as_ref().map(|p| p.k_hat())
+    }
+
+    /// The measured channel (after [`FastNet::run_measurement`]).
+    pub fn measured_channel(&self) -> Option<&[CMat]> {
+        self.h_meas.as_deref()
+    }
+
+    /// Ground-truth channel matrix at one subcarrier and time (for
+    /// validation and ablation experiments).
+    pub fn medium_true_channel(
+        &mut self,
+        txs: &[NodeId],
+        rxs: &[NodeId],
+        subcarrier: i32,
+        t: f64,
+    ) -> CMat {
+        self.medium.channel_matrix(txs, rxs, subcarrier, t)
+    }
+
+    /// Medium node ids of the APs (index 0 = lead).
+    pub fn ap_nodes(&self) -> &[NodeId] {
+        &self.aps
+    }
+
+    /// Medium node ids of the clients.
+    pub fn client_nodes(&self) -> &[NodeId] {
+        &self.clients
+    }
+
+    /// Per-header estimation noise variance on the lead→slave channel,
+    /// derived from the AP↔AP SNR (two LTF repetitions averaged).
+    fn header_noise_var(&self) -> f64 {
+        self.cfg.noise_var / 2.0
+    }
+
+    /// Measures a noisy per-subcarrier channel estimate of `tx → rx` at
+    /// time `t`, averaging `n_avg` independent observations.
+    fn noisy_estimate(&mut self, tx: NodeId, rx: NodeId, t: f64, n_avg: usize) -> ChannelEstimate {
+        let var = self.cfg.noise_var / n_avg as f64;
+        let gains = self
+            .occupied
+            .clone()
+            .into_iter()
+            .map(|k| self.medium.channel_at(tx, rx, k, t) + complex_gaussian(&mut self.rng, var))
+            .collect();
+        ChannelEstimate {
+            subcarriers: self.occupied.clone(),
+            gains,
+        }
+    }
+
+    /// The channel-measurement phase (§5.1), frequency-domain model: every
+    /// client measures every AP (averaged over `rounds`), slaves store
+    /// their reference channel and a span-limited CFO seed.
+    pub fn run_measurement(&mut self) -> Result<(), JmbError> {
+        let t0 = self.now;
+        let n_k = self.occupied.len();
+        let mut h = vec![CMat::zeros(self.cfg.n_clients, self.cfg.n_aps); n_k];
+        for j in 0..self.cfg.n_clients {
+            for i in 0..self.cfg.n_aps {
+                let est = self.noisy_estimate(self.aps[i], self.clients[j], t0, self.cfg.rounds);
+                for (k_idx, g) in est.gains.into_iter().enumerate() {
+                    h[k_idx][(j, i)] = g;
+                }
+            }
+        }
+        // Slave references + CFO seeds. Seed accuracy is phase-limited by
+        // the rounds-section span (same formula as the sample-level net).
+        let span_s = (self.cfg.rounds * self.cfg.n_aps) as f64
+            * self.cfg.params.symbol_len() as f64
+            * self.cfg.params.sample_period();
+        let seed_sigma = (0.02 / (2.0 * std::f64::consts::PI * span_s)).max(10.0);
+        for s in 1..self.cfg.n_aps {
+            let est = self.noisy_estimate_with_var(
+                self.aps[0],
+                self.aps[s],
+                t0,
+                self.header_noise_var(),
+            );
+            let true_cfo = {
+                let f_lead = self.medium.trajectory_mut(self.aps[0]).cfo_hz_at(t0);
+                let f_slave = self.medium.trajectory_mut(self.aps[s]).cfo_hz_at(t0);
+                f_lead - f_slave
+            };
+            let seed = true_cfo + normal(&mut self.rng, seed_sigma);
+            self.sync[s - 1].set_reference(est.clone());
+            self.sync[s - 1].seed_cfo(&est, seed, seed_sigma, t0);
+        }
+        self.precoder = Some(Precoder::zero_forcing(&h)?);
+        self.h_meas = Some(h);
+        // Advance past the measurement packet.
+        let pkt = (320 + self.cfg.rounds * self.cfg.n_aps * self.cfg.params.symbol_len()) as f64
+            * self.cfg.params.sample_period();
+        self.now = t0 + pkt + 50e-6;
+        Ok(())
+    }
+
+    fn noisy_estimate_with_var(
+        &mut self,
+        tx: NodeId,
+        rx: NodeId,
+        t: f64,
+        var: f64,
+    ) -> ChannelEstimate {
+        let gains = self
+            .occupied
+            .clone()
+            .into_iter()
+            .map(|k| self.medium.channel_at(tx, rx, k, t) + complex_gaussian(&mut self.rng, var))
+            .collect();
+        ChannelEstimate {
+            subcarriers: self.occupied.clone(),
+            gains,
+        }
+    }
+
+    /// One virtual joint transmission (§5.2): slaves re-measure the lead
+    /// from the header, apply their corrections, and the outcome is the
+    /// per-client per-subcarrier SINR over the packet.
+    ///
+    /// `packet_duration_s` is the airtime of the data portion (drives
+    /// within-packet tracking error); interference is averaged over
+    /// `n_probes` instants across the packet. `mute_streams` lists stream
+    /// indices carrying no data (used by the Fig. 8 nulling probe).
+    ///
+    /// `apply_phase_sync = false` is the ablation.
+    pub fn joint_transmit(
+        &mut self,
+        packet_duration_s: f64,
+        n_probes: usize,
+        mute_streams: &[usize],
+        apply_phase_sync: bool,
+    ) -> Result<JointOutcome, JmbError> {
+        let precoder = self.precoder.clone().ok_or(JmbError::NoReference)?;
+        let t_h = self.now;
+        let params = self.cfg.params.clone();
+        let t_meas = t_h + 240.0 * params.sample_period();
+
+        // Slave corrections from a fresh header measurement.
+        let mut corr: Vec<Option<crate::phasesync::PhaseCorrection>> = vec![None; self.cfg.n_aps];
+        for s in 1..self.cfg.n_aps {
+            let est = self.noisy_estimate_with_var(
+                self.aps[0],
+                self.aps[s],
+                t_meas,
+                self.header_noise_var(),
+            );
+            let raw_cfo = {
+                let f_lead = self.medium.trajectory_mut(self.aps[0]).cfo_hz_at(t_meas);
+                let f_slave = self.medium.trajectory_mut(self.aps[s]).cfo_hz_at(t_meas);
+                f_lead - f_slave + normal(&mut self.rng, 200.0)
+            };
+            self.sync[s - 1].observe_header(&est, raw_cfo, t_meas);
+            corr[s] = Some(self.sync[s - 1].correction(&est)?);
+        }
+
+        let t_d = t_h + 320.0 * params.sample_period() + self.cfg.turnaround_s;
+        let n_k = self.occupied.len();
+        let nv = self.cfg.noise_var;
+        let spacing = params.subcarrier_spacing();
+        let carrier = params.carrier_freq;
+        let mut sinr_db = vec![vec![0.0; n_k]; self.cfg.n_clients];
+        let mut interference = vec![vec![0.0; n_k]; self.cfg.n_clients];
+
+        let probes: Vec<f64> = (0..n_probes.max(1))
+            .map(|p| t_d + packet_duration_s * (p as f64 + 0.5) / n_probes.max(1) as f64)
+            .collect();
+
+        for (k_idx, &k) in self.occupied.clone().iter().enumerate() {
+            let w = precoder.weights_at(k_idx).clone();
+            let mut sig = vec![0.0f64; self.cfg.n_clients];
+            let mut intf = vec![0.0f64; self.cfg.n_clients];
+            for &t in &probes {
+                // Effective channel at this instant: physical channel ×
+                // per-AP correction (phase sync) per column.
+                let h_now =
+                    self.medium
+                        .channel_matrix(&self.aps, &self.clients, k, t);
+                let mut eff = CMat::zeros(self.cfg.n_clients, self.cfg.n_aps);
+                for i in 0..self.cfg.n_aps {
+                    let c = if apply_phase_sync {
+                        match &corr[i] {
+                            Some(c) => c.correction_at(k, t - t_meas, spacing, carrier),
+                            None => Complex64::ONE,
+                        }
+                    } else {
+                        Complex64::ONE
+                    };
+                    for j in 0..self.cfg.n_clients {
+                        eff[(j, i)] = h_now[(j, i)] * c;
+                    }
+                }
+                let g = eff.mul_mat(&w).expect("shapes fixed");
+                for j in 0..self.cfg.n_clients {
+                    sig[j] += g[(j, j)].norm_sqr();
+                    for s in 0..precoder.n_streams() {
+                        if s != j && !mute_streams.contains(&s) {
+                            intf[j] += g[(j, s)].norm_sqr();
+                        }
+                    }
+                }
+            }
+            let np = probes.len() as f64;
+            for j in 0..self.cfg.n_clients {
+                let s = sig[j] / np;
+                let i = intf[j] / np;
+                interference[j][k_idx] = i;
+                sinr_db[j][k_idx] = jmb_dsp::stats::lin_to_db(s / (nv + i));
+            }
+        }
+
+        self.now = t_d + packet_duration_s + 50e-6;
+        Ok(JointOutcome {
+            sinr_db,
+            interference,
+            k_hat: precoder.k_hat(),
+        })
+    }
+
+    /// The Fig. 8 nulling probe: the signal for `victim` is zero, so
+    /// whatever it receives is leakage plus its own noise floor. Returns
+    /// the victim's INR in the paper's metric — total received power over
+    /// noise, `10·log₁₀(1 + I/N)` — which is 0 dB under perfect alignment
+    /// ("the ratio of the received signal power to noise should be 0 dB",
+    /// §11.1c).
+    pub fn null_probe(&mut self, victim: usize, packet_duration_s: f64) -> Result<f64, JmbError> {
+        let outcome = self.joint_transmit(packet_duration_s, 4, &[victim], true)?;
+        let nv = self.cfg.noise_var;
+        let ratio = outcome.interference[victim]
+            .iter()
+            .map(|&i| (nv + i) / nv)
+            .sum::<f64>()
+            / outcome.interference[victim].len() as f64;
+        Ok(jmb_dsp::stats::lin_to_db(ratio))
+    }
+
+    /// Diversity SNR (§8): all APs MRT-beamform to `client`; returns the
+    /// per-subcarrier post-combining SNR in dB at one packet time.
+    pub fn diversity_snr_db(&mut self, client: usize) -> Result<Vec<f64>, JmbError> {
+        let h = self.h_meas.as_ref().ok_or(JmbError::NoReference)?;
+        let rows: Vec<Vec<Complex64>> = (0..h.len())
+            .map(|k_idx| (0..self.cfg.n_aps).map(|i| h[k_idx][(client, i)]).collect())
+            .collect();
+        let mrt = Precoder::mrt(&rows)?;
+        let t_h = self.now;
+        let params = self.cfg.params.clone();
+        let t_meas = t_h + 240.0 * params.sample_period();
+        let mut corr: Vec<Option<crate::phasesync::PhaseCorrection>> = vec![None; self.cfg.n_aps];
+        for s in 1..self.cfg.n_aps {
+            let est = self.noisy_estimate_with_var(
+                self.aps[0],
+                self.aps[s],
+                t_meas,
+                self.header_noise_var(),
+            );
+            let raw_cfo = {
+                let f_lead = self.medium.trajectory_mut(self.aps[0]).cfo_hz_at(t_meas);
+                let f_slave = self.medium.trajectory_mut(self.aps[s]).cfo_hz_at(t_meas);
+                f_lead - f_slave + normal(&mut self.rng, 200.0)
+            };
+            self.sync[s - 1].observe_header(&est, raw_cfo, t_meas);
+            corr[s] = Some(self.sync[s - 1].correction(&est)?);
+        }
+        let t = t_h + 320.0 * params.sample_period() + self.cfg.turnaround_s + 200e-6;
+        let nv = self.cfg.noise_var;
+        let spacing = params.subcarrier_spacing();
+        let carrier = params.carrier_freq;
+        let mut out = Vec::with_capacity(self.occupied.len());
+        for (k_idx, &k) in self.occupied.clone().iter().enumerate() {
+            let w = mrt.weights_at(k_idx);
+            let mut rx = Complex64::ZERO;
+            for i in 0..self.cfg.n_aps {
+                let c = match &corr[i] {
+                    Some(c) => c.correction_at(k, t - t_meas, spacing, carrier),
+                    None => Complex64::ONE,
+                };
+                let h_it = self.medium.channel_at(self.aps[i], self.clients[client], k, t);
+                rx += h_it * c * w[(i, 0)];
+            }
+            out.push(jmb_dsp::stats::lin_to_db(rx.norm_sqr() / nv));
+        }
+        self.now = t + 300e-6;
+        Ok(out)
+    }
+
+    /// The 802.11 baseline for one client: per-subcarrier SNR (dB) from its
+    /// strongest (designated) AP transmitting alone at unit power.
+    pub fn baseline_snr_db(&mut self, client: usize) -> Vec<f64> {
+        let t = self.now;
+        let nv = self.cfg.noise_var;
+        // Designated AP = strongest mean channel power.
+        let mut best_ap = 0;
+        let mut best_pw = -1.0;
+        for i in 0..self.cfg.n_aps {
+            let pw: f64 = self
+                .occupied
+                .clone()
+                .iter()
+                .map(|&k| {
+                    self.medium
+                        .channel_at(self.aps[i], self.clients[client], k, t)
+                        .norm_sqr()
+                })
+                .sum();
+            if pw > best_pw {
+                best_pw = pw;
+                best_ap = i;
+            }
+        }
+        self.occupied
+            .clone()
+            .iter()
+            .map(|&k| {
+                let h = self
+                    .medium
+                    .channel_at(self.aps[best_ap], self.clients[client], k, t);
+                jmb_dsp::stats::lin_to_db(h.norm_sqr() / nv)
+            })
+            .collect()
+    }
+
+    /// Re-measures the channel rows of a *single* client (§7: decoupled
+    /// measurements) without touching the other clients' rows.
+    ///
+    /// The newly measured row is taken at the current time `t_j`; every
+    /// slave AP computes the accumulated lead-relative rotation
+    /// `e^{j(ω_lead−ω_i)(t_j−t₁)}` from its two reference-channel
+    /// observations, and the row is rotated back to the original reference
+    /// time before being spliced into `H̃` (the appendix's factorisation).
+    /// The precoder is rebuilt from the stitched matrix.
+    pub fn remeasure_client(&mut self, client: usize) -> Result<(), JmbError> {
+        if client >= self.cfg.n_clients {
+            return Err(JmbError::BadConfig("no such client"));
+        }
+        let mut h = self.h_meas.clone().ok_or(JmbError::NoReference)?;
+        let t_j = self.now;
+        // Per-slave rotation from fresh reference observations vs the
+        // stored reference: ratio phase = (ω_lead − ω_i)(t_j − t₁) under the
+        // medium's tx-minus-rx phase convention, in which the *same* factor
+        // (not its conjugate) converts the fresh row's per-column oscillator
+        // state back to the reference time. The accumulated rotation over a
+        // many-ms gap carries a multi-radian sampling-offset ramp across
+        // the band, so it is fitted (common phase + per-subcarrier slope,
+        // with sequential unwrapping) rather than averaged flat.
+        let ks: Vec<f64> = self.occupied.iter().map(|&k| k as f64).collect();
+        let mut rotations: Vec<(f64, f64)> = vec![(0.0, 0.0)]; // lead: identity
+        for s in 1..self.cfg.n_aps {
+            let now_ref = self.noisy_estimate_with_var(
+                self.aps[0],
+                self.aps[s],
+                t_j,
+                self.header_noise_var(),
+            );
+            let stored = self.sync[s - 1]
+                .reference()
+                .ok_or(JmbError::NoReference)?
+                .clone();
+            let ratios: Vec<Complex64> = now_ref
+                .gains
+                .iter()
+                .zip(&stored.gains)
+                .map(|(a, b)| *a * b.conj())
+                .collect();
+            rotations.push(jmb_dsp::complex::fit_linear_phase(&ks, &ratios));
+        }
+        // Fresh row for this client, rotated back to the reference time.
+        let est = {
+            let c = self.clients[client];
+            let mut rows = Vec::with_capacity(self.cfg.n_aps);
+            for i in 0..self.cfg.n_aps {
+                rows.push(self.noisy_estimate(self.aps[i], c, t_j, self.cfg.rounds));
+            }
+            rows
+        };
+        for (k_idx, matrix) in h.iter_mut().enumerate() {
+            let k = self.occupied[k_idx] as f64;
+            for i in 0..self.cfg.n_aps {
+                let (common, slope) = rotations[i];
+                let rot = Complex64::cis(common + slope * k);
+                matrix[(client, i)] = est[i].gains[k_idx] * rot;
+            }
+        }
+        self.precoder = Some(Precoder::zero_forcing(&h)?);
+        self.h_meas = Some(h);
+        self.now = t_j + 200e-6;
+        Ok(())
+    }
+
+    /// Rate selected for the joint transmission (same for every client,
+    /// §9): from `k̂²/N`.
+    pub fn select_joint_rate(&self) -> Option<Mcs> {
+        let p = self.precoder.as_ref()?;
+        let snrs_db: Vec<f64> = p
+            .k_hats()
+            .iter()
+            .map(|&k| jmb_dsp::stats::lin_to_db(k * k / self.cfg.noise_var))
+            .collect();
+        jmb_phy::esnr::select_mcs(&snrs_db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: usize, snr: f64, seed: u64) -> FastConfig {
+        FastConfig::default_with(n, n, vec![snr; n], seed)
+    }
+
+    #[test]
+    fn joint_sinr_approaches_snr_with_sync() {
+        let mut net = FastNet::new(cfg(4, 20.0, 1)).unwrap();
+        net.run_measurement().unwrap();
+        net.advance(5e-3);
+        let out = net.joint_transmit(1e-3, 4, &[], true).unwrap();
+        for (j, sinrs) in out.sinr_db.iter().enumerate() {
+            let mean = jmb_dsp::stats::mean(sinrs);
+            // ZF costs a few dB relative to the single-link SNR (channel
+            // conditioning, per-client fairness through the shared k̂), but
+            // the SINR must stay in the usable band.
+            assert!(mean > 6.0, "client {j}: mean SINR {mean}");
+        }
+    }
+
+    #[test]
+    fn without_sync_sinr_collapses() {
+        let mut net = FastNet::new(cfg(4, 20.0, 2)).unwrap();
+        net.run_measurement().unwrap();
+        net.advance(5e-3);
+        let with = net.joint_transmit(1e-3, 4, &[], true).unwrap();
+        // Rebuild identically and disable sync.
+        let mut net2 = FastNet::new(cfg(4, 20.0, 2)).unwrap();
+        net2.run_measurement().unwrap();
+        net2.advance(5e-3);
+        let without = net2.joint_transmit(1e-3, 4, &[], false).unwrap();
+        let m_with = jmb_dsp::stats::mean(&with.sinr_db.concat());
+        let m_without = jmb_dsp::stats::mean(&without.sinr_db.concat());
+        assert!(
+            m_with > m_without + 8.0,
+            "sync {m_with} dB vs no-sync {m_without} dB"
+        );
+    }
+
+    #[test]
+    fn null_probe_inr_is_small() {
+        let mut net = FastNet::new(cfg(3, 15.0, 3)).unwrap();
+        net.run_measurement().unwrap();
+        net.advance(2e-3);
+        let inr = net.null_probe(0, 1e-3).unwrap();
+        assert!(inr > 0.0, "INR {inr} dB cannot be below the noise floor");
+        assert!(inr < 3.0, "INR {inr} dB");
+    }
+
+    #[test]
+    fn diversity_snr_beats_baseline() {
+        let n = 6;
+        // Fig. 11 method: "roughly similar SNRs to all APs".
+        let mut cfg = FastConfig::default_with(n, 1, vec![8.0], 4);
+        cfg.ap_spread_db = 2.0;
+        let mut net = FastNet::new(cfg).unwrap();
+        net.run_measurement().unwrap();
+        net.advance(1e-3);
+        let base = jmb_dsp::stats::mean(&net.baseline_snr_db(0));
+        let div = jmb_dsp::stats::mean(&net.diversity_snr_db(0).unwrap());
+        // Coherent combining of 6 APs: ≥ ~10 dB over a single AP.
+        assert!(
+            div > base + 6.0,
+            "diversity {div} dB vs baseline {base} dB"
+        );
+    }
+
+    #[test]
+    fn baseline_snr_matches_calibration() {
+        // Average over draws: per-subcarrier Rayleigh fading puts the mean
+        // of dB-domain SNR ~2.5 dB below the calibrated (linear-mean)
+        // target, with large per-draw spread.
+        let mut means = Vec::new();
+        for seed in 0..10 {
+            let mut net = FastNet::new(cfg(2, 18.0, 50 + seed)).unwrap();
+            net.run_measurement().unwrap();
+            means.push(jmb_dsp::stats::mean(&net.baseline_snr_db(0)));
+        }
+        let mean = jmb_dsp::stats::mean(&means);
+        assert!((mean - 15.5).abs() < 3.5, "baseline mean {mean}");
+    }
+
+    #[test]
+    fn rate_selection_present_at_good_snr() {
+        let mut net = FastNet::new(cfg(2, 25.0, 6)).unwrap();
+        net.run_measurement().unwrap();
+        assert!(net.select_joint_rate().is_some());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(FastNet::new(FastConfig::default_with(0, 1, vec![10.0], 1)).is_err());
+        assert!(FastNet::new(FastConfig::default_with(2, 2, vec![10.0], 1)).is_err());
+    }
+
+    #[test]
+    fn joint_requires_measurement() {
+        let mut net = FastNet::new(cfg(2, 20.0, 7)).unwrap();
+        assert!(matches!(
+            net.joint_transmit(1e-3, 2, &[], true),
+            Err(JmbError::NoReference)
+        ));
+    }
+
+    #[test]
+    fn decoupled_remeasurement_restores_sinr() {
+        // §7 end to end on the fast medium: one client's channel changes
+        // (fading fully decorrelates); re-measuring only that client — at a
+        // different time than the original measurement, stitched via the
+        // lead→slave references — restores its SINR without re-measuring
+        // anyone else.
+        let mut net = FastNet::new(cfg(3, 20.0, 9)).unwrap();
+        net.run_measurement().unwrap();
+        net.advance(2e-3);
+        let before = net.joint_transmit(5e-4, 2, &[], true).unwrap();
+        let base = jmb_dsp::stats::mean(&before.sinr_db[0]);
+        // Client 0's channels change drastically (its user walked across
+        // the room); the stored H is stale for its row only, and the
+        // lead→slave reference channels (static infrastructure) are intact.
+        net.advance(10e-3);
+        net.evolve_client_links(0, 60.0); // many coherence times
+        let stale = net.joint_transmit(5e-4, 2, &[], true).unwrap();
+        let stale_sinr = jmb_dsp::stats::mean(&stale.sinr_db[0]);
+        assert!(stale_sinr < base - 6.0, "stale {stale_sinr} vs base {base}");
+        // Re-measure only client 0, at a different time than the original
+        // measurement, stitched via the lead→slave references (§7).
+        net.advance(1e-3);
+        net.remeasure_client(0).unwrap();
+        net.advance(1e-3);
+        let fixed = net.joint_transmit(5e-4, 2, &[], true).unwrap();
+        let fixed_sinr = jmb_dsp::stats::mean(&fixed.sinr_db[0]);
+        assert!(
+            fixed_sinr > stale_sinr + 5.0,
+            "decoupled remeasure must recover: stale {stale_sinr} → {fixed_sinr}"
+        );
+        // The other clients kept working throughout (their rows are valid).
+        for j in 1..3 {
+            let s = jmb_dsp::stats::mean(&fixed.sinr_db[j]);
+            assert!(s > 8.0, "client {j} SINR {s}");
+        }
+    }
+
+    #[test]
+    fn remeasure_validates_client() {
+        let mut net = FastNet::new(cfg(2, 20.0, 9)).unwrap();
+        assert!(matches!(
+            net.remeasure_client(0),
+            Err(JmbError::NoReference)
+        ));
+        net.run_measurement().unwrap();
+        assert!(matches!(
+            net.remeasure_client(7),
+            Err(JmbError::BadConfig(_))
+        ));
+        assert!(net.remeasure_client(0).is_ok());
+    }
+
+    #[test]
+    fn reproducible_from_seed() {
+        let run = |seed| {
+            let mut net = FastNet::new(cfg(3, 15.0, seed)).unwrap();
+            net.run_measurement().unwrap();
+            net.advance(1e-3);
+            net.joint_transmit(5e-4, 2, &[], true).unwrap().sinr_db
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn inr_grows_gently_with_aps() {
+        // Fig. 8's qualitative property: more AP-client pairs ⇒ more
+        // residual interference, but gently.
+        let inr_at = |n: usize| {
+            let samples: Vec<f64> = (0..6)
+                .map(|s| {
+                    let mut net = FastNet::new(cfg(n, 20.0, 100 + s)).unwrap();
+                    net.run_measurement().unwrap();
+                    net.advance(2e-3);
+                    net.null_probe(0, 1e-3).unwrap()
+                })
+                .collect();
+            jmb_dsp::stats::mean(&samples)
+        };
+        let small = inr_at(2);
+        let large = inr_at(8);
+        assert!(large > small, "INR must grow: {small} → {large}");
+        // Paper Fig. 8: ~0.13 dB per added AP-client pair; allow 2-3x slack
+        // for our simulated measurement-noise calibration.
+        assert!(
+            large < small + 0.4 * 6.0,
+            "but gently: {small} → {large}"
+        );
+    }
+}

@@ -1,0 +1,383 @@
+//! JMB's link layer (§9).
+//!
+//! "In JMB, all downlink packets are sent on the Ethernet to all JMB APs.
+//! Thus, all APs in the network have the same downlink queue. Each packet in
+//! the queue has a designated AP… JMB always uses the packet at the head of
+//! the queue for transmission, and nominates the designated AP of this
+//! packet as the lead AP for this transmission. The lead AP then chooses
+//! additional packets for joint transmission…"
+//!
+//! This module implements that shared queue, the designated-AP/lead
+//! election, joint-batch selection, the weighted contention window, and the
+//! asynchronous-acknowledgment retransmission policy ("APs in JMB keep
+//! packets in the queue until they are ACKed. If a packet is not ACKed,
+//! they can be combined with other packets in the queue for future
+//! concurrent transmissions").
+
+use std::collections::VecDeque;
+
+/// One downlink packet in the shared queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacPacket {
+    /// Destination client.
+    pub dest: usize,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+    /// Transmission attempts so far.
+    pub attempts: u32,
+}
+
+/// Link-layer configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MacConfig {
+    /// Maximum transmission attempts before a packet is dropped.
+    pub retry_limit: u32,
+    /// Maximum concurrent streams per joint transmission (total AP
+    /// antennas).
+    pub max_streams: usize,
+    /// Base 802.11 contention window (slots).
+    pub cw_min: u32,
+}
+
+impl Default for MacConfig {
+    fn default() -> Self {
+        MacConfig {
+            retry_limit: 7,
+            max_streams: 8,
+            cw_min: 16,
+        }
+    }
+}
+
+/// Per-client delivery statistics.
+#[derive(Debug, Clone, Default)]
+pub struct MacStats {
+    /// Bits delivered (ACKed) per client.
+    pub delivered_bits: Vec<f64>,
+    /// Packets dropped after exhausting retries, per client.
+    pub dropped: Vec<u64>,
+    /// Joint transmissions performed.
+    pub transmissions: u64,
+    /// Total airtime spent, seconds.
+    pub airtime_s: f64,
+}
+
+impl MacStats {
+    fn ensure(&mut self, n: usize) {
+        if self.delivered_bits.len() < n {
+            self.delivered_bits.resize(n, 0.0);
+            self.dropped.resize(n, 0);
+        }
+    }
+
+    /// Per-client throughput over the recorded airtime, bits/second.
+    pub fn throughput(&self) -> Vec<f64> {
+        if self.airtime_s <= 0.0 {
+            return vec![0.0; self.delivered_bits.len()];
+        }
+        self.delivered_bits
+            .iter()
+            .map(|&b| b / self.airtime_s)
+            .collect()
+    }
+}
+
+/// The shared downlink queue and scheduler.
+#[derive(Debug)]
+pub struct JmbMac {
+    cfg: MacConfig,
+    queue: VecDeque<MacPacket>,
+    /// Designated AP per client ("the AP with the strongest SNR to the
+    /// client to which that packet is destined").
+    designated_ap: Vec<usize>,
+    /// Consecutive-loss counter per client, for hidden-terminal handling
+    /// (§9: "situations causing persistent packet loss due to repeated
+    /// collisions can be detected … and the lead AP can ensure that JMB
+    /// access points that trigger hidden terminal packet loss above a
+    /// threshold are not part of the joint transmission").
+    consecutive_losses: Vec<u32>,
+    /// Clients currently excluded from joint transmissions.
+    blacklisted: Vec<bool>,
+    /// Consecutive losses before a client's packets are excluded.
+    pub blacklist_threshold: u32,
+    /// Statistics.
+    pub stats: MacStats,
+}
+
+impl JmbMac {
+    /// Creates a MAC with the designated-AP map (index = client).
+    pub fn new(cfg: MacConfig, designated_ap: Vec<usize>) -> Self {
+        let mut stats = MacStats::default();
+        let n = designated_ap.len();
+        stats.ensure(n);
+        JmbMac {
+            cfg,
+            queue: VecDeque::new(),
+            designated_ap,
+            consecutive_losses: vec![0; n],
+            blacklisted: vec![false; n],
+            blacklist_threshold: 6,
+            stats,
+        }
+    }
+
+    /// Whether a client is currently excluded from joint transmissions.
+    pub fn is_blacklisted(&self, client: usize) -> bool {
+        self.blacklisted.get(client).copied().unwrap_or(false)
+    }
+
+    /// Clears a client's hidden-terminal blacklist entry (e.g. after its
+    /// channels were re-measured).
+    pub fn clear_blacklist(&mut self, client: usize) {
+        if let Some(b) = self.blacklisted.get_mut(client) {
+            *b = false;
+        }
+        if let Some(c) = self.consecutive_losses.get_mut(client) {
+            *c = 0;
+        }
+    }
+
+    /// Enqueues a downlink packet (distributed to all APs over the wired
+    /// backend).
+    pub fn enqueue(&mut self, dest: usize, payload: Vec<u8>) {
+        assert!(dest < self.designated_ap.len(), "unknown client {dest}");
+        self.queue.push_back(MacPacket {
+            dest,
+            payload,
+            attempts: 0,
+        });
+    }
+
+    /// Packets waiting.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The lead AP for the next transmission: the designated AP of the
+    /// head-of-queue packet.
+    pub fn next_lead(&self) -> Option<usize> {
+        self.queue.front().map(|p| self.designated_ap[p.dest])
+    }
+
+    /// Selects the next joint batch: the head of the queue plus the next
+    /// packets for *distinct* clients, up to `max_streams`. Payloads are
+    /// padded to a common length (every stream must span the same number of
+    /// OFDM symbols). Removes the selected packets from the queue.
+    pub fn select_batch(&mut self) -> Vec<MacPacket> {
+        let mut batch: Vec<MacPacket> = Vec::new();
+        let mut kept: VecDeque<MacPacket> = VecDeque::new();
+        while let Some(p) = self.queue.pop_front() {
+            let dest_taken = batch.iter().any(|b| b.dest == p.dest);
+            let excluded = self.blacklisted[p.dest];
+            if !dest_taken && !excluded && batch.len() < self.cfg.max_streams {
+                batch.push(p);
+            } else {
+                kept.push_back(p);
+            }
+        }
+        self.queue = kept;
+        // Pad payloads to a common length.
+        if let Some(max_len) = batch.iter().map(|p| p.payload.len()).max() {
+            for p in batch.iter_mut() {
+                p.payload.resize(max_len, 0);
+            }
+        }
+        batch
+    }
+
+    /// The contention window the lead uses, "weighted by the number of
+    /// packets in the joint transmission" \[29\]: a joint transmission of `n`
+    /// packets contends as aggressively as `n` independent stations.
+    pub fn contention_window(&self, batch_size: usize) -> u32 {
+        (self.cfg.cw_min / batch_size.max(1) as u32).max(1)
+    }
+
+    /// Completes a batch: `acked[i]` says whether client `batch[i].dest`
+    /// acknowledged (asynchronously, §9). Failed packets return to the
+    /// queue unless their retry budget is spent. `airtime_s` is the airtime
+    /// the whole joint transmission consumed.
+    pub fn complete_batch(&mut self, batch: Vec<MacPacket>, acked: &[bool], airtime_s: f64) {
+        assert_eq!(batch.len(), acked.len(), "one ack per batch packet");
+        self.stats.transmissions += 1;
+        self.stats.airtime_s += airtime_s;
+        for (mut p, &ok) in batch.into_iter().zip(acked) {
+            self.stats.ensure(p.dest + 1);
+            if ok {
+                self.stats.delivered_bits[p.dest] += 8.0 * p.payload.len() as f64;
+                self.consecutive_losses[p.dest] = 0;
+            } else {
+                self.consecutive_losses[p.dest] += 1;
+                if self.consecutive_losses[p.dest] >= self.blacklist_threshold {
+                    self.blacklisted[p.dest] = true;
+                }
+                p.attempts += 1;
+                if p.attempts >= self.cfg.retry_limit {
+                    self.stats.dropped[p.dest] += 1;
+                } else {
+                    // Re-queue for a future joint transmission.
+                    self.queue.push_back(p);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(n_clients: usize) -> JmbMac {
+        JmbMac::new(MacConfig::default(), (0..n_clients).collect())
+    }
+
+    #[test]
+    fn batch_takes_distinct_destinations() {
+        let mut m = mac(3);
+        m.enqueue(0, vec![1; 100]);
+        m.enqueue(0, vec![2; 100]);
+        m.enqueue(1, vec![3; 100]);
+        m.enqueue(2, vec![4; 100]);
+        let batch = m.select_batch();
+        let dests: Vec<usize> = batch.iter().map(|p| p.dest).collect();
+        assert_eq!(dests, vec![0, 1, 2]);
+        // The second packet to client 0 stays queued.
+        assert_eq!(m.queue_len(), 1);
+    }
+
+    #[test]
+    fn batch_pads_to_common_length() {
+        let mut m = mac(2);
+        m.enqueue(0, vec![1; 50]);
+        m.enqueue(1, vec![2; 200]);
+        let batch = m.select_batch();
+        assert_eq!(batch[0].payload.len(), 200);
+        assert_eq!(batch[1].payload.len(), 200);
+        assert_eq!(&batch[0].payload[..50], &[1u8; 50][..]);
+        assert!(batch[0].payload[50..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn batch_respects_stream_cap() {
+        let mut m = JmbMac::new(
+            MacConfig {
+                max_streams: 2,
+                ..Default::default()
+            },
+            (0..5).collect(),
+        );
+        for c in 0..5 {
+            m.enqueue(c, vec![0; 10]);
+        }
+        assert_eq!(m.select_batch().len(), 2);
+        assert_eq!(m.queue_len(), 3);
+    }
+
+    #[test]
+    fn lead_is_designated_ap_of_head() {
+        let mut m = JmbMac::new(MacConfig::default(), vec![3, 1, 4]);
+        assert_eq!(m.next_lead(), None);
+        m.enqueue(2, vec![0; 10]);
+        m.enqueue(0, vec![0; 10]);
+        assert_eq!(m.next_lead(), Some(4));
+    }
+
+    #[test]
+    fn failed_packets_are_requeued_then_dropped() {
+        let mut m = JmbMac::new(
+            MacConfig {
+                retry_limit: 2,
+                ..Default::default()
+            },
+            vec![0, 1],
+        );
+        m.enqueue(0, vec![9; 10]);
+        // First attempt fails → requeued.
+        let b = m.select_batch();
+        m.complete_batch(b, &[false], 1e-3);
+        assert_eq!(m.queue_len(), 1);
+        assert_eq!(m.stats.dropped[0], 0);
+        // Second attempt fails → dropped (retry_limit 2).
+        let b = m.select_batch();
+        m.complete_batch(b, &[false], 1e-3);
+        assert_eq!(m.queue_len(), 0);
+        assert_eq!(m.stats.dropped[0], 1);
+    }
+
+    #[test]
+    fn losses_are_decoupled_between_clients() {
+        // §9: "if APs have stale channel information to a client, only the
+        // packet to that client is affected".
+        let mut m = mac(2);
+        m.enqueue(0, vec![1; 100]);
+        m.enqueue(1, vec![2; 100]);
+        let b = m.select_batch();
+        m.complete_batch(b, &[true, false], 2e-3);
+        assert!(m.stats.delivered_bits[0] > 0.0);
+        assert_eq!(m.stats.delivered_bits[1], 0.0);
+        assert_eq!(m.queue_len(), 1); // client 1's packet awaits retry
+    }
+
+    #[test]
+    fn stats_throughput() {
+        let mut m = mac(2);
+        m.enqueue(0, vec![0; 1250]); // 10 000 bits
+        m.enqueue(1, vec![0; 1250]);
+        let b = m.select_batch();
+        m.complete_batch(b, &[true, true], 1e-3);
+        let t = m.stats.throughput();
+        assert!((t[0] - 1e7).abs() < 1.0);
+        assert!((t[1] - 1e7).abs() < 1.0);
+        assert_eq!(m.stats.transmissions, 1);
+    }
+
+    #[test]
+    fn contention_window_weighted_by_batch() {
+        let m = mac(4);
+        assert_eq!(m.contention_window(1), 16);
+        assert_eq!(m.contention_window(4), 4);
+        assert_eq!(m.contention_window(100), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown client")]
+    fn enqueue_validates_destination() {
+        mac(2).enqueue(5, vec![]);
+    }
+
+    #[test]
+    fn persistent_losses_blacklist_a_client() {
+        // §9's hidden-terminal handling: a client with persistent losses is
+        // excluded from joint batches; clearing (e.g. after re-measurement)
+        // readmits it.
+        let mut m = JmbMac::new(
+            MacConfig {
+                retry_limit: 100,
+                ..Default::default()
+            },
+            vec![0, 1],
+        );
+        m.blacklist_threshold = 3;
+        for _ in 0..3 {
+            m.enqueue(0, vec![1; 10]);
+            m.enqueue(1, vec![2; 10]);
+            let b = m.select_batch();
+            // Client 0 persistently fails; client 1 is fine.
+            let acked: Vec<bool> = b.iter().map(|p| p.dest != 0).collect();
+            m.complete_batch(b, &acked, 1e-3);
+        }
+        assert!(m.is_blacklisted(0));
+        assert!(!m.is_blacklisted(1));
+        // Client 0's packets stay queued but are not batched.
+        let b = m.select_batch();
+        assert!(b.iter().all(|p| p.dest != 0), "blacklisted client batched");
+        assert!(m.queue_len() > 0, "its packets remain queued");
+        let acks = vec![true; b.len()];
+        m.complete_batch(b, &acks, 1e-3);
+        // After re-admission it is scheduled again.
+        m.clear_blacklist(0);
+        let b = m.select_batch();
+        assert!(b.iter().any(|p| p.dest == 0));
+        let acks = vec![true; b.len()];
+        m.complete_batch(b, &acks, 1e-3);
+    }
+}

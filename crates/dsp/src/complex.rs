@@ -1,0 +1,561 @@
+//! Complex number arithmetic.
+//!
+//! JMB operates on complex baseband signals throughout: OFDM subcarriers,
+//! channel coefficients, beamforming weights, and oscillator phasors are all
+//! complex numbers. This module provides a small, fast `f64` complex type with
+//! the operations the rest of the workspace needs.
+//!
+//! We implement this ourselves (instead of depending on `num-complex`) so the
+//! DSP substrate stays dependency-free and the operations stay transparent.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+///
+/// The type is `Copy` and 16 bytes; slices of `Complex64` are the universal
+/// waveform representation in JMB (complex baseband samples).
+///
+/// # Examples
+///
+/// ```
+/// use jmb_dsp::Complex64;
+///
+/// let a = Complex64::new(1.0, 2.0);
+/// let b = Complex64::from_polar(1.0, std::f64::consts::FRAC_PI_2);
+/// assert!((b.re).abs() < 1e-12);
+/// assert!((b.im - 1.0).abs() < 1e-12);
+/// assert_eq!(a * Complex64::ONE, a);
+/// ```
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r * e^{jθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Complex64::new(r * c, r * s)
+    }
+
+    /// Returns the unit phasor `e^{jθ}`.
+    ///
+    /// This is the workhorse of oscillator modelling and phase correction:
+    /// a carrier-frequency offset of `Δω` rad/s contributes `cis(Δω·t)`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate `re - j·im`.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `re² + im²` (a.k.a. power of the sample).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Returns `(magnitude, phase)`.
+    #[inline]
+    pub fn to_polar(self) -> (f64, f64) {
+        (self.abs(), self.arg())
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Complex64::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns an all-infinite/NaN value when `z == 0`, mirroring `f64`
+    /// semantics; callers inverting channel matrices must check conditioning
+    /// first (see [`crate::matrix::CMat::inverse`]).
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex64::new(self.re / d, -self.im / d)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex64::new(self.re * k, self.im * k)
+    }
+
+    /// Returns `self / |self|`, the unit phasor with the same phase.
+    ///
+    /// Returns [`Complex64::ZERO`] for a zero input rather than NaN, which is
+    /// the convenient behaviour when normalising measured (possibly-zero)
+    /// channel taps.
+    #[inline]
+    pub fn normalize(self) -> Self {
+        let a = self.abs();
+        if a == 0.0 {
+            Complex64::ZERO
+        } else {
+            self.scale(1.0 / a)
+        }
+    }
+
+    /// `true` if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Fused multiply-add: `self * b + acc`.
+    ///
+    /// Kept as an explicit method so inner loops (FFT butterflies, channel
+    /// convolution) read naturally and the compiler can keep values in
+    /// registers.
+    #[inline]
+    pub fn mul_add(self, b: Complex64, acc: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * b.re - self.im * b.im + acc.re,
+            self.re * b.im + self.im * b.re + acc.im,
+        )
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Complex64) -> Complex64 {
+        self * rhs.inv()
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex64::real(re)
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+/// Mean power (average `|z|²`) of a slice of samples.
+///
+/// Returns `0.0` for an empty slice.
+pub fn mean_power(samples: &[Complex64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().map(|s| s.norm_sqr()).sum::<f64>() / samples.len() as f64
+}
+
+/// Inner product `Σ a_i · conj(b_i)` of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn inner_product(a: &[Complex64], b: &[Complex64]) -> Complex64 {
+    assert_eq!(a.len(), b.len(), "inner_product: length mismatch");
+    let mut acc = Complex64::ZERO;
+    for (&x, &y) in a.iter().zip(b) {
+        acc = x.mul_add(y.conj(), acc);
+    }
+    acc
+}
+
+/// Wraps an angle to `(-π, π]`.
+///
+/// Phase differences measured by JMB (misalignment, CFO-induced rotation) are
+/// only meaningful modulo 2π; this puts them in the principal branch.
+#[inline]
+pub fn wrap_phase(theta: f64) -> f64 {
+    let mut t = theta % (2.0 * std::f64::consts::PI);
+    if t > std::f64::consts::PI {
+        t -= 2.0 * std::f64::consts::PI;
+    } else if t <= -std::f64::consts::PI {
+        t += 2.0 * std::f64::consts::PI;
+    }
+    t
+}
+
+/// Weighted linear-phase fit across ordered positions: finds `(common,
+/// slope)` with `arg(phasor_i) ≈ common + slope·k_i`, weighted by each
+/// phasor's magnitude.
+///
+/// The phases are **sequentially unwrapped** along `ks` before fitting, so
+/// total phase spans of many radians across the band (e.g. the subcarrier
+/// ramp left by sampling-clock slip between two measurements) are fitted
+/// correctly as long as *adjacent* points differ by less than π.
+///
+/// Returns `(0, 0)` when the total weight is zero.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn fit_linear_phase(ks: &[f64], phasors: &[Complex64]) -> (f64, f64) {
+    assert_eq!(ks.len(), phasors.len(), "fit_linear_phase: length mismatch");
+    assert!(!ks.is_empty(), "fit_linear_phase: empty input");
+    let weights: Vec<f64> = phasors.iter().map(|p| p.abs()).collect();
+    let wsum: f64 = weights.iter().sum();
+    if wsum <= 0.0 {
+        return (0.0, 0.0);
+    }
+    // Sequential unwrap along the ordered positions.
+    let mut phases = Vec::with_capacity(phasors.len());
+    let mut prev_raw = phasors[0].arg();
+    let mut prev = prev_raw;
+    phases.push(prev);
+    for p in &phasors[1..] {
+        let raw = p.arg();
+        prev += wrap_phase(raw - prev_raw);
+        prev_raw = raw;
+        phases.push(prev);
+    }
+    // Weighted least squares.
+    let kbar = ks.iter().zip(&weights).map(|(k, w)| k * w).sum::<f64>() / wsum;
+    let pbar = phases.iter().zip(&weights).map(|(p, w)| p * w).sum::<f64>() / wsum;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for ((&k, &p), &w) in ks.iter().zip(&phases).zip(&weights) {
+        num += w * (k - kbar) * (p - pbar);
+        den += w * (k - kbar) * (k - kbar);
+    }
+    let slope = if den > 0.0 { num / den } else { 0.0 };
+    (wrap_phase(pbar - slope * kbar), slope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn construction_and_constants() {
+        assert_eq!(Complex64::ZERO + Complex64::ONE, Complex64::ONE);
+        assert_eq!(Complex64::I * Complex64::I, -Complex64::ONE);
+        assert_eq!(Complex64::from(3.0), Complex64::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex64::from_polar(2.5, 0.7);
+        let (r, th) = z.to_polar();
+        assert!(close(r, 2.5));
+        assert!(close(th, 0.7));
+    }
+
+    #[test]
+    fn cis_is_unit_magnitude() {
+        for k in 0..100 {
+            let th = k as f64 * 0.1 - 5.0;
+            assert!(close(Complex64::cis(th).abs(), 1.0));
+        }
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex64::new(1.0, -2.0);
+        let b = Complex64::new(-0.5, 3.0);
+        assert_eq!(a + b - b, a);
+        let q = (a * b) / b;
+        assert!(close(q.re, a.re) && close(q.im, a.im));
+        assert_eq!(-(-a), a);
+        assert_eq!(a * 2.0, Complex64::new(2.0, -4.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Complex64::new(0.5, -1.0));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = Complex64::new(3.0, 4.0);
+        assert_eq!(a.conj(), Complex64::new(3.0, -4.0));
+        assert!(close(a.norm_sqr(), 25.0));
+        assert!(close(a.abs(), 5.0));
+        // z * conj(z) = |z|^2
+        let p = a * a.conj();
+        assert!(close(p.re, 25.0) && close(p.im, 0.0));
+    }
+
+    #[test]
+    fn inverse() {
+        let a = Complex64::new(1.0, 2.0);
+        let p = a * a.inv();
+        assert!(close(p.re, 1.0) && close(p.im, 0.0));
+    }
+
+    #[test]
+    fn exp_matches_euler() {
+        let z = Complex64::new(0.0, PI);
+        let e = z.exp();
+        assert!(close(e.re, -1.0) && close(e.im, 0.0));
+        let z2 = Complex64::new(1.0, 0.0);
+        assert!(close(z2.exp().re, std::f64::consts::E));
+    }
+
+    #[test]
+    fn normalize_unit_or_zero() {
+        assert_eq!(Complex64::ZERO.normalize(), Complex64::ZERO);
+        let z = Complex64::new(-3.0, 4.0).normalize();
+        assert!(close(z.abs(), 1.0));
+        assert!(close(z.arg(), Complex64::new(-3.0, 4.0).arg()));
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let a = Complex64::new(1.2, -0.3);
+        let b = Complex64::new(0.4, 2.0);
+        let c = Complex64::new(-1.0, 1.0);
+        let fused = a.mul_add(b, c);
+        let plain = a * b + c;
+        assert!(close(fused.re, plain.re) && close(fused.im, plain.im));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let v = vec![Complex64::new(1.0, 1.0); 4];
+        let s: Complex64 = v.into_iter().sum();
+        assert_eq!(s, Complex64::new(4.0, 4.0));
+    }
+
+    #[test]
+    fn mean_power_of_unit_phasors_is_one() {
+        let v: Vec<Complex64> = (0..16).map(|k| Complex64::cis(k as f64)).collect();
+        assert!(close(mean_power(&v), 1.0));
+        assert_eq!(mean_power(&[]), 0.0);
+    }
+
+    #[test]
+    fn inner_product_orthogonal_exponentials() {
+        // e^{j2πk n/N} for different k are orthogonal over a period.
+        let n = 16usize;
+        let tone = |k: usize| -> Vec<Complex64> {
+            (0..n)
+                .map(|i| Complex64::cis(2.0 * PI * k as f64 * i as f64 / n as f64))
+                .collect()
+        };
+        let ip = inner_product(&tone(3), &tone(5));
+        assert!(ip.abs() < 1e-10);
+        let self_ip = inner_product(&tone(3), &tone(3));
+        assert!(close(self_ip.re, n as f64));
+    }
+
+    #[test]
+    fn wrap_phase_principal_branch() {
+        assert!(close(wrap_phase(3.0 * PI), PI));
+        assert!(close(wrap_phase(-3.0 * PI), PI));
+        assert!(close(wrap_phase(0.1), 0.1));
+        assert!(close(wrap_phase(2.0 * PI + 0.1), 0.1));
+        for k in -20..20 {
+            let w = wrap_phase(k as f64 * 0.7);
+            assert!(w > -PI - 1e-12 && w <= PI + 1e-12);
+        }
+    }
+
+    #[test]
+    fn linear_phase_fit_small_slope() {
+        let ks: Vec<f64> = (-10..=10).map(|k| k as f64).collect();
+        let phasors: Vec<Complex64> = ks
+            .iter()
+            .map(|&k| Complex64::from_polar(2.0, 0.3 + 0.01 * k))
+            .collect();
+        let (c, s) = fit_linear_phase(&ks, &phasors);
+        assert!((c - 0.3).abs() < 1e-9, "common {c}");
+        assert!((s - 0.01).abs() < 1e-12, "slope {s}");
+    }
+
+    #[test]
+    fn linear_phase_fit_unwraps_large_span() {
+        // Total span of ~13 radians across the band (sampling-offset ramp):
+        // a wrap-naive fit would collapse; sequential unwrapping must not.
+        let ks: Vec<f64> = (-26..=26).map(|k| k as f64).collect();
+        let slope = 0.25;
+        let phasors: Vec<Complex64> = ks
+            .iter()
+            .map(|&k| Complex64::cis(-1.0 + slope * k))
+            .collect();
+        let (c, s) = fit_linear_phase(&ks, &phasors);
+        assert!((s - slope).abs() < 1e-9, "slope {s}");
+        assert!(wrap_phase(c + 1.0).abs() < 1e-9, "common {c}");
+    }
+
+    #[test]
+    fn linear_phase_fit_weights_by_magnitude() {
+        // One rogue low-magnitude phasor must barely influence the fit.
+        let ks = vec![0.0, 1.0, 2.0, 3.0];
+        let mut phasors: Vec<Complex64> =
+            ks.iter().map(|&k| Complex64::cis(0.1 * k)).collect();
+        phasors[2] = Complex64::from_polar(1e-6, 2.5);
+        let (c, s) = fit_linear_phase(&ks, &phasors);
+        assert!(c.abs() < 0.05, "common {c}");
+        assert!((s - 0.1).abs() < 0.05, "slope {s}");
+    }
+
+    #[test]
+    fn linear_phase_fit_zero_weight() {
+        let (c, s) = fit_linear_phase(&[0.0, 1.0], &[Complex64::ZERO, Complex64::ZERO]);
+        assert_eq!((c, s), (0.0, 0.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+}

@@ -1,0 +1,689 @@
+//! Full packet transmit and receive chains.
+//!
+//! A JMB frame is an 802.11a/g-style PPDU:
+//!
+//! ```text
+//! | STF 160 | LTF 160 | SIGNAL (1 sym) | DATA (N syms) |
+//! ```
+//!
+//! * **SIGNAL** — BPSK 1/2, uncoded-rate header: 4-bit RATE, 12-bit LENGTH,
+//!   parity, tail. Never scrambled.
+//! * **DATA** — SERVICE(16) + PSDU + tail(6) + pad, scrambled, convolutionally
+//!   coded, punctured, interleaved, mapped, OFDM-modulated with pilots.
+//!
+//! The PSDU carries the caller's payload plus a CRC-32.
+//!
+//! The chain is exposed at two levels:
+//! * time domain ([`FrameTx::tx_frame`] / [`FrameRx::rx_frame`]) — full
+//!   waveforms for the sample-level simulator;
+//! * frequency domain ([`FrameTx::build_bins`] /
+//!   [`FrameRx::decode_stream_bins`]) — per-symbol 64-bin arrays, which is
+//!   what JMB's joint beamformer manipulates (precoding is per subcarrier)
+//!   and what the fast per-subcarrier simulator transports.
+
+use crate::chanest::{self, ChannelEstimate};
+use crate::convcode;
+use crate::crc;
+use crate::interleaver::Interleaver;
+use crate::modulation::Modulation;
+use crate::ofdm::equalize;
+use crate::ofdm::Ofdm;
+use crate::params::OfdmParams;
+use crate::preamble;
+use crate::rates::Mcs;
+use crate::scrambler::{pilot_polarity_sequence, Scrambler};
+use crate::sync;
+use crate::viterbi;
+use jmb_dsp::Complex64;
+
+/// Default scrambler seed shared by transmitter and receiver.
+pub const DEFAULT_SCRAMBLER_SEED: u8 = 0x5D;
+
+/// Maximum PSDU length representable in the 12-bit SIGNAL LENGTH field.
+pub const MAX_PSDU: usize = 4095;
+
+/// 802.11 RATE field encodings, indexed like [`Mcs::ALL`].
+const RATE_BITS: [u8; 8] = [0b1101, 0b1111, 0b0101, 0b0111, 0b1001, 0b1011, 0b0001, 0b0011];
+
+/// Transmit-side errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxError {
+    /// Payload too large for the LENGTH field.
+    PayloadTooLarge(usize),
+}
+
+impl std::fmt::Display for TxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxError::PayloadTooLarge(n) => write!(f, "payload of {n} bytes exceeds {MAX_PSDU}"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+/// Receive-side errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RxError {
+    /// No preamble detected in the buffer.
+    NoPreamble,
+    /// Buffer ends before the frame does.
+    Truncated,
+    /// SIGNAL field failed its parity check or encodes an unknown rate.
+    BadSignal,
+    /// Frame check sequence (CRC-32) mismatch after decoding.
+    CrcFailed,
+}
+
+impl std::fmt::Display for RxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RxError::NoPreamble => write!(f, "no preamble detected"),
+            RxError::Truncated => write!(f, "buffer truncated mid-frame"),
+            RxError::BadSignal => write!(f, "SIGNAL field invalid"),
+            RxError::CrcFailed => write!(f, "CRC check failed"),
+        }
+    }
+}
+
+impl std::error::Error for RxError {}
+
+/// A frame rendered in the frequency domain: one 64-bin vector per OFDM
+/// symbol (SIGNAL first, then DATA), pilots and data already placed.
+#[derive(Debug, Clone)]
+pub struct StreamBins {
+    /// MCS of the DATA portion.
+    pub mcs: Mcs,
+    /// PSDU length in bytes (payload + CRC).
+    pub psdu_len: usize,
+    /// Per-symbol FFT bins (each `fft_size` long).
+    pub symbols: Vec<Vec<Complex64>>,
+}
+
+/// The transmitter.
+#[derive(Debug, Clone)]
+pub struct FrameTx {
+    ofdm: Ofdm,
+    seed: u8,
+}
+
+impl FrameTx {
+    /// Creates a transmitter with the default scrambler seed.
+    pub fn new(params: OfdmParams) -> Self {
+        FrameTx {
+            ofdm: Ofdm::new(params),
+            seed: DEFAULT_SCRAMBLER_SEED,
+        }
+    }
+
+    /// The numerology in use.
+    pub fn params(&self) -> &OfdmParams {
+        self.ofdm.params()
+    }
+
+    /// Builds the frequency-domain symbols (SIGNAL + DATA) for a payload.
+    pub fn build_bins(&self, mcs: Mcs, payload: &[u8]) -> Result<StreamBins, TxError> {
+        let params = self.ofdm.params();
+        let psdu = crc::append_crc(payload);
+        if psdu.len() > MAX_PSDU {
+            return Err(TxError::PayloadTooLarge(psdu.len()));
+        }
+        let polarity = pilot_polarity_sequence();
+        let mut symbols = Vec::new();
+
+        // --- SIGNAL: 24 bits → rate-1/2 → 48 coded bits → BPSK, polarity p0.
+        let signal_bits = Self::signal_bits(mcs, psdu.len());
+        let coded = convcode::encode_raw(&signal_bits);
+        let il_bpsk = Interleaver::new(params, Modulation::Bpsk);
+        let interleaved = il_bpsk.interleave(&coded);
+        let syms = Modulation::Bpsk.map_stream(&interleaved);
+        symbols.push(self.ofdm.assemble_bins(&syms, polarity[0]));
+
+        // --- DATA.
+        let ndbps = mcs.data_bits_per_symbol(params);
+        let ncbps = mcs.coded_bits_per_symbol(params);
+        let n_sym = mcs.symbols_for_psdu(params, psdu.len());
+        let n_bits = n_sym * ndbps;
+
+        // SERVICE (16 zero bits) + PSDU bits (LSB-first per byte) + tail + pad.
+        let mut bits = vec![0u8; 16];
+        for &byte in &psdu {
+            for b in 0..8 {
+                bits.push((byte >> b) & 1);
+            }
+        }
+        let tail_start = bits.len();
+        bits.resize(n_bits, 0); // tail + pad as zeros
+        // Scramble everything, then re-zero tail and pad so the encoder is
+        // flushed to state 0 at the end of the stream (pad content is
+        // ignored by the receiver).
+        let mut scr = Scrambler::new(self.seed);
+        scr.scramble_in_place(&mut bits);
+        for b in bits[tail_start..].iter_mut() {
+            *b = 0;
+        }
+
+        let coded = convcode::encode_raw(&bits);
+        let punctured = convcode::puncture(&coded, mcs.code_rate);
+        debug_assert_eq!(punctured.len(), n_sym * ncbps);
+
+        let il = Interleaver::new(params, mcs.modulation);
+        for (n, block) in punctured.chunks(ncbps).enumerate() {
+            let interleaved = il.interleave(block);
+            let syms = mcs.modulation.map_stream(&interleaved);
+            let p = polarity[(n + 1) % polarity.len()];
+            symbols.push(self.ofdm.assemble_bins(&syms, p));
+        }
+
+        Ok(StreamBins {
+            mcs,
+            psdu_len: psdu.len(),
+            symbols,
+        })
+    }
+
+    /// Renders frequency-domain symbols into the full time-domain packet
+    /// (prepends STF + LTF).
+    pub fn assemble_samples(&self, bins: &StreamBins) -> Vec<Complex64> {
+        let params = self.ofdm.params();
+        let mut out = preamble::preamble(params);
+        out.reserve(bins.symbols.len() * params.symbol_len());
+        for sym in &bins.symbols {
+            out.extend(self.ofdm.bins_to_samples(sym));
+        }
+        out
+    }
+
+    /// Convenience: payload → full time-domain packet.
+    pub fn tx_frame(&self, mcs: Mcs, payload: &[u8]) -> Result<Vec<Complex64>, TxError> {
+        Ok(self.assemble_samples(&self.build_bins(mcs, payload)?))
+    }
+
+    /// Total packet length in samples for a payload at an MCS.
+    pub fn frame_len(&self, mcs: Mcs, payload_len: usize) -> usize {
+        let params = self.ofdm.params();
+        let n_sym = 1 + mcs.symbols_for_psdu(params, payload_len + 4);
+        320 + n_sym * params.symbol_len()
+    }
+
+    /// SIGNAL field bits: RATE(4) | reserved(1) | LENGTH(12, LSB first) |
+    /// parity(1) | tail(6).
+    fn signal_bits(mcs: Mcs, psdu_len: usize) -> Vec<u8> {
+        let mut bits = Vec::with_capacity(24);
+        let rate = RATE_BITS[mcs.index()];
+        for b in (0..4).rev() {
+            bits.push((rate >> b) & 1);
+        }
+        bits.push(0); // reserved
+        for b in 0..12 {
+            bits.push(((psdu_len >> b) & 1) as u8);
+        }
+        let parity = bits.iter().fold(0u8, |a, &b| a ^ b);
+        bits.push(parity);
+        bits.extend_from_slice(&[0; 6]);
+        bits
+    }
+}
+
+/// Everything the receiver learned from one frame.
+#[derive(Debug, Clone)]
+pub struct RxResult {
+    /// Decoded payload (CRC verified and stripped).
+    pub payload: Vec<u8>,
+    /// MCS announced in SIGNAL.
+    pub mcs: Mcs,
+    /// Estimated CFO in Hz (0 for the frequency-domain entry point).
+    pub cfo_hz: f64,
+    /// Channel estimate from the LTF.
+    pub channel: ChannelEstimate,
+    /// Estimated complex-noise variance per subcarrier sample.
+    pub noise_var: f64,
+    /// Post-equalisation error-vector magnitude in dB (lower = cleaner).
+    pub evm_db: f64,
+}
+
+impl RxResult {
+    /// Per-subcarrier SNR in dB derived from the channel estimate and noise
+    /// — what JMB clients feed back for effective-SNR rate selection (§9).
+    pub fn snr_per_subcarrier_db(&self) -> Vec<f64> {
+        self.channel
+            .gains
+            .iter()
+            .map(|g| jmb_dsp::stats::lin_to_db(g.norm_sqr() / self.noise_var.max(1e-18)))
+            .collect()
+    }
+}
+
+/// The receiver.
+#[derive(Debug, Clone)]
+pub struct FrameRx {
+    ofdm: Ofdm,
+    seed: u8,
+}
+
+impl FrameRx {
+    /// Creates a receiver with the default scrambler seed.
+    pub fn new(params: OfdmParams) -> Self {
+        FrameRx {
+            ofdm: Ofdm::new(params),
+            seed: DEFAULT_SCRAMBLER_SEED,
+        }
+    }
+
+    /// The numerology in use.
+    pub fn params(&self) -> &OfdmParams {
+        self.ofdm.params()
+    }
+
+    /// Full receive chain: detect → sync → estimate → decode.
+    pub fn rx_frame(&self, samples: &[Complex64]) -> Result<RxResult, RxError> {
+        let params = self.ofdm.params();
+        let s = sync::synchronize(params, samples).ok_or(RxError::NoPreamble)?;
+        self.rx_frame_at(samples, s.stf_start, s.cfo_hz)
+    }
+
+    /// Receive chain with externally supplied timing and CFO (used when the
+    /// simulator's scheduling already pins the frame position, and by slave
+    /// APs that are triggered by the lead's header).
+    pub fn rx_frame_at(
+        &self,
+        samples: &[Complex64],
+        stf_start: usize,
+        cfo_hz: f64,
+    ) -> Result<RxResult, RxError> {
+        let params = self.ofdm.params();
+        if stf_start + 320 + params.symbol_len() > samples.len() {
+            return Err(RxError::Truncated);
+        }
+        // CFO-correct from the start of the frame.
+        let mut work = samples[stf_start..].to_vec();
+        sync::correct_cfo(params, &mut work, cfo_hz, 0.0);
+
+        // Channel + noise from LTF.
+        let ltf = &work[160..320];
+        let channel = chanest::estimate_from_ltf(params, ltf);
+        let noise_var = noise_from_ltf(params, ltf);
+
+        // Demodulate all remaining whole symbols into bins.
+        let sym_len = params.symbol_len();
+        let n_avail = (work.len() - 320) / sym_len;
+        let mut bins = Vec::with_capacity(n_avail);
+        for i in 0..n_avail {
+            let sym = &work[320 + i * sym_len..320 + (i + 1) * sym_len];
+            bins.push(self.ofdm.demodulate_symbol(sym));
+        }
+        let mut result = self.decode_stream_bins(&bins, &channel, noise_var)?;
+        result.cfo_hz = cfo_hz;
+        Ok(result)
+    }
+
+    /// Frequency-domain receive chain: `bins` holds one 64-bin vector per
+    /// received OFDM symbol (SIGNAL first). Used directly by the
+    /// per-subcarrier fidelity simulator and by [`FrameRx::rx_frame_at`].
+    pub fn decode_stream_bins(
+        &self,
+        bins: &[Vec<Complex64>],
+        channel: &ChannelEstimate,
+        noise_var: f64,
+    ) -> Result<RxResult, RxError> {
+        let params = self.ofdm.params();
+        if bins.is_empty() {
+            return Err(RxError::Truncated);
+        }
+        let polarity = pilot_polarity_sequence();
+        let data_gains = channel.data_gains(params);
+        let pilot_gains = channel.pilot_gains(params);
+        let csi: Vec<f64> = data_gains.iter().map(|g| g.norm_sqr()).collect();
+
+        // --- SIGNAL.
+        let (mcs, psdu_len) =
+            self.decode_signal(&bins[0], channel, noise_var, polarity[0])?;
+        let n_sym = mcs.symbols_for_psdu(params, psdu_len);
+        if bins.len() < 1 + n_sym {
+            return Err(RxError::Truncated);
+        }
+
+        // --- DATA symbols: pilot-track, equalise, soft-demap.
+        let ncbps = mcs.coded_bits_per_symbol(params);
+        let il = Interleaver::new(params, mcs.modulation);
+        let mut soft = Vec::with_capacity(n_sym * ncbps);
+        let mut evm_acc = 0.0f64;
+        let mut evm_n = 0usize;
+        for n in 0..n_sym {
+            let b = &bins[1 + n];
+            let p = polarity[(n + 1) % polarity.len()];
+            let pilots = self.ofdm.extract_pilots(b);
+            let track = chanest::track_pilots(params, &pilots, &pilot_gains, p);
+            let mut data = self.ofdm.extract_data(b);
+            for (v, &k) in data.iter_mut().zip(&params.data_subcarriers) {
+                *v *= track.correction(k);
+            }
+            let eq = equalize(&data, &data_gains);
+            // EVM against nearest constellation point.
+            for y in &eq {
+                let hard = mcs.modulation.demap_hard(*y);
+                let ideal = mcs.modulation.map(&hard);
+                evm_acc += (*y - ideal).norm_sqr();
+                evm_n += 1;
+            }
+            let llrs = mcs.modulation.demap_soft_stream(&eq, noise_var, &csi);
+            soft.extend(il.deinterleave(&llrs));
+        }
+
+        // --- Decode: depuncture → Viterbi → descramble → CRC.
+        let ndbps = mcs.data_bits_per_symbol(params);
+        let n_coded = 2 * n_sym * ndbps;
+        let restored = convcode::depuncture(&soft, mcs.code_rate, n_coded);
+        // Viterbi truncates 6 tail bits from the end of the stream; we only
+        // need the SERVICE + PSDU prefix.
+        let decoded = viterbi::decode(&restored).map_err(|_| RxError::Truncated)?;
+        let needed = 16 + 8 * psdu_len;
+        if decoded.len() < needed {
+            return Err(RxError::Truncated);
+        }
+        let mut bits = decoded;
+        let mut scr = Scrambler::new(self.seed);
+        scr.scramble_in_place(&mut bits);
+        let mut psdu = Vec::with_capacity(psdu_len);
+        for i in 0..psdu_len {
+            let mut byte = 0u8;
+            for b in 0..8 {
+                byte |= bits[16 + 8 * i + b] << b;
+            }
+            psdu.push(byte);
+        }
+        let payload = crc::check_and_strip_crc(&psdu)
+            .ok_or(RxError::CrcFailed)?
+            .to_vec();
+
+        let evm = if evm_n > 0 { evm_acc / evm_n as f64 } else { f64::NAN };
+        Ok(RxResult {
+            payload,
+            mcs,
+            cfo_hz: 0.0,
+            channel: channel.clone(),
+            noise_var,
+            evm_db: jmb_dsp::stats::lin_to_db(evm.max(1e-15)),
+        })
+    }
+
+    fn decode_signal(
+        &self,
+        bins: &[Complex64],
+        channel: &ChannelEstimate,
+        noise_var: f64,
+        polarity: f64,
+    ) -> Result<(Mcs, usize), RxError> {
+        let params = self.ofdm.params();
+        let data_gains = channel.data_gains(params);
+        let pilot_gains = channel.pilot_gains(params);
+        let pilots = self.ofdm.extract_pilots(bins);
+        let track = chanest::track_pilots(params, &pilots, &pilot_gains, polarity);
+        let mut data = self.ofdm.extract_data(bins);
+        for (v, &k) in data.iter_mut().zip(&params.data_subcarriers) {
+            *v *= track.correction(k);
+        }
+        let eq = equalize(&data, &data_gains);
+        let csi: Vec<f64> = data_gains.iter().map(|g| g.norm_sqr()).collect();
+        let llrs = Modulation::Bpsk.demap_soft_stream(&eq, noise_var, &csi);
+        let il = Interleaver::new(params, Modulation::Bpsk);
+        let soft = il.deinterleave(&llrs);
+        let bits = viterbi::decode(&soft).map_err(|_| RxError::BadSignal)?;
+        debug_assert_eq!(bits.len(), 18);
+
+        // Parity over the 17 info bits must match bit 17.
+        let parity = bits[..17].iter().fold(0u8, |a, &b| a ^ b);
+        if parity != bits[17] {
+            return Err(RxError::BadSignal);
+        }
+        let rate = (bits[0] << 3) | (bits[1] << 2) | (bits[2] << 1) | bits[3];
+        let idx = RATE_BITS
+            .iter()
+            .position(|&r| r == rate)
+            .ok_or(RxError::BadSignal)?;
+        let mut len = 0usize;
+        for b in 0..12 {
+            len |= (bits[5 + b] as usize) << b;
+        }
+        if len < 4 || len > MAX_PSDU {
+            return Err(RxError::BadSignal);
+        }
+        Ok((Mcs::ALL[idx], len))
+    }
+}
+
+/// Estimates complex-noise variance from the two repeated LTF symbols:
+/// the halves carry identical signal, so their difference is pure noise.
+///
+/// # Panics
+///
+/// Panics if `ltf_samples.len() != 160`.
+pub fn noise_from_ltf(params: &OfdmParams, ltf_samples: &[Complex64]) -> f64 {
+    assert_eq!(ltf_samples.len(), preamble::LTF_LEN);
+    let plan = jmb_dsp::FftPlan::new(params.fft_size);
+    let mut sym1 = ltf_samples[32..96].to_vec();
+    let mut sym2 = ltf_samples[96..160].to_vec();
+    plan.forward(&mut sym1);
+    plan.forward(&mut sym2);
+    let occupied = params.occupied_subcarriers();
+    let mut acc = 0.0;
+    for &k in &occupied {
+        let d = sym1[params.bin(k)] - sym2[params.bin(k)];
+        acc += d.norm_sqr();
+    }
+    // Var(Y1−Y2) = 2·Var(noise per bin).
+    (acc / occupied.len() as f64 / 2.0).max(1e-15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ChannelProfile;
+
+    fn chain() -> (FrameTx, FrameRx) {
+        let p = OfdmParams::new(ChannelProfile::Usrp10MHz);
+        (FrameTx::new(p.clone()), FrameRx::new(p))
+    }
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 37 + 11) as u8).collect()
+    }
+
+    #[test]
+    fn loopback_all_mcs() {
+        let (tx, rx) = chain();
+        let data = payload(200);
+        for mcs in Mcs::ALL {
+            let samples = tx.tx_frame(mcs, &data).unwrap();
+            let got = rx.rx_frame(&samples).expect("decode");
+            assert_eq!(got.payload, data, "{mcs}");
+            assert_eq!(got.mcs, mcs);
+            assert!(got.evm_db < -40.0, "{mcs}: EVM {}", got.evm_db);
+        }
+    }
+
+    #[test]
+    fn loopback_with_cfo() {
+        let (tx, rx) = chain();
+        let p = tx.params().clone();
+        let data = payload(100);
+        let samples = tx.tx_frame(Mcs::ALL[2], &data).unwrap();
+        // Apply a 20 kHz CFO (≈8 ppm at 2.4 GHz).
+        let ts = p.sample_period();
+        let shifted: Vec<Complex64> = samples
+            .iter()
+            .enumerate()
+            .map(|(n, &x)| x * Complex64::cis(2.0 * std::f64::consts::PI * 20e3 * n as f64 * ts))
+            .collect();
+        let got = rx.rx_frame(&shifted).expect("decode with CFO");
+        assert_eq!(got.payload, data);
+        assert!((got.cfo_hz - 20e3).abs() < 100.0, "cfo {}", got.cfo_hz);
+    }
+
+    #[test]
+    fn loopback_with_flat_channel_and_padding() {
+        let (tx, rx) = chain();
+        let data = payload(64);
+        let samples = tx.tx_frame(Mcs::ALL[4], &data).unwrap();
+        let h = Complex64::from_polar(0.5, 2.2);
+        let mut sig = vec![Complex64::ZERO; 300];
+        sig.extend(samples.iter().map(|&x| x * h));
+        sig.extend(vec![Complex64::ZERO; 100]);
+        let got = rx.rx_frame(&sig).expect("decode");
+        assert_eq!(got.payload, data);
+    }
+
+    #[test]
+    fn loopback_multipath_channel() {
+        // Two-tap channel within the CP: handled entirely by equalisation.
+        let (tx, rx) = chain();
+        let data = payload(150);
+        let samples = tx.tx_frame(Mcs::ALL[5], &data).unwrap();
+        let mut sig = vec![Complex64::ZERO; samples.len() + 10];
+        for (n, &x) in samples.iter().enumerate() {
+            sig[n] += x;
+            sig[n + 5] += x * Complex64::from_polar(0.4, -1.0);
+        }
+        let got = rx.rx_frame(&sig).expect("decode multipath");
+        assert_eq!(got.payload, data);
+    }
+
+    #[test]
+    fn corrupted_frame_fails_crc_or_signal() {
+        let (tx, rx) = chain();
+        let data = payload(80);
+        let mut samples = tx.tx_frame(Mcs::ALL[7], &data).unwrap();
+        // Obliterate a stretch of DATA (not the preamble).
+        for s in samples[450..700].iter_mut() {
+            *s = Complex64::ZERO;
+        }
+        match rx.rx_frame(&samples) {
+            Err(RxError::CrcFailed) | Err(RxError::BadSignal) | Err(RxError::Truncated) => {}
+            other => panic!("expected decode failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn noise_only_is_no_preamble() {
+        let (_, rx) = chain();
+        let mut s: u64 = 3;
+        let mut next = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) - 0.5
+        };
+        let noise: Vec<Complex64> = (0..4000).map(|_| Complex64::new(next(), next()) * 0.1).collect();
+        assert_eq!(rx.rx_frame(&noise).unwrap_err(), RxError::NoPreamble);
+    }
+
+    #[test]
+    fn payload_too_large_rejected() {
+        let (tx, _) = chain();
+        let err = tx.tx_frame(Mcs::BASE, &payload(4092)).unwrap_err();
+        assert!(matches!(err, TxError::PayloadTooLarge(4096)));
+        // 4091 bytes + 4 CRC = 4095 fits.
+        assert!(tx.build_bins(Mcs::ALL[7], &payload(4091)).is_ok());
+    }
+
+    #[test]
+    fn frame_len_matches_assembled() {
+        let (tx, _) = chain();
+        for mcs in [Mcs::ALL[0], Mcs::ALL[3], Mcs::ALL[7]] {
+            for n in [0usize, 1, 100, 1500] {
+                let samples = tx.tx_frame(mcs, &payload(n)).unwrap();
+                assert_eq!(samples.len(), tx.frame_len(mcs, n), "{mcs} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let (tx, rx) = chain();
+        let samples = tx.tx_frame(Mcs::ALL[1], &[]).unwrap();
+        let got = rx.rx_frame(&samples).unwrap();
+        assert!(got.payload.is_empty());
+    }
+
+    #[test]
+    fn bins_roundtrip_without_time_domain() {
+        // Frequency-domain path used by the fast simulator.
+        let (tx, rx) = chain();
+        let p = tx.params().clone();
+        let data = payload(300);
+        let bins = tx.build_bins(Mcs::ALL[6], &data).unwrap();
+        let channel = chanest::estimate_ideal(&p);
+        let got = rx
+            .decode_stream_bins(&bins.symbols, &channel, 1e-6)
+            .expect("bins decode");
+        assert_eq!(got.payload, data);
+    }
+
+    #[test]
+    fn bins_decode_with_diagonal_channel() {
+        // Per-subcarrier complex gains (what the client sees after JMB
+        // beamforming) applied in the frequency domain.
+        let (tx, rx) = chain();
+        let p = tx.params().clone();
+        let data = payload(120);
+        let bins = tx.build_bins(Mcs::ALL[3], &data).unwrap();
+        // Build a frequency-selective diagonal channel.
+        let gain =
+            |k: i32| Complex64::from_polar(0.8 + 0.01 * k as f64, 0.05 * k as f64);
+        let rx_bins: Vec<Vec<Complex64>> = bins
+            .symbols
+            .iter()
+            .map(|sym| {
+                let mut out = vec![Complex64::ZERO; p.fft_size];
+                for k in p.occupied_subcarriers() {
+                    out[p.bin(k)] = sym[p.bin(k)] * gain(k);
+                }
+                out
+            })
+            .collect();
+        let channel = ChannelEstimate {
+            subcarriers: p.occupied_subcarriers(),
+            gains: p.occupied_subcarriers().iter().map(|&k| gain(k)).collect(),
+        };
+        let got = rx.decode_stream_bins(&rx_bins, &channel, 1e-6).unwrap();
+        assert_eq!(got.payload, data);
+    }
+
+    #[test]
+    fn snr_report_reflects_channel() {
+        let (tx, rx) = chain();
+        let data = payload(50);
+        let samples = tx.tx_frame(Mcs::ALL[0], &data).unwrap();
+        let h = Complex64::from_polar(2.0, 0.3); // +6 dB
+        let boosted: Vec<Complex64> = samples.iter().map(|&x| x * h).collect();
+        let got = rx.rx_frame(&boosted).unwrap();
+        let snrs = got.snr_per_subcarrier_db();
+        assert_eq!(snrs.len(), 52);
+        // All subcarriers should report (near-)identical SNR for a flat channel.
+        let spread = snrs.iter().cloned().fold(f64::MIN, f64::max)
+            - snrs.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 20.0, "flat channel SNR spread {spread}");
+    }
+
+    #[test]
+    fn signal_bits_layout() {
+        let bits = FrameTx::signal_bits(Mcs::ALL[0], 100);
+        assert_eq!(bits.len(), 24);
+        assert_eq!(&bits[..4], &[1, 1, 0, 1], "RATE for 6 Mbps class");
+        assert_eq!(bits[4], 0, "reserved");
+        // length 100 = 0b000001100100, LSB first.
+        let len: usize = (0..12).map(|b| (bits[5 + b] as usize) << b).sum();
+        assert_eq!(len, 100);
+        assert_eq!(&bits[18..], &[0; 6], "tail");
+    }
+
+    #[test]
+    fn wifi20_profile_loopback() {
+        let p = OfdmParams::new(ChannelProfile::Wifi20MHz);
+        let tx = FrameTx::new(p.clone());
+        let rx = FrameRx::new(p);
+        let data = payload(500);
+        let samples = tx.tx_frame(Mcs::ALL[7], &data).unwrap();
+        assert_eq!(rx.rx_frame(&samples).unwrap().payload, data);
+    }
+}

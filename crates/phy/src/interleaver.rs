@@ -1,0 +1,204 @@
+//! 802.11 block interleaver.
+//!
+//! Coded bits within one OFDM symbol are interleaved by two permutations
+//! (IEEE 802.11-2012 §18.3.5.7): the first spreads adjacent coded bits onto
+//! non-adjacent subcarriers (so a faded subcarrier produces scattered, not
+//! burst, errors for the Viterbi decoder); the second rotates bits across
+//! constellation bit positions (so no coded bit is stuck in the
+//! low-reliability LSBs of a QAM symbol).
+
+use crate::modulation::Modulation;
+use crate::params::OfdmParams;
+
+/// Interleaver for one `(modulation, params)` combination, operating on one
+/// OFDM symbol's worth of coded bits (`N_CBPS`).
+#[derive(Debug, Clone)]
+pub struct Interleaver {
+    /// Permutation: interleaved position `j` holds input bit `perm[j]`.
+    perm: Vec<usize>,
+    /// Inverse permutation.
+    inv: Vec<usize>,
+}
+
+impl Interleaver {
+    /// Builds the interleaver for a modulation under the given numerology.
+    pub fn new(params: &OfdmParams, modulation: Modulation) -> Self {
+        let n_cbps = params.n_data_subcarriers() * modulation.bits_per_symbol();
+        let n_bpsc = modulation.bits_per_symbol();
+        let s = (n_bpsc / 2).max(1);
+        let d = n_cbps / 16;
+
+        // Standard formulation maps input index k → i → j. We store the
+        // forward map out[j] = in[k]: build k→j then invert.
+        let mut k_to_j = vec![0usize; n_cbps];
+        for k in 0..n_cbps {
+            let i = d * (k % 16) + k / 16;
+            let j = s * (i / s) + (i + n_cbps - (16 * i) / n_cbps) % s;
+            k_to_j[k] = j;
+        }
+        let mut perm = vec![0usize; n_cbps];
+        for (k, &j) in k_to_j.iter().enumerate() {
+            perm[j] = k;
+        }
+        let mut inv = vec![0usize; n_cbps];
+        for (j, &k) in perm.iter().enumerate() {
+            inv[k] = j;
+        }
+        Interleaver { perm, inv }
+    }
+
+    /// Block size (`N_CBPS`).
+    pub fn block_len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Interleaves one symbol block of coded bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != block_len()`.
+    pub fn interleave<T: Copy>(&self, bits: &[T]) -> Vec<T> {
+        assert_eq!(bits.len(), self.block_len(), "interleave: block size mismatch");
+        self.perm.iter().map(|&k| bits[k]).collect()
+    }
+
+    /// Deinterleaves one symbol block (works on soft values too).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != block_len()`.
+    pub fn deinterleave<T: Copy>(&self, bits: &[T]) -> Vec<T> {
+        assert_eq!(bits.len(), self.block_len(), "deinterleave: block size mismatch");
+        self.inv.iter().map(|&j| bits[j]).collect()
+    }
+
+    /// Interleaves a multi-symbol stream block by block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is not a whole number of blocks.
+    pub fn interleave_stream<T: Copy>(&self, bits: &[T]) -> Vec<T> {
+        assert_eq!(bits.len() % self.block_len(), 0, "stream not whole blocks");
+        bits.chunks(self.block_len())
+            .flat_map(|b| self.interleave(b))
+            .collect()
+    }
+
+    /// Deinterleaves a multi-symbol stream block by block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is not a whole number of blocks.
+    pub fn deinterleave_stream<T: Copy>(&self, bits: &[T]) -> Vec<T> {
+        assert_eq!(bits.len() % self.block_len(), 0, "stream not whole blocks");
+        bits.chunks(self.block_len())
+            .flat_map(|b| self.deinterleave(b))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Modulation; 4] = [
+        Modulation::Bpsk,
+        Modulation::Qpsk,
+        Modulation::Qam16,
+        Modulation::Qam64,
+    ];
+
+    #[test]
+    fn block_sizes() {
+        let p = OfdmParams::default();
+        let sizes: Vec<usize> = ALL
+            .iter()
+            .map(|&m| Interleaver::new(&p, m).block_len())
+            .collect();
+        assert_eq!(sizes, vec![48, 96, 192, 288]);
+    }
+
+    #[test]
+    fn is_a_permutation() {
+        let p = OfdmParams::default();
+        for m in ALL {
+            let il = Interleaver::new(&p, m);
+            let input: Vec<usize> = (0..il.block_len()).collect();
+            let mut out = il.interleave(&input);
+            out.sort_unstable();
+            assert_eq!(out, input, "{m:?}: not a permutation");
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let p = OfdmParams::default();
+        for m in ALL {
+            let il = Interleaver::new(&p, m);
+            let input: Vec<u16> = (0..il.block_len() as u16).collect();
+            assert_eq!(il.deinterleave(&il.interleave(&input)), input, "{m:?}");
+            assert_eq!(il.interleave(&il.deinterleave(&input)), input, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn adjacent_bits_spread_apart() {
+        // First-permutation property: adjacent coded bits map at least
+        // N_CBPS/16 subcarrier-bit positions apart.
+        let p = OfdmParams::default();
+        for m in ALL {
+            let il = Interleaver::new(&p, m);
+            let n = il.block_len();
+            let input: Vec<usize> = (0..n).collect();
+            let out = il.interleave(&input);
+            // Position of each input bit in the output.
+            let mut pos = vec![0usize; n];
+            for (j, &k) in out.iter().enumerate() {
+                pos[k] = j;
+            }
+            for k in 0..n - 1 {
+                let dist = pos[k].abs_diff(pos[k + 1]);
+                assert!(
+                    dist >= n / 16 - 2,
+                    "{m:?}: adjacent coded bits only {dist} apart"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn standard_bpsk_first_entries() {
+        // For BPSK N_CBPS=48, s=1, the interleaver reduces to the first
+        // permutation: k → i = 3·(k mod 16) + k/16. So output position j
+        // holds input bit k with 3·(k mod 16) + k/16 = j.
+        let p = OfdmParams::default();
+        let il = Interleaver::new(&p, Modulation::Bpsk);
+        let input: Vec<usize> = (0..48).collect();
+        let out = il.interleave(&input);
+        // j=0 ← k=0; j=1 ← k=16; j=2 ← k=32; j=3 ← k=1 ...
+        assert_eq!(&out[..6], &[0, 16, 32, 1, 17, 33]);
+    }
+
+    #[test]
+    fn works_on_soft_values() {
+        let p = OfdmParams::default();
+        let il = Interleaver::new(&p, Modulation::Qpsk);
+        let soft: Vec<f64> = (0..96).map(|i| i as f64 * 0.25 - 10.0).collect();
+        assert_eq!(il.deinterleave(&il.interleave(&soft)), soft);
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let p = OfdmParams::default();
+        let il = Interleaver::new(&p, Modulation::Qam16);
+        let stream: Vec<u32> = (0..192 * 3).collect();
+        assert_eq!(il.deinterleave_stream(&il.interleave_stream(&stream)), stream);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size mismatch")]
+    fn wrong_block_size_panics() {
+        let p = OfdmParams::default();
+        Interleaver::new(&p, Modulation::Bpsk).interleave(&[0u8; 47]);
+    }
+}

@@ -1,0 +1,269 @@
+//! OFDM symbol modulation and demodulation.
+//!
+//! Maps 48 data-subcarrier values plus 4 pilots onto a 64-point IFFT with a
+//! 16-sample cyclic prefix, and the reverse. The per-subcarrier single-tap
+//! equalizer lives here too: after JMB's beamforming the effective channel at
+//! each client is a diagonal (single-tap) channel per subcarrier (paper
+//! Eq. 1/4), so this equalizer is all a client needs.
+
+use crate::params::OfdmParams;
+use jmb_dsp::{Complex64, FftPlan};
+
+/// Base pilot values before polarity: `P(−21)=1, P(−7)=1, P(+7)=1, P(+21)=−1`.
+pub const PILOT_BASE: [f64; 4] = [1.0, 1.0, 1.0, -1.0];
+
+/// One OFDM modem instance (holds the FFT plan).
+#[derive(Debug, Clone)]
+pub struct Ofdm {
+    params: OfdmParams,
+    plan: FftPlan,
+}
+
+impl Ofdm {
+    /// Creates a modem for the given numerology.
+    pub fn new(params: OfdmParams) -> Self {
+        let plan = FftPlan::new(params.fft_size);
+        Ofdm { params, plan }
+    }
+
+    /// The numerology in use.
+    pub fn params(&self) -> &OfdmParams {
+        &self.params
+    }
+
+    /// Modulates one OFDM symbol: 48 data values + pilot polarity →
+    /// 80 time-domain samples (CP + body).
+    ///
+    /// `polarity` is the 802.11 pilot polarity `p_n` (±1) for this symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != 48`.
+    pub fn modulate_symbol(&self, data: &[Complex64], polarity: f64) -> Vec<Complex64> {
+        let bins = self.assemble_bins(data, polarity);
+        self.bins_to_samples(&bins)
+    }
+
+    /// Places data and pilots into the 64 FFT bins (frequency domain).
+    pub fn assemble_bins(&self, data: &[Complex64], polarity: f64) -> Vec<Complex64> {
+        assert_eq!(
+            data.len(),
+            self.params.n_data_subcarriers(),
+            "expected {} data values",
+            self.params.n_data_subcarriers()
+        );
+        let mut bins = vec![Complex64::ZERO; self.params.fft_size];
+        for (&k, &v) in self.params.data_subcarriers.iter().zip(data) {
+            bins[self.params.bin(k)] = v;
+        }
+        for (i, &k) in self.params.pilot_subcarriers.iter().enumerate() {
+            bins[self.params.bin(k)] = Complex64::real(PILOT_BASE[i] * polarity);
+        }
+        bins
+    }
+
+    /// Converts 64 frequency bins into 80 samples (IFFT + cyclic prefix).
+    pub fn bins_to_samples(&self, bins: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(bins.len(), self.params.fft_size);
+        let mut body = bins.to_vec();
+        self.plan.inverse(&mut body);
+        let mut out = Vec::with_capacity(self.params.symbol_len());
+        out.extend_from_slice(&body[self.params.fft_size - self.params.cp_len..]);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Demodulates one 80-sample symbol into 64 frequency bins
+    /// (CP strip + FFT).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples.len() != 80`.
+    pub fn demodulate_symbol(&self, samples: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(samples.len(), self.params.symbol_len(), "need one full symbol");
+        let mut bins = samples[self.params.cp_len..].to_vec();
+        self.plan.forward(&mut bins);
+        bins
+    }
+
+    /// Extracts the 48 data-subcarrier values from 64 bins, in the order of
+    /// `params.data_subcarriers`.
+    pub fn extract_data(&self, bins: &[Complex64]) -> Vec<Complex64> {
+        self.params
+            .data_subcarriers
+            .iter()
+            .map(|&k| bins[self.params.bin(k)])
+            .collect()
+    }
+
+    /// Extracts the 4 pilot values from 64 bins.
+    pub fn extract_pilots(&self, bins: &[Complex64]) -> [Complex64; 4] {
+        let mut out = [Complex64::ZERO; 4];
+        for (i, &k) in self.params.pilot_subcarriers.iter().enumerate() {
+            out[i] = bins[self.params.bin(k)];
+        }
+        out
+    }
+
+    /// Extracts all 52 occupied subcarrier values, ascending subcarrier order.
+    pub fn extract_occupied(&self, bins: &[Complex64]) -> Vec<Complex64> {
+        self.params
+            .occupied_subcarriers()
+            .iter()
+            .map(|&k| bins[self.params.bin(k)])
+            .collect()
+    }
+}
+
+/// Per-subcarrier single-tap equalizer: `x̂_k = y_k / h_k`.
+///
+/// `channel` is indexed like the slice being equalized. Subcarriers whose
+/// channel estimate is ~zero are zeroed (they carry no usable information and
+/// their LLR weight should be ~0 anyway).
+pub fn equalize(received: &[Complex64], channel: &[Complex64]) -> Vec<Complex64> {
+    assert_eq!(received.len(), channel.len(), "equalize: length mismatch");
+    received
+        .iter()
+        .zip(channel)
+        .map(|(&y, &h)| {
+            if h.norm_sqr() < 1e-18 {
+                Complex64::ZERO
+            } else {
+                y / h
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modulation::Modulation;
+
+    fn modem() -> Ofdm {
+        Ofdm::new(OfdmParams::default())
+    }
+
+    fn test_data(seed: u64) -> Vec<Complex64> {
+        // Deterministic QPSK-ish data.
+        (0..48)
+            .map(|i| {
+                let b0 = ((seed >> (i % 32)) & 1) as u8;
+                let b1 = ((seed >> ((i + 7) % 32)) & 1) as u8;
+                Modulation::Qpsk.map(&[b0, b1])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn symbol_length() {
+        let m = modem();
+        let s = m.modulate_symbol(&test_data(0xABCD), 1.0);
+        assert_eq!(s.len(), 80);
+    }
+
+    #[test]
+    fn cyclic_prefix_is_tail_copy() {
+        let m = modem();
+        let s = m.modulate_symbol(&test_data(0x1234), 1.0);
+        for i in 0..16 {
+            assert!((s[i] - s[64 + i]).abs() < 1e-12, "CP mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn modulate_demodulate_roundtrip() {
+        let m = modem();
+        let data = test_data(0xDEAD_BEEF);
+        let s = m.modulate_symbol(&data, -1.0);
+        let bins = m.demodulate_symbol(&s);
+        let got = m.extract_data(&bins);
+        for (g, w) in got.iter().zip(&data) {
+            assert!((*g - *w).abs() < 1e-10);
+        }
+        let pilots = m.extract_pilots(&bins);
+        for (i, p) in pilots.iter().enumerate() {
+            let want = PILOT_BASE[i] * -1.0;
+            assert!((*p - Complex64::real(want)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn unused_bins_are_empty() {
+        let m = modem();
+        let bins = m.assemble_bins(&test_data(7), 1.0);
+        // DC and guard bins (|k| > 26) must be zero.
+        assert_eq!(bins[0], Complex64::ZERO);
+        for k in 27..=37usize {
+            assert_eq!(bins[k], Complex64::ZERO, "guard bin {k} occupied");
+        }
+    }
+
+    #[test]
+    fn cp_makes_symbol_robust_to_delay() {
+        // Demodulating with a timing offset inside the CP only rotates each
+        // subcarrier (linear phase) — no inter-symbol interference. This is
+        // the property the paper leans on for inter-AP delay spread (§5.2).
+        let m = modem();
+        let data = test_data(0x5555_AAAA);
+        let s = m.modulate_symbol(&data, 1.0);
+        // Receiver frame-start estimate 3 samples early (still inside the
+        // CP): the FFT window then covers the last 3 CP samples plus the
+        // first 61 body samples — a circular shift, i.e. pure rotation.
+        let mut early = vec![Complex64::ZERO; 3];
+        early.extend_from_slice(&s);
+        let bins = m.demodulate_symbol(&early[..80]);
+        let got = m.extract_data(&bins);
+        for (i, (&k, g)) in m.params().data_subcarriers.iter().zip(&got).enumerate() {
+            // Body delayed by 3 samples in the window ⇒ e^{−j2πk·3/64}.
+            let rot = Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 * 3.0 / 64.0);
+            let want = data[i] * rot;
+            assert!((*g - want).abs() < 1e-9, "subcarrier {k}");
+        }
+    }
+
+    #[test]
+    fn equalize_inverts_flat_channel() {
+        let m = modem();
+        let data = test_data(0xFACE);
+        let h = Complex64::from_polar(0.8, 1.1);
+        let s = m.modulate_symbol(&data, 1.0);
+        let rx: Vec<Complex64> = s.iter().map(|&x| x * h).collect();
+        let bins = m.demodulate_symbol(&rx);
+        let got = m.extract_data(&bins);
+        let ch = vec![h; 48];
+        let eq = equalize(&got, &ch);
+        for (g, w) in eq.iter().zip(&data) {
+            assert!((*g - *w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn equalize_zero_channel_is_zero() {
+        let eq = equalize(&[Complex64::ONE], &[Complex64::ZERO]);
+        assert_eq!(eq[0], Complex64::ZERO);
+    }
+
+    #[test]
+    fn extract_occupied_count() {
+        let m = modem();
+        let bins = m.assemble_bins(&test_data(3), 1.0);
+        assert_eq!(m.extract_occupied(&bins).len(), 52);
+    }
+
+    #[test]
+    fn average_tx_power_is_52_over_4096() {
+        // Unit-energy constellations on 52 of 64 bins with a 1/N IFFT give
+        // mean sample power 52/64².
+        let m = modem();
+        let mut acc = 0.0;
+        let n_syms = 50;
+        for i in 0..n_syms {
+            let s = m.modulate_symbol(&test_data(i as u64 * 997 + 13), 1.0);
+            acc += jmb_dsp::complex::mean_power(&s);
+        }
+        let mean = acc / n_syms as f64;
+        let expected = 52.0 / (64.0 * 64.0);
+        assert!((mean / expected - 1.0).abs() < 0.15, "mean power {mean}");
+    }
+}

@@ -1,0 +1,292 @@
+//! Soft-decision Viterbi decoder for the 802.11 (133,171) code.
+//!
+//! Maximum-likelihood sequence decoding over the 64-state trellis of the
+//! rate-1/2 K=7 encoder in [`crate::convcode`]. The decoder consumes one
+//! soft value (LLR) per rate-1/2 coded bit — punctured positions are fed as
+//! `0.0` erasures by [`crate::convcode::depuncture`] — and exploits the
+//! 802.11 tail bits to terminate the trellis in state 0.
+//!
+//! LLR sign convention: **positive = bit 0 more likely** (matches
+//! [`crate::modulation::Modulation::demap_soft`]).
+
+use crate::convcode::{G0, G1, TAIL_BITS};
+
+const N_STATES: usize = 64;
+
+/// Precomputed trellis: for each `(state, input)` the next state and the two
+/// output bits.
+#[derive(Debug, Clone)]
+struct Trellis {
+    /// `next[state][input]`.
+    next: [[u8; 2]; N_STATES],
+    /// `out[state][input]` = 2-bit output, bit1 = g0 output, bit0 = g1 output.
+    out: [[u8; 2]; N_STATES],
+}
+
+impl Trellis {
+    fn new() -> Self {
+        let mut next = [[0u8; 2]; N_STATES];
+        let mut out = [[0u8; 2]; N_STATES];
+        for s in 0..N_STATES {
+            for b in 0..2usize {
+                let reg = ((b as u8) << 6) | s as u8;
+                let o0 = (reg & G0).count_ones() as u8 & 1;
+                let o1 = (reg & G1).count_ones() as u8 & 1;
+                next[s][b] = reg >> 1;
+                out[s][b] = (o0 << 1) | o1;
+            }
+        }
+        Trellis { next, out }
+    }
+
+    fn shared() -> &'static Trellis {
+        use std::sync::OnceLock;
+        static T: OnceLock<Trellis> = OnceLock::new();
+        T.get_or_init(Trellis::new)
+    }
+}
+
+/// Errors from Viterbi decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViterbiError {
+    /// The soft input length is odd or shorter than the tail.
+    BadInputLength(usize),
+}
+
+impl std::fmt::Display for ViterbiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViterbiError::BadInputLength(n) => {
+                write!(f, "soft input length {n} is not a valid coded length")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ViterbiError {}
+
+/// Decodes a rate-1/2 soft stream (LLR per coded bit, erasures as 0.0).
+///
+/// `soft.len()` must be even and correspond to at least the 6 tail bits.
+/// Returns the decoded data bits **without** the tail.
+///
+/// # Examples
+///
+/// ```
+/// use jmb_phy::{convcode, viterbi};
+///
+/// let data = vec![1, 0, 1, 1, 0, 1, 0, 0];
+/// let coded = convcode::encode(&data);
+/// // Perfect soft values: +1 for coded 0, -1 for coded 1.
+/// let soft: Vec<f64> = coded.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+/// assert_eq!(viterbi::decode(&soft).unwrap(), data);
+/// ```
+pub fn decode(soft: &[f64]) -> Result<Vec<u8>, ViterbiError> {
+    if soft.len() % 2 != 0 || soft.len() / 2 < TAIL_BITS {
+        return Err(ViterbiError::BadInputLength(soft.len()));
+    }
+    let n_steps = soft.len() / 2;
+    let trellis = Trellis::shared();
+
+    const NEG_INF: f64 = f64::NEG_INFINITY;
+    let mut metric = [NEG_INF; N_STATES];
+    metric[0] = 0.0; // encoder starts in state 0
+    let mut new_metric = [NEG_INF; N_STATES];
+    // decisions[t][next_state] = (prev_state, input_bit) packed: bit7 = input,
+    // low 6 bits = prev state.
+    let mut decisions = vec![[0u8; N_STATES]; n_steps];
+
+    for t in 0..n_steps {
+        let l0 = soft[2 * t];
+        let l1 = soft[2 * t + 1];
+        // Per-output-bit metric contribution: bit value 0 earns +l, 1 earns −l.
+        let bm = |out: u8| -> f64 {
+            let m0 = if out & 0b10 == 0 { l0 } else { -l0 };
+            let m1 = if out & 0b01 == 0 { l1 } else { -l1 };
+            m0 + m1
+        };
+        new_metric.fill(NEG_INF);
+        for s in 0..N_STATES {
+            let m = metric[s];
+            if m == NEG_INF {
+                continue;
+            }
+            for b in 0..2usize {
+                let ns = trellis.next[s][b] as usize;
+                let cand = m + bm(trellis.out[s][b]);
+                if cand > new_metric[ns] {
+                    new_metric[ns] = cand;
+                    decisions[t][ns] = ((b as u8) << 7) | s as u8;
+                }
+            }
+        }
+        metric.copy_from_slice(&new_metric);
+    }
+
+    // The tail flushes the encoder to state 0; terminate there. If state 0 is
+    // unreachable (severe erasures), fall back to the best surviving state.
+    let mut state = if metric[0] > NEG_INF {
+        0usize
+    } else {
+        metric
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("metrics are not NaN"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    };
+
+    let mut bits = vec![0u8; n_steps];
+    for t in (0..n_steps).rev() {
+        let d = decisions[t][state];
+        bits[t] = d >> 7;
+        state = (d & 0x3F) as usize;
+    }
+    bits.truncate(n_steps - TAIL_BITS);
+    Ok(bits)
+}
+
+/// Hard-decision convenience wrapper: converts bits to ±1 soft values and
+/// decodes.
+pub fn decode_hard(coded: &[u8]) -> Result<Vec<u8>, ViterbiError> {
+    let soft: Vec<f64> = coded
+        .iter()
+        .map(|&b| if b == 0 { 1.0 } else { -1.0 })
+        .collect();
+    decode(&soft)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convcode::{depuncture, encode, puncture};
+    use crate::rates::CodeRate;
+
+    fn to_soft(coded: &[u8]) -> Vec<f64> {
+        coded.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect()
+    }
+
+    #[test]
+    fn noiseless_roundtrip() {
+        let data: Vec<u8> = (0..100).map(|i| ((i * 31 + 7) % 2) as u8).collect();
+        let coded = encode(&data);
+        assert_eq!(decode(&to_soft(&coded)).unwrap(), data);
+    }
+
+    #[test]
+    fn hard_decision_roundtrip() {
+        let data: Vec<u8> = (0..64).map(|i| ((i >> 2) % 2) as u8).collect();
+        let coded = encode(&data);
+        assert_eq!(decode_hard(&coded).unwrap(), data);
+    }
+
+    #[test]
+    fn corrects_scattered_bit_flips() {
+        // The free distance of (133,171) is 10: up to 4 substitutions in a
+        // window are correctable; scattered errors certainly are.
+        let data: Vec<u8> = (0..200).map(|i| ((i * 13 + 5) % 2) as u8).collect();
+        let mut coded = encode(&data);
+        for &pos in &[10usize, 57, 130, 260, 333] {
+            coded[pos] ^= 1;
+        }
+        assert_eq!(decode(&to_soft(&coded)).unwrap(), data);
+    }
+
+    #[test]
+    fn soft_information_beats_hard() {
+        // A weakly-received (low |LLR|) wrong bit should be overridden by
+        // strong neighbours.
+        let data = vec![1u8, 1, 0, 1, 0, 0, 1, 0, 1, 1];
+        let coded = encode(&data);
+        let mut soft = to_soft(&coded);
+        // Flip the sign of one bit but make it low confidence.
+        soft[7] = -soft[7] * 0.05;
+        assert_eq!(decode(&soft).unwrap(), data);
+    }
+
+    #[test]
+    fn punctured_roundtrip_all_rates() {
+        let data: Vec<u8> = (0..120).map(|i| ((i * 29 + 1) % 2) as u8).collect();
+        let coded = encode(&data);
+        for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+            let punct = puncture(&coded, rate);
+            let soft = to_soft(&punct);
+            let restored = depuncture(&soft, rate, coded.len());
+            assert_eq!(decode(&restored).unwrap(), data, "rate {rate:?}");
+        }
+    }
+
+    #[test]
+    fn punctured_with_errors() {
+        let data: Vec<u8> = (0..150).map(|i| ((i * 17) % 2) as u8).collect();
+        let coded = encode(&data);
+        let mut punct = puncture(&coded, CodeRate::ThreeQuarters);
+        punct[40] ^= 1;
+        punct[200] ^= 1;
+        let soft = to_soft(&punct);
+        let restored = depuncture(&soft, CodeRate::ThreeQuarters, coded.len());
+        assert_eq!(decode(&restored).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_data_roundtrip() {
+        // Only tail bits.
+        let coded = encode(&[]);
+        assert_eq!(decode(&to_soft(&coded)).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        assert!(matches!(
+            decode(&[1.0; 7]),
+            Err(ViterbiError::BadInputLength(7))
+        ));
+        assert!(matches!(
+            decode(&[1.0; 4]),
+            Err(ViterbiError::BadInputLength(4))
+        ));
+    }
+
+    #[test]
+    fn all_erasures_decodes_to_something_sane() {
+        // With zero information everywhere, the decoder must still terminate
+        // and produce the right length (contents are arbitrary but valid bits).
+        let n_data = 20;
+        let coded_len = 2 * (n_data + TAIL_BITS);
+        let soft = vec![0.0; coded_len];
+        let out = decode(&soft).unwrap();
+        assert_eq!(out.len(), n_data);
+        assert!(out.iter().all(|&b| b <= 1));
+    }
+
+    #[test]
+    fn awgn_ber_better_than_uncoded() {
+        // Crude end-to-end sanity: at ~4 dB Eb/N0 the coded system over BPSK
+        // should be essentially error-free for short blocks while uncoded
+        // would not be. Uses a tiny deterministic LCG as the noise source to
+        // avoid a rand dev-dependency in this unit test.
+        let mut lcg: u64 = 0x1234_5678;
+        let mut noise = || {
+            // Sum of 12 uniforms ≈ N(0,1).
+            let mut acc = 0.0f64;
+            for _ in 0..12 {
+                lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                acc += (lcg >> 11) as f64 / (1u64 << 53) as f64;
+            }
+            acc - 6.0
+        };
+        let data: Vec<u8> = (0..500).map(|i| ((i * 37 + 11) % 2) as u8).collect();
+        let coded = encode(&data);
+        let sigma = 0.5; // Es/N0 = 1/(2σ²) = 2 → 3 dB per coded bit
+        let soft: Vec<f64> = coded
+            .iter()
+            .map(|&b| {
+                let tx = if b == 0 { 1.0 } else { -1.0 };
+                2.0 * (tx + sigma * noise()) / (sigma * sigma)
+            })
+            .collect();
+        let decoded = decode(&soft).unwrap();
+        let errors = decoded.iter().zip(&data).filter(|(a, b)| a != b).count();
+        assert_eq!(errors, 0, "{errors} bit errors after decoding");
+    }
+}

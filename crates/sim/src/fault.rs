@@ -1,0 +1,59 @@
+//! Fault injection.
+//!
+//! In the spirit of smoltcp's example fault options (`--drop-chance`,
+//! `--corrupt-chance`), the medium can be configured to misbehave so that
+//! protocol robustness (retransmissions, stale-channel handling, CRC
+//! rejection) is actually exercised rather than assumed.
+
+/// Fault-injection configuration for a [`crate::medium::Medium`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that a scheduled transmission is dropped entirely
+    /// (deep fade / collision with an un-modelled interferer).
+    pub drop_chance: f64,
+}
+
+impl FaultConfig {
+    /// No faults — the default.
+    pub fn none() -> Self {
+        FaultConfig { drop_chance: 0.0 }
+    }
+
+    /// Drops transmissions with the given probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn with_drop_chance(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop chance {p} outside [0,1]");
+        FaultConfig { drop_chance: p }
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_clean() {
+        assert_eq!(FaultConfig::default(), FaultConfig::none());
+        assert_eq!(FaultConfig::none().drop_chance, 0.0);
+    }
+
+    #[test]
+    fn construction() {
+        assert_eq!(FaultConfig::with_drop_chance(0.25).drop_chance, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_bad_probability() {
+        FaultConfig::with_drop_chance(1.5);
+    }
+}

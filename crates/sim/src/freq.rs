@@ -1,0 +1,390 @@
+//! The per-subcarrier (fast) radio medium.
+//!
+//! For the large throughput sweeps (Figs. 8–13 of the paper: hundreds of
+//! topologies × up to 10 APs × 3 SNR bands) the sample-level medium is
+//! needlessly expensive. This medium works directly on the paper's own
+//! analytical decomposition (§4):
+//!
+//! ```text
+//! H(t) = R(t) · H · T(t)
+//! ```
+//!
+//! Per occupied subcarrier `k`, the channel from transmitter `i` to receiver
+//! `j` at symbol time `t` is
+//!
+//! ```text
+//! h_ji(k; t) = link_ji(k) · e^{j(φ_i(t) − φ_j(t))}
+//! ```
+//!
+//! with `link_ji(k)` the static (within coherence time) frequency response
+//! and `φ` the oscillators' accumulated phase errors. Sampling-frequency
+//! offset appears as a per-subcarrier phase ramp that grows with time,
+//! consistent with the sample-level medium.
+//!
+//! The medium transports whole 64-bin OFDM symbol vectors; noise is per-bin
+//! AWGN. Cross-validated against [`crate::medium::Medium`] in the workspace
+//! integration tests.
+
+use jmb_channel::{Link, PhaseTrajectory};
+use jmb_dsp::rng::{complex_gaussian, JmbRng};
+use jmb_dsp::{CMat, Complex64};
+use jmb_phy::params::OfdmParams;
+
+pub use crate::medium::NodeId;
+
+struct Node {
+    traj: PhaseTrajectory,
+    /// Complex AWGN variance per frequency bin.
+    noise_var: f64,
+}
+
+/// The fast, frequency-domain medium.
+pub struct SubcarrierMedium {
+    params: OfdmParams,
+    nodes: Vec<Node>,
+    /// `links[tx][rx]`.
+    links: Vec<Vec<Option<Link>>>,
+    rng: JmbRng,
+}
+
+impl SubcarrierMedium {
+    /// Creates an empty medium.
+    pub fn new(params: OfdmParams, seed: u64) -> Self {
+        SubcarrierMedium {
+            params,
+            nodes: Vec::new(),
+            links: Vec::new(),
+            rng: jmb_dsp::rng::rng_from_seed(seed),
+        }
+    }
+
+    /// The numerology in use.
+    pub fn params(&self) -> &OfdmParams {
+        &self.params
+    }
+
+    /// Registers a node (oscillator + per-bin noise variance).
+    pub fn add_node(&mut self, traj: PhaseTrajectory, noise_var: f64) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node { traj, noise_var });
+        for row in self.links.iter_mut() {
+            row.push(None);
+        }
+        self.links.push(vec![None; self.nodes.len()]);
+        id
+    }
+
+    /// Installs the directional link `tx → rx`.
+    pub fn set_link(&mut self, tx: NodeId, rx: NodeId, link: Link) {
+        self.links[tx.0][rx.0] = Some(link);
+    }
+
+    /// Mutable link access (for fading evolution).
+    pub fn link_mut(&mut self, tx: NodeId, rx: NodeId) -> Option<&mut Link> {
+        self.links[tx.0][rx.0].as_mut()
+    }
+
+    /// Shared link access.
+    pub fn link(&self, tx: NodeId, rx: NodeId) -> Option<&Link> {
+        self.links[tx.0][rx.0].as_ref()
+    }
+
+    /// Mutable oscillator access.
+    pub fn trajectory_mut(&mut self, node: NodeId) -> &mut PhaseTrajectory {
+        &mut self.nodes[node.0].traj
+    }
+
+    /// Per-bin noise variance of a node.
+    pub fn noise_var(&self, node: NodeId) -> f64 {
+        self.nodes[node.0].noise_var
+    }
+
+    /// The *instantaneous physical* channel from `tx` to `rx` on one
+    /// subcarrier at global time `t` — static link response times the
+    /// oscillators' relative phasor. SFO contributes a time-growing
+    /// per-subcarrier ramp.
+    pub fn channel_at(&mut self, tx: NodeId, rx: NodeId, subcarrier: i32, t: f64) -> Complex64 {
+        let Some(link) = self.links[tx.0][rx.0].as_ref() else {
+            return Complex64::ZERO;
+        };
+        let f_k = subcarrier as f64 * self.params.subcarrier_spacing();
+        let static_resp = link.freq_response_at(f_k);
+        let tx_phase = self.nodes[tx.0].traj.phase_at(t);
+        let rx_phase = self.nodes[rx.0].traj.phase_at(t);
+        // Sampling-offset-induced timing drift: the two sample clocks slip
+        // by (ratio_tx − ratio_rx)·t seconds over time, which appears as a
+        // per-subcarrier phase ramp (exactly what the sample-level medium's
+        // resampling produces).
+        let slip_s = (self.nodes[tx.0].traj.sample_ratio() - self.nodes[rx.0].traj.sample_ratio())
+            * t;
+        let sfo_rot = Complex64::cis(2.0 * std::f64::consts::PI * f_k * slip_s);
+        static_resp * Complex64::cis(tx_phase - rx_phase) * sfo_rot
+    }
+
+    /// The full channel matrix on one subcarrier at time `t`:
+    /// `H[(j, i)] = h(rx_j ← tx_i)` — rows are receivers, columns are
+    /// transmitters, matching the paper's `H` (§4).
+    pub fn channel_matrix(
+        &mut self,
+        txs: &[NodeId],
+        rxs: &[NodeId],
+        subcarrier: i32,
+        t: f64,
+    ) -> CMat {
+        let mut h = CMat::zeros(rxs.len(), txs.len());
+        for (j, &rx) in rxs.iter().enumerate() {
+            for (i, &tx) in txs.iter().enumerate() {
+                h[(j, i)] = self.channel_at(tx, rx, subcarrier, t);
+            }
+        }
+        h
+    }
+
+    /// Transports one OFDM symbol: each transmitter radiates its 64-bin
+    /// vector at global time `t`; each receiver gets the superposition
+    /// through the instantaneous channels plus per-bin AWGN.
+    ///
+    /// Returns one 64-bin vector per entry of `rxs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any transmit vector is not `fft_size` long.
+    pub fn transmit_symbol(
+        &mut self,
+        txs: &[(NodeId, &[Complex64])],
+        rxs: &[NodeId],
+        t: f64,
+    ) -> Vec<Vec<Complex64>> {
+        let n = self.params.fft_size;
+        for (_, bins) in txs {
+            assert_eq!(bins.len(), n, "tx bins must be fft_size long");
+        }
+        let occupied = self.params.occupied_subcarriers();
+        let mut out = Vec::with_capacity(rxs.len());
+        for &rx in rxs {
+            let noise_var = self.nodes[rx.0].noise_var;
+            let mut bins = vec![Complex64::ZERO; n];
+            // Noise on occupied bins (unoccupied bins are ignored downstream).
+            for &k in &occupied {
+                let b = self.params.bin(k);
+                bins[b] = complex_gaussian(&mut self.rng, noise_var);
+            }
+            for &(tx, tx_bins) in txs {
+                if tx == rx {
+                    continue;
+                }
+                if self.links[tx.0][rx.0].is_none() {
+                    continue;
+                }
+                for &k in &occupied {
+                    let b = self.params.bin(k);
+                    if tx_bins[b] == Complex64::ZERO {
+                        continue;
+                    }
+                    let h = self.channel_at(tx, rx, k, t);
+                    bins[b] = h.mul_add(tx_bins[b], bins[b]);
+                }
+            }
+            out.push(bins);
+        }
+        out
+    }
+
+    /// Evolves every link's fading by `dt` seconds.
+    pub fn evolve_fading(&mut self, dt: f64) {
+        // Use a derived RNG stream so fading evolution does not perturb the
+        // noise stream (keeps experiments comparable across configurations).
+        let mut rng = jmb_dsp::rng::derive_rng(self.rng.gen_seed(), 0xFAD);
+        for row in self.links.iter_mut() {
+            for l in row.iter_mut().flatten() {
+                l.evolve(dt, &mut rng);
+            }
+        }
+    }
+}
+
+/// Small extension trait to pull a derivation seed out of an RNG without
+/// consuming its main stream semantics.
+trait GenSeed {
+    fn gen_seed(&mut self) -> u64;
+}
+
+impl GenSeed for JmbRng {
+    fn gen_seed(&mut self) -> u64 {
+        use rand::Rng;
+        self.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmb_dsp::complex::mean_power;
+    use jmb_phy::params::ChannelProfile;
+
+    const FC: f64 = 2.437e9;
+
+    fn medium(seed: u64) -> SubcarrierMedium {
+        SubcarrierMedium::new(OfdmParams::new(ChannelProfile::Usrp10MHz), seed)
+    }
+
+    fn clean_node(m: &mut SubcarrierMedium) -> NodeId {
+        m.add_node(PhaseTrajectory::fixed(FC, 0.0), 0.0)
+    }
+
+    #[test]
+    fn ideal_link_identity_channel() {
+        let mut m = medium(1);
+        let a = clean_node(&mut m);
+        let b = clean_node(&mut m);
+        m.set_link(a, b, Link::ideal());
+        for k in [-26, -7, 1, 26] {
+            let h = m.channel_at(a, b, k, 0.0);
+            assert!((h - Complex64::ONE).abs() < 1e-12, "k={k}");
+        }
+        assert_eq!(m.channel_at(b, a, 1, 0.0), Complex64::ZERO, "no reverse link");
+    }
+
+    #[test]
+    fn cfo_rotates_channel_over_time() {
+        let mut m = medium(2);
+        let cfo = 1_000.0;
+        let a = m.add_node(PhaseTrajectory::fixed(FC, cfo), 0.0);
+        let b = clean_node(&mut m);
+        m.set_link(a, b, Link::ideal());
+        let h0 = m.channel_at(a, b, 1, 0.0);
+        let t = 1e-3;
+        let h1 = m.channel_at(a, b, 1, t);
+        let expected_rot = 2.0 * std::f64::consts::PI * cfo * t;
+        let got = (h1 * h0.conj()).arg();
+        // Tolerance admits the (physically correct) SFO phase ramp the
+        // shared crystal adds: ~4e-4 rad here.
+        assert!(
+            (jmb_dsp::complex::wrap_phase(got - expected_rot)).abs() < 1e-3,
+            "rotation {got} vs {expected_rot}"
+        );
+    }
+
+    #[test]
+    fn channel_matrix_shape_and_content() {
+        let mut m = medium(3);
+        let t1 = clean_node(&mut m);
+        let t2 = clean_node(&mut m);
+        let r1 = clean_node(&mut m);
+        let r2 = clean_node(&mut m);
+        let mut link = Link::ideal();
+        link.gain = Complex64::new(0.5, 0.0);
+        m.set_link(t1, r1, Link::ideal());
+        m.set_link(t2, r2, link);
+        let h = m.channel_matrix(&[t1, t2], &[r1, r2], 1, 0.0);
+        assert_eq!(h.rows(), 2);
+        assert_eq!(h.cols(), 2);
+        assert!((h[(0, 0)] - Complex64::ONE).abs() < 1e-12);
+        assert!((h[(1, 1)] - Complex64::new(0.5, 0.0)).abs() < 1e-12);
+        assert_eq!(h[(0, 1)], Complex64::ZERO);
+        assert_eq!(h[(1, 0)], Complex64::ZERO);
+    }
+
+    #[test]
+    fn transmit_symbol_superposes() {
+        let mut m = medium(4);
+        let t1 = clean_node(&mut m);
+        let t2 = clean_node(&mut m);
+        let rx = clean_node(&mut m);
+        m.set_link(t1, rx, Link::ideal());
+        m.set_link(t2, rx, Link::ideal());
+        let p = m.params().clone();
+        let mut bins = vec![Complex64::ZERO; p.fft_size];
+        bins[p.bin(5)] = Complex64::ONE;
+        let neg: Vec<Complex64> = bins.iter().map(|&x| -x).collect();
+        let out = m.transmit_symbol(&[(t1, &bins), (t2, &neg)], &[rx], 0.0);
+        assert_eq!(out.len(), 1);
+        assert!(out[0][p.bin(5)].abs() < 1e-12, "perfect null");
+        let out2 = m.transmit_symbol(&[(t1, &bins), (t2, &bins)], &[rx], 0.0);
+        assert!((out2[0][p.bin(5)] - Complex64::real(2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_power_per_bin() {
+        let mut m = medium(5);
+        let rx = m.add_node(PhaseTrajectory::fixed(FC, 0.0), 0.02);
+        let p = m.params().clone();
+        let mut acc = Vec::new();
+        for i in 0..200 {
+            let out = m.transmit_symbol(&[], &[rx], i as f64 * 8e-6);
+            for &k in &p.occupied_subcarriers() {
+                acc.push(out[0][p.bin(k)]);
+            }
+        }
+        let pw = mean_power(&acc);
+        assert!((pw - 0.02).abs() < 0.002, "noise power {pw}");
+    }
+
+    #[test]
+    fn sfo_creates_subcarrier_ramp() {
+        let mut m = medium(6);
+        // +10 ppm transmitter.
+        let offset = 10e-6 * FC;
+        let a = m.add_node(PhaseTrajectory::fixed(FC, offset), 0.0);
+        let b = clean_node(&mut m);
+        m.set_link(a, b, Link::ideal());
+        let t = 2e-3; // 2 ms of clock slip
+        let h_low = m.channel_at(a, b, -20, t);
+        let h_high = m.channel_at(a, b, 20, t);
+        // CFO rotation is common; the differential phase across subcarriers
+        // comes from SFO slip: Δφ = 2π·(f_high − f_low)·(ppm·t).
+        let p = m.params().clone();
+        let slip = 10e-6 * t;
+        let expected =
+            2.0 * std::f64::consts::PI * 40.0 * p.subcarrier_spacing() * slip;
+        let got = (h_high * h_low.conj()).arg();
+        assert!(
+            (jmb_dsp::complex::wrap_phase(got - expected)).abs() < 1e-6,
+            "ramp {got} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn decompose_like_paper_r_h_t() {
+        // The medium must satisfy H(t) = R(t)·H·T(t) with diagonal R, T —
+        // verify by checking h_ji(t)/h_ji(0) = e^{j(ω_i−ω_j)t} independent
+        // of the static channel.
+        let mut m = medium(7);
+        let tx1 = m.add_node(PhaseTrajectory::fixed(FC, 500.0), 0.0);
+        let tx2 = m.add_node(PhaseTrajectory::fixed(FC, -300.0), 0.0);
+        let rx = m.add_node(PhaseTrajectory::fixed(FC, 120.0), 0.0);
+        let mut l1 = Link::ideal();
+        l1.gain = Complex64::from_polar(0.7, 1.0);
+        let mut l2 = Link::ideal();
+        l2.gain = Complex64::from_polar(0.3, -2.0);
+        m.set_link(tx1, rx, l1);
+        m.set_link(tx2, rx, l2);
+        let t = 0.5e-3;
+        for (tx, f_tx) in [(tx1, 500.0), (tx2, -300.0)] {
+            let h0 = m.channel_at(tx, rx, 3, 0.0);
+            let ht = m.channel_at(tx, rx, 3, t);
+            let ratio = ht / h0;
+            let expected = Complex64::cis(2.0 * std::f64::consts::PI * (f_tx - 120.0) * t);
+            // Tolerance admits the shared-crystal SFO ramp (~2e-4 rad).
+            assert!((ratio - expected).abs() < 1e-3, "tx offset {f_tx}");
+        }
+    }
+
+    #[test]
+    fn fading_evolution_changes_links() {
+        let mut m = medium(8);
+        let a = clean_node(&mut m);
+        let b = clean_node(&mut m);
+        let mut rng = jmb_dsp::rng::rng_from_seed(77);
+        let link = Link::new(
+            Complex64::ONE,
+            0.0,
+            jmb_channel::Multipath::new(jmb_channel::MultipathSpec::indoor_nlos(), &mut rng),
+        );
+        m.set_link(a, b, link);
+        let h0 = m.channel_at(a, b, 5, 0.0);
+        m.evolve_fading(10.0); // many coherence times
+        let h1 = m.channel_at(a, b, 5, 0.0);
+        assert!((h0 - h1).abs() > 1e-6, "fading did not evolve");
+    }
+}

@@ -1,0 +1,535 @@
+//! The sample-level radio medium.
+//!
+//! Physics applied to every (transmission, receiver) pair:
+//!
+//! 1. **Sample clocks** — the transmitter's DAC and receiver's ADC run at
+//!    `fs·(1+ppm)` of their own crystals, so the waveform is resampled at
+//!    ratio `rate_tx/rate_rx` (sampling-frequency offset).
+//! 2. **Propagation delay** — fractional-sample delay per the link geometry.
+//! 3. **Multipath** — tapped-delay-line convolution.
+//! 4. **Carrier offset & phase noise** — rotation by
+//!    `e^{j(φ_tx(t) − φ_rx(t))}` at every output sample, with φ from each
+//!    node's [`PhaseTrajectory`].
+//! 5. **Superposition** — concurrent transmissions simply add. This is what
+//!    makes *joint* beamforming meaningful: nulls only form if the phases
+//!    are right.
+//! 6. **AWGN** — per-receiver noise floor.
+
+use crate::fault::FaultConfig;
+use crate::trace::{Trace, TraceEvent};
+use jmb_channel::{Link, PhaseTrajectory};
+use jmb_dsp::delay::interpolate_at;
+use jmb_dsp::rng::{complex_gaussian, JmbRng};
+use jmb_dsp::Complex64;
+use jmb_phy::params::OfdmParams;
+use rand::Rng;
+
+/// Handle to a node registered with a [`Medium`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub usize);
+
+struct Node {
+    traj: PhaseTrajectory,
+    /// Complex AWGN variance per *time-domain sample* at this receiver.
+    noise_var: f64,
+}
+
+/// One scheduled waveform on the air.
+#[derive(Debug, Clone)]
+pub struct Transmission {
+    /// Transmitting node.
+    pub tx: NodeId,
+    /// Global time the first sample leaves the antenna, seconds.
+    pub start_s: f64,
+    /// Complex-baseband samples at the transmitter's nominal sample rate.
+    pub samples: Vec<Complex64>,
+}
+
+/// The air.
+pub struct Medium {
+    params: OfdmParams,
+    nodes: Vec<Node>,
+    /// `links[tx][rx]`.
+    links: Vec<Vec<Option<Link>>>,
+    transmissions: Vec<Transmission>,
+    /// Scheduled extra-noise windows (fault injection).
+    bursts: Vec<(NodeId, f64, f64, f64)>, // (rx, start_s, duration_s, var)
+    fault: FaultConfig,
+    /// Event trace.
+    pub trace: Trace,
+    rng: JmbRng,
+}
+
+impl Medium {
+    /// Creates an empty medium.
+    pub fn new(params: OfdmParams, seed: u64) -> Self {
+        Medium {
+            params,
+            nodes: Vec::new(),
+            links: Vec::new(),
+            transmissions: Vec::new(),
+            bursts: Vec::new(),
+            fault: FaultConfig::none(),
+            trace: Trace::new(),
+            rng: jmb_dsp::rng::rng_from_seed(seed),
+        }
+    }
+
+    /// The numerology the medium operates at.
+    pub fn params(&self) -> &OfdmParams {
+        &self.params
+    }
+
+    /// Registers a node with its oscillator trajectory and receiver noise
+    /// variance (per time-domain sample).
+    pub fn add_node(&mut self, traj: PhaseTrajectory, noise_var: f64) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node { traj, noise_var });
+        for row in self.links.iter_mut() {
+            row.push(None);
+        }
+        self.links.push(vec![None; self.nodes.len()]);
+        id
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Installs the directional link `tx → rx`.
+    pub fn set_link(&mut self, tx: NodeId, rx: NodeId, link: Link) {
+        self.links[tx.0][rx.0] = Some(link);
+    }
+
+    /// Installs the same link in both directions (reciprocal channel).
+    pub fn set_reciprocal_link(&mut self, a: NodeId, b: NodeId, link: Link) {
+        self.links[a.0][b.0] = Some(link.clone());
+        self.links[b.0][a.0] = Some(link);
+    }
+
+    /// Mutable access to a link (e.g. to evolve its fading).
+    pub fn link_mut(&mut self, tx: NodeId, rx: NodeId) -> Option<&mut Link> {
+        self.links[tx.0][rx.0].as_mut()
+    }
+
+    /// Shared access to a link.
+    pub fn link(&self, tx: NodeId, rx: NodeId) -> Option<&Link> {
+        self.links[tx.0][rx.0].as_ref()
+    }
+
+    /// Mutable access to a node's oscillator trajectory.
+    pub fn trajectory_mut(&mut self, node: NodeId) -> &mut PhaseTrajectory {
+        &mut self.nodes[node.0].traj
+    }
+
+    /// Configures fault injection.
+    pub fn set_fault(&mut self, fault: FaultConfig) {
+        self.fault = fault;
+    }
+
+    /// Schedules a waveform. `start_s` is global time of the first sample.
+    ///
+    /// Under fault injection the transmission may be silently dropped
+    /// (recorded in the trace).
+    pub fn transmit(&mut self, tx: NodeId, start_s: f64, samples: Vec<Complex64>) {
+        if self.fault.drop_chance > 0.0 && self.rng.gen::<f64>() < self.fault.drop_chance {
+            self.trace.push(TraceEvent::Dropped {
+                node: tx.0,
+                t: start_s,
+            });
+            return;
+        }
+        self.trace.push(TraceEvent::Transmit {
+            node: tx.0,
+            t: start_s,
+            len: samples.len(),
+            power: jmb_dsp::complex::mean_power(&samples),
+        });
+        self.transmissions.push(Transmission {
+            tx,
+            start_s,
+            samples,
+        });
+    }
+
+    /// Injects a burst of extra noise at a receiver (fault injection).
+    pub fn inject_noise_burst(&mut self, rx: NodeId, start_s: f64, duration_s: f64, var: f64) {
+        self.bursts.push((rx, start_s, duration_s, var));
+    }
+
+    /// Renders what `rx` hears between `start_s` and
+    /// `start_s + n/fs_rx`: superposition of all transmissions through their
+    /// links, plus AWGN and any noise bursts.
+    ///
+    /// A node never hears its own transmissions (half-duplex front end).
+    pub fn render_rx(&mut self, rx: NodeId, start_s: f64, n: usize) -> Vec<Complex64> {
+        let fs = self.params.sample_rate();
+        let ratio_rx = self.nodes[rx.0].traj.sample_ratio();
+        let ts_rx = 1.0 / (fs * ratio_rx);
+
+        // Output sample times on the receiver's clock.
+        let times: Vec<f64> = (0..n).map(|m| start_s + m as f64 * ts_rx).collect();
+
+        // Receiver phase at each output time.
+        let rx_phases: Vec<f64> = times
+            .iter()
+            .map(|&t| self.nodes[rx.0].traj.phase_at(t))
+            .collect();
+
+        // Start with AWGN.
+        let noise_var = self.nodes[rx.0].noise_var;
+        let mut out: Vec<Complex64> = (0..n)
+            .map(|_| complex_gaussian(&mut self.rng, noise_var))
+            .collect();
+
+        // Noise bursts.
+        for &(brx, bstart, bdur, bvar) in &self.bursts {
+            if brx != rx {
+                continue;
+            }
+            for (m, &t) in times.iter().enumerate() {
+                if t >= bstart && t < bstart + bdur {
+                    out[m] += complex_gaussian(&mut self.rng, bvar);
+                }
+            }
+        }
+
+        // Superpose every transmission.
+        let end_s = start_s + n as f64 * ts_rx;
+        for ti in 0..self.transmissions.len() {
+            let (tx_id, tx_start, tx_len) = {
+                let t = &self.transmissions[ti];
+                (t.tx, t.start_s, t.samples.len())
+            };
+            if tx_id == rx {
+                continue;
+            }
+            let Some(link) = self.links[tx_id.0][rx.0].clone() else {
+                continue;
+            };
+            let ratio_tx = self.nodes[tx_id.0].traj.sample_ratio();
+            let fs_tx = fs * ratio_tx;
+            let tx_dur = tx_len as f64 / fs_tx;
+            // Quick overlap rejection (with tap-delay + interpolation-kernel
+            // slack).
+            let slack = link.delay_s + link.fading.max_delay_s() + 32.0 / fs;
+            if tx_start > end_s || tx_start + tx_dur + slack < start_s {
+                continue;
+            }
+            // Tx phase at each output time.
+            let tx_phases: Vec<f64> = times
+                .iter()
+                .map(|&t| self.nodes[tx_id.0].traj.phase_at(t))
+                .collect();
+            let taps = link.fading.taps();
+            let samples = &self.transmissions[ti].samples;
+            for (m, &t) in times.iter().enumerate() {
+                // Input-sample position (transmitter clock) for this output
+                // instant, before tap delays.
+                let base_pos = (t - tx_start - link.delay_s) * fs_tx;
+                if base_pos < -(taps.len() as f64 * 8.0) - 32.0
+                    || base_pos > tx_len as f64 + 32.0
+                {
+                    continue;
+                }
+                let mut acc = Complex64::ZERO;
+                for &(tau, g) in &taps {
+                    if g == Complex64::ZERO {
+                        continue;
+                    }
+                    let pos = base_pos - tau * fs_tx;
+                    let v = interpolate_at(samples, pos);
+                    if v != Complex64::ZERO {
+                        acc = g.mul_add(v, acc);
+                    }
+                }
+                if acc != Complex64::ZERO {
+                    let rot = Complex64::cis(tx_phases[m] - rx_phases[m]);
+                    out[m] = (link.gain * rot).mul_add(acc, out[m]);
+                }
+            }
+        }
+        self.trace.push(TraceEvent::Render {
+            node: rx.0,
+            t: start_s,
+            len: n,
+        });
+        out
+    }
+
+    /// Discards all scheduled transmissions and noise bursts that end before
+    /// `before_s` (keeps memory bounded in long simulations).
+    pub fn expire(&mut self, before_s: f64) {
+        let fs = self.params.sample_rate();
+        self.transmissions
+            .retain(|t| t.start_s + t.samples.len() as f64 / fs + 1e-3 >= before_s);
+        self.bursts
+            .retain(|&(_, start, dur, _)| start + dur >= before_s);
+    }
+
+    /// Removes every scheduled transmission.
+    pub fn clear_transmissions(&mut self) {
+        self.transmissions.clear();
+    }
+
+    /// Number of transmissions currently on the air.
+    pub fn transmission_count(&self) -> usize {
+        self.transmissions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmb_channel::multipath::{Multipath, MultipathSpec};
+    use jmb_channel::oscillator::OscillatorSpec;
+    use jmb_dsp::complex::mean_power;
+    use jmb_phy::preamble;
+
+    const FC: f64 = 2.437e9;
+
+    fn quiet_medium(seed: u64) -> Medium {
+        Medium::new(OfdmParams::default(), seed)
+    }
+
+    fn clean_node(m: &mut Medium) -> NodeId {
+        m.add_node(PhaseTrajectory::fixed(FC, 0.0), 0.0)
+    }
+
+    #[test]
+    fn silence_is_noise_only() {
+        let mut m = quiet_medium(1);
+        let rx = m.add_node(PhaseTrajectory::fixed(FC, 0.0), 0.01);
+        let out = m.render_rx(rx, 0.0, 10_000);
+        let p = mean_power(&out);
+        assert!((p - 0.01).abs() < 0.001, "noise power {p}");
+    }
+
+    #[test]
+    fn ideal_link_passes_waveform() {
+        let mut m = quiet_medium(2);
+        let tx = clean_node(&mut m);
+        let rx = clean_node(&mut m);
+        m.set_link(tx, rx, Link::ideal());
+        let wave = preamble::preamble(m.params());
+        m.transmit(tx, 0.0, wave.clone());
+        let out = m.render_rx(rx, 0.0, wave.len());
+        for (i, (o, w)) in out.iter().zip(&wave).enumerate().skip(8) {
+            assert!((*o - *w).abs() < 1e-6, "sample {i}: {o} vs {w}");
+        }
+    }
+
+    #[test]
+    fn no_link_means_silence() {
+        let mut m = quiet_medium(3);
+        let tx = clean_node(&mut m);
+        let rx = clean_node(&mut m);
+        m.transmit(tx, 0.0, preamble::preamble(m.params()));
+        let out = m.render_rx(rx, 0.0, 320);
+        assert!(mean_power(&out) < 1e-20);
+    }
+
+    #[test]
+    fn node_does_not_hear_itself() {
+        let mut m = quiet_medium(4);
+        let tx = clean_node(&mut m);
+        m.set_link(tx, tx, Link::ideal());
+        m.transmit(tx, 0.0, preamble::preamble(m.params()));
+        let out = m.render_rx(tx, 0.0, 320);
+        assert!(mean_power(&out) < 1e-20);
+    }
+
+    #[test]
+    fn cfo_rotates_received_waveform() {
+        let mut m = quiet_medium(5);
+        let cfo = 5_000.0;
+        let tx = m.add_node(PhaseTrajectory::fixed(FC, cfo), 0.0);
+        let rx = clean_node(&mut m);
+        m.set_link(tx, rx, Link::ideal());
+        let wave = preamble::preamble(m.params());
+        m.transmit(tx, 0.0, wave.clone());
+        let out = m.render_rx(rx, 0.0, wave.len());
+        // Estimate CFO from the received STF — must match the injected one.
+        let est = jmb_phy::sync::coarse_cfo(m.params(), &out[16..160]);
+        assert!((est - cfo).abs() < 20.0, "est {est}");
+    }
+
+    #[test]
+    fn delay_shifts_waveform() {
+        let mut m = quiet_medium(6);
+        let tx = clean_node(&mut m);
+        let rx = clean_node(&mut m);
+        let mut link = Link::ideal();
+        link.delay_s = 10.0 / m.params().sample_rate(); // 10 samples
+        m.set_link(tx, rx, link);
+        let wave = preamble::preamble(m.params());
+        m.transmit(tx, 0.0, wave.clone());
+        let out = m.render_rx(rx, 0.0, wave.len() + 20);
+        for i in 0..8 {
+            assert!(out[i].abs() < 1e-9, "leading sample {i} not empty");
+        }
+        for i in 20..wave.len() {
+            assert!((out[i + 10] - wave[i]).abs() < 1e-6, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn superposition_of_two_transmitters() {
+        let mut m = quiet_medium(7);
+        let tx1 = clean_node(&mut m);
+        let tx2 = clean_node(&mut m);
+        let rx = clean_node(&mut m);
+        m.set_link(tx1, rx, Link::ideal());
+        m.set_link(tx2, rx, Link::ideal());
+        let wave = preamble::preamble(m.params());
+        m.transmit(tx1, 0.0, wave.clone());
+        m.transmit(tx2, 0.0, wave.clone());
+        let out = m.render_rx(rx, 0.0, wave.len());
+        // Identical in-phase copies add coherently: amplitude doubles.
+        for i in 16..300 {
+            assert!((out[i] - wave[i] * 2.0).abs() < 1e-6, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn antiphase_transmitters_cancel() {
+        // The essence of nulling: equal-amplitude opposite-phase signals
+        // produce (near) silence.
+        let mut m = quiet_medium(8);
+        let tx1 = clean_node(&mut m);
+        let tx2 = clean_node(&mut m);
+        let rx = clean_node(&mut m);
+        m.set_link(tx1, rx, Link::ideal());
+        m.set_link(tx2, rx, Link::ideal());
+        let wave = preamble::preamble(m.params());
+        let inverted: Vec<Complex64> = wave.iter().map(|&x| -x).collect();
+        m.transmit(tx1, 0.0, wave.clone());
+        m.transmit(tx2, 0.0, inverted);
+        let out = m.render_rx(rx, 0.0, wave.len());
+        assert!(mean_power(&out) < 1e-18, "residual {}", mean_power(&out));
+    }
+
+    #[test]
+    fn multipath_convolution_applied() {
+        let mut m = quiet_medium(9);
+        let tx = clean_node(&mut m);
+        let rx = clean_node(&mut m);
+        // Build a deterministic 2-tap channel at one-sample spacing.
+        let spec = MultipathSpec {
+            n_taps: 2,
+            tap_spacing_s: 1.0 / m.params().sample_rate(),
+            rms_delay_spread_s: 1.0 / m.params().sample_rate(),
+            rician_k_db: None,
+            coherence_time_s: f64::INFINITY,
+        };
+        let mut rng = jmb_dsp::rng::rng_from_seed(1);
+        let mut fading = Multipath::new(spec, &mut rng);
+        // Overwrite taps deterministically via evolve-free construction:
+        // easiest is to check linearity against the reported taps instead.
+        let taps = fading.taps();
+        let mut link = Link::ideal();
+        link.fading = fading.clone();
+        m.set_link(tx, rx, link);
+        let wave = preamble::preamble(m.params());
+        m.transmit(tx, 0.0, wave.clone());
+        let out = m.render_rx(rx, 0.0, wave.len() + 4);
+        // Manual convolution with the same taps.
+        for i in 40..200 {
+            let mut want = Complex64::ZERO;
+            for &(tau, g) in &taps {
+                let d = (tau * m.params().sample_rate()).round() as usize;
+                if i >= d {
+                    want += g * wave[i - d];
+                }
+            }
+            assert!((out[i] - want).abs() < 1e-5, "sample {i}: {} vs {want}", out[i]);
+        }
+        // Silence fading's unused-var warning paths.
+        fading.evolve(0.0, &mut rng);
+    }
+
+    #[test]
+    fn sample_clock_offset_resamples() {
+        // +100 ppm tx clock (exaggerated for test visibility): after 10 000
+        // receiver samples, the tx waveform has slipped a full sample.
+        let mut m = quiet_medium(10);
+        let spec = OscillatorSpec::ideal();
+        let _ = spec;
+        let offset_hz = 100e-6 * FC; // +100 ppm
+        let tx = m.add_node(PhaseTrajectory::fixed(FC, offset_hz), 0.0);
+        let rx = clean_node(&mut m);
+        m.set_link(tx, rx, Link::ideal());
+        // A long constant-frequency tone.
+        let n = 12_000usize;
+        let f = 0.05; // cycles per tx sample
+        let tone: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::cis(2.0 * std::f64::consts::PI * f * i as f64))
+            .collect();
+        m.transmit(tx, 0.0, tone);
+        let out = m.render_rx(rx, 0.0, n - 100);
+        // At rx sample m, tx position ≈ m·(1+1e-4). Remove the CFO rotation
+        // (the carrier offset also rotates the baseband) then compare phase.
+        let ts = 1.0 / m.params().sample_rate();
+        for &i in &[5_000usize, 10_000] {
+            let t = i as f64 * ts;
+            let cfo_rot = Complex64::cis(2.0 * std::f64::consts::PI * offset_hz * t);
+            let expected_pos = i as f64 * (1.0 + 1e-4);
+            let expected =
+                Complex64::cis(2.0 * std::f64::consts::PI * f * expected_pos) * cfo_rot;
+            assert!(
+                (out[i] - expected).abs() < 0.05,
+                "sample {i}: {} vs {expected}",
+                out[i]
+            );
+        }
+    }
+
+    #[test]
+    fn drop_fault_suppresses_transmission() {
+        let mut m = quiet_medium(11);
+        m.trace.enable();
+        let tx = clean_node(&mut m);
+        let rx = clean_node(&mut m);
+        m.set_link(tx, rx, Link::ideal());
+        m.set_fault(FaultConfig {
+            drop_chance: 1.0,
+            ..FaultConfig::none()
+        });
+        m.transmit(tx, 0.0, preamble::preamble(m.params()));
+        assert_eq!(m.transmission_count(), 0);
+        let out = m.render_rx(rx, 0.0, 320);
+        assert!(mean_power(&out) < 1e-20);
+        assert!(m
+            .trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Dropped { .. })));
+    }
+
+    #[test]
+    fn noise_burst_adds_power_in_window() {
+        let mut m = quiet_medium(12);
+        let rx = m.add_node(PhaseTrajectory::fixed(FC, 0.0), 1e-6);
+        let ts = 1.0 / m.params().sample_rate();
+        m.inject_noise_burst(rx, 100.0 * ts, 100.0 * ts, 1.0);
+        let out = m.render_rx(rx, 0.0, 400);
+        let before = mean_power(&out[..90]);
+        let during = mean_power(&out[110..190]);
+        let after = mean_power(&out[210..]);
+        assert!(during > before * 100.0, "burst {during} vs {before}");
+        assert!(after < during / 100.0);
+    }
+
+    #[test]
+    fn expire_retains_active() {
+        let mut m = quiet_medium(13);
+        let tx = clean_node(&mut m);
+        let wave = vec![Complex64::ONE; 100];
+        m.transmit(tx, 0.0, wave.clone());
+        m.transmit(tx, 1.0, wave);
+        assert_eq!(m.transmission_count(), 2);
+        m.expire(0.5);
+        assert_eq!(m.transmission_count(), 1);
+    }
+}

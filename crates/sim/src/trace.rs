@@ -1,0 +1,142 @@
+//! Lightweight event tracing.
+//!
+//! Records what happened on the medium — who transmitted when, what was
+//! rendered, what was dropped — for debugging and for tests that assert on
+//! protocol behaviour rather than signal values. Disabled traces cost one
+//! branch per event.
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A waveform was scheduled.
+    Transmit {
+        /// Node index.
+        node: usize,
+        /// Global start time, seconds.
+        t: f64,
+        /// Length in samples.
+        len: usize,
+        /// Mean sample power.
+        power: f64,
+    },
+    /// A receive window was rendered.
+    Render {
+        /// Node index.
+        node: usize,
+        /// Global start time, seconds.
+        t: f64,
+        /// Length in samples.
+        len: usize,
+    },
+    /// A transmission was dropped by fault injection.
+    Dropped {
+        /// Node index.
+        node: usize,
+        /// Global start time, seconds.
+        t: f64,
+    },
+}
+
+/// An append-only event log.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Creates a disabled trace (enable with [`Trace::enable`]).
+    pub fn new() -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Starts recording.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Stops recording (existing events are kept).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Records an event if enabled.
+    pub fn push(&mut self, e: TraceEvent) {
+        if self.enabled {
+            self.events.push(e);
+        }
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of transmissions recorded.
+    pub fn transmit_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Transmit { .. }))
+            .count()
+    }
+
+    /// Number of drops recorded.
+    pub fn drop_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Dropped { .. }))
+            .count()
+    }
+
+    /// Clears the log.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::Dropped { node: 0, t: 0.0 });
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn records_when_enabled() {
+        let mut t = Trace::new();
+        t.enable();
+        t.push(TraceEvent::Transmit {
+            node: 1,
+            t: 0.5,
+            len: 80,
+            power: 0.01,
+        });
+        t.push(TraceEvent::Dropped { node: 2, t: 0.6 });
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.transmit_count(), 1);
+        assert_eq!(t.drop_count(), 1);
+    }
+
+    #[test]
+    fn disable_keeps_history() {
+        let mut t = Trace::new();
+        t.enable();
+        t.push(TraceEvent::Render {
+            node: 0,
+            t: 0.0,
+            len: 10,
+        });
+        t.disable();
+        t.push(TraceEvent::Dropped { node: 0, t: 1.0 });
+        assert_eq!(t.events().len(), 1);
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+}

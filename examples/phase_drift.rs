@@ -1,0 +1,34 @@
+//! Why naive CFO extrapolation cannot work (§1), reproduced numerically.
+//!
+//! Estimate the frequency offset between two oscillators once, then predict
+//! the phase from `Δφ = Δω·t`. Even a 10 Hz estimation error — orders of
+//! magnitude better than crystal tolerances — accumulates 0.35 rad (20°) in
+//! 5.5 ms, enough to wreck beamforming (Fig. 6). JMB's direct per-packet
+//! phase measurement has no accumulation at all.
+//!
+//! Run with: `cargo run --release --example phase_drift`
+
+use jmb::core::experiment::drift_motivation;
+
+fn main() {
+    println!("Naive frequency-offset extrapolation vs JMB direct measurement\n");
+    let horizons = [1e-3, 2e-3, 5.5e-3, 10e-3, 20e-3, 50e-3];
+    println!("elapsed   naive(1Hz)  naive(10Hz)  naive(100Hz)  direct");
+    let runs: Vec<Vec<_>> = [1.0, 10.0, 100.0]
+        .iter()
+        .map(|&err| drift_motivation(err, &horizons, 400, 3))
+        .collect();
+    for (i, &t) in horizons.iter().enumerate() {
+        println!(
+            "{:>5.1}ms   {:>8.3}    {:>8.3}     {:>8.3}   {:>7.3}  (radians)",
+            t * 1e3,
+            runs[0][i].naive_err_rad,
+            runs[1][i].naive_err_rad,
+            runs[2][i].naive_err_rad,
+            runs[1][i].direct_err_rad,
+        );
+    }
+    println!("\npaper anchor: 10 Hz × 5.5 ms ⇒ 0.35 rad (20°) — \"such a large error in");
+    println!("the phase of the beamformed signals will cause significant interference\"");
+    println!("(§1). The direct measurement column never grows: that is JMB.");
+}

@@ -1,0 +1,120 @@
+//! Smoke tests for every figure-regeneration function: small sweeps, shape
+//! assertions matching the paper's qualitative claims. The full sweeps run
+//! from `jmb-bench`'s figure binaries.
+
+use jmb::channel::SnrBand;
+use jmb::core::experiment::*;
+
+fn sweep(n: usize) -> SweepConfig {
+    SweepConfig {
+        n_topologies: n,
+        seed: 11,
+        parallelism: 4,
+    }
+}
+
+#[test]
+fn fig06_shape() {
+    let pts = snr_reduction_vs_misalignment(&[0.0, 0.2, 0.35, 0.5], &[10.0, 20.0], 40, 1);
+    // Zero misalignment → zero loss; loss grows with misalignment; higher
+    // SNR loses more (paper §11.1a).
+    let at = |snr: f64, phi: f64| {
+        pts.iter()
+            .find(|p| p.snr_db == snr && (p.misalignment_rad - phi).abs() < 1e-9)
+            .unwrap()
+            .reduction_db
+    };
+    assert!(at(20.0, 0.0).abs() < 1e-9);
+    assert!(at(20.0, 0.35) > at(20.0, 0.2));
+    assert!(at(20.0, 0.35) > at(10.0, 0.35));
+    assert!(at(20.0, 0.35) > 3.0, "0.35 rad must cost several dB");
+}
+
+#[test]
+fn fig07_misalignment_near_paper() {
+    let samples = misalignment_samples(3, 25, 11).expect("probe");
+    let median = jmb::dsp::stats::median(&samples);
+    let p95 = jmb::dsp::stats::percentile(&samples, 95.0);
+    // Paper: median 0.017 rad, 95th 0.05 rad. Same order of magnitude.
+    assert!(median < 0.06, "median misalignment {median}");
+    assert!(p95 < 0.15, "95th pct misalignment {p95}");
+}
+
+#[test]
+fn fig08_inr_small_and_growing() {
+    let pts = inr_scaling(&[SnrBand::High], &[2, 6], &sweep(3));
+    assert_eq!(pts.len(), 2);
+    for p in &pts {
+        assert!(p.inr_db > -0.5 && p.inr_db < 4.0, "INR {}", p.inr_db);
+    }
+    assert!(pts[1].inr_db >= pts[0].inr_db - 0.3);
+}
+
+#[test]
+fn fig09_linear_scaling() {
+    let runs = throughput_scaling(&[SnrBand::High], &[2, 6, 10], &sweep(4), true);
+    let agg = aggregate_scaling(&runs);
+    let gain = |n: usize| {
+        let p = agg.iter().find(|p| p.n_aps == n).unwrap();
+        p.jmb_mean / p.dot11_mean
+    };
+    assert!(gain(6) > gain(2) * 1.5, "{} vs {}", gain(6), gain(2));
+    assert!(gain(10) > gain(6), "{} vs {}", gain(10), gain(6));
+    // 802.11 stays flat.
+    let d2 = agg.iter().find(|p| p.n_aps == 2).unwrap().dot11_mean;
+    let d10 = agg.iter().find(|p| p.n_aps == 10).unwrap().dot11_mean;
+    assert!((d10 / d2 - 1.0).abs() < 0.5);
+}
+
+#[test]
+fn fig10_gains_cluster() {
+    let runs = throughput_scaling(&[SnrBand::Medium], &[6], &sweep(4), true);
+    let gains: Vec<f64> = runs
+        .iter()
+        .flat_map(|r| r.per_client_gain.iter().copied())
+        .filter(|g| g.is_finite() && *g > 0.0)
+        .collect();
+    assert!(gains.len() >= 12);
+    let med = jmb::dsp::stats::median(&gains);
+    let p10 = jmb::dsp::stats::percentile(&gains, 10.0);
+    // Fairness: the 10th-percentile client still gets a decent share of the
+    // median gain.
+    assert!(p10 > 0.25 * med, "p10 {p10} vs median {med}");
+}
+
+#[test]
+fn fig11_diversity_shape() {
+    let pts = diversity_sweep(&[2, 10], &[2.0, 10.0], &sweep(4));
+    let at = |n: usize, s: f64| pts.iter().find(|p| p.n_aps == n && p.snr_db == s).unwrap();
+    // More APs help, most dramatically at low SNR where 802.11 gets little.
+    assert!(at(10, 2.0).jmb > at(2, 2.0).jmb);
+    assert!(at(10, 2.0).jmb > at(10, 2.0).dot11);
+    assert!(at(10, 10.0).jmb >= at(10, 2.0).jmb * 0.8);
+}
+
+#[test]
+fn fig12_13_compat_gain() {
+    let runs = compat_runs(&[SnrBand::High], &sweep(5));
+    assert!(!runs.is_empty());
+    let gains: Vec<f64> = runs.iter().map(|r| r.gain).collect();
+    let mean = jmb::dsp::stats::mean(&gains);
+    // Paper: 1.67–1.83×, bounded by 2×. Ours lands lower but must beat 1×
+    // on average and stay under the theoretical bound.
+    assert!(mean > 1.0, "mean compat gain {mean}");
+    assert!(gains.iter().all(|g| *g < 2.3), "gain above 2× bound");
+}
+
+#[test]
+fn fig00_drift() {
+    let pts = drift_motivation(10.0, &[5.5e-3, 20e-3], 200, 1);
+    assert!(pts[0].naive_err_rad > 0.15, "{}", pts[0].naive_err_rad);
+    assert!(pts[1].naive_err_rad > pts[0].naive_err_rad);
+    assert!(pts[0].direct_err_rad < 0.02 && pts[1].direct_err_rad < 0.02);
+}
+
+#[test]
+fn ablation_sync_off_collapses() {
+    let on = aggregate_scaling(&throughput_scaling(&[SnrBand::High], &[4], &sweep(3), true));
+    let off = aggregate_scaling(&throughput_scaling(&[SnrBand::High], &[4], &sweep(3), false));
+    assert!(on[0].jmb_mean > 2.0 * off[0].jmb_mean.max(1.0));
+}
