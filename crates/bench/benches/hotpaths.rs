@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use jmb_channel::oscillator::PhaseTrajectory;
 use jmb_channel::Link;
 use jmb_dsp::rng::{complex_gaussian, rng_from_seed};
-use jmb_dsp::{CMat, Complex64, FftPlan};
+use jmb_dsp::{CMat, Complex64};
 use jmb_phy::frame::{FrameRx, FrameTx};
 use jmb_phy::params::OfdmParams;
 use jmb_phy::rates::Mcs;
@@ -16,10 +16,8 @@ use jmb_phy::{convcode, viterbi};
 use jmb_sim::Medium;
 
 fn bench_fft(c: &mut Criterion) {
-    let plan = FftPlan::new(64);
-    let input: Vec<Complex64> = (0..64)
-        .map(|i| Complex64::cis(i as f64 * 0.37))
-        .collect();
+    let plan = jmb_dsp::fft::plan(64);
+    let input: Vec<Complex64> = (0..64).map(|i| Complex64::cis(i as f64 * 0.37)).collect();
     c.bench_function("fft64_forward", |b| {
         b.iter_batched(
             || input.clone(),
@@ -27,6 +25,7 @@ fn bench_fft(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    c.bench_function("fft64_plan_lookup", |b| b.iter(|| jmb_dsp::fft::plan(64)));
 }
 
 fn bench_viterbi(c: &mut Criterion) {
@@ -63,7 +62,10 @@ fn bench_phasesync(c: &mut Criterion) {
     let subs = params.occupied_subcarriers();
     let reference = ChannelEstimate {
         subcarriers: subs.clone(),
-        gains: subs.iter().map(|&k| Complex64::cis(0.05 * k as f64)).collect(),
+        gains: subs
+            .iter()
+            .map(|&k| Complex64::cis(0.05 * k as f64))
+            .collect(),
     };
     let now = ChannelEstimate {
         subcarriers: subs.clone(),

@@ -12,14 +12,22 @@ use jmb_core::experiment::{measurement_interleaving_ablation, write_csv};
 
 fn main() {
     let opts = FigOpts::from_args();
-    banner("ablation", "interleaved vs sequential measurement slots", &opts);
+    banner(
+        "ablation",
+        "interleaved vs sequential measurement slots",
+        &opts,
+    );
     let runs = if opts.quick { 2 } else { 6 };
     println!("n_aps  layout       h_error_db");
     let mut rows = Vec::new();
     for n in [2usize, 4, 8] {
         let pts = measurement_interleaving_ablation(n, runs, opts.seed).expect("ablation");
         for p in &pts {
-            let label = if p.interleaved { "interleaved" } else { "sequential" };
+            let label = if p.interleaved {
+                "interleaved"
+            } else {
+                "sequential"
+            };
             println!("{n:>5}  {label:<11}  {:>9.2}", p.h_error_db);
             rows.push(vec![
                 format!("{n}"),

@@ -36,6 +36,9 @@ fn main() {
         .iter()
         .find(|p| p.snr_db == 20.0 && (p.misalignment_rad - 0.35).abs() < 0.026);
     if let Some(a) = anchor {
-        println!("paper anchor: 0.35 rad @ 20 dB → paper ≈ 8 dB, measured {:.1} dB", a.reduction_db);
+        println!(
+            "paper anchor: 0.35 rad @ 20 dB → paper ≈ 8 dB, measured {:.1} dB",
+            a.reduction_db
+        );
     }
 }

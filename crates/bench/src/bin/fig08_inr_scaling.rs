@@ -17,15 +17,24 @@ fn main() {
     println!("band              n_pairs  inr_db");
     let mut rows = Vec::new();
     for p in &pts {
-        println!("{:<17} {:>7}  {:>6.2}", p.band.to_string(), p.n_pairs, p.inr_db);
+        println!(
+            "{:<17} {:>7}  {:>6.2}",
+            p.band.to_string(),
+            p.n_pairs,
+            p.inr_db
+        );
         rows.push(vec![
             p.band.to_string(),
             format!("{}", p.n_pairs),
             format!("{}", p.inr_db),
         ]);
     }
-    write_csv(&opts.csv_path("fig08_inr_scaling.csv"), "band,n_pairs,inr_db", rows)
-        .expect("write csv");
+    write_csv(
+        &opts.csv_path("fig08_inr_scaling.csv"),
+        "band,n_pairs,inr_db",
+        rows,
+    )
+    .expect("write csv");
     // Slope at high SNR.
     let high: Vec<&_> = pts
         .iter()

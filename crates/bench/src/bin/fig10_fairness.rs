@@ -50,5 +50,7 @@ fn main() {
         rows,
     )
     .expect("write csv");
-    println!("paper anchor: per-client gains cluster around the aggregate gain; wider CDF at low SNR");
+    println!(
+        "paper anchor: per-client gains cluster around the aggregate gain; wider CDF at low SNR"
+    );
 }

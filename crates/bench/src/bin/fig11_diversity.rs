@@ -11,7 +11,10 @@ fn main() {
     let opts = FigOpts::from_args();
     banner("fig11", "diversity throughput vs SNR", &opts);
     let ap_counts = [2usize, 4, 6, 8, 10];
-    let snrs: Vec<f64> = (0..=25).step_by(if opts.quick { 5 } else { 2 }).map(|s| s as f64).collect();
+    let snrs: Vec<f64> = (0..=25)
+        .step_by(if opts.quick { 5 } else { 2 })
+        .map(|s| s as f64)
+        .collect();
     let sweep = opts.sweep(8);
     let pts = diversity_sweep(&ap_counts, &snrs, &sweep);
     println!("n_aps  snr_db  jmb_mbps  dot11_mbps");

@@ -25,8 +25,12 @@ fn main() {
         .zip(&cdf.fractions)
         .map(|(v, f)| vec![format!("{f}"), format!("{v}")])
         .collect::<Vec<_>>();
-    write_csv(&opts.csv_path("fig13_compat_fairness.csv"), "fraction,gain", rows)
-        .expect("write csv");
+    write_csv(
+        &opts.csv_path("fig13_compat_fairness.csv"),
+        "fraction,gain",
+        rows,
+    )
+    .expect("write csv");
     println!(
         "paper anchors: range 1.65–2.0×, median 1.8× (measured median {:.2}×)",
         cdf.quantile(0.5)

@@ -1,0 +1,280 @@
+//! Machine-readable performance baseline for the hot code paths.
+//!
+//! Runs the same suite as `benches/hotpaths.rs` — FFT, Viterbi, precoder,
+//! phase-sync correction, sample-level medium, end-to-end PHY packet — plus
+//! a full `FastNet::joint_transmit` step, and writes the medians to
+//! `BENCH_<date>.json` at the repo root so perf regressions are diffable
+//! across commits.
+//!
+//! `--quick` (or `JMB_QUICK=1`) shrinks the measurement budget for smoke
+//! runs; the JSON shape is identical.
+
+use jmb_bench::FigOpts;
+use jmb_channel::oscillator::PhaseTrajectory;
+use jmb_channel::Link;
+use jmb_dsp::rng::{complex_gaussian, rng_from_seed};
+use jmb_dsp::{fft, CMat, Complex64};
+use jmb_phy::frame::{FrameRx, FrameTx};
+use jmb_phy::params::OfdmParams;
+use jmb_phy::rates::Mcs;
+use jmb_phy::{convcode, viterbi};
+use jmb_sim::Medium;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// One benchmark result row.
+struct Entry {
+    name: &'static str,
+    ns_per_op: f64,
+    /// Optional derived throughput: `(value, unit)`.
+    throughput: Option<(f64, &'static str)>,
+}
+
+/// Median ns/op of `f`, measured in adaptive batches like the criterion
+/// harness: batch size doubles until one batch takes ≥ `min_batch`, then
+/// `samples` batches are timed and the median per-op time is returned.
+fn time_median(samples: usize, min_batch: Duration, mut f: impl FnMut()) -> f64 {
+    let mut batch = 1u64;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        if t0.elapsed() >= min_batch || batch >= 1 << 20 {
+            break;
+        }
+        batch *= 2;
+    }
+    let mut per_op: Vec<f64> = (0..samples.max(3))
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    per_op.sort_by(|a, b| a.total_cmp(b));
+    per_op[per_op.len() / 2]
+}
+
+/// Civil date (UTC) from the Unix epoch via days-to-date conversion, so we
+/// need no date dependency. Algorithm: Howard Hinnant's `civil_from_days`.
+fn today_utc() -> (i64, u32, u32) {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs() as i64)
+        .unwrap_or(0);
+    let z = secs.div_euclid(86_400) + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn json_escape_free(name: &str) -> &str {
+    // Benchmark names are static identifiers; assert rather than escape.
+    assert!(name
+        .chars()
+        .all(|c| c.is_ascii_graphic() && c != '"' && c != '\\'));
+    name
+}
+
+fn main() {
+    let opts = FigOpts::from_args();
+    let (samples, min_batch) = if opts.quick {
+        (5, Duration::from_micros(200))
+    } else {
+        (15, Duration::from_millis(2))
+    };
+    let mut entries: Vec<Entry> = Vec::new();
+    let params = OfdmParams::default();
+
+    // --- FFT (cached plan, in place) -----------------------------------
+    {
+        let mut buf: Vec<Complex64> = (0..64).map(|i| Complex64::cis(i as f64 * 0.37)).collect();
+        let ns = time_median(samples, min_batch, || {
+            fft::fft_in_place(&mut buf);
+        });
+        entries.push(Entry {
+            name: "fft64_forward_cached",
+            ns_per_op: ns,
+            throughput: Some((64.0 / (ns * 1e-9), "samples/s")),
+        });
+        println!("fft64_forward_cached        {ns:>12.1} ns/op");
+    }
+
+    // --- Viterbi --------------------------------------------------------
+    {
+        let data: Vec<u8> = (0..864).map(|i| ((i * 31 + 7) % 2) as u8).collect();
+        let coded = convcode::encode(&data);
+        let soft: Vec<f64> = coded
+            .iter()
+            .map(|&b| if b == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let ns = time_median(samples, min_batch, || {
+            viterbi::decode(&soft).unwrap();
+        });
+        entries.push(Entry {
+            name: "viterbi_864b",
+            ns_per_op: ns,
+            throughput: Some((864.0 / (ns * 1e-9), "bits/s")),
+        });
+        println!("viterbi_864b                {ns:>12.1} ns/op");
+    }
+
+    // --- ZF precoder, 10×10 over 52 subcarriers -------------------------
+    {
+        let mut rng = rng_from_seed(1);
+        let hs: Vec<CMat> = (0..52)
+            .map(|_| {
+                CMat::from_vec(
+                    10,
+                    10,
+                    (0..100).map(|_| complex_gaussian(&mut rng, 1.0)).collect(),
+                )
+            })
+            .collect();
+        let ns = time_median(samples, min_batch, || {
+            jmb_core::precoder::Precoder::zero_forcing(&hs).unwrap();
+        });
+        entries.push(Entry {
+            name: "zf_precoder_10x10_52sc",
+            ns_per_op: ns,
+            throughput: Some((52.0 / (ns * 1e-9), "subcarriers/s")),
+        });
+        println!("zf_precoder_10x10_52sc      {ns:>12.1} ns/op");
+    }
+
+    // --- Phase-sync correction ------------------------------------------
+    {
+        use jmb_phy::chanest::ChannelEstimate;
+        let subs = params.occupied_subcarriers();
+        let reference = ChannelEstimate {
+            subcarriers: subs.clone(),
+            gains: subs
+                .iter()
+                .map(|&k| Complex64::cis(0.05 * k as f64))
+                .collect(),
+        };
+        let now = ChannelEstimate {
+            subcarriers: subs.clone(),
+            gains: subs
+                .iter()
+                .map(|&k| Complex64::cis(0.05 * k as f64 + 0.8))
+                .collect(),
+        };
+        let mut ps = jmb_core::phasesync::PhaseSync::new();
+        ps.set_reference(reference);
+        let ns = time_median(samples, min_batch, || {
+            ps.correction(&now).unwrap();
+        });
+        entries.push(Entry {
+            name: "phasesync_correction",
+            ns_per_op: ns,
+            throughput: None,
+        });
+        println!("phasesync_correction        {ns:>12.1} ns/op");
+    }
+
+    // --- Sample-level medium render -------------------------------------
+    {
+        let mut m = Medium::new(params.clone(), 1);
+        let tx = m.add_node(PhaseTrajectory::fixed(2.437e9, 1000.0), 0.0);
+        let rx = m.add_node(PhaseTrajectory::fixed(2.437e9, -500.0), 1e-6);
+        m.set_link(tx, rx, Link::ideal());
+        let wave = jmb_phy::preamble::preamble(&params);
+        m.transmit(tx, 0.0, wave);
+        let ns = time_median(samples, min_batch, || {
+            m.render_rx(rx, 0.0, 320);
+        });
+        entries.push(Entry {
+            name: "medium_render_320_samples",
+            ns_per_op: ns,
+            throughput: Some((320.0 / (ns * 1e-9), "samples/s")),
+        });
+        println!("medium_render_320_samples   {ns:>12.1} ns/op");
+    }
+
+    // --- End-to-end PHY packet ------------------------------------------
+    {
+        let tx = FrameTx::new(params.clone());
+        let rx = FrameRx::new(params.clone());
+        let payload: Vec<u8> = (0..1500).map(|i| i as u8).collect();
+        let ns_tx = time_median(samples, min_batch, || {
+            tx.tx_frame(Mcs::ALL[5], &payload).unwrap();
+        });
+        entries.push(Entry {
+            name: "phy_tx_1500B_qam16",
+            ns_per_op: ns_tx,
+            throughput: Some((1500.0 * 8.0 / (ns_tx * 1e-9), "bits/s")),
+        });
+        println!("phy_tx_1500B_qam16          {ns_tx:>12.1} ns/op");
+        let wave = tx.tx_frame(Mcs::ALL[5], &payload).unwrap();
+        let ns_rx = time_median(samples, min_batch, || {
+            rx.rx_frame(&wave).unwrap();
+        });
+        entries.push(Entry {
+            name: "phy_rx_1500B_qam16",
+            ns_per_op: ns_rx,
+            throughput: Some((1500.0 * 8.0 / (ns_rx * 1e-9), "bits/s")),
+        });
+        println!("phy_rx_1500B_qam16          {ns_rx:>12.1} ns/op");
+    }
+
+    // --- FastNet joint-transmit step (the figure-sweep inner loop) ------
+    {
+        use jmb_core::fastnet::{FastConfig, FastNet};
+        let cfg = FastConfig::default_with(4, 4, vec![25.0; 4], opts.seed);
+        let mut net = FastNet::new(cfg).expect("fastnet setup");
+        net.run_measurement().expect("measurement");
+        net.advance(2e-3);
+        let ns = time_median(samples, min_batch, || {
+            net.joint_transmit(1e-3, 4, &[], true).unwrap();
+        });
+        entries.push(Entry {
+            name: "fastnet_joint_transmit_4x4",
+            ns_per_op: ns,
+            throughput: Some((1.0 / (ns * 1e-9), "packets/s")),
+        });
+        println!("fastnet_joint_transmit_4x4  {ns:>12.1} ns/op");
+    }
+
+    // --- Emit BENCH_<date>.json at the repo root ------------------------
+    let (y, mo, d) = today_utc();
+    let date = format!("{y:04}-{mo:02}-{d:02}");
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let path = root.join(format!("BENCH_{date}.json"));
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"date\": \"{date}\",\n"));
+    json.push_str(&format!("  \"seed\": {},\n", opts.seed));
+    json.push_str(&format!("  \"quick\": {},\n", opts.quick));
+    json.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let name = json_escape_free(e.name);
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"ns_per_op\": {:.1}",
+            e.ns_per_op
+        ));
+        if let Some((v, unit)) = e.throughput {
+            json.push_str(&format!(
+                ", \"throughput\": {{\"value\": {v:.3e}, \"unit\": \"{unit}\"}}"
+            ));
+        }
+        json.push_str(if i + 1 == entries.len() {
+            "}\n"
+        } else {
+            "},\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&path, &json).expect("write BENCH json");
+    println!("\nwrote {}", path.display());
+}

@@ -16,15 +16,25 @@
 //! | `fig13_compat_fairness` | Fig. 13 — CDF of 802.11n-compat gain |
 //! | `ablation_phase_sync` | Fig. 9 with slave corrections disabled |
 //! | `run_all_figures` | everything above in sequence |
+//! | `perf_baseline` | hot-path timing suite → `BENCH_<date>.json` |
 //!
-//! All binaries accept `--quick` (or env `JMB_QUICK=1`) to run a reduced
-//! sweep, and `--seed N`. Criterion micro-benchmarks for the hot code paths
-//! live under `benches/`.
+//! All binaries accept `--quick` (or env `JMB_QUICK=1`), `--seed N`,
+//! `--out DIR` and `--threads N`; `--help` prints usage. Criterion
+//! micro-benchmarks for the hot code paths live under `benches/`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::path::PathBuf;
+
+/// Usage text shared by every figure binary.
+pub const USAGE: &str = "\
+Options:
+  --quick        reduced sweep for smoke runs (also: env JMB_QUICK=1)
+  --seed N       master seed (default 1)
+  --out DIR      output directory for CSVs (default results/)
+  --threads N    worker threads for the topology sweep (default: all cores)
+  --help, -h     print this help";
 
 /// Command-line options shared by every figure binary.
 #[derive(Debug, Clone)]
@@ -35,36 +45,68 @@ pub struct FigOpts {
     pub seed: u64,
     /// Output directory for CSVs.
     pub out_dir: PathBuf,
+    /// Worker-thread override for the topology sweep (`None` = all cores).
+    pub threads: Option<usize>,
 }
 
 impl FigOpts {
-    /// Parses `--quick`, `--seed N`, `--out DIR` from `std::env::args`,
-    /// honouring `JMB_QUICK=1`.
+    /// Parses `--quick`, `--seed N`, `--out DIR`, `--threads N` from
+    /// `std::env::args`, honouring `JMB_QUICK=1`. `--help`/`-h` prints
+    /// usage and exits 0; an unknown or malformed argument prints usage to
+    /// stderr and exits 2 (no panic, no backtrace).
     pub fn from_args() -> Self {
-        let mut quick = std::env::var("JMB_QUICK").map(|v| v != "0").unwrap_or(false);
-        let mut seed = 1u64;
-        let mut out_dir = PathBuf::from("results");
-        let mut args = std::env::args().skip(1);
-        while let Some(a) = args.next() {
-            match a.as_str() {
-                "--quick" => quick = true,
-                "--seed" => {
-                    seed = args
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .expect("--seed needs an integer");
-                }
-                "--out" => {
-                    out_dir = args.next().map(PathBuf::from).expect("--out needs a path");
-                }
-                other => panic!("unknown argument {other} (supported: --quick --seed N --out DIR)"),
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(Some(opts)) => opts,
+            Ok(None) => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}\n{USAGE}");
+                std::process::exit(2);
             }
         }
-        FigOpts {
-            quick,
-            seed,
-            out_dir,
+    }
+
+    /// The testable core of [`Self::from_args`]: `Ok(None)` means help was
+    /// requested; `Err` carries the message for a malformed invocation.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Option<Self>, String> {
+        let mut opts = FigOpts {
+            quick: std::env::var("JMB_QUICK")
+                .map(|v| v != "0")
+                .unwrap_or(false),
+            seed: 1,
+            out_dir: PathBuf::from("results"),
+            threads: None,
+        };
+        let mut args = args.into_iter();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--help" | "-h" => return Ok(None),
+                "--quick" => opts.quick = true,
+                "--seed" => {
+                    opts.seed = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--seed needs an integer")?;
+                }
+                "--out" => {
+                    opts.out_dir = args.next().map(PathBuf::from).ok_or("--out needs a path")?;
+                }
+                "--threads" => {
+                    let n: usize = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--threads needs a positive integer")?;
+                    if n == 0 {
+                        return Err("--threads needs a positive integer".into());
+                    }
+                    opts.threads = Some(n);
+                }
+                other => return Err(format!("unknown argument {other}")),
+            }
         }
+        Ok(Some(opts))
     }
 
     /// Sweep size scaled by quick mode.
@@ -78,11 +120,15 @@ impl FigOpts {
 
     /// The experiment sweep config for this run.
     pub fn sweep(&self, full_topologies: usize) -> jmb_core::experiment::SweepConfig {
-        jmb_core::experiment::SweepConfig {
+        let mut cfg = jmb_core::experiment::SweepConfig {
             n_topologies: self.topologies(full_topologies),
             seed: self.seed,
             ..Default::default()
+        };
+        if let Some(n) = self.threads {
+            cfg.parallelism = n;
         }
+        cfg
     }
 
     /// CSV path under the output directory.
@@ -97,7 +143,11 @@ pub fn banner(fig: &str, what: &str, opts: &FigOpts) {
     println!(
         "    (seed {}, {}; CSV → {})",
         opts.seed,
-        if opts.quick { "quick sweep" } else { "full sweep" },
+        if opts.quick {
+            "quick sweep"
+        } else {
+            "full sweep"
+        },
         opts.out_dir.display()
     );
 }
@@ -106,13 +156,18 @@ pub fn banner(fig: &str, what: &str, opts: &FigOpts) {
 mod tests {
     use super::*;
 
-    #[test]
-    fn quick_scales_topologies() {
-        let o = FigOpts {
+    fn opts() -> FigOpts {
+        FigOpts {
             quick: true,
             seed: 1,
             out_dir: PathBuf::from("results"),
-        };
+            threads: None,
+        }
+    }
+
+    #[test]
+    fn quick_scales_topologies() {
+        let o = opts();
         assert_eq!(o.topologies(20), 5);
         assert_eq!(o.topologies(4), 2);
         let f = FigOpts { quick: false, ..o };
@@ -123,9 +178,55 @@ mod tests {
     fn csv_path_joins() {
         let o = FigOpts {
             quick: false,
-            seed: 1,
             out_dir: PathBuf::from("/tmp/x"),
+            ..opts()
         };
         assert_eq!(o.csv_path("a.csv"), PathBuf::from("/tmp/x/a.csv"));
+    }
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_accepts_all_flags() {
+        let o = FigOpts::parse(sv(&[
+            "--quick",
+            "--seed",
+            "9",
+            "--out",
+            "/tmp/o",
+            "--threads",
+            "3",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert!(o.quick);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.out_dir, PathBuf::from("/tmp/o"));
+        assert_eq!(o.threads, Some(3));
+    }
+
+    #[test]
+    fn parse_help_is_ok_none() {
+        assert!(FigOpts::parse(sv(&["--help"])).unwrap().is_none());
+        assert!(FigOpts::parse(sv(&["-h"])).unwrap().is_none());
+    }
+
+    #[test]
+    fn parse_rejects_bad_args() {
+        assert!(FigOpts::parse(sv(&["--bogus"])).is_err());
+        assert!(FigOpts::parse(sv(&["--seed"])).is_err());
+        assert!(FigOpts::parse(sv(&["--seed", "x"])).is_err());
+        assert!(FigOpts::parse(sv(&["--threads", "0"])).is_err());
+    }
+
+    #[test]
+    fn threads_overrides_sweep_parallelism() {
+        let mut o = opts();
+        o.threads = Some(2);
+        assert_eq!(o.sweep(20).parallelism, 2);
+        o.threads = None;
+        assert!(o.sweep(20).parallelism >= 1);
     }
 }

@@ -151,8 +151,9 @@ impl Multipath {
         let inno = (1.0 - rho * rho).max(0.0);
         for l in 0..self.taps.len() {
             let centered = self.taps[l] - self.los[l];
-            self.taps[l] =
-                self.los[l] + centered.scale(rho) + complex_gaussian(rng, self.scatter_var[l] * inno);
+            self.taps[l] = self.los[l]
+                + centered.scale(rho)
+                + complex_gaussian(rng, self.scatter_var[l] * inno);
         }
     }
 
@@ -288,7 +289,10 @@ mod tests {
             acc += ch.power();
         }
         let mean = acc / n as f64;
-        assert!((mean - 1.0).abs() < 0.05, "mean power after evolution {mean}");
+        assert!(
+            (mean - 1.0).abs() < 0.05,
+            "mean power after evolution {mean}"
+        );
     }
 
     #[test]

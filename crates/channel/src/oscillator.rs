@@ -163,8 +163,8 @@ impl Oscillator {
             self.phase += 2.0 * std::f64::consts::PI * self.offset_hz * dt;
             // …Wiener phase noise…
             if self.spec.phase_noise_linewidth_hz > 0.0 {
-                let sigma = (2.0 * std::f64::consts::PI * self.spec.phase_noise_linewidth_hz * dt)
-                    .sqrt();
+                let sigma =
+                    (2.0 * std::f64::consts::PI * self.spec.phase_noise_linewidth_hz * dt).sqrt();
                 self.phase += normal(&mut self.rng, sigma);
             }
             // …and slow drift of the offset itself.
@@ -274,7 +274,11 @@ impl PhaseTrajectory {
         let idx = self.grid_index(t);
         let t_i = idx as f64 * self.grid_dt;
         let frac = (t - t_i) / self.grid_dt;
-        let dw_next = if idx < self.dw.len() { self.dw[idx] } else { 0.0 };
+        let dw_next = if idx < self.dw.len() {
+            self.dw[idx]
+        } else {
+            0.0
+        };
         self.cum_phase[idx]
             + 2.0 * std::f64::consts::PI * self.freq[idx] * (t - t_i)
             + dw_next * frac
@@ -399,7 +403,10 @@ mod tests {
         }
         let var = acc / n as f64;
         let expected = 2.0 * std::f64::consts::PI * 1.0 * t;
-        assert!((var / expected - 1.0).abs() < 0.15, "var {var} vs {expected}");
+        assert!(
+            (var / expected - 1.0).abs() < 0.15,
+            "var {var} vs {expected}"
+        );
     }
 
     #[test]

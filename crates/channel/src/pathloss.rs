@@ -102,7 +102,11 @@ mod tests {
         };
         let a = m.mean_loss_db(1.0);
         let b = m.mean_loss_db(2.0);
-        assert!((b - a - 6.02).abs() < 0.01, "doubling adds ~6 dB: {}", b - a);
+        assert!(
+            (b - a - 6.02).abs() < 0.01,
+            "doubling adds ~6 dB: {}",
+            b - a
+        );
         assert_eq!(a, 40.0);
     }
 
@@ -110,7 +114,10 @@ mod tests {
     fn indoor_exponent_steeper() {
         let m = PathLossModel::indoor_2_4ghz();
         let delta = m.mean_loss_db(10.0) - m.mean_loss_db(1.0);
-        assert!((delta - 30.0).abs() < 1e-9, "30 dB per decade at n=3: {delta}");
+        assert!(
+            (delta - 30.0).abs() < 1e-9,
+            "30 dB per decade at n=3: {delta}"
+        );
     }
 
     #[test]

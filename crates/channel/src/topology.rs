@@ -39,8 +39,8 @@ pub enum SnrBand {
     Low,
     /// 12–18 dB.
     Medium,
-    /// > 18 dB (we cap draws at 25 dB, the top of 802.11's operational
-    /// range per §11.4).
+    /// Above 18 dB (we cap draws at 25 dB, the top of 802.11's
+    /// operational range per §11.4).
     High,
 }
 
@@ -207,10 +207,8 @@ mod tests {
     fn aps_on_perimeter_clients_inside() {
         let room = Room::conference();
         for p in &room.ap_slots {
-            let near_wall = p.x < 1.0
-                || p.x > room.width - 1.0
-                || p.y < 1.0
-                || p.y > room.depth - 1.0;
+            let near_wall =
+                p.x < 1.0 || p.x > room.width - 1.0 || p.y < 1.0 || p.y > room.depth - 1.0;
             assert!(near_wall, "AP slot {p:?} not on perimeter");
         }
         for p in &room.client_slots {

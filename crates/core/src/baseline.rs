@@ -135,9 +135,9 @@ pub fn jmb_client_throughput(
 pub fn select_joint_mcs(per_client_sinr_db: &[Vec<f64>]) -> Option<Mcs> {
     let mut best = None;
     for (i, mcs) in Mcs::ALL.iter().enumerate() {
-        let ok = per_client_sinr_db.iter().all(|sinrs| {
-            esnr::effective_snr_db_eesm(*mcs, sinrs) >= esnr::MCS_THRESHOLD_DB[i]
-        });
+        let ok = per_client_sinr_db
+            .iter()
+            .all(|sinrs| esnr::effective_snr_db_eesm(*mcs, sinrs) >= esnr::MCS_THRESHOLD_DB[i]);
         if ok {
             best = Some(*mcs);
         }
@@ -222,7 +222,7 @@ mod tests {
         let p = params();
         let o = JmbOverheads::new(&p, 150e-6, 700e-6, 0.25);
         let sinrs = vec![20.0; 52];
-        let mcs = select_joint_mcs(&[sinrs.clone()]).unwrap();
+        let mcs = select_joint_mcs(std::slice::from_ref(&sinrs)).unwrap();
         let jmb = jmb_client_throughput(&p, mcs, &sinrs, 1500, &o);
         let dot11 = dot11_client_throughput(&p, &vec![20.0; 48], 10, 1500);
         assert!(

@@ -115,7 +115,9 @@ impl CompatNet {
     /// deterministic future — two antennas on one crystal).
     pub fn new(cfg: CompatConfig) -> Result<Self, JmbError> {
         if cfg.n_aps < 2 || cfg.n_clients == 0 {
-            return Err(JmbError::BadConfig("compat mode needs ≥2 APs and ≥1 client"));
+            return Err(JmbError::BadConfig(
+                "compat mode needs ≥2 APs and ≥1 client",
+            ));
         }
         if cfg.client_snr_db.len() != cfg.n_clients {
             return Err(JmbError::BadConfig("client_snr_db length mismatch"));
@@ -292,8 +294,7 @@ impl CompatNet {
                 let x = txs[s];
                 for (k_idx, &k) in occupied.iter().enumerate() {
                     let meas = self.noisy_channel(x, rx, k, t_s, avg);
-                    let rot_back =
-                        Complex64::cis(-(common + slope * k as f64));
+                    let rot_back = Complex64::cis(-(common + slope * k as f64));
                     h[k_idx][(r, s)] = meas * rot_back;
                 }
             }
@@ -346,9 +347,8 @@ impl CompatNet {
         let occupied = self.occupied.clone();
 
         // Slave corrections from the legacy-symbol header (§6.1).
-        let mut corr: Vec<Option<crate::phasesync::PhaseCorrection>> =
-            vec![None; self.cfg.n_aps];
-        for a in 1..self.cfg.n_aps {
+        let mut corr: Vec<Option<crate::phasesync::PhaseCorrection>> = vec![None; self.cfg.n_aps];
+        for (a, slot) in corr.iter_mut().enumerate().skip(1) {
             let sap = self.ap_ants[a][0];
             let gains: Vec<Complex64> = occupied
                 .iter()
@@ -364,11 +364,14 @@ impl CompatNet {
                 f_l - f_s + normal(&mut self.rng, 200.0)
             };
             self.sync[a - 1].observe_header(&est, raw, t_meas);
-            corr[a] = Some(self.sync[a - 1].correction(&est)?);
+            *slot = Some(self.sync[a - 1].correction(&est)?);
         }
 
         let t_d = t_h + 20e-6 + 150e-6;
-        let probes = [t_d + 0.25 * packet_duration_s, t_d + 0.75 * packet_duration_s];
+        let probes = [
+            t_d + 0.25 * packet_duration_s,
+            t_d + 0.75 * packet_duration_s,
+        ];
         let nv = self.cfg.noise_var;
         let spacing = self.cfg.params.subcarrier_spacing();
         let carrier = self.cfg.params.carrier_freq;
@@ -402,8 +405,7 @@ impl CompatNet {
                 }
             }
             for r in 0..n_streams {
-                out[r][k_idx] =
-                    jmb_dsp::stats::lin_to_db((sig[r] / 2.0) / (nv + intf[r] / 2.0));
+                out[r][k_idx] = jmb_dsp::stats::lin_to_db((sig[r] / 2.0) / (nv + intf[r] / 2.0));
             }
         }
         self.now = t_d + packet_duration_s + 100e-6;
@@ -414,15 +416,14 @@ impl CompatNet {
     /// selected rate, served concurrently.
     pub fn jmb_throughput(&mut self, payload_bytes: usize) -> Result<Vec<f64>, JmbError> {
         let params = self.cfg.params.clone();
-        let duration =
-            crate::baseline::frame_airtime(&params, Mcs::ALL[4], payload_bytes);
+        let duration = crate::baseline::frame_airtime(&params, Mcs::ALL[4], payload_bytes);
         let per_stream = self.joint_sinr(duration)?;
         let mcs = crate::baseline::select_joint_mcs(&per_stream);
         let Some(mcs) = mcs else {
             return Ok(vec![0.0; self.cfg.n_clients]);
         };
-        let over = crate::baseline::JmbOverheads::new(&params, 150e-6, 1.5e-3, 0.25)
-            .with_aggregation(4);
+        let over =
+            crate::baseline::JmbOverheads::new(&params, 150e-6, 1.5e-3, 0.25).with_aggregation(4);
         let mut out = Vec::with_capacity(self.cfg.n_clients);
         for c in 0..self.cfg.n_clients {
             let mut total = 0.0;
@@ -455,7 +456,9 @@ impl CompatNet {
             let rxs = self.client_ants[c].to_vec();
             // Per-stream post-ZF SNR: streams at half power each;
             // SNR_s = (1/2)/(nv·[(HᴴH)⁻¹]_ss).
-            let mut stream_snrs = vec![Vec::with_capacity(occupied.len()); ANTS];
+            let mut stream_snrs: Vec<Vec<f64>> = (0..ANTS)
+                .map(|_| Vec::with_capacity(occupied.len()))
+                .collect();
             for &k in &occupied {
                 let h = self.medium.channel_matrix(&txs, &rxs, k, t);
                 let gram = h.hermitian().mul_mat(&h).expect("2x2");
@@ -561,7 +564,10 @@ mod tests {
         // and the ≤2× theoretical bound are the assertions here, and
         // EXPERIMENTS.md records the quantitative delta.
         assert!(mean > 1.1, "mean gain {mean}");
-        assert!(mean < 2.2, "mean gain {mean} exceeds the 2× bound implausibly");
+        assert!(
+            mean < 2.2,
+            "mean gain {mean} exceeds the 2× bound implausibly"
+        );
     }
 
     #[test]
@@ -586,9 +592,6 @@ mod tests {
     #[test]
     fn joint_requires_measurement() {
         let mut net = CompatNet::new(CompatConfig::default_with(20.0, 4)).unwrap();
-        assert!(matches!(
-            net.joint_sinr(1e-4),
-            Err(JmbError::NoReference)
-        ));
+        assert!(matches!(net.joint_sinr(1e-4), Err(JmbError::NoReference)));
     }
 }

@@ -123,7 +123,9 @@ mod tests {
         for j in 0..n {
             for i in 0..n {
                 let phys = h_bar[j][i] * Complex64::cis(phase(i, t));
-                let corr = Complex64::cis((phase(0, t) - phase(0, t_meas[0])) - (phase(i, t) - phase(i, t_meas[0])));
+                let corr = Complex64::cis(
+                    (phase(0, t) - phase(0, t_meas[0])) - (phase(i, t) - phase(i, t_meas[0])),
+                );
                 eff[(j, i)] = phys * corr;
             }
         }

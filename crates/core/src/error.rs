@@ -40,7 +40,10 @@ impl std::fmt::Display for JmbError {
             }
             JmbError::NoReference => write!(f, "no reference channel measured yet"),
             JmbError::MeasurementShape { expected, got } => {
-                write!(f, "measurement shape mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "measurement shape mismatch: expected {expected}, got {got}"
+                )
             }
             JmbError::Tx(e) => write!(f, "transmit error: {e}"),
             JmbError::Rx(e) => write!(f, "receive error: {e}"),
@@ -76,7 +79,9 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(JmbError::NoReference.to_string().contains("reference"));
-        assert!(JmbError::SyncHeaderMissed { slave: 3 }.to_string().contains('3'));
+        assert!(JmbError::SyncHeaderMissed { slave: 3 }
+            .to_string()
+            .contains('3'));
         let e: JmbError = MatError::Singular.into();
         assert!(e.to_string().contains("singular"));
     }

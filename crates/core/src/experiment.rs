@@ -17,8 +17,8 @@ use jmb_channel::oscillator::PhaseTrajectory;
 use jmb_channel::SnrBand;
 use jmb_dsp::rng::{complex_gaussian, derive_rng, normal};
 use jmb_dsp::stats::{db_to_lin, lin_to_db};
-use jmb_phy::params::OfdmParams;
 use jmb_dsp::{CMat, Complex64};
+use jmb_phy::params::OfdmParams;
 use rand::Rng;
 
 /// Shared sweep parameters.
@@ -47,24 +47,60 @@ impl Default for SweepConfig {
 
 /// Runs `f` for every topology index in parallel and collects the results
 /// in index order.
-fn parallel_map<T: Send>(
-    sweep: &SweepConfig,
-    f: impl Fn(usize) -> T + Sync,
-) -> Vec<T> {
+///
+/// Work is distributed by an atomic claim counter (work stealing) rather
+/// than static chunking, so a handful of slow topologies — ill-conditioned
+/// draws that trigger precoder retries — no longer serialize a whole chunk
+/// behind one worker. Results are merged by index, so the output is
+/// identical for every parallelism level, and each topology derives its RNG
+/// from its own index, so the numbers themselves are parallelism-invariant
+/// too. A panicking worker is propagated (not swallowed): the remaining
+/// workers drain the counter and the panic is re-raised after the scope
+/// joins them, so callers see the original panic instead of a deadlock.
+fn parallel_map<T: Send>(sweep: &SweepConfig, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
     let n = sweep.n_topologies;
+    let workers = sweep.parallelism.max(1).min(n.max(1));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let chunk = n.div_ceil(sweep.parallelism.max(1));
     std::thread::scope(|s| {
-        for (w, slot) in out.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            s.spawn(move || {
-                for (off, item) in slot.iter_mut().enumerate() {
-                    *item = Some(f(w * chunk + off));
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let f = &f;
+                let next = &next;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(local) => {
+                    for (i, v) in local {
+                        out[i] = Some(v);
+                    }
                 }
-            });
+                // Re-raise the worker's panic; the scope joins the other
+                // workers on unwind and they terminate because the claim
+                // counter runs out.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
-    out.into_iter().map(|x| x.expect("worker filled slot")).collect()
+    out.into_iter()
+        .map(|x| x.expect("every index claimed exactly once"))
+        .collect()
 }
 
 fn band_targets(band: SnrBand, n: usize, rng: &mut jmb_dsp::rng::JmbRng) -> Vec<f64> {
@@ -100,7 +136,11 @@ fn room_link_matrix(
     let plm = PathLossModel::indoor_2_4ghz();
     let d = topo.distances();
     let losses: Vec<Vec<f64>> = (0..n_clients)
-        .map(|j| (0..n_aps).map(|i| plm.sample_loss_db(d[j][i], rng)).collect())
+        .map(|j| {
+            (0..n_aps)
+                .map(|i| plm.sample_loss_db(d[j][i], rng))
+                .collect()
+        })
         .collect();
     // Greedy distinct designation: clients in random order claim their
     // lowest-loss unclaimed AP.
@@ -115,7 +155,7 @@ fn room_link_matrix(
             if claimed[i] {
                 continue;
             }
-            if best.map_or(true, |b: usize| losses[j][i] < losses[j][b]) {
+            if best.is_none_or(|b: usize| losses[j][i] < losses[j][b]) {
                 best = Some(i);
             }
         }
@@ -192,14 +232,14 @@ pub fn snr_reduction_vs_misalignment(
                     2,
                     (0..4).map(|_| complex_gaussian(&mut rng, 1.0)).collect(),
                 );
-                let Ok(p) = Precoder::zero_forcing(&[h.clone()]) else {
+                let Ok(p) = Precoder::zero_forcing(std::slice::from_ref(&h)) else {
                     continue;
                 };
                 // Slave (column 1) misaligned by e^{jφ} at transmit time.
                 let sinr = |phase: f64| -> [f64; 2] {
                     let mut eff = h.clone();
                     for j in 0..2 {
-                        eff[(j, 1)] = eff[(j, 1)] * Complex64::cis(phase);
+                        eff[(j, 1)] *= Complex64::cis(phase);
                     }
                     let g = eff.mul_mat(p.weights_at(0)).expect("2x2");
                     let mut s = [0.0; 2];
@@ -268,11 +308,7 @@ pub struct InrPoint {
 
 /// Fig. 8: per band and AP count, draw topologies, null at each client in
 /// turn, and average the INR.
-pub fn inr_scaling(
-    bands: &[SnrBand],
-    pair_counts: &[usize],
-    sweep: &SweepConfig,
-) -> Vec<InrPoint> {
+pub fn inr_scaling(bands: &[SnrBand], pair_counts: &[usize], sweep: &SweepConfig) -> Vec<InrPoint> {
     let mut out = Vec::new();
     for &band in bands {
         for &n in pair_counts {
@@ -389,14 +425,13 @@ pub fn throughput_scaling(
                     .collect();
 
                 // JMB: joint transmission outcome → joint rate → goodput.
-                let duration =
-                    baseline::frame_airtime(&params, jmb_phy::rates::Mcs::ALL[4], 1500);
+                let duration = baseline::frame_airtime(&params, jmb_phy::rates::Mcs::ALL[4], 1500);
                 let outcome = net
                     .joint_transmit(duration, 4, &[], apply_phase_sync)
                     .ok()?;
                 let mcs = baseline::select_joint_mcs(&outcome.sinr_db);
-                let meas_len = (320 + rounds * n * params.symbol_len()) as f64
-                    * params.sample_period();
+                let meas_len =
+                    (320 + rounds * n * params.symbol_len()) as f64 * params.sample_period();
                 let over = baseline::JmbOverheads::new(&params, turnaround, meas_len, 0.25)
                     .with_aggregation(4);
                 let jmb: Vec<f64> = match mcs {
@@ -509,8 +544,8 @@ pub fn diversity_sweep(
                 net.run_measurement().ok()?;
                 net.advance(1e-3);
                 let div_snrs = net.diversity_snr_db(0).ok()?;
-                let meas_len = (320 + rounds * n * params.symbol_len()) as f64
-                    * params.sample_period();
+                let meas_len =
+                    (320 + rounds * n * params.symbol_len()) as f64 * params.sample_period();
                 let over = baseline::JmbOverheads::new(&params, turnaround, meas_len, 0.25)
                     .with_aggregation(4);
                 let jmb = match jmb_phy::esnr::select_mcs(&div_snrs) {
@@ -782,8 +817,14 @@ mod tests {
         }
         // Higher SNR suffers more (paper: "phase misalignment causes a
         // greater reduction in SNR when the system is at higher SNR").
-        let at10 = pts.iter().find(|p| p.snr_db == 10.0 && p.misalignment_rad == 0.5).unwrap();
-        let at20 = pts.iter().find(|p| p.snr_db == 20.0 && p.misalignment_rad == 0.5).unwrap();
+        let at10 = pts
+            .iter()
+            .find(|p| p.snr_db == 10.0 && p.misalignment_rad == 0.5)
+            .unwrap();
+        let at20 = pts
+            .iter()
+            .find(|p| p.snr_db == 20.0 && p.misalignment_rad == 0.5)
+            .unwrap();
         assert!(at20.reduction_db > at10.reduction_db);
     }
 
@@ -904,5 +945,69 @@ mod tests {
         };
         let out = parallel_map(&sweep, |i| i * 2);
         assert_eq!(out, (0..17).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_identical_across_parallelism() {
+        // Same indices → same RNG derivation → same values, whatever the
+        // worker count; and always in index order.
+        let run = |parallelism: usize| {
+            let sweep = SweepConfig {
+                n_topologies: 23,
+                seed: 11,
+                parallelism,
+            };
+            parallel_map(&sweep, |i| {
+                let mut rng = derive_rng(sweep.seed, i as u64);
+                (i, rng.gen::<f64>())
+            })
+        };
+        let serial = run(1);
+        assert_eq!(serial.len(), 23);
+        for (k, &(i, _)) in serial.iter().enumerate() {
+            assert_eq!(i, k, "index order");
+        }
+        for p in [4, 16] {
+            assert_eq!(run(p), serial, "parallelism {p} must not change results");
+        }
+    }
+
+    #[test]
+    fn parallel_map_uneven_work_still_ordered() {
+        // Wildly uneven per-item cost exercises actual stealing: early
+        // indices are slow, so a statically chunked first worker would own
+        // almost all the wall-clock.
+        let sweep = SweepConfig {
+            n_topologies: 12,
+            seed: 0,
+            parallelism: 4,
+        };
+        let out = parallel_map(&sweep, |i| {
+            if i < 3 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            i
+        });
+        assert_eq!(out, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_worker_panic_propagates() {
+        // A panicking closure must surface as a panic in the caller, not a
+        // deadlock or a silently missing slot.
+        let result = std::panic::catch_unwind(|| {
+            let sweep = SweepConfig {
+                n_topologies: 16,
+                seed: 0,
+                parallelism: 4,
+            };
+            parallel_map(&sweep, |i| {
+                if i == 7 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+        });
+        assert!(result.is_err(), "panic must propagate");
     }
 }

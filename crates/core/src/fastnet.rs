@@ -127,6 +127,10 @@ pub struct FastNet {
     occupied: Vec<i32>,
     now: f64,
     rng: JmbRng,
+    /// Cached static AP→client responses (the multipath tap sums, which are
+    /// the expensive part of every channel evaluation). Built lazily, and
+    /// invalidated whenever link fading evolves.
+    static_ap_client: Option<jmb_sim::StaticChannel>,
 }
 
 impl FastNet {
@@ -261,7 +265,21 @@ impl FastNet {
             occupied,
             now: 1e-4,
             rng,
+            static_ap_client: None,
         })
+    }
+
+    /// Returns the cached static AP→client channel snapshot, building it on
+    /// first use after construction or fading evolution. Taken out of `self`
+    /// (and restored by the caller) so the medium can be borrowed mutably
+    /// alongside it.
+    fn take_ap_client_static(&mut self) -> jmb_sim::StaticChannel {
+        match self.static_ap_client.take() {
+            Some(snap) => snap,
+            None => self
+                .medium
+                .snapshot_static(&self.aps, &self.clients, &self.occupied),
+        }
     }
 
     /// Current simulation time.
@@ -284,6 +302,7 @@ impl FastNet {
     /// Ages every link's fading by `dt` seconds.
     pub fn evolve_fading(&mut self, dt: f64) {
         self.medium.evolve_fading(dt);
+        self.static_ap_client = None;
     }
 
     /// Ages only one client's AP→client links by `dt` seconds — the §7
@@ -298,6 +317,7 @@ impl FastNet {
                 link.evolve(dt, &mut rng);
             }
         }
+        self.static_ap_client = None;
     }
 
     /// The power normalisation of the current precoder.
@@ -342,12 +362,12 @@ impl FastNet {
     /// time `t`, averaging `n_avg` independent observations.
     fn noisy_estimate(&mut self, tx: NodeId, rx: NodeId, t: f64, n_avg: usize) -> ChannelEstimate {
         let var = self.cfg.noise_var / n_avg as f64;
-        let gains = self
-            .occupied
-            .clone()
-            .into_iter()
-            .map(|k| self.medium.channel_at(tx, rx, k, t) + complex_gaussian(&mut self.rng, var))
-            .collect();
+        let mut gains = Vec::with_capacity(self.occupied.len());
+        self.medium
+            .channel_row_into(tx, rx, &self.occupied, t, &mut gains);
+        for g in gains.iter_mut() {
+            *g += complex_gaussian(&mut self.rng, var);
+        }
         ChannelEstimate {
             subcarriers: self.occupied.clone(),
             gains,
@@ -361,14 +381,25 @@ impl FastNet {
         let t0 = self.now;
         let n_k = self.occupied.len();
         let mut h = vec![CMat::zeros(self.cfg.n_clients, self.cfg.n_aps); n_k];
+        // All estimates are taken at one instant, so the oscillator state
+        // and the static tap sums are evaluated once (cached snapshot)
+        // instead of once per (pair, subcarrier); only the per-round
+        // estimation noise is drawn per pair and subcarrier, in the same
+        // order as before.
+        let snap = self.take_ap_client_static();
+        let mut inst = jmb_sim::InstantPhasors::default();
+        self.medium.instant_phasors(&snap, t0, &mut inst);
+        let var = self.cfg.noise_var / self.cfg.rounds as f64;
+        let mut row = Vec::with_capacity(n_k);
         for j in 0..self.cfg.n_clients {
             for i in 0..self.cfg.n_aps {
-                let est = self.noisy_estimate(self.aps[i], self.clients[j], t0, self.cfg.rounds);
-                for (k_idx, g) in est.gains.into_iter().enumerate() {
-                    h[k_idx][(j, i)] = g;
+                snap.row_at(&inst, i, j, &mut row);
+                for (k_idx, &g) in row.iter().enumerate() {
+                    h[k_idx][(j, i)] = g + complex_gaussian(&mut self.rng, var);
                 }
             }
         }
+        self.static_ap_client = Some(snap);
         // Slave references + CFO seeds. Seed accuracy is phase-limited by
         // the rounds-section span (same formula as the sample-level net).
         let span_s = (self.cfg.rounds * self.cfg.n_aps) as f64
@@ -376,12 +407,8 @@ impl FastNet {
             * self.cfg.params.sample_period();
         let seed_sigma = (0.02 / (2.0 * std::f64::consts::PI * span_s)).max(10.0);
         for s in 1..self.cfg.n_aps {
-            let est = self.noisy_estimate_with_var(
-                self.aps[0],
-                self.aps[s],
-                t0,
-                self.header_noise_var(),
-            );
+            let est =
+                self.noisy_estimate_with_var(self.aps[0], self.aps[s], t0, self.header_noise_var());
             let true_cfo = {
                 let f_lead = self.medium.trajectory_mut(self.aps[0]).cfo_hz_at(t0);
                 let f_slave = self.medium.trajectory_mut(self.aps[s]).cfo_hz_at(t0);
@@ -407,12 +434,12 @@ impl FastNet {
         t: f64,
         var: f64,
     ) -> ChannelEstimate {
-        let gains = self
-            .occupied
-            .clone()
-            .into_iter()
-            .map(|k| self.medium.channel_at(tx, rx, k, t) + complex_gaussian(&mut self.rng, var))
-            .collect();
+        let mut gains = Vec::with_capacity(self.occupied.len());
+        self.medium
+            .channel_row_into(tx, rx, &self.occupied, t, &mut gains);
+        for g in gains.iter_mut() {
+            *g += complex_gaussian(&mut self.rng, var);
+        }
         ChannelEstimate {
             subcarriers: self.occupied.clone(),
             gains,
@@ -436,14 +463,16 @@ impl FastNet {
         mute_streams: &[usize],
         apply_phase_sync: bool,
     ) -> Result<JointOutcome, JmbError> {
-        let precoder = self.precoder.clone().ok_or(JmbError::NoReference)?;
+        if self.precoder.is_none() {
+            return Err(JmbError::NoReference);
+        }
         let t_h = self.now;
         let params = self.cfg.params.clone();
         let t_meas = t_h + 240.0 * params.sample_period();
 
         // Slave corrections from a fresh header measurement.
         let mut corr: Vec<Option<crate::phasesync::PhaseCorrection>> = vec![None; self.cfg.n_aps];
-        for s in 1..self.cfg.n_aps {
+        for (s, slot) in corr.iter_mut().enumerate().skip(1) {
             let est = self.noisy_estimate_with_var(
                 self.aps[0],
                 self.aps[s],
@@ -456,33 +485,53 @@ impl FastNet {
                 f_lead - f_slave + normal(&mut self.rng, 200.0)
             };
             self.sync[s - 1].observe_header(&est, raw_cfo, t_meas);
-            corr[s] = Some(self.sync[s - 1].correction(&est)?);
+            *slot = Some(self.sync[s - 1].correction(&est)?);
         }
 
         let t_d = t_h + 320.0 * params.sample_period() + self.cfg.turnaround_s;
         let n_k = self.occupied.len();
+        let n_clients = self.cfg.n_clients;
+        let n_aps = self.cfg.n_aps;
         let nv = self.cfg.noise_var;
         let spacing = params.subcarrier_spacing();
         let carrier = params.carrier_freq;
-        let mut sinr_db = vec![vec![0.0; n_k]; self.cfg.n_clients];
-        let mut interference = vec![vec![0.0; n_k]; self.cfg.n_clients];
+        let mut sinr_db = vec![vec![0.0; n_k]; n_clients];
+        let mut interference = vec![vec![0.0; n_k]; n_clients];
 
         let probes: Vec<f64> = (0..n_probes.max(1))
             .map(|p| t_d + packet_duration_s * (p as f64 + 0.5) / n_probes.max(1) as f64)
             .collect();
 
-        for (k_idx, &k) in self.occupied.clone().iter().enumerate() {
-            let w = precoder.weights_at(k_idx).clone();
-            let mut sig = vec![0.0f64; self.cfg.n_clients];
-            let mut intf = vec![0.0f64; self.cfg.n_clients];
-            for &t in &probes {
+        // Take the precoder out of `self` for the duration of the hot loop
+        // so we can borrow its weights without deep-cloning them while
+        // `self.medium` is borrowed mutably. Restored below; there is no
+        // fallible exit in between.
+        let precoder = self.precoder.take().expect("checked above");
+        let n_streams = precoder.n_streams();
+
+        // Hot-loop scratch, reused across all (probe, subcarrier)
+        // iterations: zero allocations inside the loops. The static link
+        // responses (the multipath tap sums) come from the cached snapshot;
+        // each probe instant then only pays the oscillator phasors, and
+        // each subcarrier one rotation + one small mat-mul.
+        let snap = self.take_ap_client_static();
+        let mut inst = jmb_sim::InstantPhasors::default();
+        let mut sig = vec![0.0f64; n_clients * n_k];
+        let mut intf = vec![0.0f64; n_clients * n_k];
+        let mut h_now = CMat::zeros(n_clients, n_aps);
+        let mut eff = CMat::zeros(n_clients, n_aps);
+        let mut g = CMat::zeros(n_clients, n_streams);
+
+        for &t in &probes {
+            self.medium.instant_phasors(&snap, t, &mut inst);
+            for k_idx in 0..n_k {
+                let k = self.occupied[k_idx];
+                let w = precoder.weights_at(k_idx);
                 // Effective channel at this instant: physical channel ×
                 // per-AP correction (phase sync) per column.
-                let h_now =
-                    self.medium
-                        .channel_matrix(&self.aps, &self.clients, k, t);
-                let mut eff = CMat::zeros(self.cfg.n_clients, self.cfg.n_aps);
-                for i in 0..self.cfg.n_aps {
+                snap.matrix_at(&inst, k_idx, &mut h_now);
+                eff.reset(n_clients, n_aps);
+                for i in 0..n_aps {
                     let c = if apply_phase_sync {
                         match &corr[i] {
                             Some(c) => c.correction_at(k, t - t_meas, spacing, carrier),
@@ -491,34 +540,40 @@ impl FastNet {
                     } else {
                         Complex64::ONE
                     };
-                    for j in 0..self.cfg.n_clients {
+                    for j in 0..n_clients {
                         eff[(j, i)] = h_now[(j, i)] * c;
                     }
                 }
-                let g = eff.mul_mat(&w).expect("shapes fixed");
-                for j in 0..self.cfg.n_clients {
-                    sig[j] += g[(j, j)].norm_sqr();
-                    for s in 0..precoder.n_streams() {
+                eff.mul_into(w, &mut g).expect("shapes fixed");
+                for j in 0..n_clients {
+                    sig[j * n_k + k_idx] += g[(j, j)].norm_sqr();
+                    for s in 0..n_streams {
                         if s != j && !mute_streams.contains(&s) {
-                            intf[j] += g[(j, s)].norm_sqr();
+                            intf[j * n_k + k_idx] += g[(j, s)].norm_sqr();
                         }
                     }
                 }
             }
-            let np = probes.len() as f64;
-            for j in 0..self.cfg.n_clients {
-                let s = sig[j] / np;
-                let i = intf[j] / np;
+        }
+        let np = probes.len() as f64;
+        for j in 0..n_clients {
+            for k_idx in 0..n_k {
+                let s = sig[j * n_k + k_idx] / np;
+                let i = intf[j * n_k + k_idx] / np;
                 interference[j][k_idx] = i;
                 sinr_db[j][k_idx] = jmb_dsp::stats::lin_to_db(s / (nv + i));
             }
         }
 
+        let k_hat = precoder.k_hat();
+        self.precoder = Some(precoder);
+        self.static_ap_client = Some(snap);
+
         self.now = t_d + packet_duration_s + 50e-6;
         Ok(JointOutcome {
             sinr_db,
             interference,
-            k_hat: precoder.k_hat(),
+            k_hat,
         })
     }
 
@@ -551,7 +606,7 @@ impl FastNet {
         let params = self.cfg.params.clone();
         let t_meas = t_h + 240.0 * params.sample_period();
         let mut corr: Vec<Option<crate::phasesync::PhaseCorrection>> = vec![None; self.cfg.n_aps];
-        for s in 1..self.cfg.n_aps {
+        for (s, slot) in corr.iter_mut().enumerate().skip(1) {
             let est = self.noisy_estimate_with_var(
                 self.aps[0],
                 self.aps[s],
@@ -564,23 +619,36 @@ impl FastNet {
                 f_lead - f_slave + normal(&mut self.rng, 200.0)
             };
             self.sync[s - 1].observe_header(&est, raw_cfo, t_meas);
-            corr[s] = Some(self.sync[s - 1].correction(&est)?);
+            *slot = Some(self.sync[s - 1].correction(&est)?);
         }
         let t = t_h + 320.0 * params.sample_period() + self.cfg.turnaround_s + 200e-6;
         let nv = self.cfg.noise_var;
         let spacing = params.subcarrier_spacing();
         let carrier = params.carrier_freq;
+        // One row per AP at the single probe instant, so the static tap
+        // sums (cached snapshot) and the per-pair oscillator state are
+        // computed once instead of once per subcarrier.
+        let snap = self.take_ap_client_static();
+        let mut inst = jmb_sim::InstantPhasors::default();
+        self.medium.instant_phasors(&snap, t, &mut inst);
+        let mut rows: Vec<Vec<Complex64>> = Vec::with_capacity(self.cfg.n_aps);
+        for i in 0..self.cfg.n_aps {
+            let mut row = Vec::with_capacity(self.occupied.len());
+            snap.row_at(&inst, i, client, &mut row);
+            rows.push(row);
+        }
+        self.static_ap_client = Some(snap);
         let mut out = Vec::with_capacity(self.occupied.len());
-        for (k_idx, &k) in self.occupied.clone().iter().enumerate() {
+        for k_idx in 0..self.occupied.len() {
+            let k = self.occupied[k_idx];
             let w = mrt.weights_at(k_idx);
             let mut rx = Complex64::ZERO;
-            for i in 0..self.cfg.n_aps {
+            for (i, row) in rows.iter().enumerate() {
                 let c = match &corr[i] {
                     Some(c) => c.correction_at(k, t - t_meas, spacing, carrier),
                     None => Complex64::ONE,
                 };
-                let h_it = self.medium.channel_at(self.aps[i], self.clients[client], k, t);
-                rx += h_it * c * w[(i, 0)];
+                rx += row[k_idx] * c * w[(i, 0)];
             }
             out.push(jmb_dsp::stats::lin_to_db(rx.norm_sqr() / nv));
         }
@@ -593,34 +661,25 @@ impl FastNet {
     pub fn baseline_snr_db(&mut self, client: usize) -> Vec<f64> {
         let t = self.now;
         let nv = self.cfg.noise_var;
+        let snap = self.take_ap_client_static();
+        let mut inst = jmb_sim::InstantPhasors::default();
+        self.medium.instant_phasors(&snap, t, &mut inst);
         // Designated AP = strongest mean channel power.
+        let mut row = Vec::with_capacity(self.occupied.len());
         let mut best_ap = 0;
         let mut best_pw = -1.0;
         for i in 0..self.cfg.n_aps {
-            let pw: f64 = self
-                .occupied
-                .clone()
-                .iter()
-                .map(|&k| {
-                    self.medium
-                        .channel_at(self.aps[i], self.clients[client], k, t)
-                        .norm_sqr()
-                })
-                .sum();
+            snap.row_at(&inst, i, client, &mut row);
+            let pw: f64 = row.iter().map(|h| h.norm_sqr()).sum();
             if pw > best_pw {
                 best_pw = pw;
                 best_ap = i;
             }
         }
-        self.occupied
-            .clone()
-            .iter()
-            .map(|&k| {
-                let h = self
-                    .medium
-                    .channel_at(self.aps[best_ap], self.clients[client], k, t);
-                jmb_dsp::stats::lin_to_db(h.norm_sqr() / nv)
-            })
+        snap.row_at(&inst, best_ap, client, &mut row);
+        self.static_ap_client = Some(snap);
+        row.iter()
+            .map(|h| jmb_dsp::stats::lin_to_db(h.norm_sqr() / nv))
             .collect()
     }
 
@@ -768,10 +827,7 @@ mod tests {
         let base = jmb_dsp::stats::mean(&net.baseline_snr_db(0));
         let div = jmb_dsp::stats::mean(&net.diversity_snr_db(0).unwrap());
         // Coherent combining of 6 APs: ≥ ~10 dB over a single AP.
-        assert!(
-            div > base + 6.0,
-            "diversity {div} dB vs baseline {base} dB"
-        );
+        assert!(div > base + 6.0, "diversity {div} dB vs baseline {base} dB");
     }
 
     #[test]
@@ -896,9 +952,6 @@ mod tests {
         assert!(large > small, "INR must grow: {small} → {large}");
         // Paper Fig. 8: ~0.13 dB per added AP-client pair; allow 2-3x slack
         // for our simulated measurement-noise calibration.
-        assert!(
-            large < small + 0.4 * 6.0,
-            "but gently: {small} → {large}"
-        );
+        assert!(large < small + 0.4 * 6.0, "but gently: {small} → {large}");
     }
 }

@@ -26,7 +26,7 @@
 
 use crate::error::JmbError;
 use jmb_dsp::complex::wrap_phase;
-use jmb_dsp::{Complex64, FftPlan};
+use jmb_dsp::{fft, Complex64};
 use jmb_phy::chanest::ChannelEstimate;
 use jmb_phy::params::OfdmParams;
 use jmb_phy::preamble;
@@ -80,7 +80,10 @@ impl MeasurementPlan {
     ///
     /// Panics if `n_aps == 0` or `rounds == 0`.
     pub fn with_order(n_aps: usize, rounds: usize, order: SlotOrder) -> Self {
-        assert!(n_aps > 0 && rounds > 0, "need at least one AP and one round");
+        assert!(
+            n_aps > 0 && rounds > 0,
+            "need at least one AP and one round"
+        );
         MeasurementPlan {
             n_aps,
             rounds,
@@ -143,7 +146,7 @@ impl MeasurementPlan {
 pub fn chanest_symbol(params: &OfdmParams) -> Vec<Complex64> {
     let bins = preamble::ltf_bins(params);
     let mut body = bins;
-    FftPlan::new(params.fft_size).inverse(&mut body);
+    fft::ifft_in_place(&mut body);
     let mut out = Vec::with_capacity(params.symbol_len());
     out.extend_from_slice(&body[params.fft_size - params.cp_len..]);
     out.extend_from_slice(&body);
@@ -201,7 +204,7 @@ pub fn client_estimate(
     }
 
     // --- Per-round channel estimates and CFO refinement, two passes.
-    let plan_fft = FftPlan::new(params.fft_size);
+    let plan_fft = fft::plan(params.fft_size);
     let occupied = params.occupied_subcarriers();
     let l = preamble::ltf_freq();
 
@@ -214,7 +217,10 @@ pub fn client_estimate(
         // per-AP oscillator terms exactly (§5.1: "all these channels have
         // to be measured at the same time").
         let mut sym = window[offset..offset + sym_len].to_vec();
-        let phase0 = -2.0 * std::f64::consts::PI * cfo_hz * (offset as f64 - REF_ANCHOR)
+        let phase0 = -2.0
+            * std::f64::consts::PI
+            * cfo_hz
+            * (offset as f64 - REF_ANCHOR)
             * params.sample_period();
         sync::correct_cfo(params, &mut sym, cfo_hz, phase0);
         let mut bins = sym[params.cp_len..].to_vec();
@@ -250,18 +256,15 @@ pub fn client_estimate(
 
     // Pass 2: estimate with refined CFO and average across rounds.
     let mut per_ap = Vec::with_capacity(plan.n_aps);
-    for ap in 0..plan.n_aps {
+    for (ap, &ap_cfo) in refined_cfo.iter().enumerate().take(plan.n_aps) {
         let mut acc = vec![Complex64::ZERO; occupied.len()];
         for r in 0..plan.rounds {
-            let est = estimate_slot(plan.slot_offset(params, r, ap), refined_cfo[ap]);
+            let est = estimate_slot(plan.slot_offset(params, r, ap), ap_cfo);
             for (a, e) in acc.iter_mut().zip(&est) {
                 *a += *e;
             }
         }
-        let gains = acc
-            .into_iter()
-            .map(|g| g / plan.rounds as f64)
-            .collect();
+        let gains = acc.into_iter().map(|g| g / plan.rounds as f64).collect();
         per_ap.push(ChannelEstimate {
             subcarriers: occupied.clone(),
             gains,
@@ -424,11 +427,7 @@ mod tests {
                 2.0 * std::f64::consts::PI * cfos[ap] * REF_ANCHOR * p.sample_period(),
             );
             let want = gains[ap] * anchor_rot;
-            for (&k, g) in m.per_ap[ap]
-                .subcarriers
-                .iter()
-                .zip(&m.per_ap[ap].gains)
-            {
+            for (&k, g) in m.per_ap[ap].subcarriers.iter().zip(&m.per_ap[ap].gains) {
                 assert!((*g - want).abs() < 0.05, "ap {ap} k={k}: {g} vs {want}");
             }
         }

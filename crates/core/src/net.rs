@@ -30,7 +30,7 @@ use jmb_channel::multipath::{Multipath, MultipathSpec};
 use jmb_channel::oscillator::{OscillatorSpec, PhaseTrajectory};
 use jmb_channel::Link;
 use jmb_dsp::rng::{normal, JmbRng};
-use jmb_dsp::{CMat, Complex64, FftPlan};
+use jmb_dsp::{fft, CMat, Complex64};
 use jmb_phy::chanest::ChannelEstimate;
 use jmb_phy::frame::{FrameRx, FrameTx, RxResult};
 use jmb_phy::params::OfdmParams;
@@ -415,12 +415,12 @@ impl JmbNetwork {
         let t_meas = t_h + 240.0 * ts;
         let mut corrections: Vec<Option<crate::phasesync::PhaseCorrection>> =
             vec![None; self.cfg.n_aps];
-        for s in 1..self.cfg.n_aps {
+        for (s, slot) in corrections.iter_mut().enumerate().skip(1) {
             let window = self.medium.render_rx(self.aps[s], t_h, 320 + 8);
             let (est, cfo) = measure::slave_header_measurement(&params, &window)
                 .map_err(|_| JmbError::SyncHeaderMissed { slave: s })?;
             self.sync_state[s - 1].observe_header(&est, cfo, t_meas);
-            corrections[s] = Some(self.sync_state[s - 1].correction(&est)?);
+            *slot = Some(self.sync_state[s - 1].correction(&est)?);
         }
 
         self.last_corrections = corrections.clone();
@@ -585,9 +585,9 @@ impl JmbNetwork {
                 let t = t_slave + n as f64 * ts - t_meas;
                 *x *= Complex64::cis(2.0 * std::f64::consts::PI * corr.cfo_hz * t);
             }
-            let jitter =
-                self.trigger_offsets[1] + normal(&mut self.rng, self.cfg.trigger_jitter_s);
-            self.medium.transmit(self.aps[1], t_slave + jitter, slave_sym);
+            let jitter = self.trigger_offsets[1] + normal(&mut self.rng, self.cfg.trigger_jitter_s);
+            self.medium
+                .transmit(self.aps[1], t_slave + jitter, slave_sym);
 
             // Client: estimate both slots and compare their relative phase.
             let c = self.clients[0];
@@ -616,7 +616,7 @@ impl JmbNetwork {
 /// that residual rotation is part of what is being measured).
 fn estimate_slot(params: &OfdmParams, slot: &[Complex64]) -> ChannelEstimate {
     let mut bins = slot[params.cp_len..params.symbol_len()].to_vec();
-    FftPlan::new(params.fft_size).forward(&mut bins);
+    fft::fft_in_place(&mut bins);
     let l = preamble::ltf_freq();
     let subcarriers = params.occupied_subcarriers();
     let gains = subcarriers
@@ -741,8 +741,7 @@ mod tests {
         net.run_measurement().unwrap();
         let samples = net.misalignment_probe(20, 2e-3).unwrap();
         assert_eq!(samples.len(), 19);
-        let median =
-            jmb_dsp::stats::median(&samples.iter().map(|s| s.abs()).collect::<Vec<_>>());
+        let median = jmb_dsp::stats::median(&samples.iter().map(|s| s.abs()).collect::<Vec<_>>());
         assert!(median < 0.1, "median misalignment {median} rad");
     }
 
@@ -777,5 +776,4 @@ mod tests {
             Err(JmbError::BadConfig(_))
         ));
     }
-
 }

@@ -83,10 +83,8 @@ impl PhaseCorrection {
         subcarrier_spacing: f64,
         carrier_freq: f64,
     ) -> Complex64 {
-        let slope_growth = 2.0 * std::f64::consts::PI
-            * subcarrier_spacing
-            * (self.cfo_hz / carrier_freq)
-            * dt;
+        let slope_growth =
+            2.0 * std::f64::consts::PI * subcarrier_spacing * (self.cfo_hz / carrier_freq) * dt;
         Complex64::cis(
             self.common_phase
                 + (self.slope + slope_growth) * subcarrier as f64
@@ -199,8 +197,7 @@ impl PhaseSync {
     pub fn observe_header(&mut self, est: &ChannelEstimate, raw_cfo_hz: f64, t: f64) {
         // Uncertainty grows with oscillator drift since the last update.
         let stale = (t - self.last_update_t).max(0.0);
-        let sigma_now = (self.cfo_sigma * self.cfo_sigma + DRIFT_RATE * DRIFT_RATE * stale)
-            .sqrt();
+        let sigma_now = (self.cfo_sigma * self.cfo_sigma + DRIFT_RATE * DRIFT_RATE * stale).sqrt();
 
         let current_best = self.refined_cfo.or(self.cfo_ewma.value());
         let mut unwrapped = false;
@@ -367,12 +364,17 @@ mod tests {
     #[test]
     fn recovers_pure_rotation() {
         let mut ps = PhaseSync::new();
-        let reference = estimate_from(|k| Complex64::from_polar(1.0 + 0.01 * k as f64, 0.1 * k as f64));
+        let reference =
+            estimate_from(|k| Complex64::from_polar(1.0 + 0.01 * k as f64, 0.1 * k as f64));
         ps.set_reference(reference.clone());
         let theta = 1.234;
         let now = estimate_from(|k| reference.gain_at(k).unwrap() * Complex64::cis(theta));
         let c = ps.correction(&now).unwrap();
-        assert!((wrap_phase(c.common_phase - theta)).abs() < 1e-9, "{}", c.common_phase);
+        assert!(
+            (wrap_phase(c.common_phase - theta)).abs() < 1e-9,
+            "{}",
+            c.common_phase
+        );
         assert!(c.slope.abs() < 1e-12);
         for (&k, phasor) in c.subcarriers.iter().zip(&c.per_subcarrier) {
             assert!((*phasor - Complex64::cis(theta)).abs() < 1e-9, "k={k}");
@@ -444,7 +446,11 @@ mod tests {
             }
         });
         let c = ps.correction(&now).unwrap();
-        assert!((wrap_phase(c.common_phase - theta)).abs() < 1e-3, "{}", c.common_phase);
+        assert!(
+            (wrap_phase(c.common_phase - theta)).abs() < 1e-3,
+            "{}",
+            c.common_phase
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! the single client for an up-to-`N²` SNR gain.
 
 use crate::error::JmbError;
-use jmb_dsp::{CMat, Complex64};
+use jmb_dsp::{CMat, Complex64, ZfSolver};
 
 /// A per-subcarrier joint precoder.
 #[derive(Debug, Clone)]
@@ -49,12 +49,14 @@ impl Precoder {
             return Err(JmbError::BadConfig("empty channel matrix"));
         }
         if n_tx < n_streams {
-            return Err(JmbError::BadConfig(
-                "fewer total AP antennas than streams",
-            ));
+            return Err(JmbError::BadConfig("fewer total AP antennas than streams"));
         }
         let mut weights = Vec::with_capacity(h_per_subcarrier.len());
         let mut k_hats = Vec::with_capacity(h_per_subcarrier.len());
+        // One Gram+Cholesky solver reused across subcarriers: the per-loop
+        // temporaries (Gram matrix, substitution scratch) are allocated once.
+        let mut solver = ZfSolver::new(n_streams, n_tx);
+        let mut col_gain = vec![0.0f64; n_streams];
         for h in h_per_subcarrier {
             if h.rows() != n_streams || h.cols() != n_tx {
                 return Err(JmbError::MeasurementShape {
@@ -62,7 +64,8 @@ impl Precoder {
                     got: h.rows() * h.cols(),
                 });
             }
-            let mut w = h.pseudo_inverse()?;
+            let mut w = CMat::zeros(n_tx, n_streams);
+            solver.pinv_into(h, &mut w)?;
             // Per-stream power normalisation: every stream's precoding
             // column is scaled to unit power on each subcarrier, so client
             // j's received amplitude tracks the quality of its own channel
@@ -71,7 +74,6 @@ impl Precoder {
             // to a common `k·I` would instead force full amplitude through
             // *faded* directions — one AP's faded diagonal would blow up
             // the weights and drag every client on that subcarrier.
-            let mut col_gain = vec![0.0f64; n_streams];
             for (j, g) in col_gain.iter_mut().enumerate() {
                 let p: f64 = (0..n_tx).map(|m| w[(m, j)].norm_sqr()).sum();
                 if p <= 0.0 || !p.is_finite() {
@@ -87,8 +89,7 @@ impl Precoder {
             weights.push(w);
             // Summary normalisation for this subcarrier: RMS of the
             // per-stream received amplitudes.
-            let rms =
-                (col_gain.iter().map(|g| g * g).sum::<f64>() / n_streams as f64).sqrt();
+            let rms = (col_gain.iter().map(|g| g * g).sum::<f64>() / n_streams as f64).sqrt();
             k_hats.push(rms);
         }
         // Global pass: enforce the per-AP maximum-power constraint
@@ -111,7 +112,7 @@ impl Precoder {
         }
         let gamma = (1.0 / busiest).sqrt();
         for (w, k) in weights.iter_mut().zip(k_hats.iter_mut()) {
-            *w = w.scale(Complex64::real(gamma));
+            w.scale_in_place(Complex64::real(gamma));
             *k *= gamma;
         }
         Ok(Precoder {
@@ -170,7 +171,7 @@ impl Precoder {
                 return Err(JmbError::Precoding(jmb_dsp::matrix::MatError::Singular));
             }
             let k_hat = (1.0 / worst).sqrt();
-            *w = w.scale(Complex64::real(k_hat));
+            w.scale_in_place(Complex64::real(k_hat));
             k_hats.push(k_hat);
         }
         Ok(Precoder {
@@ -244,7 +245,11 @@ impl Precoder {
     pub fn antenna_power(&self, m: usize) -> f64 {
         self.weights
             .iter()
-            .map(|w| (0..self.n_streams).map(|j| w[(m, j)].norm_sqr()).sum::<f64>())
+            .map(|w| {
+                (0..self.n_streams)
+                    .map(|j| w[(m, j)].norm_sqr())
+                    .sum::<f64>()
+            })
             .sum::<f64>()
             / self.weights.len() as f64
     }
@@ -280,7 +285,11 @@ mod tests {
                 assert!((p.stream_gain(k, h, j) - g.re).abs() < 1e-12);
             }
             let rms = (sq / 3.0).sqrt();
-            assert!((rms - p.k_hat_at(k)).abs() < 1e-9, "rms {rms} vs {}", p.k_hat_at(k));
+            assert!(
+                (rms - p.k_hat_at(k)).abs() < 1e-9,
+                "rms {rms} vs {}",
+                p.k_hat_at(k)
+            );
         }
     }
 
@@ -301,10 +310,10 @@ mod tests {
         let hs: Vec<CMat> = (0..16).map(|k| random_h(4, 4, 50 + k)).collect();
         let p = Precoder::zero_forcing(&hs).unwrap();
         let budget = 1.0; // per-AP unit power (the paper's constraint)
-        // The constraint is per antenna over the whole symbol: every
-        // antenna's mean (across subcarriers) power is within budget and
-        // the busiest antenna sits exactly at it. Per-subcarrier overshoot
-        // is a PAPR-like effect absorbed by amplifier backoff.
+                          // The constraint is per antenna over the whole symbol: every
+                          // antenna's mean (across subcarriers) power is within budget and
+                          // the busiest antenna sits exactly at it. Per-subcarrier overshoot
+                          // is a PAPR-like effect absorbed by amplifier backoff.
         let mut worst: f64 = 0.0;
         for m in 0..4 {
             let pw = p.antenna_power(m);
@@ -328,7 +337,12 @@ mod tests {
         // Per-stream normalisation confines the damage to the weak stream:
         // the summary k̂ shrinks (rms of {1, 0.05} ≈ 0.71) without the
         // strong stream paying for the weak one.
-        assert!(p_bad.k_hat() < p_good.k_hat() * 0.8, "bad {} good {}", p_bad.k_hat(), p_good.k_hat());
+        assert!(
+            p_bad.k_hat() < p_good.k_hat() * 0.8,
+            "bad {} good {}",
+            p_bad.k_hat(),
+            p_good.k_hat()
+        );
         let good_h = CMat::identity(2);
         let mut bad_h = CMat::identity(2);
         bad_h[(1, 1)] = Complex64::new(0.05, 0.0);
@@ -416,7 +430,11 @@ mod tests {
         // 1/√N, so the unit per-antenna budget gives k̂ = √N and received
         // amplitude k̂·√N = N: received power N² — the paper's coherent
         // diversity gain over one AP at the same per-antenna power (§11.4).
-        assert!((p.k_hat() - (n as f64).sqrt()).abs() < 1e-9, "k_hat {}", p.k_hat());
+        assert!(
+            (p.k_hat() - (n as f64).sqrt()).abs() < 1e-9,
+            "k_hat {}",
+            p.k_hat()
+        );
     }
 
     #[test]

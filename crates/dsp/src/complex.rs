@@ -234,6 +234,9 @@ impl Mul<Complex64> for f64 {
 
 impl Div for Complex64 {
     type Output = Complex64;
+    // Complex division is multiplication by the reciprocal; the `*` here
+    // is the intended arithmetic, not a typo.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn div(self, rhs: Complex64) -> Complex64 {
         self * rhs.inv()
@@ -539,8 +542,7 @@ mod tests {
     fn linear_phase_fit_weights_by_magnitude() {
         // One rogue low-magnitude phasor must barely influence the fit.
         let ks = vec![0.0, 1.0, 2.0, 3.0];
-        let mut phasors: Vec<Complex64> =
-            ks.iter().map(|&k| Complex64::cis(0.1 * k)).collect();
+        let mut phasors: Vec<Complex64> = ks.iter().map(|&k| Complex64::cis(0.1 * k)).collect();
         phasors[2] = Complex64::from_polar(1e-6, 2.5);
         let (c, s) = fit_linear_phase(&ks, &phasors);
         assert!(c.abs() < 0.05, "common {c}");

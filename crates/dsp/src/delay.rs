@@ -161,17 +161,19 @@ mod tests {
     fn integer_delay_is_exact_shift() {
         let x: Vec<Complex64> = (0..10).map(|i| Complex64::real(i as f64)).collect();
         let y = fractional_delay(&x, 3.0);
-        for i in 0..3 {
-            assert_eq!(y[i], Complex64::ZERO);
+        for yi in y.iter().take(3) {
+            assert_eq!(*yi, Complex64::ZERO);
         }
-        for i in 0..10 {
-            assert_eq!(y[i + 3], x[i]);
+        for (i, xi) in x.iter().enumerate() {
+            assert_eq!(y[i + 3], *xi);
         }
     }
 
     #[test]
     fn zero_delay_is_identity() {
-        let x: Vec<Complex64> = (0..8).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
+        let x: Vec<Complex64> = (0..8)
+            .map(|i| Complex64::new(i as f64, -(i as f64)))
+            .collect();
         let y = fractional_delay(&x, 0.0);
         assert_eq!(&y[..8], &x[..]);
     }
@@ -196,9 +198,9 @@ mod tests {
         let y = fractional_delay(&x, d);
         // Compare in the steady-state middle region (skip kernel edges).
         let mut max_err: f64 = 0.0;
-        for i in 32..n - 32 {
+        for (i, yi) in y.iter().enumerate().take(n - 32).skip(32) {
             let expected = Complex64::cis(2.0 * PI * f * (i as f64 - d));
-            max_err = max_err.max((y[i] - expected).abs());
+            max_err = max_err.max((*yi - expected).abs());
         }
         assert!(max_err < 1e-3, "max interpolation error {max_err}");
     }
@@ -231,7 +233,11 @@ mod tests {
         let ein: f64 = x.iter().map(|v| v.norm_sqr()).sum();
         let y = fractional_delay(&x, 1.37);
         let eout: f64 = y.iter().map(|v| v.norm_sqr()).sum();
-        assert!((eout / ein - 1.0).abs() < 0.01, "energy ratio {}", eout / ein);
+        assert!(
+            (eout / ein - 1.0).abs() < 0.01,
+            "energy ratio {}",
+            eout / ein
+        );
     }
 
     #[test]
@@ -258,7 +264,11 @@ mod tests {
         // Sample n of output corresponds to input position n·ratio.
         for &i in &[100usize, 1000, 3900] {
             let expected = Complex64::cis(2.0 * PI * f * i as f64 * ratio);
-            assert!((y[i] - expected).abs() < 2e-3, "at {i}: {} vs {expected}", y[i]);
+            assert!(
+                (y[i] - expected).abs() < 2e-3,
+                "at {i}: {} vs {expected}",
+                y[i]
+            );
         }
     }
 

@@ -6,12 +6,20 @@
 //! an [`FftPlan`], so per-symbol transforms do no trigonometry and no
 //! allocation.
 //!
+//! Hot paths should not build plans at all: [`plan`] returns a process-wide
+//! cached [`FftPlan`] per size (thread-local fast path, `OnceLock`-backed
+//! global table), and [`fft_in_place`] / [`ifft_in_place`] wrap it for
+//! one-line call sites.
+//!
 //! Conventions: `forward` computes `X[k] = Σ_n x[n]·e^{-j2πkn/N}` (no scaling)
 //! and `inverse` computes `x[n] = (1/N)·Σ_k X[k]·e^{+j2πkn/N}`, so
 //! `inverse(forward(x)) == x`.
 
 use crate::complex::Complex64;
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::f64::consts::PI;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A reusable FFT plan for a fixed power-of-two size.
 ///
@@ -45,7 +53,10 @@ impl FftPlan {
     ///
     /// Panics if `n` is zero or not a power of two.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n > 0, "FFT size must be a power of two, got {n}");
+        assert!(
+            n.is_power_of_two() && n > 0,
+            "FFT size must be a power of two, got {n}"
+        );
         let twiddles = (0..n / 2)
             .map(|k| Complex64::cis(-2.0 * PI * k as f64 / n as f64))
             .collect();
@@ -53,7 +64,11 @@ impl FftPlan {
         let bitrev = (0..n as u32)
             .map(|i| i.reverse_bits() >> (32 - bits))
             .collect();
-        FftPlan { n, twiddles, bitrev }
+        FftPlan {
+            n,
+            twiddles,
+            bitrev,
+        }
     }
 
     /// Transform length.
@@ -127,6 +142,70 @@ impl FftPlan {
     }
 }
 
+/// Process-wide plan cache: one [`FftPlan`] per size, shared across threads.
+static GLOBAL_PLANS: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+
+thread_local! {
+    /// Per-thread fast path: plans indexed by `log2(n)` so the steady-state
+    /// lookup is a vector index, no locking and no hashing.
+    static LOCAL_PLANS: RefCell<Vec<Option<Arc<FftPlan>>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn global_plan(n: usize) -> Arc<FftPlan> {
+    let map = GLOBAL_PLANS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut guard = map.lock().unwrap_or_else(|e| e.into_inner());
+    Arc::clone(guard.entry(n).or_insert_with(|| Arc::new(FftPlan::new(n))))
+}
+
+/// Returns the shared plan for transforms of length `n`, building it on
+/// first use. Subsequent calls from the same thread are a vector lookup;
+/// the twiddle/permutation tables are computed once per process.
+///
+/// This is the entry point every per-packet / per-symbol path should use —
+/// `FftPlan::new` is for one-off construction in tests and offline tools.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or not a power of two.
+pub fn plan(n: usize) -> Arc<FftPlan> {
+    assert!(
+        n.is_power_of_two() && n > 0,
+        "FFT size must be a power of two, got {n}"
+    );
+    let slot = n.trailing_zeros() as usize;
+    LOCAL_PLANS.with(|cell| {
+        let mut local = cell.borrow_mut();
+        if local.len() <= slot {
+            local.resize(slot + 1, None);
+        }
+        if let Some(p) = &local[slot] {
+            return Arc::clone(p);
+        }
+        let p = global_plan(n);
+        local[slot] = Some(Arc::clone(&p));
+        p
+    })
+}
+
+/// In-place forward DFT of `buf` using the cached plan for its length.
+///
+/// # Panics
+///
+/// Panics if `buf.len()` is zero or not a power of two.
+pub fn fft_in_place(buf: &mut [Complex64]) {
+    plan(buf.len()).forward(buf);
+}
+
+/// In-place inverse DFT (with `1/N` normalisation) of `buf` using the
+/// cached plan for its length.
+///
+/// # Panics
+///
+/// Panics if `buf.len()` is zero or not a power of two.
+pub fn ifft_in_place(buf: &mut [Complex64]) {
+    plan(buf.len()).inverse(buf);
+}
+
 /// Naive O(N²) DFT used as a test oracle and for odd sizes.
 ///
 /// Computes `X[k] = Σ_n x[n]·e^{-j2πkn/N}`.
@@ -150,10 +229,7 @@ mod tests {
     fn assert_close(a: &[Complex64], b: &[Complex64], tol: f64) {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(b) {
-            assert!(
-                (*x - *y).abs() < tol,
-                "mismatch: {x} vs {y} (tol {tol})"
-            );
+            assert!((*x - *y).abs() < tol, "mismatch: {x} vs {y} (tol {tol})");
         }
     }
 
@@ -246,11 +322,58 @@ mod tests {
     }
 
     #[test]
+    fn cached_plan_is_shared_and_matches_fresh() {
+        let a = plan(64);
+        let b = plan(64);
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "same thread must reuse the cached plan"
+        );
+        let input: Vec<Complex64> = (0..64)
+            .map(|i| Complex64::new((i as f64 * 0.7).sin(), (i as f64 * 0.2).cos()))
+            .collect();
+        let mut cached = input.clone();
+        let mut fresh = input.clone();
+        a.forward(&mut cached);
+        FftPlan::new(64).forward(&mut fresh);
+        // Identical plans, identical arithmetic: bit-for-bit equal.
+        assert_eq!(cached, fresh);
+    }
+
+    #[test]
+    fn cache_is_consistent_across_threads() {
+        let from_main = plan(128);
+        let from_thread = std::thread::spawn(|| plan(128)).join().unwrap();
+        // Different threads go through the same global table, so the plans
+        // are the same allocation, not merely equal.
+        assert!(Arc::ptr_eq(&from_main, &from_thread));
+    }
+
+    #[test]
+    fn in_place_helpers_roundtrip() {
+        let input: Vec<Complex64> = (0..32)
+            .map(|i| Complex64::new(i as f64, -(i as f64) * 0.5))
+            .collect();
+        let mut buf = input.clone();
+        fft_in_place(&mut buf);
+        ifft_in_place(&mut buf);
+        assert_close(&buf, &input, 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn cached_plan_rejects_non_power_of_two() {
+        plan(48);
+    }
+
+    #[test]
     fn linearity() {
         let n = 32;
         let plan = FftPlan::new(n);
         let a: Vec<Complex64> = (0..n).map(|i| Complex64::new(i as f64, 0.0)).collect();
-        let b: Vec<Complex64> = (0..n).map(|i| Complex64::new(0.0, (i * i) as f64)).collect();
+        let b: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(0.0, (i * i) as f64))
+            .collect();
         let mut fa = a.clone();
         let mut fb = b.clone();
         plan.forward(&mut fa);

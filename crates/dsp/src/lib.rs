@@ -28,5 +28,5 @@ pub mod rng;
 pub mod stats;
 
 pub use complex::Complex64;
-pub use fft::FftPlan;
-pub use matrix::CMat;
+pub use fft::{fft_in_place, ifft_in_place, FftPlan};
+pub use matrix::{CMat, ZfSolver};

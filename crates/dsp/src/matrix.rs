@@ -181,6 +181,82 @@ impl CMat {
         t
     }
 
+    /// Reshapes the matrix to `rows × cols`, zero-filled, reusing the
+    /// existing allocation when it is large enough. Intended for scratch
+    /// buffers that live across hot-loop iterations.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, Complex64::ZERO);
+    }
+
+    /// Matrix product `self · rhs` written into `out` (allocation-free once
+    /// `out`'s buffer has grown to size; `out` is reshaped as needed).
+    ///
+    /// `out` must not alias `self` or `rhs`.
+    pub fn mul_into(&self, rhs: &CMat, out: &mut CMat) -> Result<(), MatError> {
+        if self.cols != rhs.rows {
+            return Err(MatError::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: (rhs.rows, rhs.cols),
+            });
+        }
+        out.reset(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == Complex64::ZERO {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    out[(r, c)] = a.mul_add(rhs[(k, c)], out[(r, c)]);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Matrix–vector product `self · v` written into `out` (cleared and
+    /// refilled; allocation-free once `out`'s capacity suffices).
+    pub fn mul_vec_into(&self, v: &[Complex64], out: &mut Vec<Complex64>) -> Result<(), MatError> {
+        if self.cols != v.len() {
+            return Err(MatError::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: (v.len(), 1),
+            });
+        }
+        out.clear();
+        out.reserve(self.rows);
+        for r in 0..self.rows {
+            let mut acc = Complex64::ZERO;
+            for c in 0..self.cols {
+                acc = self[(r, c)].mul_add(v[c], acc);
+            }
+            out.push(acc);
+        }
+        Ok(())
+    }
+
+    /// Hermitian (conjugate) transpose written into `out`.
+    ///
+    /// `out` must not alias `self`.
+    pub fn hermitian_into(&self, out: &mut CMat) {
+        out.reset(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)].conj();
+            }
+        }
+    }
+
+    /// Scales every entry in place.
+    pub fn scale_in_place(&mut self, k: Complex64) {
+        for x in &mut self.data {
+            *x *= k;
+        }
+    }
+
     /// Matrix product `self · rhs`.
     pub fn mul_mat(&self, rhs: &CMat) -> Result<CMat, MatError> {
         if self.cols != rhs.rows {
@@ -251,7 +327,11 @@ impl CMat {
         }
         for r in 0..self.rows {
             for c in 0..self.cols {
-                let expect = if r == c { Complex64::ONE } else { Complex64::ZERO };
+                let expect = if r == c {
+                    Complex64::ONE
+                } else {
+                    Complex64::ZERO
+                };
                 if (self[(r, c)] - expect).abs() >= tol {
                     return false;
                 }
@@ -435,6 +515,140 @@ impl CMat {
     }
 }
 
+/// Allocation-free right pseudo-inverse solver for the zero-forcing case:
+/// `H` is `n_streams × n_tx` with `n_streams ≤ n_tx` (every stream needs at
+/// least one antenna), and the minimum-power ZF precoder is
+/// `W = Hᴴ(HHᴴ)⁻¹`.
+///
+/// Instead of forming `(HHᴴ)⁻¹` explicitly (a Gauss–Jordan per subcarrier
+/// plus three temporary matrices), the solver computes the Gram matrix
+/// `G = HHᴴ` (Hermitian positive definite for full-rank `H`), factors it as
+/// `G = LLᴴ` (Cholesky), solves `L·Y = H` and `Lᴴ·X = Y` by substitution,
+/// and writes `W = Xᴴ` into the caller's output matrix. All intermediates
+/// live in scratch buffers owned by the solver, so a per-subcarrier loop
+/// does zero allocations after the first iteration.
+#[derive(Debug, Clone)]
+pub struct ZfSolver {
+    n_streams: usize,
+    n_tx: usize,
+    /// `n_streams × n_streams` Gram matrix, overwritten by its Cholesky
+    /// factor `L` (lower triangle; strict upper triangle is garbage).
+    gram: Vec<Complex64>,
+    /// `n_streams × n_tx` substitution scratch (`Y`, then `X`).
+    work: Vec<Complex64>,
+}
+
+impl ZfSolver {
+    /// Creates a solver for `n_streams × n_tx` channels (`n_streams ≤ n_tx`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_streams == 0`, `n_tx == 0`, or `n_streams > n_tx`.
+    pub fn new(n_streams: usize, n_tx: usize) -> Self {
+        assert!(n_streams > 0 && n_tx > 0, "empty channel");
+        assert!(
+            n_streams <= n_tx,
+            "zero-forcing needs n_streams ({n_streams}) <= n_tx ({n_tx})"
+        );
+        ZfSolver {
+            n_streams,
+            n_tx,
+            gram: vec![Complex64::ZERO; n_streams * n_streams],
+            work: vec![Complex64::ZERO; n_streams * n_tx],
+        }
+    }
+
+    /// Computes `W = H⁺ = Hᴴ(HHᴴ)⁻¹` into `out` (`n_tx × n_streams`).
+    ///
+    /// Returns [`MatError::Singular`] when `H` is (numerically) rank
+    /// deficient, and [`MatError::DimensionMismatch`] when `h`'s shape does
+    /// not match the solver's.
+    pub fn pinv_into(&mut self, h: &CMat, out: &mut CMat) -> Result<(), MatError> {
+        let (n, m) = (self.n_streams, self.n_tx);
+        if h.rows() != n || h.cols() != m {
+            return Err(MatError::DimensionMismatch {
+                left: (n, m),
+                right: (h.rows(), h.cols()),
+            });
+        }
+
+        // G = H·Hᴴ, lower triangle + diagonal only (Hermitian).
+        let mut max_diag = 0.0f64;
+        for i in 0..n {
+            let hi = h.row(i);
+            for j in 0..=i {
+                let hj = h.row(j);
+                let mut acc = Complex64::ZERO;
+                for k in 0..m {
+                    acc = hi[k].mul_add(hj[k].conj(), acc);
+                }
+                self.gram[i * n + j] = acc;
+                if i == j {
+                    max_diag = max_diag.max(acc.re);
+                }
+            }
+        }
+        if max_diag <= 0.0 || !max_diag.is_finite() {
+            return Err(MatError::Singular);
+        }
+
+        // In-place Cholesky G → L. The pivot threshold is relative to the
+        // largest diagonal (the pivots are squared singular values, so this
+        // rejects channels with 2-norm condition number ≳ 3·10⁶ — far past
+        // anything beamforming could use).
+        let eps = 1e-13 * max_diag;
+        for j in 0..n {
+            let mut d = self.gram[j * n + j].re;
+            for k in 0..j {
+                d -= self.gram[j * n + k].norm_sqr();
+            }
+            if d <= eps {
+                return Err(MatError::Singular);
+            }
+            let ljj = d.sqrt();
+            self.gram[j * n + j] = Complex64::real(ljj);
+            for i in j + 1..n {
+                let mut s = self.gram[i * n + j];
+                for k in 0..j {
+                    s -= self.gram[i * n + k] * self.gram[j * n + k].conj();
+                }
+                self.gram[i * n + j] = s.scale(1.0 / ljj);
+            }
+        }
+
+        // Forward substitution L·Y = H (Y is n × m, row i depends on rows < i).
+        for i in 0..n {
+            let hi = h.row(i);
+            for (c, &hic) in hi.iter().enumerate() {
+                let mut s = hic;
+                for k in 0..i {
+                    s -= self.gram[i * n + k] * self.work[k * m + c];
+                }
+                self.work[i * m + c] = s.scale(1.0 / self.gram[i * n + i].re);
+            }
+        }
+        // Back substitution Lᴴ·X = Y in place (row i depends on rows > i).
+        for i in (0..n).rev() {
+            for c in 0..m {
+                let mut s = self.work[i * m + c];
+                for k in i + 1..n {
+                    s -= self.gram[k * n + i].conj() * self.work[k * m + c];
+                }
+                self.work[i * m + c] = s.scale(1.0 / self.gram[i * n + i].re);
+            }
+        }
+
+        // W = Xᴴ (n_tx × n_streams).
+        out.reset(m, n);
+        for i in 0..n {
+            for c in 0..m {
+                out[(c, i)] = self.work[i * m + c].conj();
+            }
+        }
+        Ok(())
+    }
+}
+
 impl Index<(usize, usize)> for CMat {
     type Output = Complex64;
     #[inline]
@@ -455,11 +669,20 @@ impl IndexMut<(usize, usize)> for CMat {
 impl Add for &CMat {
     type Output = CMat;
     fn add(self, rhs: &CMat) -> CMat {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add: shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add: shape mismatch"
+        );
         CMat {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a + b)
+                .collect(),
         }
     }
 }
@@ -467,11 +690,20 @@ impl Add for &CMat {
 impl Sub for &CMat {
     type Output = CMat;
     fn sub(self, rhs: &CMat) -> CMat {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub: shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "sub: shape mismatch"
+        );
         CMat {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a - b)
+                .collect(),
         }
     }
 }
@@ -567,25 +799,22 @@ mod tests {
     #[test]
     fn singular_detected() {
         // Rank-1 matrix.
-        let a = CMat::from_rows(&[
-            &[c(1.0, 1.0), c(2.0, 2.0)],
-            &[c(2.0, 2.0), c(4.0, 4.0)],
-        ]);
+        let a = CMat::from_rows(&[&[c(1.0, 1.0), c(2.0, 2.0)], &[c(2.0, 2.0), c(4.0, 4.0)]]);
         assert_eq!(a.inverse().unwrap_err(), MatError::Singular);
         assert_eq!(CMat::zeros(3, 3).inverse().unwrap_err(), MatError::Singular);
     }
 
     #[test]
     fn non_square_inverse_rejected() {
-        assert_eq!(CMat::zeros(2, 3).inverse().unwrap_err(), MatError::NotSquare);
+        assert_eq!(
+            CMat::zeros(2, 3).inverse().unwrap_err(),
+            MatError::NotSquare
+        );
     }
 
     #[test]
     fn solve_linear_system() {
-        let a = CMat::from_rows(&[
-            &[c(2.0, 0.0), c(1.0, 0.0)],
-            &[c(1.0, 0.0), c(3.0, 0.0)],
-        ]);
+        let a = CMat::from_rows(&[&[c(2.0, 0.0), c(1.0, 0.0)], &[c(1.0, 0.0), c(3.0, 0.0)]]);
         let x_true = vec![c(1.0, -1.0), c(0.5, 2.0)];
         let b = a.mul_vec(&x_true).unwrap();
         let x = a.solve(&b).unwrap();
@@ -636,10 +865,7 @@ mod tests {
 
     #[test]
     fn singular_matrix_condition_is_infinite() {
-        let a = CMat::from_rows(&[
-            &[c(1.0, 0.0), c(2.0, 0.0)],
-            &[c(2.0, 0.0), c(4.0, 0.0)],
-        ]);
+        let a = CMat::from_rows(&[&[c(1.0, 0.0), c(2.0, 0.0)], &[c(2.0, 0.0), c(4.0, 0.0)]]);
         assert!(a.condition_number().is_infinite());
     }
 
@@ -651,6 +877,112 @@ mod tests {
         for (x, y) in s.as_slice().iter().zip(a.as_slice()) {
             assert!((*x - *y).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn mul_into_matches_mul_mat_and_reuses_buffer() {
+        let a = random_like(3, 5, 21);
+        let b = random_like(5, 2, 22);
+        let mut out = CMat::zeros(1, 1); // wrong shape on purpose
+        a.mul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.mul_mat(&b).unwrap());
+        // Second use with different shapes reuses the grown buffer.
+        let c = random_like(2, 2, 23);
+        let d = random_like(2, 2, 24);
+        c.mul_into(&d, &mut out).unwrap();
+        assert_eq!(out, c.mul_mat(&d).unwrap());
+        assert!(matches!(
+            a.mul_into(&d, &mut out),
+            Err(MatError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn mul_vec_into_matches_mul_vec() {
+        let a = random_like(4, 3, 31);
+        let v = vec![c(1.0, 2.0), c(-0.5, 0.0), c(0.0, -3.0)];
+        let mut out = Vec::new();
+        a.mul_vec_into(&v, &mut out).unwrap();
+        assert_eq!(out, a.mul_vec(&v).unwrap());
+        assert!(a.mul_vec_into(&v[..2], &mut out).is_err());
+    }
+
+    #[test]
+    fn hermitian_into_matches_hermitian() {
+        let a = random_like(3, 4, 41);
+        let mut out = CMat::zeros(0, 0);
+        a.hermitian_into(&mut out);
+        assert_eq!(out, a.hermitian());
+    }
+
+    #[test]
+    fn scale_in_place_matches_scale() {
+        let a = random_like(3, 3, 51);
+        let k = c(0.3, -1.1);
+        let mut b = a.clone();
+        b.scale_in_place(k);
+        assert_eq!(b, a.scale(k));
+    }
+
+    #[test]
+    fn zf_solver_matches_pseudo_inverse() {
+        for seed in 1..8u64 {
+            for &(rows, cols) in &[(2usize, 4usize), (3, 3), (4, 10), (1, 2)] {
+                let h = random_like(rows, cols, seed * 100 + rows as u64 * 10 + cols as u64);
+                let mut solver = ZfSolver::new(rows, cols);
+                let mut w = CMat::zeros(0, 0);
+                solver.pinv_into(&h, &mut w).expect("full-rank random");
+                let reference = h.pseudo_inverse().unwrap();
+                assert_eq!(w.rows(), cols);
+                assert_eq!(w.cols(), rows);
+                for (x, y) in w.as_slice().iter().zip(reference.as_slice()) {
+                    assert!((*x - *y).abs() < 1e-9, "{rows}x{cols} seed {seed}");
+                }
+                // And it is a true right inverse.
+                assert!(h.mul_mat(&w).unwrap().is_identity(1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn zf_solver_reuse_across_calls() {
+        let mut solver = ZfSolver::new(3, 6);
+        let mut w = CMat::zeros(0, 0);
+        for seed in 1..20u64 {
+            let h = random_like(3, 6, 1000 + seed);
+            solver.pinv_into(&h, &mut w).unwrap();
+            assert!(h.mul_mat(&w).unwrap().is_identity(1e-9), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn zf_solver_rejects_rank_deficient() {
+        // Rank-1 2×2 (the channel two co-located clients would produce).
+        let h = CMat::from_rows(&[&[c(1.0, 0.0), c(1.0, 0.0)], &[c(1.0, 0.0), c(1.0, 0.0)]]);
+        let mut solver = ZfSolver::new(2, 2);
+        let mut w = CMat::zeros(0, 0);
+        assert_eq!(solver.pinv_into(&h, &mut w), Err(MatError::Singular));
+        // All-zero channel.
+        let z = CMat::zeros(2, 3);
+        let mut solver = ZfSolver::new(2, 3);
+        assert_eq!(solver.pinv_into(&z, &mut w), Err(MatError::Singular));
+    }
+
+    #[test]
+    fn zf_solver_shape_mismatch() {
+        let mut solver = ZfSolver::new(2, 4);
+        let mut w = CMat::zeros(0, 0);
+        let h = random_like(3, 4, 1);
+        assert!(matches!(
+            solver.pinv_into(&h, &mut w),
+            Err(MatError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "n_streams")]
+    fn zf_solver_rejects_underdetermined() {
+        ZfSolver::new(3, 2);
     }
 
     #[test]

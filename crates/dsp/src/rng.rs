@@ -25,8 +25,8 @@ pub fn rng_from_seed(seed: u64) -> JmbRng {
 /// while the whole simulation still derives from one master seed. The mixing
 /// is SplitMix64-style so nearby labels produce unrelated streams.
 pub fn derive_rng(master_seed: u64, stream: u64) -> JmbRng {
-    let mut z = master_seed
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    let mut z =
+        master_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;

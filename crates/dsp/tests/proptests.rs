@@ -91,6 +91,47 @@ proptest! {
     }
 
     #[test]
+    fn cached_plan_fft_matches_naive_dft(
+        values in prop::collection::vec((-10.0..10.0f64, -10.0..10.0f64), 64)
+    ) {
+        // The plan-cache path must agree with the O(N²) oracle on any
+        // signal, i.e. caching twiddles changes nothing numerically.
+        let input: Vec<Complex64> = values.iter().map(|&(r, i)| Complex64::new(r, i)).collect();
+        let oracle = jmb_dsp::fft::dft_naive(&input);
+        let mut buf = input;
+        jmb_dsp::fft_in_place(&mut buf);
+        for (a, b) in buf.iter().zip(&oracle) {
+            prop_assert!((*a - *b).abs() < 1e-6, "cached FFT diverges from DFT oracle");
+        }
+    }
+
+    #[test]
+    fn mul_into_matches_mul_mat(
+        dims in (1usize..5, 1usize..5, 1usize..5),
+        a_entries in prop::collection::vec((-5.0..5.0f64, -5.0..5.0f64), 16),
+        b_entries in prop::collection::vec((-5.0..5.0f64, -5.0..5.0f64), 16),
+    ) {
+        let (m, k, n) = dims;
+        let a = CMat::from_vec(
+            m, k,
+            a_entries.iter().cycle().take(m * k).map(|&(r, i)| Complex64::new(r, i)).collect(),
+        );
+        let b = CMat::from_vec(
+            k, n,
+            b_entries.iter().cycle().take(k * n).map(|&(r, i)| Complex64::new(r, i)).collect(),
+        );
+        let fresh = a.mul_mat(&b).unwrap();
+        // Scratch deliberately starts with the wrong shape and stale
+        // contents: mul_into must reshape and fully overwrite.
+        let mut out = CMat::from_vec(1, 2, vec![Complex64::new(9.0, 9.0); 2]);
+        a.mul_into(&b, &mut out).unwrap();
+        prop_assert_eq!(&out, &fresh);
+        // And reusing the same scratch again stays correct.
+        a.mul_into(&b, &mut out).unwrap();
+        prop_assert_eq!(&out, &fresh);
+    }
+
+    #[test]
     fn db_roundtrip(db in -80.0..80.0f64) {
         prop_assert!((lin_to_db(db_to_lin(db)) - db).abs() < 1e-9);
     }

@@ -78,7 +78,7 @@ impl ChannelEstimate {
 /// Panics if `ltf_samples.len() != 160`.
 pub fn estimate_from_ltf(params: &OfdmParams, ltf_samples: &[Complex64]) -> ChannelEstimate {
     assert_eq!(ltf_samples.len(), crate::preamble::LTF_LEN, "need full LTF");
-    let plan = jmb_dsp::FftPlan::new(params.fft_size);
+    let plan = jmb_dsp::fft::plan(params.fft_size);
     let l = ltf_freq();
 
     let mut sym1 = ltf_samples[32..96].to_vec();
@@ -92,7 +92,7 @@ pub fn estimate_from_ltf(params: &OfdmParams, ltf_samples: &[Complex64]) -> Chan
         .map(|&k| {
             let bin = params.bin(k);
             let known = l[(k + 26) as usize]; // ±1
-            // H = Y / L = Y * L since L ∈ {±1}.
+                                              // H = Y / L = Y * L since L ∈ {±1}.
             (sym1[bin] + sym2[bin]).scale(0.5 * known)
         })
         .collect();
@@ -153,7 +153,10 @@ pub fn track_pilots(
     let ks: Vec<f64> = params.pilot_subcarriers.iter().map(|&k| k as f64).collect();
     let wsum: f64 = weights.iter().sum();
     if wsum <= 0.0 {
-        return PilotTrack { common_phase: 0.0, slope: 0.0 };
+        return PilotTrack {
+            common_phase: 0.0,
+            slope: 0.0,
+        };
     }
     let kbar = ks.iter().zip(&weights).map(|(k, w)| k * w).sum::<f64>() / wsum;
     let pbar = phases.iter().zip(&weights).map(|(p, w)| p * w).sum::<f64>() / wsum;
@@ -239,11 +242,11 @@ mod tests {
         let tx = preamble::ltf(&p);
         let mut rx = tx.clone();
         let noise = Complex64::new(0.05, -0.03);
-        for n in 32..96 {
-            rx[n] += noise;
+        for s in rx[32..96].iter_mut() {
+            *s += noise;
         }
-        for n in 96..160 {
-            rx[n] -= noise;
+        for s in rx[96..160].iter_mut() {
+            *s -= noise;
         }
         let est = estimate_from_ltf(&p, &rx);
         for g in &est.gains {
@@ -309,8 +312,8 @@ mod tests {
         let channel = [Complex64::from_polar(0.9, 0.5); 4];
         // Clean reception of polarity −1 pilots.
         let mut rx = [Complex64::ZERO; 4];
-        for i in 0..4 {
-            rx[i] = channel[i].scale(PILOT_BASE[i] * -1.0);
+        for (i, r) in rx.iter_mut().enumerate() {
+            *r = channel[i].scale(-PILOT_BASE[i]);
         }
         let t = track_pilots(&p, &rx, &channel, -1.0);
         assert!(t.common_phase.abs() < 1e-9);

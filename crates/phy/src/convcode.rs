@@ -27,7 +27,10 @@ fn parity(x: u8) -> u8 {
 /// `g1` output for each input bit.
 pub fn encode(data: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(2 * (data.len() + TAIL_BITS));
-    encode_into(data.iter().chain(std::iter::repeat(&0u8).take(TAIL_BITS)), &mut out);
+    encode_into(
+        data.iter().chain(std::iter::repeat_n(&0u8, TAIL_BITS)),
+        &mut out,
+    );
     out
 }
 
@@ -204,7 +207,10 @@ mod tests {
         for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
             let punct = puncture(&coded, rate);
             // Soft values: +1 for bit 0, -1 for bit 1 (sign convention).
-            let soft: Vec<f64> = punct.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+            let soft: Vec<f64> = punct
+                .iter()
+                .map(|&b| if b == 0 { 1.0 } else { -1.0 })
+                .collect();
             let restored = depuncture(&soft, rate, n_coded);
             assert_eq!(restored.len(), n_coded);
             let pat = puncture_pattern(rate);

@@ -73,7 +73,10 @@ mod tests {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0x0000_0000);
         assert_eq!(crc32(b"a"), 0xE8B7_BE43);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]
@@ -89,7 +92,11 @@ mod tests {
         let mut framed = append_crc(b"payload bytes here");
         for i in 0..framed.len() {
             framed[i] ^= 0x40;
-            assert_eq!(check_and_strip_crc(&framed), None, "flip at byte {i} undetected");
+            assert_eq!(
+                check_and_strip_crc(&framed),
+                None,
+                "flip at byte {i} undetected"
+            );
             framed[i] ^= 0x40;
         }
         // Sanity: restored frame passes again.

@@ -198,7 +198,12 @@ mod tests {
 
     #[test]
     fn ber_monotone_decreasing_in_snr() {
-        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+        for m in [
+            Modulation::Bpsk,
+            Modulation::Qpsk,
+            Modulation::Qam16,
+            Modulation::Qam64,
+        ] {
             let mut prev = 1.0;
             for s in 0..30 {
                 let b = ber(m, db_to_lin(s as f64));
@@ -231,7 +236,12 @@ mod tests {
 
     #[test]
     fn effective_snr_of_flat_channel_is_identity() {
-        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+        for m in [
+            Modulation::Bpsk,
+            Modulation::Qpsk,
+            Modulation::Qam16,
+            Modulation::Qam64,
+        ] {
             // Pick mid-range SNRs where the BER curve is informative for the
             // modulation (flat very-high SNR saturates BER to ~0).
             for &snr in &[6.0, 10.0, 14.0] {

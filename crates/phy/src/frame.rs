@@ -43,7 +43,9 @@ pub const DEFAULT_SCRAMBLER_SEED: u8 = 0x5D;
 pub const MAX_PSDU: usize = 4095;
 
 /// 802.11 RATE field encodings, indexed like [`Mcs::ALL`].
-const RATE_BITS: [u8; 8] = [0b1101, 0b1111, 0b0101, 0b0111, 0b1001, 0b1011, 0b0001, 0b0011];
+const RATE_BITS: [u8; 8] = [
+    0b1101, 0b1111, 0b0101, 0b0111, 0b1001, 0b1011, 0b0001, 0b0011,
+];
 
 /// Transmit-side errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -154,9 +156,9 @@ impl FrameTx {
         }
         let tail_start = bits.len();
         bits.resize(n_bits, 0); // tail + pad as zeros
-        // Scramble everything, then re-zero tail and pad so the encoder is
-        // flushed to state 0 at the end of the stream (pad content is
-        // ignored by the receiver).
+                                // Scramble everything, then re-zero tail and pad so the encoder is
+                                // flushed to state 0 at the end of the stream (pad content is
+                                // ignored by the receiver).
         let mut scr = Scrambler::new(self.seed);
         scr.scramble_in_place(&mut bits);
         for b in bits[tail_start..].iter_mut() {
@@ -336,8 +338,7 @@ impl FrameRx {
         let csi: Vec<f64> = data_gains.iter().map(|g| g.norm_sqr()).collect();
 
         // --- SIGNAL.
-        let (mcs, psdu_len) =
-            self.decode_signal(&bins[0], channel, noise_var, polarity[0])?;
+        let (mcs, psdu_len) = self.decode_signal(&bins[0], channel, noise_var, polarity[0])?;
         let n_sym = mcs.symbols_for_psdu(params, psdu_len);
         if bins.len() < 1 + n_sym {
             return Err(RxError::Truncated);
@@ -396,7 +397,11 @@ impl FrameRx {
             .ok_or(RxError::CrcFailed)?
             .to_vec();
 
-        let evm = if evm_n > 0 { evm_acc / evm_n as f64 } else { f64::NAN };
+        let evm = if evm_n > 0 {
+            evm_acc / evm_n as f64
+        } else {
+            f64::NAN
+        };
         Ok(RxResult {
             payload,
             mcs,
@@ -445,7 +450,7 @@ impl FrameRx {
         for b in 0..12 {
             len |= (bits[5 + b] as usize) << b;
         }
-        if len < 4 || len > MAX_PSDU {
+        if !(4..=MAX_PSDU).contains(&len) {
             return Err(RxError::BadSignal);
         }
         Ok((Mcs::ALL[idx], len))
@@ -460,7 +465,7 @@ impl FrameRx {
 /// Panics if `ltf_samples.len() != 160`.
 pub fn noise_from_ltf(params: &OfdmParams, ltf_samples: &[Complex64]) -> f64 {
     assert_eq!(ltf_samples.len(), preamble::LTF_LEN);
-    let plan = jmb_dsp::FftPlan::new(params.fft_size);
+    let plan = jmb_dsp::fft::plan(params.fft_size);
     let mut sym1 = ltf_samples[32..96].to_vec();
     let mut sym2 = ltf_samples[96..160].to_vec();
     plan.forward(&mut sym1);
@@ -573,7 +578,9 @@ mod tests {
             s ^= s << 17;
             (s as f64 / u64::MAX as f64) - 0.5
         };
-        let noise: Vec<Complex64> = (0..4000).map(|_| Complex64::new(next(), next()) * 0.1).collect();
+        let noise: Vec<Complex64> = (0..4000)
+            .map(|_| Complex64::new(next(), next()) * 0.1)
+            .collect();
         assert_eq!(rx.rx_frame(&noise).unwrap_err(), RxError::NoPreamble);
     }
 
@@ -628,8 +635,7 @@ mod tests {
         let data = payload(120);
         let bins = tx.build_bins(Mcs::ALL[3], &data).unwrap();
         // Build a frequency-selective diagonal channel.
-        let gain =
-            |k: i32| Complex64::from_polar(0.8 + 0.01 * k as f64, 0.05 * k as f64);
+        let gain = |k: i32| Complex64::from_polar(0.8 + 0.01 * k as f64, 0.05 * k as f64);
         let rx_bins: Vec<Vec<Complex64>> = bins
             .symbols
             .iter()

@@ -31,10 +31,9 @@ impl Interleaver {
         // Standard formulation maps input index k → i → j. We store the
         // forward map out[j] = in[k]: build k→j then invert.
         let mut k_to_j = vec![0usize; n_cbps];
-        for k in 0..n_cbps {
+        for (k, slot) in k_to_j.iter_mut().enumerate() {
             let i = d * (k % 16) + k / 16;
-            let j = s * (i / s) + (i + n_cbps - (16 * i) / n_cbps) % s;
-            k_to_j[k] = j;
+            *slot = s * (i / s) + (i + n_cbps - (16 * i) / n_cbps) % s;
         }
         let mut perm = vec![0usize; n_cbps];
         for (k, &j) in k_to_j.iter().enumerate() {
@@ -58,7 +57,11 @@ impl Interleaver {
     ///
     /// Panics if `bits.len() != block_len()`.
     pub fn interleave<T: Copy>(&self, bits: &[T]) -> Vec<T> {
-        assert_eq!(bits.len(), self.block_len(), "interleave: block size mismatch");
+        assert_eq!(
+            bits.len(),
+            self.block_len(),
+            "interleave: block size mismatch"
+        );
         self.perm.iter().map(|&k| bits[k]).collect()
     }
 
@@ -68,7 +71,11 @@ impl Interleaver {
     ///
     /// Panics if `bits.len() != block_len()`.
     pub fn deinterleave<T: Copy>(&self, bits: &[T]) -> Vec<T> {
-        assert_eq!(bits.len(), self.block_len(), "deinterleave: block size mismatch");
+        assert_eq!(
+            bits.len(),
+            self.block_len(),
+            "deinterleave: block size mismatch"
+        );
         self.inv.iter().map(|&j| bits[j]).collect()
     }
 
@@ -192,7 +199,10 @@ mod tests {
         let p = OfdmParams::default();
         let il = Interleaver::new(&p, Modulation::Qam16);
         let stream: Vec<u32> = (0..192 * 3).collect();
-        assert_eq!(il.deinterleave_stream(&il.interleave_stream(&stream)), stream);
+        assert_eq!(
+            il.deinterleave_stream(&il.interleave_stream(&stream)),
+            stream
+        );
     }
 
     #[test]

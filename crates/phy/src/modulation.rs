@@ -72,23 +72,25 @@ impl Modulation {
     ///
     /// Panics if `bits.len() != self.bits_per_symbol()`.
     pub fn map(self, bits: &[u8]) -> Complex64 {
-        assert_eq!(bits.len(), self.bits_per_symbol(), "{self:?} needs {} bits", self.bits_per_symbol());
+        assert_eq!(
+            bits.len(),
+            self.bits_per_symbol(),
+            "{self:?} needs {} bits",
+            self.bits_per_symbol()
+        );
         debug_assert!(bits.iter().all(|&b| b <= 1));
         let k = self.kmod();
         match self {
             Modulation::Bpsk => Complex64::new(Self::gray_axis(&bits[..1]), 0.0) * k,
-            Modulation::Qpsk => Complex64::new(
-                Self::gray_axis(&bits[..1]),
-                Self::gray_axis(&bits[1..2]),
-            ) * k,
-            Modulation::Qam16 => Complex64::new(
-                Self::gray_axis(&bits[..2]),
-                Self::gray_axis(&bits[2..4]),
-            ) * k,
-            Modulation::Qam64 => Complex64::new(
-                Self::gray_axis(&bits[..3]),
-                Self::gray_axis(&bits[3..6]),
-            ) * k,
+            Modulation::Qpsk => {
+                Complex64::new(Self::gray_axis(&bits[..1]), Self::gray_axis(&bits[1..2])) * k
+            }
+            Modulation::Qam16 => {
+                Complex64::new(Self::gray_axis(&bits[..2]), Self::gray_axis(&bits[2..4])) * k
+            }
+            Modulation::Qam64 => {
+                Complex64::new(Self::gray_axis(&bits[..3]), Self::gray_axis(&bits[3..6])) * k
+            }
         }
     }
 
@@ -99,7 +101,11 @@ impl Modulation {
     /// Panics if `bits.len()` is not a multiple of `bits_per_symbol()`.
     pub fn map_stream(self, bits: &[u8]) -> Vec<Complex64> {
         let bps = self.bits_per_symbol();
-        assert_eq!(bits.len() % bps, 0, "bit stream not a whole number of symbols");
+        assert_eq!(
+            bits.len() % bps,
+            0,
+            "bit stream not a whole number of symbols"
+        );
         bits.chunks(bps).map(|c| self.map(c)).collect()
     }
 
@@ -224,8 +230,7 @@ mod tests {
                     // Nearest horizontal/vertical neighbour distance:
                     let step = 2.0 * m.kmod();
                     if (d - step).abs() < 1e-9 {
-                        let diff: usize =
-                            bi.iter().zip(bj).filter(|(a, b)| a != b).count();
+                        let diff: usize = bi.iter().zip(bj).filter(|(a, b)| a != b).count();
                         assert_eq!(diff, 1, "{m:?}: neighbours differ in {diff} bits");
                     }
                 }

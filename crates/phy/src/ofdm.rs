@@ -7,22 +7,23 @@
 //! Eq. 1/4), so this equalizer is all a client needs.
 
 use crate::params::OfdmParams;
-use jmb_dsp::{Complex64, FftPlan};
+use jmb_dsp::{fft, Complex64, FftPlan};
+use std::sync::Arc;
 
 /// Base pilot values before polarity: `P(−21)=1, P(−7)=1, P(+7)=1, P(+21)=−1`.
 pub const PILOT_BASE: [f64; 4] = [1.0, 1.0, 1.0, -1.0];
 
-/// One OFDM modem instance (holds the FFT plan).
+/// One OFDM modem instance (holds a shared cached FFT plan).
 #[derive(Debug, Clone)]
 pub struct Ofdm {
     params: OfdmParams,
-    plan: FftPlan,
+    plan: Arc<FftPlan>,
 }
 
 impl Ofdm {
     /// Creates a modem for the given numerology.
     pub fn new(params: OfdmParams) -> Self {
-        let plan = FftPlan::new(params.fft_size);
+        let plan = fft::plan(params.fft_size);
         Ofdm { params, plan }
     }
 
@@ -80,7 +81,11 @@ impl Ofdm {
     ///
     /// Panics if `samples.len() != 80`.
     pub fn demodulate_symbol(&self, samples: &[Complex64]) -> Vec<Complex64> {
-        assert_eq!(samples.len(), self.params.symbol_len(), "need one full symbol");
+        assert_eq!(
+            samples.len(),
+            self.params.symbol_len(),
+            "need one full symbol"
+        );
         let mut bins = samples[self.params.cp_len..].to_vec();
         self.plan.forward(&mut bins);
         bins
@@ -183,7 +188,7 @@ mod tests {
         }
         let pilots = m.extract_pilots(&bins);
         for (i, p) in pilots.iter().enumerate() {
-            let want = PILOT_BASE[i] * -1.0;
+            let want = -PILOT_BASE[i];
             assert!((*p - Complex64::real(want)).abs() < 1e-10);
         }
     }
@@ -194,8 +199,8 @@ mod tests {
         let bins = m.assemble_bins(&test_data(7), 1.0);
         // DC and guard bins (|k| > 26) must be zero.
         assert_eq!(bins[0], Complex64::ZERO);
-        for k in 27..=37usize {
-            assert_eq!(bins[k], Complex64::ZERO, "guard bin {k} occupied");
+        for (k, b) in bins.iter().enumerate().take(38).skip(27) {
+            assert_eq!(*b, Complex64::ZERO, "guard bin {k} occupied");
         }
     }
 

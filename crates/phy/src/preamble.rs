@@ -12,7 +12,7 @@
 //!    for unmodified clients (§6.1).
 
 use crate::params::OfdmParams;
-use jmb_dsp::{Complex64, FftPlan};
+use jmb_dsp::{fft, Complex64};
 
 /// Number of samples in the short training field (10 repetitions of a
 /// 16-sample pattern).
@@ -54,8 +54,8 @@ pub fn stf_freq() -> [Complex64; 53] {
 /// (index 26 is DC and is zero). IEEE 802.11-2012 §18.3.3.
 pub fn ltf_freq() -> [f64; 53] {
     [
-        1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, -1.0,
-        -1.0, 1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0, // k = −26..−1
+        1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, -1.0, -1.0,
+        1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0, // k = −26..−1
         0.0, // DC
         1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, -1.0, -1.0, -1.0, -1.0, 1.0, 1.0,
         -1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0, // k = +1..+26
@@ -72,8 +72,7 @@ pub fn ltf_symbol(params: &OfdmParams) -> Vec<Complex64> {
         }
         bins[params.bin(k)] = Complex64::real(l[(k + 26) as usize]);
     }
-    let plan = FftPlan::new(params.fft_size);
-    plan.inverse(&mut bins);
+    fft::ifft_in_place(&mut bins);
     bins
 }
 
@@ -87,8 +86,7 @@ pub fn stf_period(params: &OfdmParams) -> Vec<Complex64> {
         }
         bins[params.bin(k)] = s[(k + 26) as usize];
     }
-    let plan = FftPlan::new(params.fft_size);
-    plan.inverse(&mut bins);
+    fft::ifft_in_place(&mut bins);
     bins.truncate(16);
     bins
 }
@@ -126,7 +124,7 @@ pub fn ltf(params: &OfdmParams) -> Vec<Complex64> {
 pub fn stf_from_bins(params: &OfdmParams, bins: &[Complex64]) -> Vec<Complex64> {
     assert_eq!(bins.len(), params.fft_size);
     let mut body = bins.to_vec();
-    FftPlan::new(params.fft_size).inverse(&mut body);
+    fft::ifft_in_place(&mut body);
     let period = &body[..16];
     let mut out = Vec::with_capacity(STF_LEN);
     for _ in 0..10 {
@@ -144,7 +142,7 @@ pub fn stf_from_bins(params: &OfdmParams, bins: &[Complex64]) -> Vec<Complex64> 
 pub fn ltf_from_bins(params: &OfdmParams, bins: &[Complex64]) -> Vec<Complex64> {
     assert_eq!(bins.len(), params.fft_size);
     let mut sym = bins.to_vec();
-    FftPlan::new(params.fft_size).inverse(&mut sym);
+    fft::ifft_in_place(&mut sym);
     let mut out = Vec::with_capacity(LTF_LEN);
     out.extend_from_slice(&sym[sym.len() - 32..]);
     out.extend_from_slice(&sym);
@@ -253,8 +251,14 @@ mod tests {
         let pw_stf = mean_power(&stf(&p));
         let pw_ltf = mean_power(&ltf(&p));
         let expected = 52.0 / 64.0 / 64.0; // Σ|X_k|² / N², with |X_k|=1 on 52 bins
-        assert!((pw_ltf / expected - 1.0).abs() < 0.05, "ltf {pw_ltf} vs {expected}");
-        assert!((pw_stf / expected - 1.0).abs() < 0.10, "stf {pw_stf} vs {expected}");
+        assert!(
+            (pw_ltf / expected - 1.0).abs() < 0.05,
+            "ltf {pw_ltf} vs {expected}"
+        );
+        assert!(
+            (pw_stf / expected - 1.0).abs() < 0.10,
+            "stf {pw_stf} vs {expected}"
+        );
     }
 
     #[test]

@@ -48,14 +48,38 @@ pub struct Mcs {
 impl Mcs {
     /// The eight 802.11a/g schemes, slowest first.
     pub const ALL: [Mcs; 8] = [
-        Mcs { modulation: Modulation::Bpsk, code_rate: CodeRate::Half },
-        Mcs { modulation: Modulation::Bpsk, code_rate: CodeRate::ThreeQuarters },
-        Mcs { modulation: Modulation::Qpsk, code_rate: CodeRate::Half },
-        Mcs { modulation: Modulation::Qpsk, code_rate: CodeRate::ThreeQuarters },
-        Mcs { modulation: Modulation::Qam16, code_rate: CodeRate::Half },
-        Mcs { modulation: Modulation::Qam16, code_rate: CodeRate::ThreeQuarters },
-        Mcs { modulation: Modulation::Qam64, code_rate: CodeRate::TwoThirds },
-        Mcs { modulation: Modulation::Qam64, code_rate: CodeRate::ThreeQuarters },
+        Mcs {
+            modulation: Modulation::Bpsk,
+            code_rate: CodeRate::Half,
+        },
+        Mcs {
+            modulation: Modulation::Bpsk,
+            code_rate: CodeRate::ThreeQuarters,
+        },
+        Mcs {
+            modulation: Modulation::Qpsk,
+            code_rate: CodeRate::Half,
+        },
+        Mcs {
+            modulation: Modulation::Qpsk,
+            code_rate: CodeRate::ThreeQuarters,
+        },
+        Mcs {
+            modulation: Modulation::Qam16,
+            code_rate: CodeRate::Half,
+        },
+        Mcs {
+            modulation: Modulation::Qam16,
+            code_rate: CodeRate::ThreeQuarters,
+        },
+        Mcs {
+            modulation: Modulation::Qam64,
+            code_rate: CodeRate::TwoThirds,
+        },
+        Mcs {
+            modulation: Modulation::Qam64,
+            code_rate: CodeRate::ThreeQuarters,
+        },
     ];
 
     /// The most robust scheme (BPSK 1/2), used for the SIGNAL field.

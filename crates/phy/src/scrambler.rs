@@ -20,7 +20,10 @@ impl Scrambler {
     /// Panics if `seed` is zero (an all-zero LFSR never advances) or wider
     /// than 7 bits.
     pub fn new(seed: u8) -> Self {
-        assert!(seed != 0 && seed < 0x80, "scrambler seed must be 1..=127, got {seed}");
+        assert!(
+            seed != 0 && seed < 0x80,
+            "scrambler seed must be 1..=127, got {seed}"
+        );
         Scrambler { state: seed }
     }
 

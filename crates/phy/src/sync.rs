@@ -55,7 +55,11 @@ pub fn detect_packet(samples: &[Complex64], threshold: f64) -> Option<usize> {
     let mut best: Option<(usize, f64)> = None;
     let mut run = 0usize;
     for n in 0..samples.len() - WINDOW - LAG {
-        let metric = if power > 1e-18 { corr.abs() / power } else { 0.0 };
+        let metric = if power > 1e-18 {
+            corr.abs() / power
+        } else {
+            0.0
+        };
         if metric > threshold {
             run += 1;
             // Require a sustained plateau (~half the STF) before declaring.

@@ -82,7 +82,7 @@ impl std::error::Error for ViterbiError {}
 /// assert_eq!(viterbi::decode(&soft).unwrap(), data);
 /// ```
 pub fn decode(soft: &[f64]) -> Result<Vec<u8>, ViterbiError> {
-    if soft.len() % 2 != 0 || soft.len() / 2 < TAIL_BITS {
+    if !soft.len().is_multiple_of(2) || soft.len() / 2 < TAIL_BITS {
         return Err(ViterbiError::BadInputLength(soft.len()));
     }
     let n_steps = soft.len() / 2;
@@ -106,8 +106,7 @@ pub fn decode(soft: &[f64]) -> Result<Vec<u8>, ViterbiError> {
             m0 + m1
         };
         new_metric.fill(NEG_INF);
-        for s in 0..N_STATES {
-            let m = metric[s];
+        for (s, &m) in metric.iter().enumerate() {
             if m == NEG_INF {
                 continue;
             }
@@ -163,7 +162,10 @@ mod tests {
     use crate::rates::CodeRate;
 
     fn to_soft(coded: &[u8]) -> Vec<f64> {
-        coded.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect()
+        coded
+            .iter()
+            .map(|&b| if b == 0 { 1.0 } else { -1.0 })
+            .collect()
     }
 
     #[test]
@@ -270,7 +272,9 @@ mod tests {
             // Sum of 12 uniforms ≈ N(0,1).
             let mut acc = 0.0f64;
             for _ in 0..12 {
-                lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                lcg = lcg
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 acc += (lcg >> 11) as f64 / (1u64 << 53) as f64;
             }
             acc - 6.0

@@ -38,6 +38,77 @@ struct Node {
     noise_var: f64,
 }
 
+/// Time-invariant channel snapshot from [`SubcarrierMedium::snapshot_static`]:
+/// the static frequency responses of a fixed tx/rx node set on a subcarrier
+/// list. Combine with [`InstantPhasors`] via [`Self::matrix_at`].
+pub struct StaticChannel {
+    txs: Vec<NodeId>,
+    rxs: Vec<NodeId>,
+    ks: Vec<i32>,
+    spacing: f64,
+    /// `resp[k_idx][(j, i)]` = static response of `rx_j ← tx_i`.
+    resp: Vec<CMat>,
+}
+
+/// Per-instant oscillator state for a [`StaticChannel`]'s node sets, filled
+/// by [`SubcarrierMedium::instant_phasors`]. Reusable scratch: both vectors
+/// are cleared and refilled on each call.
+#[derive(Default)]
+pub struct InstantPhasors {
+    /// `e^{j(φ_tx−φ_rx)}` per (rx, tx) pair, rx-major.
+    pair_phasor: Vec<Complex64>,
+    /// Sample-clock slip `(ratio_tx − ratio_rx)·t` per (rx, tx) pair.
+    slip_s: Vec<f64>,
+}
+
+impl StaticChannel {
+    /// The instantaneous channel matrix on subcarrier index `k_idx` at the
+    /// instant captured by `inst`, into a reused matrix. Produces exactly
+    /// `static_resp × e^{j(φ_tx−φ_rx)} × e^{j2πf_k·slip}` per entry — the
+    /// same product, in the same order, as [`SubcarrierMedium::channel_at`].
+    pub fn matrix_at(&self, inst: &InstantPhasors, k_idx: usize, out: &mut CMat) {
+        let n_tx = self.txs.len();
+        let n_rx = self.rxs.len();
+        let f_k = self.ks[k_idx] as f64 * self.spacing;
+        let resp = &self.resp[k_idx];
+        out.reset(n_rx, n_tx);
+        for j in 0..n_rx {
+            for i in 0..n_tx {
+                let p = j * n_tx + i;
+                let sfo_rot = Complex64::cis(2.0 * std::f64::consts::PI * f_k * inst.slip_s[p]);
+                out[(j, i)] = resp[(j, i)] * inst.pair_phasor[p] * sfo_rot;
+            }
+        }
+    }
+
+    /// One (tx, rx) pair's channel on every snapshotted subcarrier at the
+    /// instant captured by `inst`, into a reused buffer — the row-shaped
+    /// sibling of [`Self::matrix_at`], same per-entry arithmetic as
+    /// [`SubcarrierMedium::channel_row_into`].
+    pub fn row_at(
+        &self,
+        inst: &InstantPhasors,
+        tx_idx: usize,
+        rx_idx: usize,
+        out: &mut Vec<Complex64>,
+    ) {
+        let p = rx_idx * self.txs.len() + tx_idx;
+        let pair = inst.pair_phasor[p];
+        let slip_s = inst.slip_s[p];
+        out.clear();
+        for (k_idx, &k) in self.ks.iter().enumerate() {
+            let f_k = k as f64 * self.spacing;
+            let sfo_rot = Complex64::cis(2.0 * std::f64::consts::PI * f_k * slip_s);
+            out.push(self.resp[k_idx][(rx_idx, tx_idx)] * pair * sfo_rot);
+        }
+    }
+
+    /// Number of subcarriers in the snapshot.
+    pub fn n_subcarriers(&self) -> usize {
+        self.ks.len()
+    }
+}
+
 /// The fast, frequency-domain medium.
 pub struct SubcarrierMedium {
     params: OfdmParams,
@@ -115,8 +186,8 @@ impl SubcarrierMedium {
         // by (ratio_tx − ratio_rx)·t seconds over time, which appears as a
         // per-subcarrier phase ramp (exactly what the sample-level medium's
         // resampling produces).
-        let slip_s = (self.nodes[tx.0].traj.sample_ratio() - self.nodes[rx.0].traj.sample_ratio())
-            * t;
+        let slip_s =
+            (self.nodes[tx.0].traj.sample_ratio() - self.nodes[rx.0].traj.sample_ratio()) * t;
         let sfo_rot = Complex64::cis(2.0 * std::f64::consts::PI * f_k * slip_s);
         static_resp * Complex64::cis(tx_phase - rx_phase) * sfo_rot
     }
@@ -132,12 +203,127 @@ impl SubcarrierMedium {
         t: f64,
     ) -> CMat {
         let mut h = CMat::zeros(rxs.len(), txs.len());
+        self.channel_matrix_into(txs, rxs, subcarrier, t, &mut h);
+        h
+    }
+
+    /// Allocation-free variant of [`Self::channel_matrix`]: fills `out`
+    /// (reshaped to `rxs.len() × txs.len()`, reusing its storage) instead of
+    /// returning a fresh matrix. This is the form the per-subcarrier hot
+    /// loops use so no matrix is allocated per (subcarrier, probe) pair.
+    pub fn channel_matrix_into(
+        &mut self,
+        txs: &[NodeId],
+        rxs: &[NodeId],
+        subcarrier: i32,
+        t: f64,
+        out: &mut CMat,
+    ) {
+        out.reset(rxs.len(), txs.len());
         for (j, &rx) in rxs.iter().enumerate() {
             for (i, &tx) in txs.iter().enumerate() {
-                h[(j, i)] = self.channel_at(tx, rx, subcarrier, t);
+                out[(j, i)] = self.channel_at(tx, rx, subcarrier, t);
             }
         }
-        h
+    }
+
+    /// One link's channel on every subcarrier of `ks` at a single instant,
+    /// into a reused buffer. Identical arithmetic to [`Self::channel_at`]
+    /// per entry, but the oscillator phases, the pair phasor, and the clock
+    /// slip — which do not depend on the subcarrier — are computed once
+    /// instead of `ks.len()` times.
+    pub fn channel_row_into(
+        &mut self,
+        tx: NodeId,
+        rx: NodeId,
+        ks: &[i32],
+        t: f64,
+        out: &mut Vec<Complex64>,
+    ) {
+        out.clear();
+        let Some(link) = self.links[tx.0][rx.0].as_ref() else {
+            out.resize(ks.len(), Complex64::ZERO);
+            return;
+        };
+        let tx_phase = self.nodes[tx.0].traj.phase_at(t);
+        let rx_phase = self.nodes[rx.0].traj.phase_at(t);
+        let pair = Complex64::cis(tx_phase - rx_phase);
+        let slip_s =
+            (self.nodes[tx.0].traj.sample_ratio() - self.nodes[rx.0].traj.sample_ratio()) * t;
+        let spacing = self.params.subcarrier_spacing();
+        for &k in ks {
+            let f_k = k as f64 * spacing;
+            let static_resp = link.freq_response_at(f_k);
+            let sfo_rot = Complex64::cis(2.0 * std::f64::consts::PI * f_k * slip_s);
+            out.push(static_resp * pair * sfo_rot);
+        }
+    }
+
+    /// Snapshots the *static* part of the channels between a fixed
+    /// transmitter and receiver set on a subcarrier list: link gain ×
+    /// fading response × delay rotation, per (rx, tx, subcarrier). The
+    /// multipath tap sum is the expensive term of [`Self::channel_at`] and
+    /// is time-invariant between fading evolutions, so packet-length hot
+    /// loops build this once and then pay only the oscillator phasors per
+    /// probe instant (see [`InstantPhasors`] and [`StaticChannel::matrix_at`]).
+    ///
+    /// The snapshot is stale once any involved link evolves; rebuild it.
+    pub fn snapshot_static(&self, txs: &[NodeId], rxs: &[NodeId], ks: &[i32]) -> StaticChannel {
+        let spacing = self.params.subcarrier_spacing();
+        let resp = ks
+            .iter()
+            .map(|&k| {
+                let f_k = k as f64 * spacing;
+                let mut m = CMat::zeros(rxs.len(), txs.len());
+                for (j, &rx) in rxs.iter().enumerate() {
+                    for (i, &tx) in txs.iter().enumerate() {
+                        if let Some(link) = self.links[tx.0][rx.0].as_ref() {
+                            m[(j, i)] = link.freq_response_at(f_k);
+                        }
+                    }
+                }
+                m
+            })
+            .collect();
+        StaticChannel {
+            txs: txs.to_vec(),
+            rxs: rxs.to_vec(),
+            ks: ks.to_vec(),
+            spacing,
+            resp,
+        }
+    }
+
+    /// Evaluates the oscillator state of `snap`'s node sets at instant `t`:
+    /// pair phasors `e^{j(φ_tx−φ_rx)}` and per-pair sample-clock slips,
+    /// once per instant instead of once per (pair, subcarrier).
+    pub fn instant_phasors(&mut self, snap: &StaticChannel, t: f64, out: &mut InstantPhasors) {
+        let n_tx = snap.txs.len();
+        let tx_state: Vec<(f64, f64)> = snap
+            .txs
+            .iter()
+            .map(|&n| {
+                let traj = &mut self.nodes[n.0].traj;
+                (traj.phase_at(t), traj.sample_ratio())
+            })
+            .collect();
+        let rx_state: Vec<(f64, f64)> = snap
+            .rxs
+            .iter()
+            .map(|&n| {
+                let traj = &mut self.nodes[n.0].traj;
+                (traj.phase_at(t), traj.sample_ratio())
+            })
+            .collect();
+        out.pair_phasor.clear();
+        out.slip_s.clear();
+        for &(rx_phase, rx_ratio) in &rx_state {
+            for &(tx_phase, tx_ratio) in &tx_state {
+                out.pair_phasor.push(Complex64::cis(tx_phase - rx_phase));
+                out.slip_s.push((tx_ratio - rx_ratio) * t);
+            }
+        }
+        debug_assert_eq!(out.pair_phasor.len(), n_tx * snap.rxs.len());
     }
 
     /// Transports one OFDM symbol: each transmitter radiates its 64-bin
@@ -242,7 +428,11 @@ mod tests {
             let h = m.channel_at(a, b, k, 0.0);
             assert!((h - Complex64::ONE).abs() < 1e-12, "k={k}");
         }
-        assert_eq!(m.channel_at(b, a, 1, 0.0), Complex64::ZERO, "no reverse link");
+        assert_eq!(
+            m.channel_at(b, a, 1, 0.0),
+            Complex64::ZERO,
+            "no reverse link"
+        );
     }
 
     #[test]
@@ -335,8 +525,7 @@ mod tests {
         // comes from SFO slip: Δφ = 2π·(f_high − f_low)·(ppm·t).
         let p = m.params().clone();
         let slip = 10e-6 * t;
-        let expected =
-            2.0 * std::f64::consts::PI * 40.0 * p.subcarrier_spacing() * slip;
+        let expected = 2.0 * std::f64::consts::PI * 40.0 * p.subcarrier_spacing() * slip;
         let got = (h_high * h_low.conj()).arg();
         assert!(
             (jmb_dsp::complex::wrap_phase(got - expected)).abs() < 1e-6,
@@ -368,6 +557,70 @@ mod tests {
             // Tolerance admits the shared-crystal SFO ramp (~2e-4 rad).
             assert!((ratio - expected).abs() < 1e-3, "tx offset {f_tx}");
         }
+    }
+
+    #[test]
+    fn snapshot_paths_match_channel_at_exactly() {
+        // The hoisted fast paths (snapshot_static + instant_phasors →
+        // matrix_at / row_at, and channel_row_into) must produce
+        // bit-identical values to per-entry channel_at: same operands,
+        // same multiplication order.
+        let mut m = medium(21);
+        let mut rng = jmb_dsp::rng::rng_from_seed(5);
+        let txs: Vec<NodeId> = (0..3)
+            .map(|i| m.add_node(PhaseTrajectory::fixed(FC, 300.0 * i as f64 - 200.0), 0.0))
+            .collect();
+        let rxs: Vec<NodeId> = (0..2)
+            .map(|j| m.add_node(PhaseTrajectory::fixed(FC, -150.0 * j as f64 + 80.0), 0.0))
+            .collect();
+        for &tx in &txs {
+            for &rx in &rxs {
+                let link = Link::new(
+                    Complex64::from_polar(0.8, 0.3),
+                    25e-9,
+                    jmb_channel::Multipath::new(
+                        jmb_channel::MultipathSpec::indoor_nlos(),
+                        &mut rng,
+                    ),
+                );
+                m.set_link(tx, rx, link);
+            }
+        }
+        let ks = [-26, -3, 1, 17, 26];
+        let snap = m.snapshot_static(&txs, &rxs, &ks);
+        let mut inst = InstantPhasors::default();
+        let mut got = CMat::zeros(1, 1);
+        let mut row = Vec::new();
+        for t in [0.0, 1.3e-3, 7.7e-3] {
+            m.instant_phasors(&snap, t, &mut inst);
+            for (k_idx, &k) in ks.iter().enumerate() {
+                snap.matrix_at(&inst, k_idx, &mut got);
+                for (j, &rx) in rxs.iter().enumerate() {
+                    for (i, &tx) in txs.iter().enumerate() {
+                        let want = m.channel_at(tx, rx, k, t);
+                        assert_eq!(got[(j, i)], want, "matrix_at k={k} t={t}");
+                        snap.row_at(&inst, i, j, &mut row);
+                        assert_eq!(row[k_idx], want, "row_at k={k} t={t}");
+                    }
+                }
+            }
+            for (j, &rx) in rxs.iter().enumerate() {
+                for (i, &tx) in txs.iter().enumerate() {
+                    m.channel_row_into(tx, rx, &ks, t, &mut row);
+                    for (k_idx, &k) in ks.iter().enumerate() {
+                        assert_eq!(
+                            row[k_idx],
+                            m.channel_at(tx, rx, k, t),
+                            "channel_row_into tx={i} rx={j} k={k}"
+                        );
+                    }
+                }
+            }
+        }
+        // Missing links are zero in every path.
+        let lonely = clean_node(&mut m);
+        m.channel_row_into(lonely, rxs[0], &ks, 0.0, &mut row);
+        assert!(row.iter().all(|&h| h == Complex64::ZERO));
     }
 
     #[test]

@@ -31,5 +31,5 @@ pub mod medium;
 pub mod trace;
 
 pub use fault::FaultConfig;
-pub use freq::SubcarrierMedium;
+pub use freq::{InstantPhasors, StaticChannel, SubcarrierMedium};
 pub use medium::{Medium, NodeId, Transmission};

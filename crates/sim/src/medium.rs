@@ -228,9 +228,7 @@ impl Medium {
                 // Input-sample position (transmitter clock) for this output
                 // instant, before tap delays.
                 let base_pos = (t - tx_start - link.delay_s) * fs_tx;
-                if base_pos < -(taps.len() as f64 * 8.0) - 32.0
-                    || base_pos > tx_len as f64 + 32.0
-                {
+                if base_pos < -(taps.len() as f64 * 8.0) - 32.0 || base_pos > tx_len as f64 + 32.0 {
                     continue;
                 }
                 let mut acc = Complex64::ZERO;
@@ -366,8 +364,8 @@ mod tests {
         let wave = preamble::preamble(m.params());
         m.transmit(tx, 0.0, wave.clone());
         let out = m.render_rx(rx, 0.0, wave.len() + 20);
-        for i in 0..8 {
-            assert!(out[i].abs() < 1e-9, "leading sample {i} not empty");
+        for (i, s) in out.iter().take(8).enumerate() {
+            assert!(s.abs() < 1e-9, "leading sample {i} not empty");
         }
         for i in 20..wave.len() {
             assert!((out[i + 10] - wave[i]).abs() < 1e-6, "sample {i}");
@@ -443,7 +441,11 @@ mod tests {
                     want += g * wave[i - d];
                 }
             }
-            assert!((out[i] - want).abs() < 1e-5, "sample {i}: {} vs {want}", out[i]);
+            assert!(
+                (out[i] - want).abs() < 1e-5,
+                "sample {i}: {} vs {want}",
+                out[i]
+            );
         }
         // Silence fading's unused-var warning paths.
         fading.evolve(0.0, &mut rng);
@@ -475,8 +477,7 @@ mod tests {
             let t = i as f64 * ts;
             let cfo_rot = Complex64::cis(2.0 * std::f64::consts::PI * offset_hz * t);
             let expected_pos = i as f64 * (1.0 + 1e-4);
-            let expected =
-                Complex64::cis(2.0 * std::f64::consts::PI * f * expected_pos) * cfo_rot;
+            let expected = Complex64::cis(2.0 * std::f64::consts::PI * f * expected_pos) * cfo_rot;
             assert!(
                 (out[i] - expected).abs() < 0.05,
                 "sample {i}: {} vs {expected}",
@@ -492,10 +493,7 @@ mod tests {
         let tx = clean_node(&mut m);
         let rx = clean_node(&mut m);
         m.set_link(tx, rx, Link::ideal());
-        m.set_fault(FaultConfig {
-            drop_chance: 1.0,
-            ..FaultConfig::none()
-        });
+        m.set_fault(FaultConfig { drop_chance: 1.0 });
         m.transmit(tx, 0.0, preamble::preamble(m.params()));
         assert_eq!(m.transmission_count(), 0);
         let out = m.render_rx(rx, 0.0, 320);

@@ -19,7 +19,10 @@ fn main() {
     // joint channel matrix H; each slave AP stores its reference channel to
     // the lead.
     net.run_measurement().expect("measurement");
-    println!("channel measured; precoder power normalisation k̂ = {:.4}", net.k_hat().unwrap());
+    println!(
+        "channel measured; precoder power normalisation k̂ = {:.4}",
+        net.k_hat().unwrap()
+    );
 
     // Let the oscillators drift for a few milliseconds — long enough that
     // naive frequency-offset extrapolation would already have failed (§1:
@@ -36,7 +39,9 @@ fn main() {
     ];
     let mcs = net.select_rate().unwrap_or(Mcs::BASE);
     println!("joint rate selected by effective SNR: {mcs}");
-    let results = net.joint_transmit(&payloads, mcs, true).expect("protocol ran");
+    let results = net
+        .joint_transmit(&payloads, mcs, true)
+        .expect("protocol ran");
 
     for (i, r) in results.iter().enumerate() {
         match r {
@@ -52,7 +57,9 @@ fn main() {
     // The ablation: same network, corrections disabled. With the channel
     // matrix now several milliseconds stale, beamforming falls apart.
     net.advance(2e-3);
-    let broken = net.joint_transmit(&payloads, mcs, false).expect("protocol ran");
+    let broken = net
+        .joint_transmit(&payloads, mcs, false)
+        .expect("protocol ran");
     let failures = broken.iter().filter(|r| r.is_err()).count();
     println!("\nwithout phase sync: {failures}/2 packets lost — \"the drift between their");
     println!("oscillators will make the signals rotate at different speeds … preventing");

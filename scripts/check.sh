@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, tests, lints, formatting.
+#
+# The jmb-* packages must be clippy- and rustfmt-clean; the vendored
+# stand-in crates under vendor/ (rand, proptest, criterion) are kept
+# byte-comparable to their upstreams and are exempt from formatting.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JMB_PKGS=(-p jmb -p jmb-bench -p jmb-channel -p jmb-core -p jmb-dsp -p jmb-phy -p jmb-sim)
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt "${JMB_PKGS[@]}" -- --check
+
+echo "tier-1 checks passed"

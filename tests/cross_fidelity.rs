@@ -51,8 +51,8 @@ fn sample_level_channel_matches_subcarrier_model() {
 
     let mut worst = 0.0f64;
     for (i, &k) in est.subcarriers.iter().enumerate() {
-        let fast = fm.channel_at(ftx, frx, k, t0)
-            * Complex64::cis(-2.0 * std::f64::consts::PI * cfo * t0);
+        let fast =
+            fm.channel_at(ftx, frx, k, t0) * Complex64::cis(-2.0 * std::f64::consts::PI * cfo * t0);
         let slow = est.gains[i];
         let err = (fast - slow).abs() / fast.abs().max(1e-6);
         worst = worst.max(err);

@@ -56,19 +56,17 @@ fn mac_driven_delivery_with_losses() {
             per_client[p.dest] = p.payload.clone();
         }
         let results = net.joint_transmit(&per_client, mcs, true).unwrap();
-        let acked: Vec<bool> = batch
-            .iter()
-            .map(|p| results[p.dest].is_ok())
-            .collect();
-        let airtime = jmb::core::baseline::frame_airtime(
-            &OfdmParams::default(),
-            mcs,
-            batch[0].payload.len(),
-        );
+        let acked: Vec<bool> = batch.iter().map(|p| results[p.dest].is_ok()).collect();
+        let airtime =
+            jmb::core::baseline::frame_airtime(&OfdmParams::default(), mcs, batch[0].payload.len());
         mac.complete_batch(batch, &acked, airtime);
     }
     assert_eq!(mac.queue_len(), 0, "queue should drain");
-    assert_eq!(mac.stats.dropped.iter().sum::<u64>(), 0, "no packet abandoned");
+    assert_eq!(
+        mac.stats.dropped.iter().sum::<u64>(),
+        0,
+        "no packet abandoned"
+    );
     assert!(mac.stats.delivered_bits[0] > 0.0 && mac.stats.delivered_bits[1] > 0.0);
     assert!(
         mac.stats.transmissions >= 8,

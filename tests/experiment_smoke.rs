@@ -115,6 +115,11 @@ fn fig00_drift() {
 #[test]
 fn ablation_sync_off_collapses() {
     let on = aggregate_scaling(&throughput_scaling(&[SnrBand::High], &[4], &sweep(3), true));
-    let off = aggregate_scaling(&throughput_scaling(&[SnrBand::High], &[4], &sweep(3), false));
+    let off = aggregate_scaling(&throughput_scaling(
+        &[SnrBand::High],
+        &[4],
+        &sweep(3),
+        false,
+    ));
     assert!(on[0].jmb_mean > 2.0 * off[0].jmb_mean.max(1.0));
 }

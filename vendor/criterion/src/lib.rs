@@ -1,0 +1,245 @@
+//! Vendored stand-in for the subset of the `criterion` 0.5 API that the jmb
+//! workspace uses.
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors the benchmarking surface its `benches/` need: [`Criterion`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Measurement is plain
+//! wall-clock: warm-up, then timed samples until the configured measurement
+//! window elapses, reporting the median ns/iteration to stdout. No plots,
+//! no statistics files — the workspace's machine-readable numbers come from
+//! the `perf_baseline` binary instead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. All variants behave the same
+/// here (setup is always excluded from the timed region).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per measured batch.
+    PerIteration,
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Collected (total_duration, iterations) samples.
+    samples: Vec<(Duration, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, running it in growing batches until the measurement
+    /// window is filled.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: discover a batch size that takes ~1ms so timer overhead
+        // stays negligible.
+        let mut batch: u64 = 1;
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt < Duration::from_millis(1) {
+                batch = batch.saturating_mul(2);
+            } else if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let deadline = Instant::now() + self.config.measurement_time;
+        while self.samples.len() < self.config.sample_size || Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push((t0.elapsed(), batch));
+            if self.samples.len() >= self.config.sample_size && Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_deadline {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let deadline = Instant::now() + self.config.measurement_time;
+        while self.samples.len() < self.config.sample_size || Instant::now() < deadline {
+            let input = setup();
+            let t0 = Instant::now();
+            let out = routine(input);
+            let dt = t0.elapsed();
+            black_box(out);
+            self.samples.push((dt, 1));
+            if self.samples.len() >= self.config.sample_size && Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    fn median_ns_per_iter(&self) -> f64 {
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|(dt, n)| dt.as_nanos() as f64 / *n as f64)
+            .collect();
+        if per_iter.is_empty() {
+            return f64::NAN;
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        per_iter[per_iter.len() / 2]
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+/// Benchmark registry and configuration, mirroring criterion's builder.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            config: Config {
+                sample_size: 50,
+                measurement_time: Duration::from_secs(2),
+                warm_up_time: Duration::from_millis(500),
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the minimum number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up window per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark and prints its median time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            config: &self.config,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let ns = b.median_ns_per_iter();
+        let (value, unit) = humanize_ns(ns);
+        println!(
+            "{name:<40} {value:>10.3} {unit}/iter   ({} samples)",
+            b.samples.len()
+        );
+        self
+    }
+}
+
+fn humanize_ns(ns: f64) -> (f64, &'static str) {
+    if ns >= 1e9 {
+        (ns / 1e9, "s ")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "µs")
+    } else {
+        (ns, "ns")
+    }
+}
+
+/// Declares a benchmark group: a config expression plus target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::std::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(10));
+        let mut acc = 0u64;
+        c.bench_function("smoke_iter", |b| {
+            b.iter(|| {
+                acc = acc.wrapping_add(1);
+                black_box(acc)
+            })
+        });
+        c.bench_function("smoke_batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn humanize_picks_sane_units() {
+        assert_eq!(humanize_ns(500.0).1, "ns");
+        assert_eq!(humanize_ns(5_000.0).1, "µs");
+        assert_eq!(humanize_ns(5_000_000.0).1, "ms");
+        assert_eq!(humanize_ns(5e9).1, "s ");
+    }
+}
