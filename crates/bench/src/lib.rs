@@ -17,6 +17,7 @@
 //! | `ablation_phase_sync` | Fig. 9 with slave corrections disabled |
 //! | `run_all_figures` | everything above in sequence |
 //! | `perf_baseline` | hot-path timing suite → `BENCH_<date>.json` |
+//! | `traffic_sweep` | goodput/latency vs offered load and AP count, plus a lead-AP failover run |
 //!
 //! All binaries accept `--quick` (or env `JMB_QUICK=1`), `--seed N`,
 //! `--out DIR` and `--threads N`; `--help` prints usage. Criterion

@@ -57,7 +57,7 @@ impl Default for SweepConfig {
 /// too. A panicking worker is propagated (not swallowed): the remaining
 /// workers drain the counter and the panic is re-raised after the scope
 /// joins them, so callers see the original panic instead of a deadlock.
-fn parallel_map<T: Send>(sweep: &SweepConfig, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+pub fn parallel_map<T: Send>(sweep: &SweepConfig, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     let n = sweep.n_topologies;
     let workers = sweep.parallelism.max(1).min(n.max(1));

@@ -761,6 +761,187 @@ impl FastNet {
             .collect();
         jmb_phy::esnr::select_mcs(&snrs_db)
     }
+
+    /// One joint transmission to a *subset* of clients from a *subset* of
+    /// APs — the MAC-driven case: a batch is rarely the full client
+    /// population, and during an AP outage the array shrinks. A fresh
+    /// zero-forcing precoder is built from the stored measurement `H̃`
+    /// restricted to `(clients × active_aps)`, the MCS is selected from its
+    /// `k̂²/N` (falling back to the base rate when even that is below
+    /// threshold — the MAC's retry policy handles the resulting losses),
+    /// and the airtime follows from MCS and `payload_bytes`.
+    ///
+    /// AP 0 stays the phase reference even when absent from `active_aps`
+    /// (its oscillator is distributed over the wired backplane, §6 — a
+    /// deliberate simplification so a lead data-path failure does not also
+    /// destroy the slaves' phase references).
+    ///
+    /// Requires `run_measurement` first; `active_aps` must hold at least as
+    /// many distinct APs as there are batch clients (ZF well-posedness).
+    pub fn joint_transmit_subset(
+        &mut self,
+        clients: &[usize],
+        active_aps: &[usize],
+        payload_bytes: usize,
+        n_probes: usize,
+        apply_phase_sync: bool,
+    ) -> Result<SubsetOutcome, JmbError> {
+        let h_meas = self.h_meas.as_ref().ok_or(JmbError::NoReference)?;
+        let nb = clients.len();
+        let na = active_aps.len();
+        if nb == 0 || na == 0 {
+            return Err(JmbError::BadConfig("empty batch or AP set"));
+        }
+        if clients.iter().any(|&j| j >= self.cfg.n_clients)
+            || active_aps.iter().any(|&i| i >= self.cfg.n_aps)
+        {
+            return Err(JmbError::BadConfig("client or AP index out of range"));
+        }
+        for (x, &a) in clients.iter().enumerate() {
+            if clients[..x].contains(&a) {
+                return Err(JmbError::BadConfig("duplicate client in batch"));
+            }
+        }
+        for (x, &a) in active_aps.iter().enumerate() {
+            if active_aps[..x].contains(&a) {
+                return Err(JmbError::BadConfig("duplicate AP in active set"));
+            }
+        }
+        if na < nb {
+            return Err(JmbError::BadConfig("fewer active APs than streams"));
+        }
+
+        // ZF over the measured channel restricted to the batch.
+        let n_k = self.occupied.len();
+        let mut h_sub = vec![CMat::zeros(nb, na); n_k];
+        for k_idx in 0..n_k {
+            for (r, &j) in clients.iter().enumerate() {
+                for (c, &i) in active_aps.iter().enumerate() {
+                    h_sub[k_idx][(r, c)] = h_meas[k_idx][(j, i)];
+                }
+            }
+        }
+        let precoder = Precoder::zero_forcing(&h_sub)?;
+        let snrs_db: Vec<f64> = precoder
+            .k_hats()
+            .iter()
+            .map(|&k| jmb_dsp::stats::lin_to_db(k * k / self.cfg.noise_var))
+            .collect();
+        let mcs = jmb_phy::esnr::select_mcs(&snrs_db).unwrap_or(Mcs::BASE);
+        let airtime_s = crate::baseline::frame_airtime(&self.cfg.params, mcs, payload_bytes);
+
+        // Slave corrections from a fresh lead header (active slaves only —
+        // the others are not transmitting).
+        let t_h = self.now;
+        let params = self.cfg.params.clone();
+        let t_meas = t_h + 240.0 * params.sample_period();
+        let mut corr: Vec<Option<crate::phasesync::PhaseCorrection>> = vec![None; self.cfg.n_aps];
+        for &s in active_aps {
+            if s == 0 {
+                continue; // lead transmits the reference, needs no correction
+            }
+            let est = self.noisy_estimate_with_var(
+                self.aps[0],
+                self.aps[s],
+                t_meas,
+                self.header_noise_var(),
+            );
+            let raw_cfo = {
+                let f_lead = self.medium.trajectory_mut(self.aps[0]).cfo_hz_at(t_meas);
+                let f_slave = self.medium.trajectory_mut(self.aps[s]).cfo_hz_at(t_meas);
+                f_lead - f_slave + normal(&mut self.rng, 200.0)
+            };
+            self.sync[s - 1].observe_header(&est, raw_cfo, t_meas);
+            corr[s] = Some(self.sync[s - 1].correction(&est)?);
+        }
+
+        let t_d = t_h + 320.0 * params.sample_period() + self.cfg.turnaround_s;
+        let nv = self.cfg.noise_var;
+        let spacing = params.subcarrier_spacing();
+        let carrier = params.carrier_freq;
+        let probes: Vec<f64> = (0..n_probes.max(1))
+            .map(|p| t_d + airtime_s * (p as f64 + 0.5) / n_probes.max(1) as f64)
+            .collect();
+
+        let snap = self.take_ap_client_static();
+        let mut inst = jmb_sim::InstantPhasors::default();
+        let mut sig = vec![0.0f64; nb * n_k];
+        let mut intf = vec![0.0f64; nb * n_k];
+        let mut h_now = CMat::zeros(self.cfg.n_clients, self.cfg.n_aps);
+        let mut eff = CMat::zeros(nb, na);
+        let mut g = CMat::zeros(nb, nb);
+
+        for &t in &probes {
+            self.medium.instant_phasors(&snap, t, &mut inst);
+            for k_idx in 0..n_k {
+                let k = self.occupied[k_idx];
+                let w = precoder.weights_at(k_idx);
+                snap.matrix_at(&inst, k_idx, &mut h_now);
+                eff.reset(nb, na);
+                for (c, &i) in active_aps.iter().enumerate() {
+                    let corr_c = if apply_phase_sync {
+                        match &corr[i] {
+                            Some(pc) => pc.correction_at(k, t - t_meas, spacing, carrier),
+                            None => Complex64::ONE,
+                        }
+                    } else {
+                        Complex64::ONE
+                    };
+                    for (r, &j) in clients.iter().enumerate() {
+                        eff[(r, c)] = h_now[(j, i)] * corr_c;
+                    }
+                }
+                eff.mul_into(w, &mut g).expect("shapes fixed");
+                for r in 0..nb {
+                    sig[r * n_k + k_idx] += g[(r, r)].norm_sqr();
+                    for s in 0..nb {
+                        if s != r {
+                            intf[r * n_k + k_idx] += g[(r, s)].norm_sqr();
+                        }
+                    }
+                }
+            }
+        }
+        self.static_ap_client = Some(snap);
+
+        let np = probes.len() as f64;
+        let mut sinr_db = vec![vec![0.0; n_k]; nb];
+        for r in 0..nb {
+            for k_idx in 0..n_k {
+                let s = sig[r * n_k + k_idx] / np;
+                let i = intf[r * n_k + k_idx] / np;
+                sinr_db[r][k_idx] = jmb_dsp::stats::lin_to_db(s / (nv + i));
+            }
+        }
+        let eff_snr_db: Vec<f64> = sinr_db
+            .iter()
+            .map(|s| jmb_phy::esnr::effective_snr_db_eesm(mcs, s))
+            .collect();
+
+        self.now = t_d + airtime_s + 50e-6;
+        Ok(SubsetOutcome {
+            clients: clients.to_vec(),
+            mcs,
+            airtime_s,
+            eff_snr_db,
+            sinr_db,
+        })
+    }
+}
+
+/// Outcome of a [`FastNet::joint_transmit_subset`] call.
+#[derive(Debug, Clone)]
+pub struct SubsetOutcome {
+    /// The batch clients, in stream order.
+    pub clients: Vec<usize>,
+    /// The MCS selected for the joint transmission (shared, §9).
+    pub mcs: Mcs,
+    /// Airtime of the data frame, seconds.
+    pub airtime_s: f64,
+    /// Per-batch-client EESM effective SNR (dB) at the selected MCS.
+    pub eff_snr_db: Vec<f64>,
+    /// Per-batch-client per-subcarrier SINR (dB).
+    pub sinr_db: Vec<Vec<f64>>,
 }
 
 #[cfg(test)]
@@ -930,6 +1111,64 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn subset_transmit_serves_batch_with_fewer_aps() {
+        let mut net = FastNet::new(cfg(4, 20.0, 11)).unwrap();
+        net.run_measurement().unwrap();
+        net.advance(2e-3);
+        // A 2-client batch over the full array.
+        let out = net
+            .joint_transmit_subset(&[0, 2], &[0, 1, 2, 3], 1500, 2, true)
+            .unwrap();
+        assert_eq!(out.clients, vec![0, 2]);
+        assert!(out.airtime_s > 0.0);
+        for (r, &e) in out.eff_snr_db.iter().enumerate() {
+            assert!(e > 5.0, "stream {r}: eff SNR {e} dB");
+        }
+        // AP 1 down: the 3-AP subset still serves both clients.
+        let out = net
+            .joint_transmit_subset(&[0, 2], &[0, 2, 3], 1500, 2, true)
+            .unwrap();
+        for (r, &e) in out.eff_snr_db.iter().enumerate() {
+            assert!(e > 3.0, "stream {r} without AP 1: eff SNR {e} dB");
+        }
+    }
+
+    #[test]
+    fn subset_transmit_survives_lead_data_path_failure() {
+        // AP 0 absent from the active set (data-path outage); its oscillator
+        // stays the phase reference over the wired backplane.
+        let mut net = FastNet::new(cfg(4, 20.0, 12)).unwrap();
+        net.run_measurement().unwrap();
+        net.advance(2e-3);
+        let out = net
+            .joint_transmit_subset(&[1, 3], &[1, 2, 3], 1500, 2, true)
+            .unwrap();
+        for (r, &e) in out.eff_snr_db.iter().enumerate() {
+            assert!(e > 3.0, "stream {r} without AP 0: eff SNR {e} dB");
+        }
+    }
+
+    #[test]
+    fn subset_transmit_validates() {
+        let mut net = FastNet::new(cfg(3, 20.0, 13)).unwrap();
+        assert!(matches!(
+            net.joint_transmit_subset(&[0], &[0, 1, 2], 100, 1, true),
+            Err(JmbError::NoReference)
+        ));
+        net.run_measurement().unwrap();
+        assert!(net
+            .joint_transmit_subset(&[0, 0], &[0, 1, 2], 100, 1, true)
+            .is_err());
+        assert!(net
+            .joint_transmit_subset(&[0, 1, 2], &[0, 1], 100, 1, true)
+            .is_err());
+        assert!(net.joint_transmit_subset(&[], &[0], 100, 1, true).is_err());
+        assert!(net
+            .joint_transmit_subset(&[5], &[0, 1, 2], 100, 1, true)
+            .is_err());
     }
 
     #[test]

@@ -8,17 +8,19 @@
 //! additional packets for joint transmission…"
 //!
 //! This module implements that shared queue, the designated-AP/lead
-//! election, joint-batch selection, the weighted contention window, and the
-//! asynchronous-acknowledgment retransmission policy ("APs in JMB keep
-//! packets in the queue until they are ACKed. If a packet is not ACKed,
-//! they can be combined with other packets in the queue for future
-//! concurrent transmissions").
+//! election, joint-batch selection, the weighted contention window with
+//! binary-exponential backoff, and the asynchronous-acknowledgment
+//! retransmission policy ("APs in JMB keep packets in the queue until they
+//! are ACKed. If a packet is not ACKed, they can be combined with other
+//! packets in the queue for future concurrent transmissions").
 
 use std::collections::VecDeque;
 
 /// One downlink packet in the shared queue.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MacPacket {
+    /// Queue-assigned id, unique per [`JmbMac`] instance.
+    pub id: u64,
     /// Destination client.
     pub dest: usize,
     /// Payload bytes.
@@ -37,6 +39,8 @@ pub struct MacConfig {
     pub max_streams: usize,
     /// Base 802.11 contention window (slots).
     pub cw_min: u32,
+    /// Contention-window ceiling for binary-exponential backoff (slots).
+    pub cw_max: u32,
 }
 
 impl Default for MacConfig {
@@ -45,8 +49,38 @@ impl Default for MacConfig {
             retry_limit: 7,
             max_streams: 8,
             cw_min: 16,
+            cw_max: 1024,
         }
     }
+}
+
+/// What happened to one packet when its batch completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketFate {
+    /// The client acknowledged; the packet leaves the queue for good.
+    Acked {
+        /// Destination client.
+        dest: usize,
+        /// Packet id.
+        id: u64,
+    },
+    /// No ACK; the packet returned to the queue for a future joint
+    /// transmission.
+    Requeued {
+        /// Destination client.
+        dest: usize,
+        /// Packet id.
+        id: u64,
+        /// Attempts made so far.
+        attempts: u32,
+    },
+    /// No ACK and the retry budget is spent; the packet is gone.
+    Dropped {
+        /// Destination client.
+        dest: usize,
+        /// Packet id.
+        id: u64,
+    },
 }
 
 /// Per-client delivery statistics.
@@ -87,9 +121,13 @@ impl MacStats {
 pub struct JmbMac {
     cfg: MacConfig,
     queue: VecDeque<MacPacket>,
+    next_id: u64,
     /// Designated AP per client ("the AP with the strongest SNR to the
     /// client to which that packet is destined").
     designated_ap: Vec<usize>,
+    /// Binary-exponential backoff stage: doubles the base window per
+    /// consecutive failed joint transmission, resets on a fully-ACKed one.
+    backoff_stage: u32,
     /// Consecutive-loss counter per client, for hidden-terminal handling
     /// (§9: "situations causing persistent packet loss due to repeated
     /// collisions can be detected … and the lead AP can ensure that JMB
@@ -113,12 +151,35 @@ impl JmbMac {
         JmbMac {
             cfg,
             queue: VecDeque::new(),
+            next_id: 0,
             designated_ap,
+            backoff_stage: 0,
             consecutive_losses: vec![0; n],
             blacklisted: vec![false; n],
             blacklist_threshold: 6,
             stats,
         }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MacConfig {
+        &self.cfg
+    }
+
+    /// The designated AP for a client.
+    pub fn designated_ap(&self, client: usize) -> usize {
+        self.designated_ap[client]
+    }
+
+    /// Re-maps a client's designated AP (e.g. after its AP failed).
+    pub fn set_designated_ap(&mut self, client: usize, ap: usize) {
+        self.designated_ap[client] = ap;
+    }
+
+    /// Caps the number of concurrent streams (e.g. to the count of live
+    /// APs, so ZF stays well-posed during an outage).
+    pub fn set_max_streams(&mut self, n: usize) {
+        self.cfg.max_streams = n.max(1);
     }
 
     /// Whether a client is currently excluded from joint transmissions.
@@ -137,15 +198,26 @@ impl JmbMac {
         }
     }
 
+    /// Clears every client's blacklist entry.
+    pub fn clear_all_blacklists(&mut self) {
+        for c in 0..self.blacklisted.len() {
+            self.clear_blacklist(c);
+        }
+    }
+
     /// Enqueues a downlink packet (distributed to all APs over the wired
-    /// backend).
-    pub fn enqueue(&mut self, dest: usize, payload: Vec<u8>) {
+    /// backend) and returns its queue-assigned id.
+    pub fn enqueue(&mut self, dest: usize, payload: Vec<u8>) -> u64 {
         assert!(dest < self.designated_ap.len(), "unknown client {dest}");
+        let id = self.next_id;
+        self.next_id += 1;
         self.queue.push_back(MacPacket {
+            id,
             dest,
             payload,
             attempts: 0,
         });
+        id
     }
 
     /// Packets waiting.
@@ -185,26 +257,58 @@ impl JmbMac {
         batch
     }
 
-    /// The contention window the lead uses, "weighted by the number of
-    /// packets in the joint transmission" \[29\]: a joint transmission of `n`
-    /// packets contends as aggressively as `n` independent stations.
+    /// The contention window the lead uses: the base window grown by
+    /// binary-exponential backoff (doubling per consecutive failed joint
+    /// transmission, capped at `cw_max`), then "weighted by the number of
+    /// packets in the joint transmission" \[29\] — a joint transmission of
+    /// `n` packets contends as aggressively as `n` independent stations.
     pub fn contention_window(&self, batch_size: usize) -> u32 {
-        (self.cfg.cw_min / batch_size.max(1) as u32).max(1)
+        let grown = self
+            .cfg
+            .cw_min
+            .saturating_mul(1u32 << self.backoff_stage.min(16))
+            .min(self.cfg.cw_max)
+            .max(1);
+        (grown / batch_size.max(1) as u32).max(1)
+    }
+
+    /// Current binary-exponential backoff stage.
+    pub fn backoff_stage(&self) -> u32 {
+        self.backoff_stage
     }
 
     /// Completes a batch: `acked[i]` says whether client `batch[i].dest`
     /// acknowledged (asynchronously, §9). Failed packets return to the
     /// queue unless their retry budget is spent. `airtime_s` is the airtime
-    /// the whole joint transmission consumed.
-    pub fn complete_batch(&mut self, batch: Vec<MacPacket>, acked: &[bool], airtime_s: f64) {
+    /// the whole joint transmission consumed. Returns the fate of each
+    /// packet, in batch order.
+    pub fn complete_batch(
+        &mut self,
+        batch: Vec<MacPacket>,
+        acked: &[bool],
+        airtime_s: f64,
+    ) -> Vec<PacketFate> {
         assert_eq!(batch.len(), acked.len(), "one ack per batch packet");
+        if batch.is_empty() {
+            return Vec::new();
+        }
         self.stats.transmissions += 1;
         self.stats.airtime_s += airtime_s;
+        if acked.iter().all(|&ok| ok) {
+            self.backoff_stage = 0;
+        } else {
+            self.backoff_stage = (self.backoff_stage + 1).min(16);
+        }
+        let mut fates = Vec::with_capacity(batch.len());
         for (mut p, &ok) in batch.into_iter().zip(acked) {
             self.stats.ensure(p.dest + 1);
             if ok {
                 self.stats.delivered_bits[p.dest] += 8.0 * p.payload.len() as f64;
                 self.consecutive_losses[p.dest] = 0;
+                fates.push(PacketFate::Acked {
+                    dest: p.dest,
+                    id: p.id,
+                });
             } else {
                 self.consecutive_losses[p.dest] += 1;
                 if self.consecutive_losses[p.dest] >= self.blacklist_threshold {
@@ -213,12 +317,22 @@ impl JmbMac {
                 p.attempts += 1;
                 if p.attempts >= self.cfg.retry_limit {
                     self.stats.dropped[p.dest] += 1;
+                    fates.push(PacketFate::Dropped {
+                        dest: p.dest,
+                        id: p.id,
+                    });
                 } else {
+                    fates.push(PacketFate::Requeued {
+                        dest: p.dest,
+                        id: p.id,
+                        attempts: p.attempts,
+                    });
                     // Re-queue for a future joint transmission.
                     self.queue.push_back(p);
                 }
             }
         }
+        fates
     }
 }
 
@@ -282,6 +396,29 @@ mod tests {
     }
 
     #[test]
+    fn designated_ap_can_be_remapped() {
+        let mut m = JmbMac::new(MacConfig::default(), vec![0, 1]);
+        m.enqueue(0, vec![0; 10]);
+        assert_eq!(m.next_lead(), Some(0));
+        m.set_designated_ap(0, 1);
+        assert_eq!(m.designated_ap(0), 1);
+        assert_eq!(m.next_lead(), Some(1));
+    }
+
+    #[test]
+    fn max_streams_can_shrink_mid_run() {
+        let mut m = mac(4);
+        for c in 0..4 {
+            m.enqueue(c, vec![0; 10]);
+        }
+        m.set_max_streams(2);
+        assert_eq!(m.select_batch().len(), 2);
+        // Never below one stream.
+        m.set_max_streams(0);
+        assert_eq!(m.config().max_streams, 1);
+    }
+
+    #[test]
     fn failed_packets_are_requeued_then_dropped() {
         let mut m = JmbMac::new(
             MacConfig {
@@ -290,17 +427,77 @@ mod tests {
             },
             vec![0, 1],
         );
-        m.enqueue(0, vec![9; 10]);
+        let id = m.enqueue(0, vec![9; 10]);
         // First attempt fails → requeued.
         let b = m.select_batch();
-        m.complete_batch(b, &[false], 1e-3);
+        let fates = m.complete_batch(b, &[false], 1e-3);
+        assert_eq!(
+            fates,
+            vec![PacketFate::Requeued {
+                dest: 0,
+                id,
+                attempts: 1
+            }]
+        );
         assert_eq!(m.queue_len(), 1);
         assert_eq!(m.stats.dropped[0], 0);
         // Second attempt fails → dropped (retry_limit 2).
         let b = m.select_batch();
-        m.complete_batch(b, &[false], 1e-3);
+        let fates = m.complete_batch(b, &[false], 1e-3);
+        assert_eq!(fates, vec![PacketFate::Dropped { dest: 0, id }]);
         assert_eq!(m.queue_len(), 0);
         assert_eq!(m.stats.dropped[0], 1);
+    }
+
+    #[test]
+    fn retry_limit_exhaustion_counts_every_attempt() {
+        // Satellite: a packet is attempted exactly `retry_limit` times, each
+        // failure after the first reported as a Requeued fate, the last as
+        // Dropped.
+        let limit = 5;
+        let mut m = JmbMac::new(
+            MacConfig {
+                retry_limit: limit,
+                ..Default::default()
+            },
+            vec![0],
+        );
+        m.blacklist_threshold = u32::MAX; // keep it schedulable
+        let id = m.enqueue(0, vec![7; 10]);
+        let mut attempts = 0;
+        loop {
+            let b = m.select_batch();
+            assert_eq!(b.len(), 1, "packet must stay schedulable");
+            attempts += 1;
+            let fates = m.complete_batch(b, &[false], 1e-3);
+            match fates[0] {
+                PacketFate::Requeued { id: fid, .. } => assert_eq!(fid, id),
+                PacketFate::Dropped { id: fid, .. } => {
+                    assert_eq!(fid, id);
+                    break;
+                }
+                PacketFate::Acked { .. } => panic!("never acked"),
+            }
+        }
+        assert_eq!(attempts, limit);
+        assert_eq!(m.stats.dropped[0], 1);
+        assert_eq!(m.queue_len(), 0);
+    }
+
+    #[test]
+    fn single_destination_queue_batches_one_at_a_time() {
+        // Satellite: when every queued packet shares one destination, joint
+        // batches degenerate to singletons — the rest stay queued in order.
+        let mut m = mac(3);
+        let ids: Vec<u64> = (0..4).map(|i| m.enqueue(1, vec![i as u8; 10])).collect();
+        let b = m.select_batch();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].id, ids[0]);
+        assert_eq!(m.queue_len(), 3);
+        m.complete_batch(b, &[true], 1e-3);
+        // FIFO order is preserved for the remainder.
+        let b = m.select_batch();
+        assert_eq!(b[0].id, ids[1]);
     }
 
     #[test]
@@ -336,6 +533,50 @@ mod tests {
         assert_eq!(m.contention_window(1), 16);
         assert_eq!(m.contention_window(4), 4);
         assert_eq!(m.contention_window(100), 1);
+    }
+
+    #[test]
+    fn contention_window_grows_and_resets() {
+        // Satellite: binary-exponential backoff — the window doubles per
+        // failed joint transmission up to cw_max and snaps back to cw_min
+        // after a fully-ACKed one.
+        let mut m = JmbMac::new(
+            MacConfig {
+                cw_min: 16,
+                cw_max: 64,
+                retry_limit: 100,
+                ..Default::default()
+            },
+            vec![0],
+        );
+        m.blacklist_threshold = u32::MAX;
+        assert_eq!(m.contention_window(1), 16);
+        m.enqueue(0, vec![0; 10]);
+        for want in [32, 64, 64] {
+            let b = m.select_batch();
+            m.complete_batch(b, &[false], 1e-3);
+            assert_eq!(m.contention_window(1), want);
+        }
+        assert_eq!(m.backoff_stage(), 3);
+        let b = m.select_batch();
+        m.complete_batch(b, &[true], 1e-3);
+        assert_eq!(m.backoff_stage(), 0);
+        assert_eq!(m.contention_window(1), 16);
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        // Satellite: an empty queue yields no lead, an empty batch, and a
+        // no-op completion that records no transmission.
+        let mut m = mac(2);
+        assert_eq!(m.next_lead(), None);
+        let b = m.select_batch();
+        assert!(b.is_empty());
+        let fates = m.complete_batch(b, &[], 1e-3);
+        assert!(fates.is_empty());
+        assert_eq!(m.stats.transmissions, 0);
+        assert_eq!(m.stats.airtime_s, 0.0);
+        assert_eq!(m.backoff_stage(), 0);
     }
 
     #[test]

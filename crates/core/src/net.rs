@@ -395,32 +395,78 @@ impl JmbNetwork {
         mcs: Mcs,
         apply_phase_sync: bool,
     ) -> Result<Vec<Result<RxResult, JmbError>>, JmbError> {
+        self.joint_transmit_masked(payloads, mcs, apply_phase_sync, None)
+    }
+
+    /// [`JmbNetwork::joint_transmit`] with an AP liveness mask: APs whose
+    /// mask entry is `false` radiate nothing (mid-run failure). The precoder
+    /// is *not* rebuilt — the surviving APs transmit their original weights,
+    /// so the clients' nulls are imperfect and SINR degrades, exactly the
+    /// transient the §9 failover (designated-AP re-election plus a fresh
+    /// subset precoder on the fast path) exists to clean up.
+    ///
+    /// When the lead (AP 0) is masked out there is no sync header; slaves
+    /// reuse the corrections from the most recent successful joint
+    /// transmission (stale phase state — decoding degrades further with
+    /// time, it does not error).
+    pub fn joint_transmit_masked(
+        &mut self,
+        payloads: &[Vec<u8>],
+        mcs: Mcs,
+        apply_phase_sync: bool,
+        active_aps: Option<&[bool]>,
+    ) -> Result<Vec<Result<RxResult, JmbError>>, JmbError> {
         if payloads.len() != self.cfg.n_clients {
             return Err(JmbError::BadConfig("one payload per client required"));
         }
         if payloads.windows(2).any(|w| w[0].len() != w[1].len()) {
             return Err(JmbError::BadConfig("payloads must have equal length"));
         }
+        if let Some(mask) = active_aps {
+            if mask.len() != self.cfg.n_aps {
+                return Err(JmbError::BadConfig("one mask entry per AP required"));
+            }
+            if mask.iter().all(|&a| !a) {
+                return Err(JmbError::BadConfig("every AP masked out"));
+            }
+        }
+        let is_active = |i: usize| active_aps.is_none_or(|m| m[i]);
         let precoder = self.precoder.clone().ok_or(JmbError::NoReference)?;
         let params = self.cfg.params.clone();
         let ts = params.sample_period();
         let t_h = self.now;
 
-        // 1. Lead sync header.
-        self.medium
-            .transmit(self.aps[0], t_h, preamble::preamble(&params));
+        // 1. Lead sync header (only if the lead's data path is up).
+        if is_active(0) {
+            self.medium
+                .transmit(self.aps[0], t_h, preamble::preamble(&params));
+        }
 
         // 2. Slaves measure and compute corrections. The measurement anchor
-        //    is the LTF midpoint: t_h + 240 samples.
+        //    is the LTF midpoint: t_h + 240 samples. A downed slave measures
+        //    nothing; with the lead down, every slave falls back to its
+        //    correction from the last successful transmission.
         let t_meas = t_h + 240.0 * ts;
         let mut corrections: Vec<Option<crate::phasesync::PhaseCorrection>> =
             vec![None; self.cfg.n_aps];
-        for (s, slot) in corrections.iter_mut().enumerate().skip(1) {
-            let window = self.medium.render_rx(self.aps[s], t_h, 320 + 8);
-            let (est, cfo) = measure::slave_header_measurement(&params, &window)
-                .map_err(|_| JmbError::SyncHeaderMissed { slave: s })?;
-            self.sync_state[s - 1].observe_header(&est, cfo, t_meas);
-            *slot = Some(self.sync_state[s - 1].correction(&est)?);
+        if is_active(0) {
+            for (s, slot) in corrections.iter_mut().enumerate().skip(1) {
+                if !is_active(s) {
+                    continue;
+                }
+                let window = self.medium.render_rx(self.aps[s], t_h, 320 + 8);
+                let (est, cfo) = measure::slave_header_measurement(&params, &window)
+                    .map_err(|_| JmbError::SyncHeaderMissed { slave: s })?;
+                self.sync_state[s - 1].observe_header(&est, cfo, t_meas);
+                *slot = Some(self.sync_state[s - 1].correction(&est)?);
+            }
+        } else {
+            for (s, slot) in corrections.iter_mut().enumerate().skip(1) {
+                if !is_active(s) {
+                    continue;
+                }
+                *slot = self.last_corrections.get(s).cloned().flatten();
+            }
         }
 
         self.last_corrections = corrections.clone();
@@ -438,6 +484,9 @@ impl JmbNetwork {
         let ofdm = jmb_phy::ofdm::Ofdm::new(params.clone());
 
         for (m_idx, &ap) in self.aps.iter().enumerate() {
+            if !is_active(m_idx) {
+                continue;
+            }
             // Preamble bins: the same training sequence on every stream ⇒
             // this AP radiates seq × Σ_j W[m][j].
             let mut stf_b = preamble::stf_bins(&params);
@@ -763,6 +812,43 @@ mod tests {
             net.joint_transmit(&data, Mcs::ALL[0], true),
             Err(JmbError::NoReference)
         ));
+    }
+
+    #[test]
+    fn masked_transmit_skips_downed_aps() {
+        let cfg = NetConfig::default_with(3, 2, 22.0, 51);
+        let mut net = JmbNetwork::new(cfg).unwrap();
+        net.run_measurement().unwrap();
+        net.advance(1e-3);
+        let data = payloads(2, 40);
+        // One healthy transmission to populate last_corrections.
+        let r = net.joint_transmit(&data, Mcs::BASE, true).unwrap();
+        assert_eq!(r.len(), 2);
+        // Slave AP 2 fails: the call still completes and returns per-client
+        // results (decoding may degrade — the precoder is stale).
+        net.advance(1e-3);
+        let n_before = net.medium_mut().trace.transmit_count();
+        net.medium_mut().trace.enable();
+        let r = net
+            .joint_transmit_masked(&data, Mcs::BASE, true, Some(&[true, true, false]))
+            .unwrap();
+        assert_eq!(r.len(), 2);
+        let n_tx = net.medium_mut().trace.transmit_count() - n_before;
+        assert_eq!(n_tx, 3, "header + 2 live AP waveforms, not 4");
+        // Lead fails: no sync header, slaves reuse stale corrections, the
+        // queue still moves (no error).
+        net.advance(1e-3);
+        let r = net
+            .joint_transmit_masked(&data, Mcs::BASE, true, Some(&[false, true, true]))
+            .unwrap();
+        assert_eq!(r.len(), 2);
+        // Mask validation.
+        assert!(net
+            .joint_transmit_masked(&data, Mcs::BASE, true, Some(&[true, true]))
+            .is_err());
+        assert!(net
+            .joint_transmit_masked(&data, Mcs::BASE, true, Some(&[false, false, false]))
+            .is_err());
     }
 
     #[test]

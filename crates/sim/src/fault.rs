@@ -11,12 +11,20 @@ pub struct FaultConfig {
     /// Probability that a scheduled transmission is dropped entirely
     /// (deep fade / collision with an un-modelled interferer).
     pub drop_chance: f64,
+    /// Probability that a scheduled transmission has its payload samples
+    /// corrupted in flight. Corruption leaves the preamble and SIGNAL field
+    /// intact so the receiver still synchronises and decodes — and then
+    /// rejects the frame at the CRC, exercising the retransmission path.
+    pub corrupt_chance: f64,
 }
 
 impl FaultConfig {
     /// No faults — the default.
     pub fn none() -> Self {
-        FaultConfig { drop_chance: 0.0 }
+        FaultConfig {
+            drop_chance: 0.0,
+            corrupt_chance: 0.0,
+        }
     }
 
     /// Drops transmissions with the given probability.
@@ -26,7 +34,23 @@ impl FaultConfig {
     /// Panics if `p` is outside `[0, 1]`.
     pub fn with_drop_chance(p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "drop chance {p} outside [0,1]");
-        FaultConfig { drop_chance: p }
+        FaultConfig {
+            drop_chance: p,
+            ..Self::none()
+        }
+    }
+
+    /// Corrupts transmission payloads with the given probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn with_corrupt_chance(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "corrupt chance {p} outside [0,1]");
+        FaultConfig {
+            corrupt_chance: p,
+            ..Self::none()
+        }
     }
 }
 
@@ -44,16 +68,28 @@ mod tests {
     fn defaults_are_clean() {
         assert_eq!(FaultConfig::default(), FaultConfig::none());
         assert_eq!(FaultConfig::none().drop_chance, 0.0);
+        assert_eq!(FaultConfig::none().corrupt_chance, 0.0);
     }
 
     #[test]
     fn construction() {
-        assert_eq!(FaultConfig::with_drop_chance(0.25).drop_chance, 0.25);
+        let f = FaultConfig::with_drop_chance(0.25);
+        assert_eq!(f.drop_chance, 0.25);
+        assert_eq!(f.corrupt_chance, 0.0);
+        let f = FaultConfig::with_corrupt_chance(0.5);
+        assert_eq!(f.corrupt_chance, 0.5);
+        assert_eq!(f.drop_chance, 0.0);
     }
 
     #[test]
     #[should_panic(expected = "outside")]
     fn rejects_bad_probability() {
         FaultConfig::with_drop_chance(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_bad_corrupt_probability() {
+        FaultConfig::with_corrupt_chance(-0.1);
     }
 }

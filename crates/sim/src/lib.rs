@@ -33,3 +33,4 @@ pub mod trace;
 pub use fault::FaultConfig;
 pub use freq::{InstantPhasors, StaticChannel, SubcarrierMedium};
 pub use medium::{Medium, NodeId, Transmission};
+pub use trace::{DropCause, Trace, TraceEvent};

@@ -16,7 +16,7 @@
 //! 6. **AWGN** — per-receiver noise floor.
 
 use crate::fault::FaultConfig;
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::{DropCause, Trace, TraceEvent};
 use jmb_channel::{Link, PhaseTrajectory};
 use jmb_dsp::delay::interpolate_at;
 use jmb_dsp::rng::{complex_gaussian, JmbRng};
@@ -128,17 +128,40 @@ impl Medium {
         self.fault = fault;
     }
 
+    /// First payload sample index eligible for fault corruption: past the
+    /// 320-sample preamble and the 80-sample SIGNAL symbol, so sync and rate
+    /// decoding survive and corruption surfaces as a CRC rejection.
+    const CORRUPT_FROM: usize = 400;
+
     /// Schedules a waveform. `start_s` is global time of the first sample.
     ///
-    /// Under fault injection the transmission may be silently dropped
-    /// (recorded in the trace).
-    pub fn transmit(&mut self, tx: NodeId, start_s: f64, samples: Vec<Complex64>) {
+    /// Under fault injection the transmission may be silently dropped or
+    /// have its payload samples corrupted (both recorded in the trace).
+    pub fn transmit(&mut self, tx: NodeId, start_s: f64, mut samples: Vec<Complex64>) {
         if self.fault.drop_chance > 0.0 && self.rng.gen::<f64>() < self.fault.drop_chance {
             self.trace.push(TraceEvent::Dropped {
                 node: tx.0,
                 t: start_s,
+                cause: DropCause::Fault,
             });
             return;
+        }
+        if self.fault.corrupt_chance > 0.0
+            && samples.len() > Self::CORRUPT_FROM
+            && self.rng.gen::<f64>() < self.fault.corrupt_chance
+        {
+            // Negate a random quarter of the payload-region samples: severe
+            // enough that the descrambled bits fail the CRC, but the frame
+            // still synchronises.
+            for s in samples.iter_mut().skip(Self::CORRUPT_FROM) {
+                if self.rng.gen::<f64>() < 0.25 {
+                    *s = -*s;
+                }
+            }
+            self.trace.push(TraceEvent::Corrupted {
+                node: tx.0,
+                t: start_s,
+            });
         }
         self.trace.push(TraceEvent::Transmit {
             node: tx.0,
@@ -493,16 +516,55 @@ mod tests {
         let tx = clean_node(&mut m);
         let rx = clean_node(&mut m);
         m.set_link(tx, rx, Link::ideal());
-        m.set_fault(FaultConfig { drop_chance: 1.0 });
+        m.set_fault(FaultConfig::with_drop_chance(1.0));
         m.transmit(tx, 0.0, preamble::preamble(m.params()));
         assert_eq!(m.transmission_count(), 0);
         let out = m.render_rx(rx, 0.0, 320);
         assert!(mean_power(&out) < 1e-20);
-        assert!(m
-            .trace
-            .events()
-            .iter()
-            .any(|e| matches!(e, TraceEvent::Dropped { .. })));
+        assert!(m.trace.events().iter().any(|e| matches!(
+            e,
+            TraceEvent::Dropped {
+                cause: crate::trace::DropCause::Fault,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn corrupt_fault_flips_payload_but_not_preamble() {
+        let mut m = quiet_medium(14);
+        m.trace.enable();
+        let tx = clean_node(&mut m);
+        let rx = clean_node(&mut m);
+        m.set_link(tx, rx, Link::ideal());
+        m.set_fault(FaultConfig::with_corrupt_chance(1.0));
+        // A constant-amplitude waveform long enough to have a payload region.
+        let wave = vec![Complex64::ONE; 1_000];
+        m.transmit(tx, 0.0, wave.clone());
+        assert_eq!(m.transmission_count(), 1);
+        assert_eq!(m.trace.corrupt_count(), 1);
+        let out = m.render_rx(rx, 0.0, wave.len());
+        // Samples before CORRUPT_FROM are untouched (skip the interpolation
+        // edge at the very start).
+        for i in 16..Medium::CORRUPT_FROM - 16 {
+            assert!((out[i] - wave[i]).abs() < 1e-6, "preamble sample {i}");
+        }
+        // Some payload samples are negated.
+        let flipped = (Medium::CORRUPT_FROM..wave.len() - 16)
+            .filter(|&i| (out[i] + wave[i]).abs() < 1e-6)
+            .count();
+        assert!(flipped > 50, "only {flipped} samples corrupted");
+    }
+
+    #[test]
+    fn short_waveform_is_never_corrupted() {
+        let mut m = quiet_medium(15);
+        m.trace.enable();
+        let tx = clean_node(&mut m);
+        m.set_fault(FaultConfig::with_corrupt_chance(1.0));
+        // Sync headers (320-sample preamble) are shorter than CORRUPT_FROM.
+        m.transmit(tx, 0.0, preamble::preamble(m.params()));
+        assert_eq!(m.trace.corrupt_count(), 0);
     }
 
     #[test]

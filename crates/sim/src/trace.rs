@@ -1,9 +1,22 @@
 //! Lightweight event tracing.
 //!
 //! Records what happened on the medium — who transmitted when, what was
-//! rendered, what was dropped — for debugging and for tests that assert on
+//! rendered, what was dropped — and at the link/traffic layer above it —
+//! what was enqueued, which AP led a joint transmission, what was ACKed,
+//! retried, or abandoned — for debugging and for tests that assert on
 //! protocol behaviour rather than signal values. Disabled traces cost one
 //! branch per event.
+
+/// Why a transmission or packet was abandoned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// Fault injection removed the waveform from the air (deep fade or an
+    /// un-modelled collision).
+    Fault,
+    /// The link layer exhausted the packet's retry budget (§9: packets stay
+    /// queued until ACKed — but not forever).
+    RetryLimit,
+}
 
 /// One recorded event.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,11 +41,81 @@ pub enum TraceEvent {
         /// Length in samples.
         len: usize,
     },
-    /// A transmission was dropped by fault injection.
+    /// A transmission or packet was dropped.
     Dropped {
-        /// Node index.
+        /// Node index (transmitter for [`DropCause::Fault`], destination
+        /// client for [`DropCause::RetryLimit`]).
+        node: usize,
+        /// Global time, seconds.
+        t: f64,
+        /// Why it was dropped.
+        cause: DropCause,
+    },
+    /// A scheduled waveform had its payload samples corrupted in flight by
+    /// fault injection (pre-CRC, so receivers see a CRC rejection).
+    Corrupted {
+        /// Transmitting node index.
         node: usize,
         /// Global start time, seconds.
+        t: f64,
+    },
+    /// MAC: a downlink packet entered the shared queue.
+    Enqueued {
+        /// Destination client.
+        client: usize,
+        /// Queue-assigned packet id.
+        id: u64,
+        /// Global time, seconds.
+        t: f64,
+    },
+    /// MAC: the designated AP of the head-of-queue packet was elected lead
+    /// for a joint transmission (§9).
+    LeadElected {
+        /// Lead AP index.
+        ap: usize,
+        /// Global time, seconds.
+        t: f64,
+    },
+    /// MAC: a joint batch was selected from the shared queue.
+    BatchSelected {
+        /// Number of packets (= concurrent streams) in the batch.
+        n_packets: usize,
+        /// Global time, seconds.
+        t: f64,
+    },
+    /// MAC: a packet was acknowledged (asynchronously, §9).
+    Acked {
+        /// Destination client.
+        client: usize,
+        /// Queue-assigned packet id.
+        id: u64,
+        /// Global time, seconds.
+        t: f64,
+    },
+    /// MAC: a packet was not acknowledged and returned to the queue for a
+    /// future joint transmission.
+    Retry {
+        /// Destination client.
+        client: usize,
+        /// Queue-assigned packet id.
+        id: u64,
+        /// Attempts made so far.
+        attempt: u32,
+        /// Global time, seconds.
+        t: f64,
+    },
+    /// An AP went down (fault schedule).
+    ApDown {
+        /// AP index.
+        ap: usize,
+        /// Global time, seconds.
+        t: f64,
+    },
+    /// An AP recovered.
+    ApUp {
+        /// AP index.
+        ap: usize,
+        /// Global time, seconds.
         t: f64,
     },
 }
@@ -75,20 +158,39 @@ impl Trace {
         &self.events
     }
 
-    /// Number of transmissions recorded.
-    pub fn transmit_count(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::Transmit { .. }))
-            .count()
+    /// Number of events matching a predicate.
+    pub fn count(&self, pred: impl Fn(&TraceEvent) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(e)).count()
     }
 
-    /// Number of drops recorded.
+    /// Number of transmissions recorded.
+    pub fn transmit_count(&self) -> usize {
+        self.count(|e| matches!(e, TraceEvent::Transmit { .. }))
+    }
+
+    /// Number of drops recorded (any cause).
     pub fn drop_count(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::Dropped { .. }))
-            .count()
+        self.count(|e| matches!(e, TraceEvent::Dropped { .. }))
+    }
+
+    /// Number of drops recorded with the given cause.
+    pub fn drop_count_by(&self, cause: DropCause) -> usize {
+        self.count(|e| matches!(e, TraceEvent::Dropped { cause: c, .. } if *c == cause))
+    }
+
+    /// Number of in-flight corruptions recorded.
+    pub fn corrupt_count(&self) -> usize {
+        self.count(|e| matches!(e, TraceEvent::Corrupted { .. }))
+    }
+
+    /// Number of MAC acknowledgments recorded.
+    pub fn ack_count(&self) -> usize {
+        self.count(|e| matches!(e, TraceEvent::Acked { .. }))
+    }
+
+    /// Number of MAC retries recorded.
+    pub fn retry_count(&self) -> usize {
+        self.count(|e| matches!(e, TraceEvent::Retry { .. }))
     }
 
     /// Clears the log.
@@ -104,7 +206,11 @@ mod tests {
     #[test]
     fn disabled_by_default() {
         let mut t = Trace::new();
-        t.push(TraceEvent::Dropped { node: 0, t: 0.0 });
+        t.push(TraceEvent::Dropped {
+            node: 0,
+            t: 0.0,
+            cause: DropCause::Fault,
+        });
         assert!(t.events().is_empty());
     }
 
@@ -118,7 +224,11 @@ mod tests {
             len: 80,
             power: 0.01,
         });
-        t.push(TraceEvent::Dropped { node: 2, t: 0.6 });
+        t.push(TraceEvent::Dropped {
+            node: 2,
+            t: 0.6,
+            cause: DropCause::Fault,
+        });
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.transmit_count(), 1);
         assert_eq!(t.drop_count(), 1);
@@ -134,9 +244,54 @@ mod tests {
             len: 10,
         });
         t.disable();
-        t.push(TraceEvent::Dropped { node: 0, t: 1.0 });
+        t.push(TraceEvent::Dropped {
+            node: 0,
+            t: 1.0,
+            cause: DropCause::Fault,
+        });
         assert_eq!(t.events().len(), 1);
         t.clear();
         assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn mac_level_events_and_counters() {
+        let mut t = Trace::new();
+        t.enable();
+        t.push(TraceEvent::Enqueued {
+            client: 0,
+            id: 1,
+            t: 0.0,
+        });
+        t.push(TraceEvent::LeadElected { ap: 2, t: 0.1 });
+        t.push(TraceEvent::BatchSelected {
+            n_packets: 3,
+            t: 0.1,
+        });
+        t.push(TraceEvent::Acked {
+            client: 0,
+            id: 1,
+            t: 0.2,
+        });
+        t.push(TraceEvent::Retry {
+            client: 1,
+            id: 2,
+            attempt: 1,
+            t: 0.2,
+        });
+        t.push(TraceEvent::Dropped {
+            node: 1,
+            t: 0.3,
+            cause: DropCause::RetryLimit,
+        });
+        t.push(TraceEvent::ApDown { ap: 0, t: 0.4 });
+        t.push(TraceEvent::ApUp { ap: 0, t: 0.5 });
+        t.push(TraceEvent::Corrupted { node: 1, t: 0.6 });
+        assert_eq!(t.ack_count(), 1);
+        assert_eq!(t.retry_count(), 1);
+        assert_eq!(t.corrupt_count(), 1);
+        assert_eq!(t.drop_count_by(DropCause::RetryLimit), 1);
+        assert_eq!(t.drop_count_by(DropCause::Fault), 0);
+        assert_eq!(t.drop_count(), 1);
     }
 }

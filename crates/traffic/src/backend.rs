@@ -1,0 +1,253 @@
+//! The PHY abstraction under the traffic event loop.
+//!
+//! The event loop only needs one thing from the physical layer: "serve this
+//! joint batch from these live APs, tell me how long it took and who
+//! ACKed". [`TransmitBackend`] captures exactly that, so the same traffic
+//! simulation runs over the per-subcarrier [`FastNet`] (large sweeps) or
+//! the sample-level [`JmbNetwork`] (full-PHY validation, fault injection
+//! through the real CRC path).
+
+use jmb_core::baseline;
+use jmb_core::error::JmbError;
+use jmb_core::fastnet::{FastConfig, FastNet};
+use jmb_core::net::{JmbNetwork, NetConfig};
+use jmb_dsp::rng::JmbRng;
+use jmb_phy::esnr::MCS_THRESHOLD_DB;
+use jmb_phy::rates::Mcs;
+use rand::Rng;
+
+/// Outcome of serving one joint batch.
+#[derive(Debug, Clone)]
+pub struct TxReport {
+    /// Airtime the joint transmission consumed (data frame; the caller
+    /// accounts header/turnaround separately if it wants), seconds.
+    pub airtime_s: f64,
+    /// Per-batch-packet acknowledgment (same order as `dests`).
+    pub acked: Vec<bool>,
+    /// Index into [`Mcs::ALL`] of the rate used.
+    pub mcs_index: usize,
+}
+
+/// A PHY capable of serving MAC batches.
+pub trait TransmitBackend {
+    /// Number of APs in the array.
+    fn n_aps(&self) -> usize;
+    /// Number of clients.
+    fn n_clients(&self) -> usize;
+    /// Advances the PHY clock by `dt` seconds (oscillators drift).
+    fn advance(&mut self, dt: f64);
+    /// Serves one joint batch: one stream per entry of `dests` (distinct
+    /// clients), every payload padded to `payload_len` bytes, transmitted
+    /// by the APs in `active_aps`.
+    fn transmit_batch(
+        &mut self,
+        dests: &[usize],
+        payload_len: usize,
+        active_aps: &[usize],
+    ) -> Result<TxReport, JmbError>;
+}
+
+/// Per-subcarrier backend over [`FastNet`]: SINR → packet success through
+/// an EESM-margin error model. Fast enough for load sweeps.
+pub struct FastBackend {
+    net: FastNet,
+    rng: JmbRng,
+    /// Channel age after which the next batch triggers re-measurement,
+    /// seconds. The precoder is computed from `h_meas`, so under fading it
+    /// goes stale; JMB re-measures on demand (§5.1). Default 50 ms.
+    pub remeasure_interval_s: f64,
+    since_meas_s: f64,
+}
+
+impl FastBackend {
+    /// Builds the network, runs the measurement phase, and derives the
+    /// ACK-model RNG from the config seed.
+    pub fn new(cfg: FastConfig) -> Result<Self, JmbError> {
+        let rng = jmb_dsp::rng::derive_rng(cfg.seed, 0x7AFF);
+        let mut net = FastNet::new(cfg)?;
+        net.run_measurement()?;
+        Ok(FastBackend {
+            net,
+            rng,
+            remeasure_interval_s: 50e-3,
+            since_meas_s: 0.0,
+        })
+    }
+
+    /// Access to the wrapped network (e.g. to evolve fading between runs).
+    pub fn net_mut(&mut self) -> &mut FastNet {
+        &mut self.net
+    }
+
+    /// Packet error rate from the EESM margin above the MCS threshold.
+    ///
+    /// Calibrated to the rate table's design point: ~10% PER right at
+    /// threshold, an order of magnitude per ~2.3 dB of margin, saturating
+    /// at 1 below threshold.
+    pub fn per_from_margin(margin_db: f64) -> f64 {
+        (0.1 * (-margin_db).exp()).min(1.0)
+    }
+}
+
+impl TransmitBackend for FastBackend {
+    fn n_aps(&self) -> usize {
+        self.net.config().n_aps
+    }
+
+    fn n_clients(&self) -> usize {
+        self.net.config().n_clients
+    }
+
+    fn advance(&mut self, dt: f64) {
+        self.net.advance(dt);
+        self.since_meas_s += dt;
+    }
+
+    fn transmit_batch(
+        &mut self,
+        dests: &[usize],
+        payload_len: usize,
+        active_aps: &[usize],
+    ) -> Result<TxReport, JmbError> {
+        if self.since_meas_s > self.remeasure_interval_s {
+            self.net.run_measurement()?;
+            self.since_meas_s = 0.0;
+        }
+        let out = self
+            .net
+            .joint_transmit_subset(dests, active_aps, payload_len, 2, true)?;
+        let threshold = MCS_THRESHOLD_DB[out.mcs.index()];
+        let acked = out
+            .eff_snr_db
+            .iter()
+            .map(|&snr| self.rng.gen::<f64>() >= Self::per_from_margin(snr - threshold))
+            .collect();
+        Ok(TxReport {
+            airtime_s: out.airtime_s,
+            acked,
+            mcs_index: out.mcs.index(),
+        })
+    }
+}
+
+/// Sample-level backend over [`JmbNetwork`]: every batch is a real OFDM
+/// joint transmission and an ACK is a real CRC-checked decode. Orders of
+/// magnitude slower — use for validation and fault-injection runs.
+pub struct SampleBackend {
+    net: JmbNetwork,
+    mcs: Mcs,
+}
+
+impl SampleBackend {
+    /// Builds the network and runs the measurement phase. The MCS comes
+    /// from the network's own §9 rate selection (base rate if none
+    /// clears).
+    pub fn new(cfg: NetConfig) -> Result<Self, JmbError> {
+        let mut net = JmbNetwork::new(cfg)?;
+        net.run_measurement()?;
+        let mcs = net.select_rate().unwrap_or(Mcs::BASE);
+        Ok(SampleBackend { net, mcs })
+    }
+
+    /// Access to the wrapped network (fault injection, traces).
+    pub fn net_mut(&mut self) -> &mut JmbNetwork {
+        &mut self.net
+    }
+
+    /// The MCS used for every batch.
+    pub fn mcs(&self) -> Mcs {
+        self.mcs
+    }
+}
+
+impl TransmitBackend for SampleBackend {
+    fn n_aps(&self) -> usize {
+        self.net.config().n_aps
+    }
+
+    fn n_clients(&self) -> usize {
+        self.net.config().n_clients
+    }
+
+    fn advance(&mut self, dt: f64) {
+        self.net.advance(dt);
+    }
+
+    fn transmit_batch(
+        &mut self,
+        dests: &[usize],
+        payload_len: usize,
+        active_aps: &[usize],
+    ) -> Result<TxReport, JmbError> {
+        let n_clients = self.net.config().n_clients;
+        let n_aps = self.net.config().n_aps;
+        // One payload per client (the network transmits one stream each);
+        // clients outside the batch get a zero payload of the same length.
+        let mut payloads = vec![vec![0u8; payload_len.max(1)]; n_clients];
+        for (s, &d) in dests.iter().enumerate() {
+            for (i, b) in payloads[d].iter_mut().enumerate() {
+                *b = (i as u8).wrapping_mul(7).wrapping_add(s as u8);
+            }
+        }
+        let mask: Vec<bool> = (0..n_aps).map(|i| active_aps.contains(&i)).collect();
+        let results = self
+            .net
+            .joint_transmit_masked(&payloads, self.mcs, true, Some(&mask))?;
+        let acked = dests.iter().map(|&d| results[d].is_ok()).collect();
+        Ok(TxReport {
+            airtime_s: baseline::frame_airtime(&self.net.config().params, self.mcs, payload_len),
+            acked,
+            mcs_index: self.mcs.index(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_model_shape() {
+        assert!((FastBackend::per_from_margin(0.0) - 0.1).abs() < 1e-12);
+        assert!(FastBackend::per_from_margin(5.0) < 1e-3);
+        assert_eq!(FastBackend::per_from_margin(-10.0), 1.0);
+        // Monotone decreasing.
+        let mut prev = 1.0;
+        for m in -5..15 {
+            let p = FastBackend::per_from_margin(m as f64);
+            assert!(p <= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn fast_backend_serves_batches() {
+        let cfg = FastConfig::default_with(4, 4, vec![20.0; 4], 21);
+        let mut b = FastBackend::new(cfg).unwrap();
+        assert_eq!(b.n_aps(), 4);
+        assert_eq!(b.n_clients(), 4);
+        b.advance(1e-3);
+        let r = b.transmit_batch(&[0, 2], 1500, &[0, 1, 2, 3]).unwrap();
+        assert_eq!(r.acked.len(), 2);
+        assert!(r.airtime_s > 0.0);
+        // A degraded array still serves a smaller batch.
+        let r = b.transmit_batch(&[1], 1500, &[1, 3]).unwrap();
+        assert_eq!(r.acked.len(), 1);
+    }
+
+    #[test]
+    fn fast_backend_deterministic() {
+        let run = |seed| {
+            let cfg = FastConfig::default_with(3, 3, vec![18.0; 3], seed);
+            let mut b = FastBackend::new(cfg).unwrap();
+            (0..10)
+                .map(|_| {
+                    b.advance(5e-4);
+                    let r = b.transmit_batch(&[0, 1, 2], 700, &[0, 1, 2]).unwrap();
+                    (r.acked, r.mcs_index)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

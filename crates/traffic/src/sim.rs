@@ -1,0 +1,691 @@
+//! The discrete-event traffic simulation.
+//!
+//! A seeded, single-threaded event loop: per-client arrival processes feed
+//! the shared [`JmbMac`] queue; whenever the medium is idle the §9 schedule
+//! runs — lead election from the head-of-queue packet, joint-batch
+//! selection of distinct destinations, a weighted contention window, one
+//! joint transmission through a [`TransmitBackend`], and asynchronous
+//! ACK/retransmission bookkeeping. Scheduled AP outages exercise failover:
+//! the designated-AP map is re-elected onto surviving APs and the stream
+//! cap shrinks so zero-forcing stays well-posed.
+//!
+//! # Determinism
+//!
+//! Same seed + same config ⇒ identical metrics, bit for bit. Every random
+//! draw comes from a stream-derived RNG (arrivals per client, backoff, the
+//! backend's own ACK model), events at equal times are ordered by a
+//! monotone sequence number, and the loop itself is single-threaded —
+//! parallelism belongs *outside*, across simulations (see
+//! `jmb_core::experiment::parallel_map`).
+
+use crate::arrival::{ArrivalGen, ArrivalProcess, PacketSizeDist};
+use crate::backend::TransmitBackend;
+use crate::metrics::{TimelineBin, TrafficMetrics};
+use jmb_core::error::JmbError;
+use jmb_core::mac::{JmbMac, MacConfig, MacPacket, PacketFate};
+use jmb_dsp::rng::JmbRng;
+use jmb_sim::{DropCause, Trace, TraceEvent};
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// One client's offered load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientLoad {
+    /// Arrival process.
+    pub arrival: ArrivalProcess,
+    /// Packet-size distribution.
+    pub size: PacketSizeDist,
+}
+
+impl ClientLoad {
+    /// Poisson arrivals of fixed-size packets.
+    pub fn poisson(rate_pps: f64, bytes: usize) -> Self {
+        ClientLoad {
+            arrival: ArrivalProcess::Poisson { rate_pps },
+            size: PacketSizeDist::Fixed(bytes),
+        }
+    }
+
+    /// Mean offered load, bits/second.
+    pub fn offered_bps(&self) -> f64 {
+        self.arrival.mean_rate_pps() * self.size.mean() * 8.0
+    }
+}
+
+/// A scheduled AP failure window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApOutage {
+    /// Which AP fails.
+    pub ap: usize,
+    /// Failure time, seconds.
+    pub down_at_s: f64,
+    /// Recovery time, seconds (`f64::INFINITY` = never recovers).
+    pub up_at_s: f64,
+}
+
+/// Traffic-simulation configuration.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Load-generation horizon, seconds.
+    pub duration_s: f64,
+    /// Extra time after the horizon to drain the queue, seconds.
+    pub drain_timeout_s: f64,
+    /// Link-layer configuration.
+    pub mac: MacConfig,
+    /// One load per client.
+    pub loads: Vec<ClientLoad>,
+    /// Scheduled AP failures.
+    pub outages: Vec<ApOutage>,
+    /// Contention slot duration, seconds (802.11 OFDM: 9 µs).
+    pub slot_s: f64,
+    /// Fixed per-transmission overhead: lead sync header + software
+    /// turnaround (§5.2), seconds.
+    pub header_overhead_s: f64,
+    /// Timeline bin width, seconds.
+    pub timeline_bin_s: f64,
+    /// Master seed (arrivals and backoff; the backend seeds itself).
+    pub seed: u64,
+}
+
+impl TrafficConfig {
+    /// Defaults: 9 µs slots, 32 µs header + 150 µs turnaround, 50 ms bins,
+    /// 1 s horizon with 0.5 s drain.
+    pub fn default_with(loads: Vec<ClientLoad>, seed: u64) -> Self {
+        TrafficConfig {
+            duration_s: 1.0,
+            drain_timeout_s: 0.5,
+            mac: MacConfig::default(),
+            loads,
+            outages: Vec::new(),
+            slot_s: 9e-6,
+            header_overhead_s: 182e-6,
+            timeline_bin_s: 50e-3,
+            seed,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    Arrival { client: usize },
+    TxDone,
+    ApDown { ap: usize },
+    ApUp { ap: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    t: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Total order on (time, insertion sequence): simultaneous events
+        // process in creation order — the determinism tie-break.
+        self.t.total_cmp(&other.t).then(self.seq.cmp(&other.seq))
+    }
+}
+
+struct InFlight {
+    batch: Vec<MacPacket>,
+    acked: Vec<bool>,
+    airtime_s: f64,
+}
+
+/// The traffic simulator. Build once, [`TrafficSim::run`] once.
+pub struct TrafficSim<B: TransmitBackend> {
+    cfg: TrafficConfig,
+    backend: B,
+    mac: JmbMac,
+    /// Home (initial designated) AP per client, restored on recovery.
+    home_ap: Vec<usize>,
+    active: Vec<bool>,
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    arrivals: Vec<ArrivalGen>,
+    backoff_rng: JmbRng,
+    /// Enqueue time + true (unpadded) size per in-queue packet id.
+    meta: HashMap<u64, (f64, usize)>,
+    in_flight: Option<InFlight>,
+    /// Sim time up to which the backend clock has been advanced.
+    phy_t: f64,
+    /// Protocol/traffic event trace (enable before `run`).
+    pub trace: Trace,
+}
+
+impl<B: TransmitBackend> TrafficSim<B> {
+    /// Validates the config against the backend and seeds all generators.
+    ///
+    /// The initial designated-AP map assigns client `j` to AP `j mod n_aps`
+    /// (matching the backend topologies, where strongest APs are spread
+    /// across clients).
+    pub fn new(cfg: TrafficConfig, backend: B) -> Result<Self, JmbError> {
+        if cfg.loads.len() != backend.n_clients() {
+            return Err(JmbError::BadConfig("one load per client required"));
+        }
+        if cfg.loads.is_empty() {
+            return Err(JmbError::BadConfig("need at least one client"));
+        }
+        if cfg
+            .outages
+            .iter()
+            .any(|o| o.ap >= backend.n_aps() || o.up_at_s <= o.down_at_s)
+        {
+            return Err(JmbError::BadConfig("bad outage schedule"));
+        }
+        if cfg.duration_s <= 0.0 || cfg.timeline_bin_s <= 0.0 || cfg.slot_s <= 0.0 {
+            return Err(JmbError::BadConfig("durations must be positive"));
+        }
+        let n_aps = backend.n_aps();
+        let home_ap: Vec<usize> = (0..backend.n_clients()).map(|j| j % n_aps).collect();
+        let mut mac = JmbMac::new(cfg.mac, home_ap.clone());
+        mac.set_max_streams(cfg.mac.max_streams.min(n_aps));
+        let arrivals: Vec<ArrivalGen> = cfg
+            .loads
+            .iter()
+            .enumerate()
+            .map(|(c, l)| {
+                ArrivalGen::new(
+                    l.arrival,
+                    l.size,
+                    jmb_dsp::rng::derive_rng(cfg.seed, 0xA0_0000 + c as u64),
+                    0.0,
+                )
+            })
+            .collect();
+        let backoff_rng = jmb_dsp::rng::derive_rng(cfg.seed, 0xB0_FF00);
+        Ok(TrafficSim {
+            active: vec![true; n_aps],
+            home_ap,
+            mac,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            arrivals,
+            backoff_rng,
+            meta: HashMap::new(),
+            in_flight: None,
+            phy_t: 0.0,
+            trace: Trace::new(),
+            cfg,
+            backend,
+        })
+    }
+
+    /// Access to the PHY backend (fault injection, trace inspection).
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    fn push_event(&mut self, t: f64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Event { t, seq, kind }));
+    }
+
+    fn active_aps(&self) -> Vec<usize> {
+        (0..self.active.len()).filter(|&i| self.active[i]).collect()
+    }
+
+    /// Re-elects designated APs and shrinks/grows the stream cap after a
+    /// liveness change (§9's per-packet lead re-election is what makes this
+    /// safe: the next head-of-queue packet simply nominates a live AP).
+    fn apply_liveness(&mut self) {
+        let live = self.active_aps();
+        if live.is_empty() {
+            return; // transmissions pause until an AP recovers
+        }
+        for c in 0..self.home_ap.len() {
+            let home = self.home_ap[c];
+            let want = if self.active[home] { home } else { live[0] };
+            if self.mac.designated_ap(c) != want {
+                self.mac.set_designated_ap(c, want);
+            }
+        }
+        self.mac
+            .set_max_streams(self.cfg.mac.max_streams.min(live.len()));
+    }
+
+    /// Starts a joint transmission if the medium is idle and work exists.
+    fn maybe_start_tx(&mut self, now: f64) {
+        if self.in_flight.is_some() || self.mac.queue_len() == 0 {
+            return;
+        }
+        let live = self.active_aps();
+        if live.is_empty() {
+            return;
+        }
+        if let Some(lead) = self.mac.next_lead() {
+            self.trace
+                .push(TraceEvent::LeadElected { ap: lead, t: now });
+        }
+        let mut batch = self.mac.select_batch();
+        if batch.is_empty() {
+            // Every queued destination is blacklisted: §9 re-admits after
+            // re-measurement; model that as a reset so the queue never
+            // starves.
+            self.mac.clear_all_blacklists();
+            batch = self.mac.select_batch();
+        }
+        if batch.is_empty() {
+            return;
+        }
+        self.trace.push(TraceEvent::BatchSelected {
+            n_packets: batch.len(),
+            t: now,
+        });
+        let cw = self.mac.contention_window(batch.len());
+        let backoff_s = self.backoff_rng.gen_range(0..cw) as f64 * self.cfg.slot_s;
+        let t_start = now + backoff_s + self.cfg.header_overhead_s;
+        // Keep the PHY clock tracking sim time (oscillators drift through
+        // idle and contention periods too).
+        let dt = (t_start - self.phy_t).max(0.0);
+        self.backend.advance(dt);
+        let dests: Vec<usize> = batch.iter().map(|p| p.dest).collect();
+        let payload_len = batch[0].payload.len();
+        let report = self
+            .backend
+            .transmit_batch(&dests, payload_len, &live)
+            .unwrap_or_else(|_| crate::backend::TxReport {
+                // A PHY refusal (e.g. transiently more streams than live
+                // APs) behaves like a lost transmission: nobody ACKs and
+                // the MAC retry path takes over.
+                airtime_s: self.cfg.header_overhead_s,
+                acked: vec![false; batch.len()],
+                mcs_index: 0,
+            });
+        let airtime_s = self.cfg.header_overhead_s + backoff_s + report.airtime_s;
+        let t_done = now + airtime_s;
+        self.phy_t = t_start + report.airtime_s;
+        self.in_flight = Some(InFlight {
+            batch,
+            acked: report.acked,
+            airtime_s,
+        });
+        self.push_event(t_done, EventKind::TxDone);
+    }
+
+    /// Runs the simulation to completion and returns the metrics.
+    pub fn run(&mut self) -> TrafficMetrics {
+        let n_clients = self.cfg.loads.len();
+        let mut m = TrafficMetrics {
+            duration_s: self.cfg.duration_s,
+            offered_bps: self.cfg.loads.iter().map(|l| l.offered_bps()).sum(),
+            per_client_bits: vec![0.0; n_clients],
+            ..Default::default()
+        };
+        let hard_end = self.cfg.duration_s + self.cfg.drain_timeout_s;
+
+        // Seed the event heap: first arrival per client + the outage
+        // schedule. `pending` holds the staged (time, size) for each
+        // client's next arrival so the event handler doesn't re-draw.
+        let mut pending: Vec<Option<(f64, usize)>> = Vec::with_capacity(n_clients);
+        for gen in self.arrivals.iter_mut() {
+            let (t, size) = gen.next_arrival();
+            pending.push((t < self.cfg.duration_s).then_some((t, size)));
+        }
+        for (c, slot) in pending.iter().enumerate() {
+            if let Some((t, _)) = *slot {
+                self.push_event(t, EventKind::Arrival { client: c });
+            }
+        }
+        for o in self.cfg.outages.clone() {
+            self.push_event(o.down_at_s, EventKind::ApDown { ap: o.ap });
+            if o.up_at_s.is_finite() {
+                self.push_event(o.up_at_s, EventKind::ApUp { ap: o.ap });
+            }
+        }
+
+        let mut now = 0.0f64;
+        while let Some(Reverse(ev)) = self.heap.pop() {
+            if ev.t > hard_end {
+                break;
+            }
+            now = ev.t;
+            match ev.kind {
+                EventKind::Arrival { client } => {
+                    let (_, size) = pending[client].take().expect("staged arrival");
+                    let id = self.mac.enqueue(client, vec![0u8; size]);
+                    self.meta.insert(id, (now, size));
+                    m.generated += 1;
+                    self.trace.push(TraceEvent::Enqueued { client, id, t: now });
+                    let (t_next, s_next) = self.arrivals[client].next_arrival();
+                    if t_next < self.cfg.duration_s {
+                        pending[client] = Some((t_next, s_next));
+                        self.push_event(t_next, EventKind::Arrival { client });
+                    }
+                }
+                EventKind::ApDown { ap } => {
+                    self.active[ap] = false;
+                    self.trace.push(TraceEvent::ApDown { ap, t: now });
+                    self.apply_liveness();
+                }
+                EventKind::ApUp { ap } => {
+                    self.active[ap] = true;
+                    self.trace.push(TraceEvent::ApUp { ap, t: now });
+                    self.apply_liveness();
+                }
+                EventKind::TxDone => {
+                    let inf = self.in_flight.take().expect("tx completion without tx");
+                    m.transmissions += 1;
+                    m.airtime_s += inf.airtime_s;
+                    let fates = self
+                        .mac
+                        .complete_batch(inf.batch, &inf.acked, inf.airtime_s);
+                    for fate in fates {
+                        match fate {
+                            PacketFate::Acked { dest, id } => {
+                                let (t_in, size) =
+                                    self.meta.remove(&id).expect("acked unknown packet");
+                                m.delivered += 1;
+                                m.latencies_s.push(now - t_in);
+                                let bits = 8.0 * size as f64;
+                                m.per_client_bits[dest] += bits;
+                                record_timeline(
+                                    &mut m.timeline,
+                                    self.cfg.timeline_bin_s,
+                                    now,
+                                    bits,
+                                    self.mac.queue_len(),
+                                );
+                                self.trace.push(TraceEvent::Acked {
+                                    client: dest,
+                                    id,
+                                    t: now,
+                                });
+                            }
+                            PacketFate::Requeued { dest, id, attempts } => {
+                                m.retries += 1;
+                                self.trace.push(TraceEvent::Retry {
+                                    client: dest,
+                                    id,
+                                    attempt: attempts,
+                                    t: now,
+                                });
+                            }
+                            PacketFate::Dropped { dest, id } => {
+                                self.meta.remove(&id);
+                                m.dropped += 1;
+                                self.trace.push(TraceEvent::Dropped {
+                                    node: dest,
+                                    t: now,
+                                    cause: DropCause::RetryLimit,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            self.maybe_start_tx(now);
+        }
+
+        m.queued_at_end = self.mac.queue_len() as u64
+            + self.in_flight.as_ref().map_or(0, |i| i.batch.len()) as u64;
+        m.elapsed_s = now.max(self.cfg.duration_s);
+        m
+    }
+}
+
+fn record_timeline(
+    timeline: &mut Vec<TimelineBin>,
+    bin_s: f64,
+    t: f64,
+    bits: f64,
+    queue_len: usize,
+) {
+    let idx = (t / bin_s) as usize;
+    while timeline.len() <= idx {
+        let k = timeline.len();
+        timeline.push(TimelineBin {
+            t_s: k as f64 * bin_s,
+            delivered_bits: 0.0,
+            queue_len: 0,
+        });
+    }
+    timeline[idx].delivered_bits += bits;
+    timeline[idx].queue_len = queue_len;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::TxReport;
+
+    /// A deterministic stub PHY: fixed airtime, ACK everything unless the
+    /// destination is in `failing`, which NACKs until `fail_until_tx`.
+    struct StubBackend {
+        n_aps: usize,
+        n_clients: usize,
+        airtime_s: f64,
+        failing: Vec<usize>,
+        calls: u64,
+        fail_until_call: u64,
+    }
+
+    impl StubBackend {
+        fn perfect(n_aps: usize, n_clients: usize) -> Self {
+            StubBackend {
+                n_aps,
+                n_clients,
+                airtime_s: 500e-6,
+                failing: Vec::new(),
+                calls: 0,
+                fail_until_call: 0,
+            }
+        }
+    }
+
+    impl TransmitBackend for StubBackend {
+        fn n_aps(&self) -> usize {
+            self.n_aps
+        }
+        fn n_clients(&self) -> usize {
+            self.n_clients
+        }
+        fn advance(&mut self, _dt: f64) {}
+        fn transmit_batch(
+            &mut self,
+            dests: &[usize],
+            _payload_len: usize,
+            active_aps: &[usize],
+        ) -> Result<TxReport, JmbError> {
+            assert!(!active_aps.is_empty());
+            assert!(dests.len() <= active_aps.len().max(1));
+            self.calls += 1;
+            let acked = dests
+                .iter()
+                .map(|d| !(self.failing.contains(d) && self.calls <= self.fail_until_call))
+                .collect();
+            Ok(TxReport {
+                airtime_s: self.airtime_s,
+                acked,
+                mcs_index: 0,
+            })
+        }
+    }
+
+    fn light_cfg(n_clients: usize, seed: u64) -> TrafficConfig {
+        TrafficConfig::default_with(vec![ClientLoad::poisson(50.0, 700); n_clients], seed)
+    }
+
+    #[test]
+    fn light_load_delivers_everything() {
+        let cfg = light_cfg(3, 1);
+        let mut sim = TrafficSim::new(cfg, StubBackend::perfect(4, 3)).unwrap();
+        let m = sim.run();
+        assert!(m.generated > 50, "generated {}", m.generated);
+        assert_eq!(m.delivered, m.generated);
+        assert_eq!(m.dropped, 0);
+        assert_eq!(m.queued_at_end, 0);
+        assert!(m.delivery_ratio() == 1.0);
+        assert!(m.median_latency_s() < 5e-3, "{}", m.median_latency_s());
+        assert!(m.jain_fairness() > 0.8);
+    }
+
+    #[test]
+    fn overload_queues_and_latency_grows() {
+        // Each 700-byte packet takes ≥ 682 µs of airtime+header: capacity
+        // ≈ 1.4k packets/s aggregate (batched ×3), so 3 × 3000 pps swamps it.
+        let mut cfg = light_cfg(3, 2);
+        for l in cfg.loads.iter_mut() {
+            *l = ClientLoad::poisson(3000.0, 700);
+        }
+        cfg.duration_s = 0.5;
+        cfg.drain_timeout_s = 0.1;
+        let light = TrafficSim::new(light_cfg(3, 2), StubBackend::perfect(4, 3))
+            .unwrap()
+            .run();
+        let heavy = TrafficSim::new(cfg, StubBackend::perfect(4, 3))
+            .unwrap()
+            .run();
+        assert!(heavy.queued_at_end > 0, "overload must leave a backlog");
+        assert!(
+            heavy.p99_latency_s() > 10.0 * light.p99_latency_s(),
+            "light p99 {} vs heavy p99 {}",
+            light.p99_latency_s(),
+            heavy.p99_latency_s()
+        );
+    }
+
+    #[test]
+    fn retries_and_drops_recorded() {
+        let mut cfg = light_cfg(2, 3);
+        cfg.mac.retry_limit = 3;
+        let mut backend = StubBackend::perfect(2, 2);
+        backend.failing = vec![1];
+        backend.fail_until_call = u64::MAX; // client 1 never ACKs
+        let mut sim = TrafficSim::new(cfg, backend).unwrap();
+        sim.trace.enable();
+        let m = sim.run();
+        assert!(m.retries > 0);
+        assert!(m.dropped > 0);
+        assert!(sim.trace.retry_count() > 0);
+        assert!(sim.trace.drop_count_by(DropCause::RetryLimit) > 0);
+        // Client 0 still drains fine (decoupled losses).
+        assert!(m.per_client_bits[0] > 0.0);
+        assert_eq!(m.per_client_bits[1], 0.0);
+    }
+
+    #[test]
+    fn outage_degrades_but_does_not_stall() {
+        let mut cfg = light_cfg(3, 4);
+        cfg.outages = vec![ApOutage {
+            ap: 0,
+            down_at_s: 0.3,
+            up_at_s: 0.7,
+        }];
+        let mut sim = TrafficSim::new(cfg, StubBackend::perfect(3, 3)).unwrap();
+        sim.trace.enable();
+        let m = sim.run();
+        // Packets keep flowing throughout the outage window.
+        assert_eq!(m.delivered, m.generated);
+        assert!(sim
+            .trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::ApDown { ap: 0, .. })));
+        assert!(sim
+            .trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::ApUp { ap: 0, .. })));
+        // During the outage no lead election picks AP 0.
+        for e in sim.trace.events() {
+            if let TraceEvent::LeadElected { ap, t } = e {
+                if *t > 0.3 && *t < 0.7 {
+                    assert_ne!(*ap, 0, "dead AP elected lead at t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_aps_down_pauses_then_recovers() {
+        let mut cfg = light_cfg(2, 5);
+        cfg.outages = vec![
+            ApOutage {
+                ap: 0,
+                down_at_s: 0.2,
+                up_at_s: 0.6,
+            },
+            ApOutage {
+                ap: 1,
+                down_at_s: 0.2,
+                up_at_s: 0.6,
+            },
+        ];
+        let mut sim = TrafficSim::new(cfg, StubBackend::perfect(2, 2)).unwrap();
+        let m = sim.run();
+        // Everything generated is eventually delivered after recovery.
+        assert_eq!(m.delivered, m.generated);
+        assert_eq!(m.queued_at_end, 0);
+        // The pause shows up as elevated p99 latency.
+        assert!(m.p99_latency_s() > 0.05, "p99 {}", m.p99_latency_s());
+    }
+
+    #[test]
+    fn deterministic_metrics() {
+        let run = || {
+            let mut cfg = light_cfg(3, 7);
+            cfg.outages = vec![ApOutage {
+                ap: 1,
+                down_at_s: 0.4,
+                up_at_s: 0.8,
+            }];
+            let mut sim = TrafficSim::new(cfg, StubBackend::perfect(3, 3)).unwrap();
+            let m = sim.run();
+            (
+                m.csv_row(),
+                m.latencies_s.clone(),
+                m.per_client_bits.clone(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(TrafficSim::new(light_cfg(3, 1), StubBackend::perfect(2, 2)).is_err());
+        let mut cfg = light_cfg(2, 1);
+        cfg.outages = vec![ApOutage {
+            ap: 9,
+            down_at_s: 0.1,
+            up_at_s: 0.2,
+        }];
+        assert!(TrafficSim::new(cfg, StubBackend::perfect(2, 2)).is_err());
+        let mut cfg = light_cfg(2, 1);
+        cfg.outages = vec![ApOutage {
+            ap: 0,
+            down_at_s: 0.2,
+            up_at_s: 0.1,
+        }];
+        assert!(TrafficSim::new(cfg, StubBackend::perfect(2, 2)).is_err());
+        let mut cfg = light_cfg(2, 1);
+        cfg.duration_s = 0.0;
+        assert!(TrafficSim::new(cfg, StubBackend::perfect(2, 2)).is_err());
+    }
+
+    #[test]
+    fn timeline_accumulates() {
+        let cfg = light_cfg(2, 8);
+        let mut sim = TrafficSim::new(cfg, StubBackend::perfect(2, 2)).unwrap();
+        let m = sim.run();
+        assert!(!m.timeline.is_empty());
+        let total: f64 = m.timeline.iter().map(|b| b.delivered_bits).sum();
+        let per_client: f64 = m.per_client_bits.iter().sum();
+        assert!((total - per_client).abs() < 1e-6);
+    }
+}

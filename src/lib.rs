@@ -25,7 +25,10 @@
 //!   per-subcarrier fidelities;
 //! * [`core`] — JMB itself: phase sync, joint beamforming, the measurement
 //!   protocol, the link layer, 802.11n compatibility, the baselines, and
-//!   the experiment harness that regenerates every figure of the paper.
+//!   the experiment harness that regenerates every figure of the paper;
+//! * [`traffic`] — the discrete-event traffic subsystem: per-client offered
+//!   load, queueing and latency through the shared downlink queue, and AP
+//!   failover, over either PHY fidelity.
 //!
 //! ## Quickstart
 //!
@@ -59,6 +62,7 @@ pub use jmb_core as core;
 pub use jmb_dsp as dsp;
 pub use jmb_phy as phy;
 pub use jmb_sim as sim;
+pub use jmb_traffic as traffic;
 
 /// The most commonly used types, for glob import.
 pub mod prelude {
@@ -74,4 +78,8 @@ pub mod prelude {
     pub use jmb_phy::rates::Mcs;
     pub use jmb_phy::{ChannelProfile, OfdmParams};
     pub use jmb_sim::{Medium, SubcarrierMedium};
+    pub use jmb_traffic::{
+        ApOutage, ArrivalProcess, ClientLoad, FastBackend, PacketSizeDist, SampleBackend,
+        TrafficConfig, TrafficMetrics, TrafficSim, TransmitBackend,
+    };
 }
