@@ -1,0 +1,242 @@
+//! Robustness sweep: goodput vs control-frame loss.
+//!
+//! The claim under test: JMB's control plane degrades *gracefully*. Losing
+//! sync headers or measurement frames costs throughput proportionally —
+//! re-measurement backs off, desynchronized slaves drop out of individual
+//! joint batches — but never collapses the network or stalls the queue.
+//!
+//! Three sections, all through the discrete-event traffic simulator over
+//! the per-subcarrier PHY ([`FastBackend`]):
+//!
+//! * `sync` — saturating load at 4 APs / 4 clients with the per-batch
+//!   sync-header loss probability ramping 0 → 30%: goodput must fall
+//!   smoothly (at 10% loss it stays within 25% of fault-free — the
+//!   acceptance bound, asserted);
+//! * `meas` — the same ramp applied to measurement-frame loss: lost
+//!   measurements trigger capped-exponential-backoff re-measurement, CSI
+//!   ages but transmissions continue on the stale precoder;
+//! * `storm` — a mid-run window in which one slave loses *every* sync
+//!   header: it degrades out of the array (K consecutive misses), the rest
+//!   keep serving, and it is restored when the storm passes.
+//!
+//! Beyond the shared figure flags, `--sync-loss P` / `--meas-loss P`
+//! switch to single-cell mode (used by the CI fault matrix): one pooled
+//! operating point at those probabilities, written to
+//! `robustness_cell.csv`. Every simulation is seeded; rows are
+//! byte-identical across runs and `--threads` settings.
+
+use jmb_bench::{banner, FigOpts, USAGE};
+use jmb_core::experiment::{parallel_map, write_csv, SweepConfig};
+use jmb_core::fastnet::FastConfig;
+use jmb_sim::{FaultConfig, FaultSchedule};
+use jmb_traffic::{ClientLoad, FastBackend, TrafficConfig, TrafficMetrics, TrafficSim};
+
+const PACKET_BYTES: usize = 1500;
+const SNR_DB: f64 = 30.0;
+const N_APS: usize = 4;
+/// 2500 pps × 1500 B = 30 Mb/s per client: saturating, so goodput measures
+/// capacity and any control-plane cliff would be visible.
+const RATE_PPS: f64 = 2500.0;
+
+/// One traffic simulation with the given control-fault schedule installed
+/// after the (always clean) initial measurement.
+fn run_point(faults: FaultSchedule, duration_s: f64, seed: u64) -> TrafficMetrics {
+    let cfg = FastConfig::default_with(N_APS, N_APS, vec![SNR_DB; N_APS], seed);
+    let mut backend = FastBackend::new(cfg).expect("backend");
+    backend.net_mut().set_fault_schedule(faults);
+    let loads = vec![ClientLoad::poisson(RATE_PPS, PACKET_BYTES); N_APS];
+    let mut tcfg = TrafficConfig::default_with(loads, seed);
+    tcfg.duration_s = duration_s;
+    tcfg.drain_timeout_s = duration_s * 0.5;
+    TrafficSim::new(tcfg, backend).expect("sim").run()
+}
+
+fn fault_with(sync_loss: f64, meas_loss: f64) -> FaultConfig {
+    FaultConfig::builder()
+        .sync_loss_chance(sync_loss)
+        .meas_loss_chance(meas_loss)
+        .build()
+        .expect("probabilities validated at parse time")
+}
+
+fn print_header() {
+    println!("loss_pct  goodput_mbps  sync_misses  remeas_fail  degraded  restored");
+}
+
+fn print_row(loss: f64, m: &TrafficMetrics) {
+    println!(
+        "{:>8.1}  {:>12.1}  {:>11}  {:>11}  {:>8}  {:>8}",
+        loss * 100.0,
+        m.goodput_bps() / 1e6,
+        m.sync_misses,
+        m.remeasure_failed,
+        m.aps_degraded,
+        m.aps_restored
+    );
+}
+
+fn main() {
+    // Strip the robustness-specific flags before handing the rest to the
+    // shared parser (which rejects unknown arguments).
+    let mut sync_loss: Option<f64> = None;
+    let mut meas_loss: Option<f64> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let slot = match a.as_str() {
+            "--sync-loss" => &mut sync_loss,
+            "--meas-loss" => &mut meas_loss,
+            _ => {
+                rest.push(a);
+                continue;
+            }
+        };
+        match args.next().and_then(|s| s.parse::<f64>().ok()) {
+            Some(p) if (0.0..=1.0).contains(&p) => *slot = Some(p),
+            _ => {
+                eprintln!("error: {a} needs a probability in [0, 1]\n{USAGE}");
+                eprintln!("  --sync-loss P  single-cell mode: sync-header loss probability");
+                eprintln!("  --meas-loss P  single-cell mode: measurement-frame loss probability");
+                std::process::exit(2);
+            }
+        }
+    }
+    let opts = match FigOpts::parse(rest) {
+        Ok(Some(o)) => o,
+        Ok(None) => {
+            println!("{USAGE}");
+            println!("  --sync-loss P  single-cell mode: sync-header loss probability");
+            println!("  --meas-loss P  single-cell mode: measurement-frame loss probability");
+            return;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    banner(
+        "robustness_sweep",
+        "goodput vs control-frame loss (graceful degradation)",
+        &opts,
+    );
+    let duration_s = if opts.quick { 0.2 } else { 0.8 };
+    let n_topo = if opts.quick { 3 } else { 8 };
+    let mk_sweep = |points: usize| {
+        let mut s = SweepConfig {
+            n_topologies: points,
+            seed: opts.seed,
+            ..Default::default()
+        };
+        if let Some(t) = opts.threads {
+            s.parallelism = t;
+        }
+        s
+    };
+
+    // --- Single-cell mode for the CI fault matrix. ---
+    if sync_loss.is_some() || meas_loss.is_some() {
+        let fault = fault_with(sync_loss.unwrap_or(0.0), meas_loss.unwrap_or(0.0));
+        let runs = parallel_map(&mk_sweep(n_topo), |i| {
+            run_point(
+                FaultSchedule::constant(fault.clone()),
+                duration_s,
+                opts.seed + i as u64,
+            )
+        });
+        let m = TrafficMetrics::merge(&runs);
+        println!(
+            "cell: sync-loss {:.0}%, meas-loss {:.0}%",
+            sync_loss.unwrap_or(0.0) * 100.0,
+            meas_loss.unwrap_or(0.0) * 100.0
+        );
+        print_header();
+        print_row(sync_loss.unwrap_or(0.0).max(meas_loss.unwrap_or(0.0)), &m);
+        assert!(m.delivered > 0, "faulted cell stalled");
+        let mut row = vec!["cell".to_string()];
+        row.extend(m.csv_row());
+        let header = format!("section,{}", TrafficMetrics::csv_header());
+        write_csv(&opts.csv_path("robustness_cell.csv"), &header, vec![row]).expect("write csv");
+        return;
+    }
+
+    let losses: Vec<f64> = vec![0.0, 0.02, 0.05, 0.1, 0.2, 0.3];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    // --- Section 1: sync-header loss ramp. ---
+    let flat = parallel_map(&mk_sweep(losses.len() * n_topo), |i| {
+        run_point(
+            FaultSchedule::constant(fault_with(losses[i / n_topo], 0.0)),
+            duration_s,
+            opts.seed + (i % n_topo) as u64,
+        )
+    });
+    let sync: Vec<TrafficMetrics> = flat.chunks(n_topo).map(TrafficMetrics::merge).collect();
+    println!("sync-header loss:");
+    print_header();
+    for (l, m) in losses.iter().zip(&sync) {
+        print_row(*l, m);
+        let mut row = vec!["sync".to_string(), format!("{l:.2}")];
+        row.extend(m.csv_row());
+        rows.push(row);
+    }
+    let clean = sync[0].goodput_bps();
+    let at_10 = sync[losses.iter().position(|&l| l == 0.1).expect("10% point")].goodput_bps();
+    println!(
+        "  goodput at 10% sync loss: {:.1}% of fault-free",
+        100.0 * at_10 / clean
+    );
+    // The acceptance bound: graceful, not a cliff.
+    assert!(
+        at_10 >= 0.75 * clean,
+        "10% sync loss cost more than 25% of goodput ({at_10:.0} vs {clean:.0} b/s)"
+    );
+
+    // --- Section 2: measurement-frame loss ramp. ---
+    let flat = parallel_map(&mk_sweep(losses.len() * n_topo), |i| {
+        run_point(
+            FaultSchedule::constant(fault_with(0.0, losses[i / n_topo])),
+            duration_s,
+            opts.seed + (i % n_topo) as u64,
+        )
+    });
+    let meas: Vec<TrafficMetrics> = flat.chunks(n_topo).map(TrafficMetrics::merge).collect();
+    println!("\nmeasurement-frame loss:");
+    print_header();
+    for (l, m) in losses.iter().zip(&meas) {
+        print_row(*l, m);
+        assert!(m.delivered > 0, "meas-loss {l} stalled the network");
+        let mut row = vec!["meas".to_string(), format!("{l:.2}")];
+        row.extend(m.csv_row());
+        rows.push(row);
+    }
+
+    // --- Section 3: total sync loss on one slave, middle third. ---
+    let storm = FaultSchedule::none()
+        .with_window(
+            duration_s / 3.0,
+            duration_s * 2.0 / 3.0,
+            FaultConfig::builder()
+                .per_slave_sync_loss(1, 1.0)
+                .build()
+                .expect("valid"),
+        )
+        .expect("valid window");
+    let runs = parallel_map(&mk_sweep(n_topo), |i| {
+        run_point(storm.clone(), duration_s, opts.seed + i as u64)
+    });
+    let m = TrafficMetrics::merge(&runs);
+    println!("\nstorm (slave 1 misses every header, middle third):");
+    print_header();
+    print_row(1.0, &m);
+    assert!(
+        m.aps_degraded >= 1 && m.aps_restored >= 1,
+        "storm must degrade the slave and restore it afterwards"
+    );
+    let mut row = vec!["storm".to_string(), "1.00".to_string()];
+    row.extend(m.csv_row());
+    rows.push(row);
+
+    let header = format!("section,loss,{}", TrafficMetrics::csv_header());
+    write_csv(&opts.csv_path("robustness_sweep.csv"), &header, rows).expect("write csv");
+    println!("\n§7: control-frame loss degrades JMB smoothly — no cliff, no stall.");
+}

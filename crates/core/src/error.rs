@@ -27,6 +27,10 @@ pub enum JmbError {
     Tx(TxError),
     /// A frame-level receive error.
     Rx(RxError),
+    /// A channel-measurement exchange was lost in flight (control-plane
+    /// fault). The CSI stays stale; the caller should schedule a backoff
+    /// re-measurement rather than abort.
+    MeasurementLost,
     /// The configuration is invalid (e.g. zero APs).
     BadConfig(&'static str),
 }
@@ -44,6 +48,9 @@ impl std::fmt::Display for JmbError {
                     f,
                     "measurement shape mismatch: expected {expected}, got {got}"
                 )
+            }
+            JmbError::MeasurementLost => {
+                write!(f, "measurement frame lost; CSI remains stale")
             }
             JmbError::Tx(e) => write!(f, "transmit error: {e}"),
             JmbError::Rx(e) => write!(f, "receive error: {e}"),
@@ -84,6 +91,7 @@ mod tests {
             .contains('3'));
         let e: JmbError = MatError::Singular.into();
         assert!(e.to_string().contains("singular"));
+        assert!(JmbError::MeasurementLost.to_string().contains("lost"));
     }
 
     #[test]

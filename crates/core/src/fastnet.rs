@@ -14,6 +14,7 @@
 //! the sample-level chain in [`crate::net`], and the two are cross-validated
 //! in the workspace integration tests.
 
+use crate::csi::SyncHealth;
 use crate::error::JmbError;
 use crate::phasesync::PhaseSync;
 use crate::precoder::Precoder;
@@ -25,7 +26,7 @@ use jmb_dsp::{CMat, Complex64};
 use jmb_phy::chanest::ChannelEstimate;
 use jmb_phy::params::OfdmParams;
 use jmb_phy::rates::Mcs;
-use jmb_sim::{NodeId, SubcarrierMedium};
+use jmb_sim::{FaultConfig, FaultSchedule, NodeId, SubcarrierMedium};
 use rand::Rng;
 
 /// Configuration of a fast-path JMB network.
@@ -131,6 +132,20 @@ pub struct FastNet {
     /// the expensive part of every channel evaluation). Built lazily, and
     /// invalidated whenever link fading evolves.
     static_ap_client: Option<jmb_sim::StaticChannel>,
+    /// Control-plane fault plan (clean by default).
+    faults: FaultSchedule,
+    /// Dedicated RNG stream for fault draws, derived from the master seed.
+    /// Kept separate from `rng` so enabling faults never perturbs channel or
+    /// noise draws, and clean runs make zero fault draws — byte-identical to
+    /// runs of builds that predate fault injection.
+    fault_rng: JmbRng,
+    /// Per-slave sync health (index `s - 1` for slave AP `s`).
+    health: Vec<SyncHealth>,
+    /// Largest predicted phase error (radians) a CFO-extrapolated fallback
+    /// correction may carry before the slave is excluded from the batch
+    /// instead (≈ 20° by default — beyond that, the paper's Fig. 6 shows
+    /// the joint SNR loss exceeds ~1 dB and keeps growing).
+    sync_error_budget_rad: f64,
 }
 
 impl FastNet {
@@ -227,7 +242,9 @@ impl FastNet {
             let mut best = (0usize, f64::MIN);
             for (i, &a) in aps.iter().enumerate() {
                 let mean_db = {
-                    let link = medium.link(a, c).expect("link installed");
+                    let link = medium
+                        .link(a, c)
+                        .expect("invariant: every (ap, client) link was installed above");
                     let acc: f64 = occupied_list
                         .iter()
                         .map(|&k| {
@@ -253,6 +270,8 @@ impl FastNet {
         }
 
         let sync = (1..cfg.n_aps).map(|_| PhaseSync::new()).collect();
+        let health = (1..cfg.n_aps).map(|_| SyncHealth::default()).collect();
+        let fault_rng = jmb_dsp::rng::derive_rng(cfg.seed, 0xFA17);
         let occupied = cfg.params.occupied_subcarriers();
         Ok(FastNet {
             cfg,
@@ -266,7 +285,54 @@ impl FastNet {
             now: 1e-4,
             rng,
             static_ap_client: None,
+            faults: FaultSchedule::none(),
+            fault_rng,
+            health,
+            sync_error_budget_rad: 0.35,
         })
+    }
+
+    /// Installs a constant control-plane fault config (applies from now on).
+    pub fn set_control_faults(&mut self, config: FaultConfig) {
+        self.faults = FaultSchedule::constant(config);
+    }
+
+    /// Installs a time-varying fault schedule (loss storms etc.).
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        self.faults = schedule;
+    }
+
+    /// Sets the error budget (radians of predicted phase error) under which
+    /// a slave that missed the sync header may still transmit on a
+    /// CFO-extrapolated correction.
+    pub fn set_sync_error_budget(&mut self, rad: f64) {
+        self.sync_error_budget_rad = rad;
+    }
+
+    /// Per-slave sync health; index 0 is slave AP 1.
+    pub fn sync_health(&self) -> &[SyncHealth] {
+        &self.health
+    }
+
+    /// Airtime of one full channel-measurement exchange, including the
+    /// post-packet turnaround — what a lost measurement still costs the air.
+    pub fn measurement_airtime_s(&self) -> f64 {
+        (320 + self.cfg.rounds * self.cfg.n_aps * self.cfg.params.symbol_len()) as f64
+            * self.cfg.params.sample_period()
+            + 50e-6
+    }
+
+    /// Whether the measurement frame at time `t` is lost to fault injection.
+    /// Zero-probability configs make no RNG draw (determinism of clean runs).
+    fn draw_meas_loss(&mut self, t: f64) -> bool {
+        let p = self.faults.config_at(t).control.meas_loss_chance;
+        p > 0.0 && self.fault_rng.gen::<f64>() < p
+    }
+
+    /// Whether slave `slave` misses the lead's sync header at time `t`.
+    fn draw_sync_miss(&mut self, slave: usize, t: f64) -> bool {
+        let p = self.faults.config_at(t).control.sync_loss_for(slave);
+        p > 0.0 && self.fault_rng.gen::<f64>() < p
     }
 
     /// Returns the cached static AP→client channel snapshot, building it on
@@ -295,7 +361,7 @@ impl FastNet {
     /// Advances time (oscillators drift; call [`FastNet::evolve_fading`]
     /// separately to age the channels).
     pub fn advance(&mut self, dt: f64) {
-        assert!(dt >= 0.0);
+        assert!(dt >= 0.0, "cannot rewind simulation time (dt = {dt})");
         self.now += dt;
     }
 
@@ -379,6 +445,12 @@ impl FastNet {
     /// their reference channel and a span-limited CFO seed.
     pub fn run_measurement(&mut self) -> Result<(), JmbError> {
         let t0 = self.now;
+        if self.draw_meas_loss(t0) {
+            // The exchange still occupied the air; CSI stays stale and the
+            // caller owns the backoff re-measurement schedule.
+            self.now = t0 + self.measurement_airtime_s();
+            return Err(JmbError::MeasurementLost);
+        }
         let n_k = self.occupied.len();
         let mut h = vec![CMat::zeros(self.cfg.n_clients, self.cfg.n_aps); n_k];
         // All estimates are taken at one instant, so the oscillator state
@@ -421,9 +493,7 @@ impl FastNet {
         self.precoder = Some(Precoder::zero_forcing(&h)?);
         self.h_meas = Some(h);
         // Advance past the measurement packet.
-        let pkt = (320 + self.cfg.rounds * self.cfg.n_aps * self.cfg.params.symbol_len()) as f64
-            * self.cfg.params.sample_period();
-        self.now = t0 + pkt + 50e-6;
+        self.now = t0 + self.measurement_airtime_s();
         Ok(())
     }
 
@@ -506,7 +576,7 @@ impl FastNet {
         // so we can borrow its weights without deep-cloning them while
         // `self.medium` is borrowed mutably. Restored below; there is no
         // fallible exit in between.
-        let precoder = self.precoder.take().expect("checked above");
+        let precoder = self.precoder.take().ok_or(JmbError::NoReference)?;
         let n_streams = precoder.n_streams();
 
         // Hot-loop scratch, reused across all (probe, subcarrier)
@@ -544,7 +614,8 @@ impl FastNet {
                         eff[(j, i)] = h_now[(j, i)] * c;
                     }
                 }
-                eff.mul_into(w, &mut g).expect("shapes fixed");
+                eff.mul_into(w, &mut g)
+                    .expect("invariant: eff/w/g allocated with matching dims just above");
                 for j in 0..n_clients {
                     sig[j * n_k + k_idx] += g[(j, j)].norm_sqr();
                     for s in 0..n_streams {
@@ -698,6 +769,11 @@ impl FastNet {
         }
         let mut h = self.h_meas.clone().ok_or(JmbError::NoReference)?;
         let t_j = self.now;
+        if self.draw_meas_loss(t_j) {
+            // The decoupled exchange is much shorter than a full measurement.
+            self.now = t_j + 200e-6;
+            return Err(JmbError::MeasurementLost);
+        }
         // Per-slave rotation from fresh reference observations vs the
         // stored reference: ratio phase = (ω_lead − ω_i)(t_j − t₁) under the
         // medium's tx-minus-rx phase convention, in which the *same* factor
@@ -786,7 +862,9 @@ impl FastNet {
         n_probes: usize,
         apply_phase_sync: bool,
     ) -> Result<SubsetOutcome, JmbError> {
-        let h_meas = self.h_meas.as_ref().ok_or(JmbError::NoReference)?;
+        if self.h_meas.is_none() {
+            return Err(JmbError::NoReference);
+        }
         let nb = clients.len();
         let na = active_aps.len();
         if nb == 0 || na == 0 {
@@ -811,34 +889,52 @@ impl FastNet {
             return Err(JmbError::BadConfig("fewer active APs than streams"));
         }
 
-        // ZF over the measured channel restricted to the batch.
-        let n_k = self.occupied.len();
-        let mut h_sub = vec![CMat::zeros(nb, na); n_k];
-        for k_idx in 0..n_k {
-            for (r, &j) in clients.iter().enumerate() {
-                for (c, &i) in active_aps.iter().enumerate() {
-                    h_sub[k_idx][(r, c)] = h_meas[k_idx][(j, i)];
-                }
-            }
-        }
-        let precoder = Precoder::zero_forcing(&h_sub)?;
-        let snrs_db: Vec<f64> = precoder
-            .k_hats()
-            .iter()
-            .map(|&k| jmb_dsp::stats::lin_to_db(k * k / self.cfg.noise_var))
-            .collect();
-        let mcs = jmb_phy::esnr::select_mcs(&snrs_db).unwrap_or(Mcs::BASE);
-        let airtime_s = crate::baseline::frame_airtime(&self.cfg.params, mcs, payload_bytes);
-
-        // Slave corrections from a fresh lead header (active slaves only —
-        // the others are not transmitting).
+        // Sync headers first: which active slaves can phase-align for this
+        // batch? A slave that misses the lead's header (fault injection) may
+        // fall back to a CFO-extrapolated correction from its last heard
+        // header — but only while healthy and within the error budget;
+        // otherwise it is excluded from the batch and radiates nothing.
         let t_h = self.now;
         let params = self.cfg.params.clone();
         let t_meas = t_h + 240.0 * params.sample_period();
         let mut corr: Vec<Option<crate::phasesync::PhaseCorrection>> = vec![None; self.cfg.n_aps];
+        // Anchor time of each AP's correction: fallback corrections are
+        // anchored at the *old* header, so within-packet CFO tracking must
+        // extrapolate from there rather than from this batch's header.
+        let mut anchor = vec![t_meas; self.cfg.n_aps];
+        let mut missed_slaves = Vec::new();
+        let mut fallback_slaves = Vec::new();
+        let mut newly_degraded = Vec::new();
+        let mut newly_restored = Vec::new();
+        let mut excluded = vec![false; self.cfg.n_aps];
         for &s in active_aps {
             if s == 0 {
                 continue; // lead transmits the reference, needs no correction
+            }
+            if self.draw_sync_miss(s, t_meas) {
+                missed_slaves.push(s);
+                if self.health[s - 1].record_miss() {
+                    newly_degraded.push(s);
+                }
+                let within_budget =
+                    self.sync[s - 1].extrapolation_error_rad(t_meas) <= self.sync_error_budget_rad;
+                let fallback = if !self.health[s - 1].is_degraded() && within_budget {
+                    self.sync[s - 1].extrapolated_correction().ok()
+                } else {
+                    None
+                };
+                match fallback {
+                    Some((pc, t_old)) => {
+                        anchor[s] = t_old;
+                        corr[s] = Some(pc);
+                        fallback_slaves.push(s);
+                    }
+                    None => excluded[s] = true,
+                }
+                continue;
+            }
+            if self.health[s - 1].record_sync() {
+                newly_restored.push(s);
             }
             let est = self.noisy_estimate_with_var(
                 self.aps[0],
@@ -855,6 +951,41 @@ impl FastNet {
             corr[s] = Some(self.sync[s - 1].correction(&est)?);
         }
 
+        // The effective AP set: everyone still able to phase-align. If too
+        // few remain for the batch's streams, the transmission cannot go out
+        // and the caller must shrink the batch or retry later.
+        let eff_aps: Vec<usize> = active_aps
+            .iter()
+            .copied()
+            .filter(|&i| !excluded[i])
+            .collect();
+        let na_eff = eff_aps.len();
+        if na_eff < nb {
+            let slave = excluded.iter().position(|&e| e).unwrap_or(0);
+            return Err(JmbError::SyncHeaderMissed { slave });
+        }
+
+        // ZF over the measured channel restricted to the batch and the
+        // effective AP set.
+        let h_meas = self.h_meas.as_ref().ok_or(JmbError::NoReference)?;
+        let n_k = self.occupied.len();
+        let mut h_sub = vec![CMat::zeros(nb, na_eff); n_k];
+        for k_idx in 0..n_k {
+            for (r, &j) in clients.iter().enumerate() {
+                for (c, &i) in eff_aps.iter().enumerate() {
+                    h_sub[k_idx][(r, c)] = h_meas[k_idx][(j, i)];
+                }
+            }
+        }
+        let precoder = Precoder::zero_forcing(&h_sub)?;
+        let snrs_db: Vec<f64> = precoder
+            .k_hats()
+            .iter()
+            .map(|&k| jmb_dsp::stats::lin_to_db(k * k / self.cfg.noise_var))
+            .collect();
+        let mcs = jmb_phy::esnr::select_mcs(&snrs_db).unwrap_or(Mcs::BASE);
+        let airtime_s = crate::baseline::frame_airtime(&self.cfg.params, mcs, payload_bytes);
+
         let t_d = t_h + 320.0 * params.sample_period() + self.cfg.turnaround_s;
         let nv = self.cfg.noise_var;
         let spacing = params.subcarrier_spacing();
@@ -868,7 +999,7 @@ impl FastNet {
         let mut sig = vec![0.0f64; nb * n_k];
         let mut intf = vec![0.0f64; nb * n_k];
         let mut h_now = CMat::zeros(self.cfg.n_clients, self.cfg.n_aps);
-        let mut eff = CMat::zeros(nb, na);
+        let mut eff = CMat::zeros(nb, na_eff);
         let mut g = CMat::zeros(nb, nb);
 
         for &t in &probes {
@@ -877,11 +1008,11 @@ impl FastNet {
                 let k = self.occupied[k_idx];
                 let w = precoder.weights_at(k_idx);
                 snap.matrix_at(&inst, k_idx, &mut h_now);
-                eff.reset(nb, na);
-                for (c, &i) in active_aps.iter().enumerate() {
+                eff.reset(nb, na_eff);
+                for (c, &i) in eff_aps.iter().enumerate() {
                     let corr_c = if apply_phase_sync {
                         match &corr[i] {
-                            Some(pc) => pc.correction_at(k, t - t_meas, spacing, carrier),
+                            Some(pc) => pc.correction_at(k, t - anchor[i], spacing, carrier),
                             None => Complex64::ONE,
                         }
                     } else {
@@ -891,7 +1022,8 @@ impl FastNet {
                         eff[(r, c)] = h_now[(j, i)] * corr_c;
                     }
                 }
-                eff.mul_into(w, &mut g).expect("shapes fixed");
+                eff.mul_into(w, &mut g)
+                    .expect("invariant: eff/w/g allocated with matching dims just above");
                 for r in 0..nb {
                     sig[r * n_k + k_idx] += g[(r, r)].norm_sqr();
                     for s in 0..nb {
@@ -925,6 +1057,10 @@ impl FastNet {
             airtime_s,
             eff_snr_db,
             sinr_db,
+            missed_slaves,
+            fallback_slaves,
+            newly_degraded,
+            newly_restored,
         })
     }
 }
@@ -942,6 +1078,16 @@ pub struct SubsetOutcome {
     pub eff_snr_db: Vec<f64>,
     /// Per-batch-client per-subcarrier SINR (dB).
     pub sinr_db: Vec<Vec<f64>>,
+    /// Slave APs that missed the lead's sync header for this batch.
+    pub missed_slaves: Vec<usize>,
+    /// Slaves among [`SubsetOutcome::missed_slaves`] that still transmitted
+    /// on a CFO-extrapolated fallback correction (within the error budget).
+    pub fallback_slaves: Vec<usize>,
+    /// Slaves newly marked degraded by this batch (K consecutive misses).
+    pub newly_degraded: Vec<usize>,
+    /// Previously degraded slaves that heard the header again and were
+    /// restored to service by this batch.
+    pub newly_restored: Vec<usize>,
 }
 
 #[cfg(test)]
@@ -1169,6 +1315,89 @@ mod tests {
         assert!(net
             .joint_transmit_subset(&[5], &[0, 1, 2], 100, 1, true)
             .is_err());
+    }
+
+    #[test]
+    fn measurement_loss_surfaces_and_charges_airtime() {
+        let mut net = FastNet::new(cfg(2, 20.0, 21)).unwrap();
+        let lossy = FaultConfig::builder()
+            .meas_loss_chance(1.0)
+            .build()
+            .unwrap();
+        net.set_control_faults(lossy.clone());
+        let t0 = net.now();
+        assert_eq!(net.run_measurement(), Err(JmbError::MeasurementLost));
+        assert!(net.now() > t0, "the lost exchange still costs airtime");
+        // Clearing the fault lets the measurement succeed; a lost decoupled
+        // re-measurement surfaces the same way.
+        net.set_control_faults(FaultConfig::none());
+        net.run_measurement().unwrap();
+        net.advance(1e-3);
+        net.set_control_faults(lossy);
+        assert_eq!(net.remeasure_client(0), Err(JmbError::MeasurementLost));
+    }
+
+    #[test]
+    fn sync_miss_falls_back_then_degrades_then_restores() {
+        let mut net = FastNet::new(cfg(3, 20.0, 22)).unwrap();
+        net.run_measurement().unwrap();
+        net.advance(1e-3);
+        net.set_control_faults(
+            FaultConfig::builder()
+                .per_slave_sync_loss(1, 1.0)
+                .build()
+                .unwrap(),
+        );
+        // Misses 1 and 2: recent CSI keeps the extrapolation inside the
+        // budget, so slave 1 still transmits on a fallback correction.
+        for round in 0..2 {
+            let out = net
+                .joint_transmit_subset(&[0, 1], &[0, 1, 2], 1500, 1, true)
+                .unwrap();
+            assert_eq!(out.missed_slaves, vec![1], "round {round}");
+            assert_eq!(out.fallback_slaves, vec![1], "round {round}");
+            assert!(out.newly_degraded.is_empty(), "round {round}");
+        }
+        // Miss 3 degrades the slave: excluded, but the batch still fits the
+        // remaining APs {0, 2}.
+        let out = net
+            .joint_transmit_subset(&[0, 1], &[0, 1, 2], 1500, 1, true)
+            .unwrap();
+        assert_eq!(out.newly_degraded, vec![1]);
+        assert!(out.fallback_slaves.is_empty());
+        assert!(net.sync_health()[0].is_degraded());
+        // A 3-stream batch no longer has enough coherent APs: typed error,
+        // no panic.
+        assert_eq!(
+            net.joint_transmit_subset(&[0, 1, 2], &[0, 1, 2], 1500, 1, true)
+                .unwrap_err(),
+            JmbError::SyncHeaderMissed { slave: 1 }
+        );
+        // Faults clear: the slave hears a header again and is restored.
+        net.set_control_faults(FaultConfig::none());
+        let out = net
+            .joint_transmit_subset(&[0, 1], &[0, 1, 2], 1500, 1, true)
+            .unwrap();
+        assert_eq!(out.newly_restored, vec![1]);
+        assert!(!net.sync_health()[0].is_degraded());
+    }
+
+    #[test]
+    fn clean_fault_config_changes_nothing() {
+        // Installing an all-zero fault schedule must not perturb results:
+        // no fault-RNG draws happen on the clean path.
+        let run = |set_faults: bool| {
+            let mut net = FastNet::new(cfg(3, 15.0, 23)).unwrap();
+            if set_faults {
+                net.set_fault_schedule(FaultSchedule::none());
+            }
+            net.run_measurement().unwrap();
+            net.advance(1e-3);
+            net.joint_transmit_subset(&[0, 1], &[0, 1, 2], 1500, 2, true)
+                .unwrap()
+                .sinr_db
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

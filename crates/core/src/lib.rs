@@ -15,6 +15,7 @@
 //! | [`net`] | §5 | the sample-level protocol testbench: lead/slave APs and clients over the [`jmb_sim::Medium`] |
 //! | [`fastnet`] | §4 | the per-subcarrier protocol model over [`jmb_sim::SubcarrierMedium`], used by the large experiment sweeps |
 //! | [`decouple`] | §7 + appendix | decoupled channel measurements to different receivers via the lead→slave reference channels |
+//! | [`csi`] | §7, robustness | CSI age/confidence tracking, backoff re-measurement scheduling, per-slave sync health |
 //! | [`compat`] | §6 | 802.11n compatibility: reference-antenna channel stitching and multi-antenna (2×2 → 4×4) joint transmission |
 //! | [`mac`] | §9 | the link layer: shared queue, designated APs, lead election, joint packet selection, async ACKs, retransmission |
 //! | [`baseline`] | §11 | the comparison systems: 802.11 TDMA equal-share and single-AP MU-MIMO |
@@ -25,6 +26,7 @@
 
 pub mod baseline;
 pub mod compat;
+pub mod csi;
 pub mod decouple;
 pub mod error;
 pub mod experiment;
@@ -35,6 +37,7 @@ pub mod net;
 pub mod phasesync;
 pub mod precoder;
 
+pub use csi::{BackoffPolicy, CsiTracker, SyncHealth};
 pub use error::JmbError;
 pub use phasesync::PhaseSync;
 pub use precoder::Precoder;

@@ -22,6 +22,7 @@
 //! lead and one slave alternate OFDM symbols and the receiver tracks the
 //! deviation of their relative phase from its first observation.
 
+use crate::csi::SyncHealth;
 use crate::error::JmbError;
 use crate::measure::{self, MeasurementPlan};
 use crate::phasesync::PhaseSync;
@@ -131,6 +132,10 @@ pub struct JmbNetwork {
     frx: FrameRx,
     now: f64,
     rng: JmbRng,
+    /// Per-slave sync-header health (index 0 belongs to AP 1): a slave that
+    /// misses K consecutive headers is suppressed from joint transmissions
+    /// until it hears one again.
+    sync_health: Vec<SyncHealth>,
 }
 
 impl JmbNetwork {
@@ -202,6 +207,7 @@ impl JmbNetwork {
         }
 
         let sync_state = (1..cfg.n_aps).map(|_| PhaseSync::new()).collect();
+        let sync_health = (1..cfg.n_aps).map(|_| SyncHealth::default()).collect();
         let trigger_offsets: Vec<f64> = (0..cfg.n_aps)
             .map(|i| {
                 if i == 0 {
@@ -227,7 +233,13 @@ impl JmbNetwork {
             frx: FrameRx::new(params),
             now: 1e-4,
             rng,
+            sync_health,
         })
+    }
+
+    /// Per-slave sync health (index 0 = AP 1), for inspection.
+    pub fn sync_health(&self) -> &[SyncHealth] {
+        &self.sync_health
     }
 
     /// Current simulation time, seconds.
@@ -299,6 +311,16 @@ impl JmbNetwork {
             MeasurementPlan::with_order(self.cfg.n_aps, self.cfg.rounds, self.cfg.slot_order);
         let ts = params.sample_period();
         let t0 = self.now;
+
+        // Control-plane fault injection: a lost measurement exchange still
+        // occupies the air, but no CSI is produced and every stored state
+        // (references, precoder) stays as it was — stale.
+        if self.medium.draw_meas_loss(t0) {
+            let total = plan.total_len(&params);
+            self.now = t0 + total as f64 * ts + 50e-6;
+            self.medium.expire(self.now);
+            return Err(JmbError::MeasurementLost);
+        }
 
         // Schedule every AP's segments (slaves add trigger jitter).
         for (i, &ap) in self.aps.iter().enumerate() {
@@ -449,14 +471,42 @@ impl JmbNetwork {
         let t_meas = t_h + 240.0 * ts;
         let mut corrections: Vec<Option<crate::phasesync::PhaseCorrection>> =
             vec![None; self.cfg.n_aps];
+        // Slaves suppressed for this batch: degraded sync health means the
+        // slave radiates nothing rather than transmitting misaligned energy.
+        let mut suppressed = vec![false; self.cfg.n_aps];
         if is_active(0) {
             for (s, slot) in corrections.iter_mut().enumerate().skip(1) {
                 if !is_active(s) {
                     continue;
                 }
+                // Fault injection: the slave fails to receive the header.
+                if self.medium.draw_sync_miss(s, t_meas) {
+                    self.medium.trace.push(jmb_sim::TraceEvent::SyncMissed {
+                        slave: s,
+                        t: t_meas,
+                    });
+                    if self.sync_health[s - 1].record_miss() {
+                        self.medium
+                            .trace
+                            .push(jmb_sim::TraceEvent::ApDegraded { ap: s, t: t_meas });
+                    }
+                    if self.sync_health[s - 1].is_degraded() {
+                        suppressed[s] = true;
+                    } else {
+                        // Stale fallback: reuse the correction from the last
+                        // successful joint transmission (degrades with age).
+                        *slot = self.last_corrections.get(s).cloned().flatten();
+                    }
+                    continue;
+                }
                 let window = self.medium.render_rx(self.aps[s], t_h, 320 + 8);
                 let (est, cfo) = measure::slave_header_measurement(&params, &window)
                     .map_err(|_| JmbError::SyncHeaderMissed { slave: s })?;
+                if self.sync_health[s - 1].record_sync() {
+                    self.medium
+                        .trace
+                        .push(jmb_sim::TraceEvent::ApRestored { ap: s, t: t_meas });
+                }
                 self.sync_state[s - 1].observe_header(&est, cfo, t_meas);
                 *slot = Some(self.sync_state[s - 1].correction(&est)?);
             }
@@ -484,7 +534,7 @@ impl JmbNetwork {
         let ofdm = jmb_phy::ofdm::Ofdm::new(params.clone());
 
         for (m_idx, &ap) in self.aps.iter().enumerate() {
-            if !is_active(m_idx) {
+            if !is_active(m_idx) || suppressed[m_idx] {
                 continue;
             }
             // Preamble bins: the same training sequence on every stream ⇒
@@ -849,6 +899,56 @@ mod tests {
         assert!(net
             .joint_transmit_masked(&data, Mcs::BASE, true, Some(&[false, false, false]))
             .is_err());
+    }
+
+    #[test]
+    fn sync_loss_storm_degrades_then_restores() {
+        let cfg = NetConfig::default_with(3, 2, 22.0, 52);
+        let mut net = JmbNetwork::new(cfg).unwrap();
+        net.run_measurement().unwrap();
+        net.advance(1e-3);
+        let data = payloads(2, 40);
+        // One healthy transmission to populate last_corrections.
+        net.joint_transmit(&data, Mcs::BASE, true).unwrap();
+        net.medium_mut().trace.enable();
+        // Slave 1 loses every header: stale fallback for K−1 batches, then
+        // suppressed — never a panic, every call returns per-client results.
+        let storm = jmb_sim::FaultConfig::builder()
+            .per_slave_sync_loss(1, 1.0)
+            .build()
+            .unwrap();
+        net.medium_mut().set_fault(storm);
+        for _ in 0..4 {
+            net.advance(1e-3);
+            let r = net.joint_transmit(&data, Mcs::BASE, true).unwrap();
+            assert_eq!(r.len(), 2);
+        }
+        assert!(net.sync_health()[0].is_degraded());
+        let trace = &net.medium_mut().trace;
+        assert_eq!(trace.sync_missed_count(), 4);
+        assert_eq!(trace.degraded_count(), 1);
+        // The storm clears: the next header restores the slave.
+        net.medium_mut().set_fault(jmb_sim::FaultConfig::none());
+        net.advance(1e-3);
+        net.joint_transmit(&data, Mcs::BASE, true).unwrap();
+        assert!(!net.sync_health()[0].is_degraded());
+        assert_eq!(net.medium_mut().trace.restored_count(), 1);
+    }
+
+    #[test]
+    fn measurement_loss_surfaces_typed_error() {
+        let cfg = NetConfig::default_with(2, 2, 22.0, 53);
+        let mut net = JmbNetwork::new(cfg).unwrap();
+        let lossy = jmb_sim::FaultConfig::builder()
+            .meas_loss_chance(1.0)
+            .build()
+            .unwrap();
+        net.medium_mut().set_fault(lossy);
+        let t0 = net.now();
+        assert_eq!(net.run_measurement(), Err(JmbError::MeasurementLost));
+        assert!(net.now() > t0, "the lost exchange still costs airtime");
+        net.medium_mut().set_fault(jmb_sim::FaultConfig::none());
+        net.run_measurement().unwrap();
     }
 
     #[test]

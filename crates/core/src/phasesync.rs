@@ -328,6 +328,42 @@ impl PhaseSync {
         })
     }
 
+    /// A correction built from the *last heard* header instead of a fresh
+    /// one — the fallback when the current sync header is lost. Returns the
+    /// correction together with its anchor time (when that header was
+    /// heard): within-packet tracking must extrapolate from the anchor, so
+    /// the phase error grows with the anchor's age (see
+    /// [`PhaseSync::extrapolation_error_rad`] for the budget check).
+    ///
+    /// Errors with [`JmbError::NoReference`] if no header (or no reference
+    /// channel) has been recorded yet.
+    pub fn extrapolated_correction(&self) -> Result<(PhaseCorrection, f64), JmbError> {
+        let reference = self.reference.as_ref().ok_or(JmbError::NoReference)?;
+        let (gains, t_anchor) = self.last_header.as_ref().ok_or(JmbError::NoReference)?;
+        if gains.len() != reference.subcarriers.len() {
+            return Err(JmbError::MeasurementShape {
+                expected: reference.subcarriers.len(),
+                got: gains.len(),
+            });
+        }
+        let est = ChannelEstimate {
+            subcarriers: reference.subcarriers.clone(),
+            gains: gains.clone(),
+        };
+        Ok((self.correction(&est)?, *t_anchor))
+    }
+
+    /// Predicted 1σ phase error (radians) of a CFO-extrapolated correction
+    /// evaluated at time `t`: `2π · σ_f · (t − t_header)`. Infinite when no
+    /// header has ever been heard. This is what a caller compares against
+    /// its error budget before accepting the fallback.
+    pub fn extrapolation_error_rad(&self, t: f64) -> f64 {
+        match &self.last_header {
+            Some((_, t0)) => 2.0 * std::f64::consts::PI * self.cfo_sigma * (t - t0).max(0.0),
+            None => f64::INFINITY,
+        }
+    }
+
     /// The **naive** correction of §1/§5.2: extrapolate the phase from the
     /// *first* CFO estimate and the elapsed time, with no re-measurement.
     /// Returns the predicted phasor `e^{j2π·f̂₀·(t−t₀)}`.
@@ -499,6 +535,44 @@ mod tests {
         assert_eq!(c.cfo_hz, 1000.0);
         let rot = c.packet_rotation(0.5e-3);
         assert!((rot - Complex64::cis(std::f64::consts::PI)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extrapolated_correction_reuses_last_header() {
+        let mut ps = PhaseSync::new();
+        let reference = estimate_from(|_| Complex64::ONE);
+        ps.set_reference(reference);
+        // No header yet: fallback impossible, budget infinite.
+        assert_eq!(
+            ps.extrapolated_correction().unwrap_err(),
+            JmbError::NoReference
+        );
+        assert_eq!(ps.extrapolation_error_rad(1.0), f64::INFINITY);
+
+        let theta = 0.7;
+        let now = estimate_from(|_| Complex64::cis(theta));
+        ps.observe_header(&now, 100.0, 2.0);
+        let (c, anchor) = ps.extrapolated_correction().unwrap();
+        assert_eq!(anchor, 2.0);
+        // Identical to a fresh correction from the same estimate.
+        let fresh = ps.correction(&now).unwrap();
+        assert!((wrap_phase(c.common_phase - fresh.common_phase)).abs() < 1e-12);
+        assert!((c.slope - fresh.slope).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extrapolation_error_grows_with_age() {
+        let mut ps = PhaseSync::new();
+        ps.set_reference(estimate_from(|_| Complex64::ONE));
+        let now = estimate_from(|_| Complex64::ONE);
+        ps.seed_cfo(&now, 400.0, 5.0, 1.0);
+        let e1 = ps.extrapolation_error_rad(1.001);
+        let e2 = ps.extrapolation_error_rad(1.010);
+        assert!(e1 > 0.0 && e2 > e1, "e1={e1} e2={e2}");
+        // 2π · 5 Hz · 1 ms ≈ 0.0314 rad.
+        assert!((e1 - 2.0 * std::f64::consts::PI * 5.0 * 1e-3).abs() < 1e-9);
+        // Before the anchor the error clamps to zero, not negative.
+        assert_eq!(ps.extrapolation_error_rad(0.5), 0.0);
     }
 
     #[test]

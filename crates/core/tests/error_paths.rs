@@ -1,0 +1,134 @@
+//! Every recoverable `JmbError` variant has a reachable trigger path and a
+//! useful `Display` message. The control plane degrades with typed errors
+//! — it never panics on a lost control frame or a misconfigured network.
+
+use jmb_core::fastnet::{FastConfig, FastNet};
+use jmb_core::net::{JmbNetwork, NetConfig};
+use jmb_core::{BackoffPolicy, CsiTracker, JmbError, PhaseSync};
+use jmb_dsp::Complex64;
+use jmb_phy::chanest::ChannelEstimate;
+use jmb_sim::FaultConfig;
+
+fn fast_cfg(n: usize, seed: u64) -> FastConfig {
+    FastConfig::default_with(n, n, vec![20.0; n], seed)
+}
+
+fn flat_estimate(subcarriers: &[i32]) -> ChannelEstimate {
+    ChannelEstimate {
+        subcarriers: subcarriers.to_vec(),
+        gains: vec![Complex64::new(1.0, 0.0); subcarriers.len()],
+    }
+}
+
+#[test]
+fn bad_config_from_empty_network() {
+    let err = FastNet::new(FastConfig::default_with(0, 0, vec![], 1))
+        .err()
+        .expect("zero APs must be rejected");
+    assert!(matches!(err, JmbError::BadConfig(_)));
+    assert!(err.to_string().contains("bad configuration"), "{err}");
+
+    let err = FastNet::new(FastConfig::default_with(2, 2, vec![20.0], 1))
+        .err()
+        .expect("SNR length mismatch must be rejected");
+    assert!(matches!(err, JmbError::BadConfig(_)));
+}
+
+#[test]
+fn bad_config_from_csi_tracker() {
+    let err = CsiTracker::new(0, 1, 50e-3, BackoffPolicy::default()).unwrap_err();
+    assert!(matches!(err, JmbError::BadConfig(_)));
+    let err = CsiTracker::new(1, 1, 0.0, BackoffPolicy::default()).unwrap_err();
+    assert!(matches!(err, JmbError::BadConfig(_)));
+}
+
+#[test]
+fn no_reference_before_measurement() {
+    // A network that never measured cannot joint-transmit.
+    let mut net = FastNet::new(fast_cfg(2, 3)).unwrap();
+    let err = net
+        .joint_transmit_subset(&[0, 1], &[0, 1], 1500, 1, true)
+        .unwrap_err();
+    assert_eq!(err, JmbError::NoReference);
+    assert!(err.to_string().contains("no reference"), "{err}");
+
+    // Phase sync without a reference channel likewise.
+    let sync = PhaseSync::new();
+    assert_eq!(
+        sync.correction(&flat_estimate(&[-1, 1])).unwrap_err(),
+        JmbError::NoReference
+    );
+    assert_eq!(
+        sync.extrapolated_correction().unwrap_err(),
+        JmbError::NoReference
+    );
+}
+
+#[test]
+fn measurement_shape_on_mismatched_estimates() {
+    let mut sync = PhaseSync::new();
+    sync.set_reference(flat_estimate(&[-2, -1, 1, 2]));
+    let err = sync.correction(&flat_estimate(&[-1, 1])).unwrap_err();
+    assert_eq!(
+        err,
+        JmbError::MeasurementShape {
+            expected: 4,
+            got: 2
+        }
+    );
+    let msg = err.to_string();
+    assert!(msg.contains("expected 4") && msg.contains("got 2"), "{msg}");
+}
+
+#[test]
+fn sync_header_missed_when_too_few_slaves_stay_coherent() {
+    let mut net = FastNet::new(fast_cfg(3, 7)).unwrap();
+    net.run_measurement().unwrap();
+    net.set_control_faults(
+        FaultConfig::builder()
+            .per_slave_sync_loss(1, 1.0)
+            .build()
+            .unwrap(),
+    );
+    // Drive the slave through its fallback window into degradation.
+    for _ in 0..3 {
+        net.advance(1e-3);
+        net.joint_transmit_subset(&[0, 1], &[0, 1, 2], 1500, 1, true)
+            .unwrap();
+    }
+    assert!(net.sync_health()[0].is_degraded());
+    // A full-width batch no longer fits the coherent APs: typed error.
+    let err = net
+        .joint_transmit_subset(&[0, 1, 2], &[0, 1, 2], 1500, 1, true)
+        .unwrap_err();
+    assert_eq!(err, JmbError::SyncHeaderMissed { slave: 1 });
+    assert!(err.to_string().contains("slave 1"), "{err}");
+}
+
+#[test]
+fn measurement_lost_surfaces_on_both_fidelities() {
+    // Per-subcarrier network.
+    let mut net = FastNet::new(fast_cfg(2, 9)).unwrap();
+    net.set_control_faults(
+        FaultConfig::builder()
+            .meas_loss_chance(1.0)
+            .build()
+            .unwrap(),
+    );
+    let err = net.run_measurement().unwrap_err();
+    assert_eq!(err, JmbError::MeasurementLost);
+    assert!(err.to_string().contains("lost"), "{err}");
+
+    // Sample-level network.
+    let mut net = JmbNetwork::new(NetConfig::default_with(2, 2, 22.0, 9)).unwrap();
+    net.medium_mut().set_fault(
+        FaultConfig::builder()
+            .meas_loss_chance(1.0)
+            .build()
+            .unwrap(),
+    );
+    assert_eq!(
+        net.run_measurement().unwrap_err(),
+        JmbError::MeasurementLost
+    );
+}

@@ -30,7 +30,9 @@ pub mod freq;
 pub mod medium;
 pub mod trace;
 
-pub use fault::FaultConfig;
+pub use fault::{
+    ControlFaults, FaultConfig, FaultConfigBuilder, FaultError, FaultSchedule, FaultWindow,
+};
 pub use freq::{InstantPhasors, StaticChannel, SubcarrierMedium};
 pub use medium::{Medium, NodeId, Transmission};
 pub use trace::{DropCause, Trace, TraceEvent};

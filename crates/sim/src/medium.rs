@@ -15,7 +15,7 @@
 //!    are right.
 //! 6. **AWGN** — per-receiver noise floor.
 
-use crate::fault::FaultConfig;
+use crate::fault::{FaultConfig, FaultSchedule};
 use crate::trace::{DropCause, Trace, TraceEvent};
 use jmb_channel::{Link, PhaseTrajectory};
 use jmb_dsp::delay::interpolate_at;
@@ -54,7 +54,7 @@ pub struct Medium {
     transmissions: Vec<Transmission>,
     /// Scheduled extra-noise windows (fault injection).
     bursts: Vec<(NodeId, f64, f64, f64)>, // (rx, start_s, duration_s, var)
-    fault: FaultConfig,
+    fault: FaultSchedule,
     /// Event trace.
     pub trace: Trace,
     rng: JmbRng,
@@ -69,7 +69,7 @@ impl Medium {
             links: Vec::new(),
             transmissions: Vec::new(),
             bursts: Vec::new(),
-            fault: FaultConfig::none(),
+            fault: FaultSchedule::none(),
             trace: Trace::new(),
             rng: jmb_dsp::rng::rng_from_seed(seed),
         }
@@ -123,9 +123,34 @@ impl Medium {
         &mut self.nodes[node.0].traj
     }
 
-    /// Configures fault injection.
+    /// Configures constant (time-invariant) fault injection.
     pub fn set_fault(&mut self, fault: FaultConfig) {
-        self.fault = fault;
+        self.fault = FaultSchedule::constant(fault);
+    }
+
+    /// Configures time-windowed fault injection (loss storms).
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        self.fault = schedule;
+    }
+
+    /// The fault config in effect at time `t`.
+    pub fn fault_at(&self, t: f64) -> &FaultConfig {
+        self.fault.config_at(t)
+    }
+
+    /// Draws whether slave AP node `slave` misses the lead's sync header at
+    /// time `t`. Gated on the probability so fault-free runs make no RNG
+    /// draws and stay byte-identical with cleanly-seeded runs.
+    pub fn draw_sync_miss(&mut self, slave: usize, t: f64) -> bool {
+        let p = self.fault.config_at(t).control.sync_loss_for(slave);
+        p > 0.0 && self.rng.gen::<f64>() < p
+    }
+
+    /// Draws whether a channel-measurement exchange at time `t` is lost.
+    /// Gated like [`Medium::draw_sync_miss`].
+    pub fn draw_meas_loss(&mut self, t: f64) -> bool {
+        let p = self.fault.config_at(t).control.meas_loss_chance;
+        p > 0.0 && self.rng.gen::<f64>() < p
     }
 
     /// First payload sample index eligible for fault corruption: past the
@@ -138,7 +163,9 @@ impl Medium {
     /// Under fault injection the transmission may be silently dropped or
     /// have its payload samples corrupted (both recorded in the trace).
     pub fn transmit(&mut self, tx: NodeId, start_s: f64, mut samples: Vec<Complex64>) {
-        if self.fault.drop_chance > 0.0 && self.rng.gen::<f64>() < self.fault.drop_chance {
+        let f = self.fault.config_at(start_s);
+        let (drop_chance, corrupt_chance) = (f.drop_chance, f.corrupt_chance);
+        if drop_chance > 0.0 && self.rng.gen::<f64>() < drop_chance {
             self.trace.push(TraceEvent::Dropped {
                 node: tx.0,
                 t: start_s,
@@ -146,9 +173,9 @@ impl Medium {
             });
             return;
         }
-        if self.fault.corrupt_chance > 0.0
+        if corrupt_chance > 0.0
             && samples.len() > Self::CORRUPT_FROM
-            && self.rng.gen::<f64>() < self.fault.corrupt_chance
+            && self.rng.gen::<f64>() < corrupt_chance
         {
             // Negate a random quarter of the payload-region samples: severe
             // enough that the descrambled bits fail the CRC, but the frame

@@ -118,6 +118,57 @@ pub enum TraceEvent {
         /// Global time, seconds.
         t: f64,
     },
+    /// Control plane: a slave AP missed the lead's sync header for a joint
+    /// transmission (fault injection or a physically failed measurement).
+    SyncMissed {
+        /// Slave AP index.
+        slave: usize,
+        /// Global time, seconds.
+        t: f64,
+    },
+    /// Control plane: CSI age exceeded the staleness threshold and a
+    /// re-measurement became due.
+    CsiStale {
+        /// Age of the oldest CSI entry, seconds.
+        age_s: f64,
+        /// Global time, seconds.
+        t: f64,
+    },
+    /// Control plane: a re-measurement was scheduled (initial attempt or a
+    /// backoff retry after a lost measurement frame).
+    RemeasureScheduled {
+        /// Earliest time the attempt may run, seconds.
+        at: f64,
+        /// Attempt number (1 = first retry after a failure).
+        attempt: u32,
+        /// Global time, seconds.
+        t: f64,
+    },
+    /// Control plane: a measurement frame was lost and the re-measurement
+    /// attempt failed.
+    RemeasureFailed {
+        /// Attempt number that failed.
+        attempt: u32,
+        /// Global time, seconds.
+        t: f64,
+    },
+    /// Control plane: a slave AP accumulated enough consecutive sync-header
+    /// misses to be marked degraded (excluded from joint batches until it
+    /// re-syncs).
+    ApDegraded {
+        /// Slave AP index.
+        ap: usize,
+        /// Global time, seconds.
+        t: f64,
+    },
+    /// Control plane: a degraded slave AP heard a sync header again and was
+    /// restored to service.
+    ApRestored {
+        /// Slave AP index.
+        ap: usize,
+        /// Global time, seconds.
+        t: f64,
+    },
 }
 
 /// An append-only event log.
@@ -191,6 +242,31 @@ impl Trace {
     /// Number of MAC retries recorded.
     pub fn retry_count(&self) -> usize {
         self.count(|e| matches!(e, TraceEvent::Retry { .. }))
+    }
+
+    /// Number of missed sync headers recorded.
+    pub fn sync_missed_count(&self) -> usize {
+        self.count(|e| matches!(e, TraceEvent::SyncMissed { .. }))
+    }
+
+    /// Number of scheduled re-measurements recorded.
+    pub fn remeasure_scheduled_count(&self) -> usize {
+        self.count(|e| matches!(e, TraceEvent::RemeasureScheduled { .. }))
+    }
+
+    /// Number of failed re-measurements recorded.
+    pub fn remeasure_failed_count(&self) -> usize {
+        self.count(|e| matches!(e, TraceEvent::RemeasureFailed { .. }))
+    }
+
+    /// Number of AP degradations recorded.
+    pub fn degraded_count(&self) -> usize {
+        self.count(|e| matches!(e, TraceEvent::ApDegraded { .. }))
+    }
+
+    /// Number of AP restorations recorded.
+    pub fn restored_count(&self) -> usize {
+        self.count(|e| matches!(e, TraceEvent::ApRestored { .. }))
     }
 
     /// Clears the log.
@@ -287,6 +363,21 @@ mod tests {
         t.push(TraceEvent::ApDown { ap: 0, t: 0.4 });
         t.push(TraceEvent::ApUp { ap: 0, t: 0.5 });
         t.push(TraceEvent::Corrupted { node: 1, t: 0.6 });
+        t.push(TraceEvent::SyncMissed { slave: 2, t: 0.7 });
+        t.push(TraceEvent::CsiStale { age_s: 0.1, t: 0.7 });
+        t.push(TraceEvent::RemeasureScheduled {
+            at: 0.8,
+            attempt: 1,
+            t: 0.7,
+        });
+        t.push(TraceEvent::RemeasureFailed { attempt: 1, t: 0.8 });
+        t.push(TraceEvent::ApDegraded { ap: 2, t: 0.9 });
+        t.push(TraceEvent::ApRestored { ap: 2, t: 1.0 });
+        assert_eq!(t.sync_missed_count(), 1);
+        assert_eq!(t.remeasure_scheduled_count(), 1);
+        assert_eq!(t.remeasure_failed_count(), 1);
+        assert_eq!(t.degraded_count(), 1);
+        assert_eq!(t.restored_count(), 1);
         assert_eq!(t.ack_count(), 1);
         assert_eq!(t.retry_count(), 1);
         assert_eq!(t.corrupt_count(), 1);

@@ -8,6 +8,7 @@
 //! through the real CRC path).
 
 use jmb_core::baseline;
+use jmb_core::csi::{BackoffPolicy, CsiTracker};
 use jmb_core::error::JmbError;
 use jmb_core::fastnet::{FastConfig, FastNet};
 use jmb_core::net::{JmbNetwork, NetConfig};
@@ -15,6 +16,33 @@ use jmb_dsp::rng::JmbRng;
 use jmb_phy::esnr::MCS_THRESHOLD_DB;
 use jmb_phy::rates::Mcs;
 use rand::Rng;
+
+/// Control-plane activity that happened while serving one batch: what the
+/// traffic layer needs to charge overhead airtime and emit trace events /
+/// metrics, without reaching into the PHY.
+#[derive(Debug, Clone, Default)]
+pub struct ControlInfo {
+    /// Airtime consumed by control exchanges (measurement frames — lost or
+    /// not, they occupy the channel), seconds. Charged on top of the data
+    /// frame's airtime.
+    pub overhead_s: f64,
+    /// Slave APs that missed the lead's sync header for this batch.
+    pub missed_slaves: Vec<usize>,
+    /// Slaves newly marked degraded (K consecutive misses).
+    pub newly_degraded: Vec<usize>,
+    /// Degraded slaves restored to service by this batch.
+    pub newly_restored: Vec<usize>,
+    /// Measurement attempts made while serving this batch:
+    /// `(attempt_number, succeeded)`.
+    pub remeasurements: Vec<(u32, bool)>,
+    /// When a measurement was lost: the backoff retry that was scheduled,
+    /// `(next_attempt_number, earliest_time_s)`.
+    pub retry: Option<(u32, f64)>,
+    /// Age of the oldest CSI entry when the batch was served, seconds.
+    pub csi_age_s: f64,
+    /// Whether the CSI was past its staleness threshold at serve time.
+    pub csi_stale: bool,
+}
 
 /// Outcome of serving one joint batch.
 #[derive(Debug, Clone)]
@@ -26,6 +54,8 @@ pub struct TxReport {
     pub acked: Vec<bool>,
     /// Index into [`Mcs::ALL`] of the rate used.
     pub mcs_index: usize,
+    /// Control-plane activity while serving the batch.
+    pub control: ControlInfo,
 }
 
 /// A PHY capable of serving MAC batches.
@@ -52,31 +82,63 @@ pub trait TransmitBackend {
 pub struct FastBackend {
     net: FastNet,
     rng: JmbRng,
-    /// Channel age after which the next batch triggers re-measurement,
-    /// seconds. The precoder is computed from `h_meas`, so under fading it
-    /// goes stale; JMB re-measures on demand (§5.1). Default 50 ms.
-    pub remeasure_interval_s: f64,
-    since_meas_s: f64,
+    /// CSI age / re-measurement scheduler. The precoder is computed from
+    /// `h_meas`, so under fading it goes stale; JMB re-measures on demand
+    /// (§5.1), and when the measurement frame itself is lost the tracker
+    /// backs off exponentially before retrying (§7 robustness).
+    tracker: CsiTracker,
+    /// Backend-local clock, seconds of `advance` accumulated since `new`.
+    clock_s: f64,
+    /// Seconds the network's internal clock ran ahead of the airtime we
+    /// reported (it models the sync header + turnaround itself, which the
+    /// traffic layer charges separately as `header_overhead_s`). Absorbed
+    /// out of subsequent `advance` calls so `net.now()` tracks sim time —
+    /// fault-schedule windows and fading evolve in sim time.
+    debt_s: f64,
 }
 
 impl FastBackend {
+    /// Channel age after which the next batch triggers re-measurement,
+    /// seconds. Default for [`FastBackend::new`].
+    pub const DEFAULT_STALE_AFTER_S: f64 = 50e-3;
+
     /// Builds the network, runs the measurement phase, and derives the
     /// ACK-model RNG from the config seed.
     pub fn new(cfg: FastConfig) -> Result<Self, JmbError> {
         let rng = jmb_dsp::rng::derive_rng(cfg.seed, 0x7AFF);
+        let n_aps = cfg.n_aps;
+        let n_clients = cfg.n_clients;
         let mut net = FastNet::new(cfg)?;
         net.run_measurement()?;
+        let mut tracker = CsiTracker::new(
+            n_aps,
+            n_clients,
+            Self::DEFAULT_STALE_AFTER_S,
+            BackoffPolicy::default(),
+        )?;
+        tracker.record_success(0.0);
+        // The construction-time measurement already advanced the network
+        // clock; the traffic simulation starts at t = 0. Book the offset as
+        // debt so `net.now()` converges onto sim time.
+        let debt_s = net.now();
         Ok(FastBackend {
             net,
             rng,
-            remeasure_interval_s: 50e-3,
-            since_meas_s: 0.0,
+            tracker,
+            clock_s: 0.0,
+            debt_s,
         })
     }
 
-    /// Access to the wrapped network (e.g. to evolve fading between runs).
+    /// Access to the wrapped network (e.g. to evolve fading between runs,
+    /// or to inject control-frame faults).
     pub fn net_mut(&mut self) -> &mut FastNet {
         &mut self.net
+    }
+
+    /// The CSI tracker driving re-measurement (age, backoff state).
+    pub fn csi(&self) -> &CsiTracker {
+        &self.tracker
     }
 
     /// Packet error rate from the EESM margin above the MCS threshold.
@@ -99,8 +161,10 @@ impl TransmitBackend for FastBackend {
     }
 
     fn advance(&mut self, dt: f64) {
-        self.net.advance(dt);
-        self.since_meas_s += dt;
+        let forward = (dt - self.debt_s).max(0.0);
+        self.debt_s = (self.debt_s - dt).max(0.0);
+        self.net.advance(forward);
+        self.clock_s += dt;
     }
 
     fn transmit_batch(
@@ -109,23 +173,94 @@ impl TransmitBackend for FastBackend {
         payload_len: usize,
         active_aps: &[usize],
     ) -> Result<TxReport, JmbError> {
-        if self.since_meas_s > self.remeasure_interval_s {
-            self.net.run_measurement()?;
-            self.since_meas_s = 0.0;
+        let net_t_before = self.net.now();
+        let mut control = ControlInfo {
+            csi_age_s: self.tracker.oldest_age(self.clock_s),
+            csi_stale: self.tracker.is_stale(self.clock_s),
+            ..ControlInfo::default()
+        };
+        if self.tracker.due(self.clock_s) {
+            let attempt = self.tracker.failures() + 1;
+            // A measurement frame occupies the channel whether or not the
+            // control frames inside it survive.
+            control.overhead_s += self.net.measurement_airtime_s();
+            match self.net.run_measurement() {
+                Ok(()) => {
+                    self.tracker.record_success(self.clock_s);
+                    control.remeasurements.push((attempt, true));
+                }
+                Err(JmbError::MeasurementLost) => {
+                    let (att, next) = self.tracker.record_loss(self.clock_s);
+                    control.remeasurements.push((att, false));
+                    control.retry = Some((att + 1, next));
+                }
+                Err(e) => return Err(e),
+            }
         }
-        let out = self
+        // Diff sync health around the transmission rather than copying the
+        // outcome's event lists: when the batch fails outright (too few
+        // sync'd slaves → `SyncHeaderMissed`) there is no outcome, but the
+        // misses and degradations still happened and must be reported.
+        let before: Vec<(bool, u64)> = self
             .net
-            .joint_transmit_subset(dests, active_aps, payload_len, 2, true)?;
+            .sync_health()
+            .iter()
+            .map(|h| (h.is_degraded(), h.total_misses()))
+            .collect();
+        let result = self
+            .net
+            .joint_transmit_subset(dests, active_aps, payload_len, 2, true);
+        for (i, h) in self.net.sync_health().iter().enumerate() {
+            let slave = i + 1; // health is indexed by slave − 1 (AP 0 leads)
+            let (was_degraded, misses) = before[i];
+            if h.total_misses() > misses {
+                control.missed_slaves.push(slave);
+            }
+            if !was_degraded && h.is_degraded() {
+                control.newly_degraded.push(slave);
+            }
+            if was_degraded && !h.is_degraded() {
+                control.newly_restored.push(slave);
+            }
+        }
+        let out = match result {
+            Ok(out) => out,
+            Err(JmbError::SyncHeaderMissed { .. }) => {
+                // Not enough sync'd slaves for this batch width: the joint
+                // transmission never launched. Nobody ACKs, the MAC retry
+                // path takes over, and the control events above still
+                // reach the traffic layer.
+                self.clock_s += control.overhead_s;
+                self.debt_s += self.net.now() - net_t_before - control.overhead_s;
+                return Ok(TxReport {
+                    airtime_s: 0.0,
+                    acked: vec![false; dests.len()],
+                    mcs_index: 0,
+                    control,
+                });
+            }
+            Err(e) => return Err(e),
+        };
         let threshold = MCS_THRESHOLD_DB[out.mcs.index()];
         let acked = out
             .eff_snr_db
             .iter()
             .map(|&snr| self.rng.gen::<f64>() >= Self::per_from_margin(snr - threshold))
             .collect();
+        // The network advances its own oscillators through the frame and
+        // the measurement exchange; mirror that here so CSI ages in sim
+        // time (the caller's `advance` only covers idle/contention gaps).
+        let charged = out.airtime_s + control.overhead_s;
+        self.clock_s += charged;
+        // Whatever the network clock ran past the airtime we charged (its
+        // own header/turnaround/SIFS model) becomes debt, absorbed out of
+        // the caller's future idle-time `advance` calls.
+        self.debt_s += self.net.now() - net_t_before - charged;
         Ok(TxReport {
             airtime_s: out.airtime_s,
             acked,
             mcs_index: out.mcs.index(),
+            control,
         })
     }
 }
@@ -198,6 +333,7 @@ impl TransmitBackend for SampleBackend {
             airtime_s: baseline::frame_airtime(&self.net.config().params, self.mcs, payload_len),
             acked,
             mcs_index: self.mcs.index(),
+            control: ControlInfo::default(),
         })
     }
 }

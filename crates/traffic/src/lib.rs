@@ -19,6 +19,6 @@ pub mod metrics;
 pub mod sim;
 
 pub use arrival::{ArrivalGen, ArrivalProcess, PacketSizeDist};
-pub use backend::{FastBackend, SampleBackend, TransmitBackend, TxReport};
+pub use backend::{ControlInfo, FastBackend, SampleBackend, TransmitBackend, TxReport};
 pub use metrics::{TimelineBin, TrafficMetrics};
 pub use sim::{ApOutage, ClientLoad, TrafficConfig, TrafficSim};

@@ -89,7 +89,9 @@ pub struct TrafficConfig {
 }
 
 impl TrafficConfig {
-    /// Defaults: 9 µs slots, 32 µs header + 150 µs turnaround, 50 ms bins,
+    /// Defaults: 9 µs slots, 216 µs fixed overhead (16 µs sync header +
+    /// 150 µs turnaround + 50 µs post-frame SIFS, matching the fast PHY's
+    /// internal timing model so its clock tracks sim time), 50 ms bins,
     /// 1 s horizon with 0.5 s drain.
     pub fn default_with(loads: Vec<ClientLoad>, seed: u64) -> Self {
         TrafficConfig {
@@ -99,7 +101,7 @@ impl TrafficConfig {
             loads,
             outages: Vec::new(),
             slot_s: 9e-6,
-            header_overhead_s: 182e-6,
+            header_overhead_s: 216e-6,
             timeline_bin_s: 50e-3,
             seed,
         }
@@ -259,8 +261,55 @@ impl<B: TransmitBackend> TrafficSim<B> {
             .set_max_streams(self.cfg.mac.max_streams.min(live.len()));
     }
 
+    /// Translates the backend's control-plane report into trace events and
+    /// metrics counters, at sim time `now`.
+    fn record_control(
+        &mut self,
+        c: &crate::backend::ControlInfo,
+        now: f64,
+        m: &mut TrafficMetrics,
+    ) {
+        if c.csi_stale {
+            m.csi_stale_events += 1;
+            self.trace.push(TraceEvent::CsiStale {
+                age_s: c.csi_age_s,
+                t: now,
+            });
+        }
+        for &(attempt, ok) in &c.remeasurements {
+            if ok {
+                m.remeasure_ok += 1;
+            } else {
+                m.remeasure_failed += 1;
+                self.trace
+                    .push(TraceEvent::RemeasureFailed { attempt, t: now });
+            }
+        }
+        if let Some((attempt, at)) = c.retry {
+            m.remeasure_scheduled += 1;
+            self.trace.push(TraceEvent::RemeasureScheduled {
+                at,
+                attempt,
+                t: now,
+            });
+        }
+        for &slave in &c.missed_slaves {
+            m.sync_misses += 1;
+            self.trace.push(TraceEvent::SyncMissed { slave, t: now });
+        }
+        for &ap in &c.newly_degraded {
+            m.aps_degraded += 1;
+            self.trace.push(TraceEvent::ApDegraded { ap, t: now });
+        }
+        for &ap in &c.newly_restored {
+            m.aps_restored += 1;
+            self.trace.push(TraceEvent::ApRestored { ap, t: now });
+        }
+        m.control_airtime_s += c.overhead_s;
+    }
+
     /// Starts a joint transmission if the medium is idle and work exists.
-    fn maybe_start_tx(&mut self, now: f64) {
+    fn maybe_start_tx(&mut self, now: f64, m: &mut TrafficMetrics) {
         if self.in_flight.is_some() || self.mac.queue_len() == 0 {
             return;
         }
@@ -301,15 +350,19 @@ impl<B: TransmitBackend> TrafficSim<B> {
             .transmit_batch(&dests, payload_len, &live)
             .unwrap_or_else(|_| crate::backend::TxReport {
                 // A PHY refusal (e.g. transiently more streams than live
-                // APs) behaves like a lost transmission: nobody ACKs and
-                // the MAC retry path takes over.
+                // APs, or too few sync'd slaves) behaves like a lost
+                // transmission: nobody ACKs and the MAC retry path takes
+                // over — the protocol degrades, it never stalls.
                 airtime_s: self.cfg.header_overhead_s,
                 acked: vec![false; batch.len()],
                 mcs_index: 0,
+                control: Default::default(),
             });
-        let airtime_s = self.cfg.header_overhead_s + backoff_s + report.airtime_s;
+        self.record_control(&report.control, now, m);
+        let airtime_s =
+            self.cfg.header_overhead_s + backoff_s + report.airtime_s + report.control.overhead_s;
         let t_done = now + airtime_s;
-        self.phy_t = t_start + report.airtime_s;
+        self.phy_t = t_start + report.airtime_s + report.control.overhead_s;
         self.in_flight = Some(InFlight {
             batch,
             acked: report.acked,
@@ -429,7 +482,7 @@ impl<B: TransmitBackend> TrafficSim<B> {
                     }
                 }
             }
-            self.maybe_start_tx(now);
+            self.maybe_start_tx(now, &mut m);
         }
 
         m.queued_at_end = self.mac.queue_len() as u64
@@ -513,6 +566,7 @@ mod tests {
                 airtime_s: self.airtime_s,
                 acked,
                 mcs_index: 0,
+                control: Default::default(),
             })
         }
     }
