@@ -86,6 +86,10 @@ fn json_escape_free(name: &str) -> &str {
 
 fn main() {
     let opts = FigOpts::from_args();
+    // Span-instrumented kernels (FFT, ZF precoder, traffic event loop)
+    // accumulate wall-clock stats into the global jmb-obs span table; the
+    // report at the end cross-checks the medians measured here.
+    jmb_obs::set_spans_enabled(true);
     let (samples, min_batch) = if opts.quick {
         (5, Duration::from_micros(200))
     } else {
@@ -242,6 +246,54 @@ fn main() {
             throughput: Some((1.0 / (ns * 1e-9), "packets/s")),
         });
         println!("fastnet_joint_transmit_4x4  {ns:>12.1} ns/op");
+    }
+
+    // --- Span report ----------------------------------------------------
+    let spans = jmb_obs::span_report();
+    if !spans.is_empty() {
+        println!("\ninstrumented spans (wall clock, whole run):");
+        println!(
+            "{:<24} {:>10} {:>14} {:>14}",
+            "span", "count", "mean_ns", "max_ns"
+        );
+        for (name, s) in &spans {
+            println!(
+                "{name:<24} {:>10} {:>14.1} {:>14}",
+                s.count,
+                s.mean_ns(),
+                s.max_ns
+            );
+        }
+    }
+
+    // --- Optional: dump the joint-transmit step's event trace -----------
+    // FastNet only emits events on control-plane faults, so the traced run
+    // injects a 30% sync-loss schedule to give the dump something to show.
+    if let Some(path) = &opts.trace_out {
+        use jmb_core::fastnet::{FastConfig, FastNet};
+        use jmb_sim::{FaultConfig, FaultSchedule, JsonLinesSink};
+        let cfg = FastConfig::default_with(4, 4, vec![25.0; 4], opts.seed);
+        let mut net = FastNet::new(cfg).expect("fastnet setup");
+        net.set_fault_schedule(FaultSchedule::constant(
+            FaultConfig::builder()
+                .sync_loss_chance(0.3)
+                .build()
+                .expect("valid probability"),
+        ));
+        net.trace.enable();
+        net.trace.set_buffering(false);
+        net.trace
+            .attach_sink(JsonLinesSink::create(path).expect("open --trace-out file"));
+        net.run_measurement().expect("measurement");
+        net.advance(2e-3);
+        for _ in 0..8 {
+            net.joint_transmit_subset(&[0, 1, 2, 3], &[0, 1, 2, 3], 1500, 4, true)
+                .unwrap();
+            net.advance(1e-3);
+        }
+        net.trace.flush();
+        net.trace.query().assert_monotone_time();
+        println!("trace of 8 joint-transmit steps → {}", path.display());
     }
 
     // --- Emit BENCH_<date>.json at the repo root ------------------------

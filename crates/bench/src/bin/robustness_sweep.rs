@@ -28,7 +28,7 @@
 use jmb_bench::{banner, FigOpts, USAGE};
 use jmb_core::experiment::{parallel_map, write_csv, SweepConfig};
 use jmb_core::fastnet::FastConfig;
-use jmb_sim::{FaultConfig, FaultSchedule};
+use jmb_sim::{FaultConfig, FaultSchedule, JsonLinesSink};
 use jmb_traffic::{ClientLoad, FastBackend, TrafficConfig, TrafficMetrics, TrafficSim};
 
 const PACKET_BYTES: usize = 1500;
@@ -238,5 +238,26 @@ fn main() {
 
     let header = format!("section,loss,{}", TrafficMetrics::csv_header());
     write_csv(&opts.csv_path("robustness_sweep.csv"), &header, rows).expect("write csv");
+
+    // --- Optional: dump one representative cell's event trace. ---
+    // A dedicated re-run of the storm cell (seed = master seed) so the
+    // sweep rows above stay byte-identical whether or not tracing is on.
+    if let Some(path) = &opts.trace_out {
+        let cfg = FastConfig::default_with(N_APS, N_APS, vec![SNR_DB; N_APS], opts.seed);
+        let mut backend = FastBackend::new(cfg).expect("backend");
+        backend.net_mut().set_fault_schedule(storm);
+        let loads = vec![ClientLoad::poisson(RATE_PPS, PACKET_BYTES); N_APS];
+        let mut tcfg = TrafficConfig::default_with(loads, opts.seed);
+        tcfg.duration_s = duration_s;
+        tcfg.drain_timeout_s = duration_s * 0.5;
+        let mut sim = TrafficSim::new(tcfg, backend).expect("sim");
+        sim.trace.enable();
+        sim.trace.set_buffering(false);
+        sim.trace
+            .attach_sink(JsonLinesSink::create(path).expect("open --trace-out file"));
+        sim.run();
+        sim.trace.flush();
+        println!("trace of the storm cell → {}", path.display());
+    }
     println!("\n§7: control-frame loss degrades JMB smoothly — no cliff, no stall.");
 }

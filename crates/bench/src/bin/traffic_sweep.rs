@@ -21,6 +21,7 @@
 use jmb_bench::{banner, FigOpts};
 use jmb_core::experiment::{parallel_map, write_csv, SweepConfig};
 use jmb_core::fastnet::FastConfig;
+use jmb_sim::JsonLinesSink;
 use jmb_traffic::{ApOutage, ClientLoad, FastBackend, TrafficConfig, TrafficMetrics, TrafficSim};
 
 const PACKET_BYTES: usize = 1500;
@@ -176,5 +177,26 @@ fn main() {
 
     let header = format!("section,n_aps,{}", TrafficMetrics::csv_header());
     write_csv(&opts.csv_path("traffic_sweep.csv"), &header, rows).expect("write csv");
+
+    // --- Optional: dump one representative cell's event trace. ---
+    // A dedicated re-run of the failover cell (seed = master seed) so the
+    // sweep rows above stay byte-identical whether or not tracing is on.
+    if let Some(path) = &opts.trace_out {
+        let cfg = FastConfig::default_with(4, 4, vec![SNR_DB; 4], opts.seed);
+        let backend = FastBackend::new(cfg).expect("backend");
+        let loads = vec![ClientLoad::poisson(800.0, PACKET_BYTES); 4];
+        let mut tcfg = TrafficConfig::default_with(loads, opts.seed);
+        tcfg.duration_s = duration_s;
+        tcfg.drain_timeout_s = duration_s * 0.5;
+        tcfg.outages = vec![outage];
+        let mut sim = TrafficSim::new(tcfg, backend).expect("sim");
+        sim.trace.enable();
+        sim.trace.set_buffering(false);
+        sim.trace
+            .attach_sink(JsonLinesSink::create(path).expect("open --trace-out file"));
+        sim.run();
+        sim.trace.flush();
+        println!("trace of the failover cell → {}", path.display());
+    }
     println!("\n§9/§11: capacity — and now queueing delay — scale with the number of APs.");
 }

@@ -35,6 +35,7 @@ Options:
   --seed N       master seed (default 1)
   --out DIR      output directory for CSVs (default results/)
   --threads N    worker threads for the topology sweep (default: all cores)
+  --trace-out F  dump the structured event trace of one cell to F (.jsonl)
   --help, -h     print this help";
 
 /// Command-line options shared by every figure binary.
@@ -48,6 +49,8 @@ pub struct FigOpts {
     pub out_dir: PathBuf,
     /// Worker-thread override for the topology sweep (`None` = all cores).
     pub threads: Option<usize>,
+    /// Dump one representative cell's event trace to this JSON-lines file.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl FigOpts {
@@ -79,6 +82,7 @@ impl FigOpts {
             seed: 1,
             out_dir: PathBuf::from("results"),
             threads: None,
+            trace_out: None,
         };
         let mut args = args.into_iter();
         while let Some(a) = args.next() {
@@ -103,6 +107,13 @@ impl FigOpts {
                         return Err("--threads needs a positive integer".into());
                     }
                     opts.threads = Some(n);
+                }
+                "--trace-out" => {
+                    opts.trace_out = Some(
+                        args.next()
+                            .map(PathBuf::from)
+                            .ok_or("--trace-out needs a path")?,
+                    );
                 }
                 other => return Err(format!("unknown argument {other}")),
             }
@@ -163,6 +174,7 @@ mod tests {
             seed: 1,
             out_dir: PathBuf::from("results"),
             threads: None,
+            trace_out: None,
         }
     }
 
@@ -199,6 +211,8 @@ mod tests {
             "/tmp/o",
             "--threads",
             "3",
+            "--trace-out",
+            "/tmp/t.jsonl",
         ]))
         .unwrap()
         .unwrap();
@@ -206,6 +220,7 @@ mod tests {
         assert_eq!(o.seed, 9);
         assert_eq!(o.out_dir, PathBuf::from("/tmp/o"));
         assert_eq!(o.threads, Some(3));
+        assert_eq!(o.trace_out, Some(PathBuf::from("/tmp/t.jsonl")));
     }
 
     #[test]
@@ -220,6 +235,7 @@ mod tests {
         assert!(FigOpts::parse(sv(&["--seed"])).is_err());
         assert!(FigOpts::parse(sv(&["--seed", "x"])).is_err());
         assert!(FigOpts::parse(sv(&["--threads", "0"])).is_err());
+        assert!(FigOpts::parse(sv(&["--trace-out"])).is_err());
     }
 
     #[test]

@@ -26,7 +26,7 @@ use jmb_dsp::{CMat, Complex64};
 use jmb_phy::chanest::ChannelEstimate;
 use jmb_phy::params::OfdmParams;
 use jmb_phy::rates::Mcs;
-use jmb_sim::{FaultConfig, FaultSchedule, NodeId, SubcarrierMedium};
+use jmb_sim::{EventKind, FaultConfig, FaultSchedule, NodeId, SubcarrierMedium, Trace};
 use rand::Rng;
 
 /// Configuration of a fast-path JMB network.
@@ -146,6 +146,11 @@ pub struct FastNet {
     /// instead (≈ 20° by default — beyond that, the paper's Fig. 6 shows
     /// the joint SNR loss exceeds ~1 dB and keeps growing).
     sync_error_budget_rad: f64,
+    /// Control-plane event trace. Events are stamped on the frame timeline
+    /// (header at `now`, sync measurements at `t_meas`), which only moves
+    /// forward — the stream is monotone in time by construction, and the
+    /// integration tests assert it.
+    pub trace: Trace,
 }
 
 impl FastNet {
@@ -289,6 +294,7 @@ impl FastNet {
             fault_rng,
             health,
             sync_error_budget_rad: 0.35,
+            trace: Trace::new(),
         })
     }
 
@@ -448,6 +454,7 @@ impl FastNet {
         if self.draw_meas_loss(t0) {
             // The exchange still occupied the air; CSI stays stale and the
             // caller owns the backoff re-measurement schedule.
+            self.trace.emit(t0, EventKind::MeasurementLost);
             self.now = t0 + self.measurement_airtime_s();
             return Err(JmbError::MeasurementLost);
         }
@@ -771,6 +778,7 @@ impl FastNet {
         let t_j = self.now;
         if self.draw_meas_loss(t_j) {
             // The decoupled exchange is much shorter than a full measurement.
+            self.trace.emit(t_j, EventKind::MeasurementLost);
             self.now = t_j + 200e-6;
             return Err(JmbError::MeasurementLost);
         }
@@ -912,8 +920,10 @@ impl FastNet {
                 continue; // lead transmits the reference, needs no correction
             }
             if self.draw_sync_miss(s, t_meas) {
+                self.trace.emit(t_meas, EventKind::SyncMissed { slave: s });
                 missed_slaves.push(s);
                 if self.health[s - 1].record_miss() {
+                    self.trace.emit(t_meas, EventKind::ApDegraded { ap: s });
                     newly_degraded.push(s);
                 }
                 let within_budget =
@@ -934,6 +944,7 @@ impl FastNet {
                 continue;
             }
             if self.health[s - 1].record_sync() {
+                self.trace.emit(t_meas, EventKind::ApRestored { ap: s });
                 newly_restored.push(s);
             }
             let est = self.noisy_estimate_with_var(

@@ -14,6 +14,7 @@
 //! are ACKed. If a packet is not ACKed, they can be combined with other
 //! packets in the queue for future concurrent transmissions").
 
+use jmb_obs::Registry;
 use std::collections::VecDeque;
 
 /// One downlink packet in the shared queue.
@@ -83,36 +84,85 @@ pub enum PacketFate {
     },
 }
 
-/// Per-client delivery statistics.
+/// Per-client delivery statistics, kept in a [`jmb_obs::Registry`].
+///
+/// Metric names: `mac_delivered_bits{client}` (gauge),
+/// `mac_dropped{client}` (counter), `mac_transmissions` (counter),
+/// `mac_airtime_s` (gauge).
 #[derive(Debug, Clone, Default)]
 pub struct MacStats {
-    /// Bits delivered (ACKed) per client.
-    pub delivered_bits: Vec<f64>,
-    /// Packets dropped after exhausting retries, per client.
-    pub dropped: Vec<u64>,
-    /// Joint transmissions performed.
-    pub transmissions: u64,
-    /// Total airtime spent, seconds.
-    pub airtime_s: f64,
+    reg: Registry,
+    n_clients: usize,
 }
 
 impl MacStats {
     fn ensure(&mut self, n: usize) {
-        if self.delivered_bits.len() < n {
-            self.delivered_bits.resize(n, 0.0);
-            self.dropped.resize(n, 0);
-        }
+        self.n_clients = self.n_clients.max(n);
+    }
+
+    fn record_transmission(&mut self, airtime_s: f64) {
+        self.reg.inc("mac_transmissions");
+        self.reg.gauge_add("mac_airtime_s", airtime_s);
+    }
+
+    fn record_delivery(&mut self, client: usize, bits: f64) {
+        self.reg
+            .gauge_add_at("mac_delivered_bits", client as u32, bits);
+    }
+
+    fn record_drop(&mut self, client: usize) {
+        self.reg.inc_at("mac_dropped", client as u32);
+    }
+
+    /// Bits delivered (ACKed) per client.
+    pub fn delivered_bits(&self) -> Vec<f64> {
+        self.reg.gauge_vec("mac_delivered_bits", self.n_clients)
+    }
+
+    /// Bits delivered to one client.
+    pub fn delivered_bits_for(&self, client: usize) -> f64 {
+        self.reg.gauge_at("mac_delivered_bits", client as u32)
+    }
+
+    /// Packets dropped after exhausting retries, per client.
+    pub fn dropped(&self) -> Vec<u64> {
+        (0..self.n_clients)
+            .map(|c| self.reg.counter_at("mac_dropped", c as u32))
+            .collect()
+    }
+
+    /// Drops for one client.
+    pub fn dropped_for(&self, client: usize) -> u64 {
+        self.reg.counter_at("mac_dropped", client as u32)
+    }
+
+    /// Total drops across clients.
+    pub fn dropped_total(&self) -> u64 {
+        self.reg.counter_total("mac_dropped")
+    }
+
+    /// Joint transmissions performed.
+    pub fn transmissions(&self) -> u64 {
+        self.reg.counter("mac_transmissions")
+    }
+
+    /// Total airtime spent, seconds.
+    pub fn airtime_s(&self) -> f64 {
+        self.reg.gauge("mac_airtime_s")
+    }
+
+    /// The underlying registry (for merging into run-level metrics).
+    pub fn registry(&self) -> &Registry {
+        &self.reg
     }
 
     /// Per-client throughput over the recorded airtime, bits/second.
     pub fn throughput(&self) -> Vec<f64> {
-        if self.airtime_s <= 0.0 {
-            return vec![0.0; self.delivered_bits.len()];
+        let airtime = self.airtime_s();
+        if airtime <= 0.0 {
+            return vec![0.0; self.n_clients];
         }
-        self.delivered_bits
-            .iter()
-            .map(|&b| b / self.airtime_s)
-            .collect()
+        self.delivered_bits().iter().map(|&b| b / airtime).collect()
     }
 }
 
@@ -292,8 +342,7 @@ impl JmbMac {
         if batch.is_empty() {
             return Vec::new();
         }
-        self.stats.transmissions += 1;
-        self.stats.airtime_s += airtime_s;
+        self.stats.record_transmission(airtime_s);
         if acked.iter().all(|&ok| ok) {
             self.backoff_stage = 0;
         } else {
@@ -303,7 +352,8 @@ impl JmbMac {
         for (mut p, &ok) in batch.into_iter().zip(acked) {
             self.stats.ensure(p.dest + 1);
             if ok {
-                self.stats.delivered_bits[p.dest] += 8.0 * p.payload.len() as f64;
+                self.stats
+                    .record_delivery(p.dest, 8.0 * p.payload.len() as f64);
                 self.consecutive_losses[p.dest] = 0;
                 fates.push(PacketFate::Acked {
                     dest: p.dest,
@@ -316,7 +366,7 @@ impl JmbMac {
                 }
                 p.attempts += 1;
                 if p.attempts >= self.cfg.retry_limit {
-                    self.stats.dropped[p.dest] += 1;
+                    self.stats.record_drop(p.dest);
                     fates.push(PacketFate::Dropped {
                         dest: p.dest,
                         id: p.id,
@@ -440,13 +490,13 @@ mod tests {
             }]
         );
         assert_eq!(m.queue_len(), 1);
-        assert_eq!(m.stats.dropped[0], 0);
+        assert_eq!(m.stats.dropped_for(0), 0);
         // Second attempt fails → dropped (retry_limit 2).
         let b = m.select_batch();
         let fates = m.complete_batch(b, &[false], 1e-3);
         assert_eq!(fates, vec![PacketFate::Dropped { dest: 0, id }]);
         assert_eq!(m.queue_len(), 0);
-        assert_eq!(m.stats.dropped[0], 1);
+        assert_eq!(m.stats.dropped_for(0), 1);
     }
 
     #[test]
@@ -480,7 +530,7 @@ mod tests {
             }
         }
         assert_eq!(attempts, limit);
-        assert_eq!(m.stats.dropped[0], 1);
+        assert_eq!(m.stats.dropped_for(0), 1);
         assert_eq!(m.queue_len(), 0);
     }
 
@@ -509,8 +559,8 @@ mod tests {
         m.enqueue(1, vec![2; 100]);
         let b = m.select_batch();
         m.complete_batch(b, &[true, false], 2e-3);
-        assert!(m.stats.delivered_bits[0] > 0.0);
-        assert_eq!(m.stats.delivered_bits[1], 0.0);
+        assert!(m.stats.delivered_bits_for(0) > 0.0);
+        assert_eq!(m.stats.delivered_bits_for(1), 0.0);
         assert_eq!(m.queue_len(), 1); // client 1's packet awaits retry
     }
 
@@ -524,7 +574,7 @@ mod tests {
         let t = m.stats.throughput();
         assert!((t[0] - 1e7).abs() < 1.0);
         assert!((t[1] - 1e7).abs() < 1.0);
-        assert_eq!(m.stats.transmissions, 1);
+        assert_eq!(m.stats.transmissions(), 1);
     }
 
     #[test]
@@ -574,8 +624,8 @@ mod tests {
         assert!(b.is_empty());
         let fates = m.complete_batch(b, &[], 1e-3);
         assert!(fates.is_empty());
-        assert_eq!(m.stats.transmissions, 0);
-        assert_eq!(m.stats.airtime_s, 0.0);
+        assert_eq!(m.stats.transmissions(), 0);
+        assert_eq!(m.stats.airtime_s(), 0.0);
         assert_eq!(m.backoff_stage(), 0);
     }
 

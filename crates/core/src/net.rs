@@ -481,14 +481,13 @@ impl JmbNetwork {
                 }
                 // Fault injection: the slave fails to receive the header.
                 if self.medium.draw_sync_miss(s, t_meas) {
-                    self.medium.trace.push(jmb_sim::TraceEvent::SyncMissed {
-                        slave: s,
-                        t: t_meas,
-                    });
+                    self.medium
+                        .trace
+                        .emit(t_meas, jmb_sim::EventKind::SyncMissed { slave: s });
                     if self.sync_health[s - 1].record_miss() {
                         self.medium
                             .trace
-                            .push(jmb_sim::TraceEvent::ApDegraded { ap: s, t: t_meas });
+                            .emit(t_meas, jmb_sim::EventKind::ApDegraded { ap: s });
                     }
                     if self.sync_health[s - 1].is_degraded() {
                         suppressed[s] = true;
@@ -505,7 +504,7 @@ impl JmbNetwork {
                 if self.sync_health[s - 1].record_sync() {
                     self.medium
                         .trace
-                        .push(jmb_sim::TraceEvent::ApRestored { ap: s, t: t_meas });
+                        .emit(t_meas, jmb_sim::EventKind::ApRestored { ap: s });
                 }
                 self.sync_state[s - 1].observe_header(&est, cfo, t_meas);
                 *slot = Some(self.sync_state[s - 1].correction(&est)?);

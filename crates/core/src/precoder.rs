@@ -40,6 +40,7 @@ impl Precoder {
     /// transmitting alone, which is what makes throughput scale linearly
     /// with added APs: each new AP brings its own power budget.
     pub fn zero_forcing(h_per_subcarrier: &[CMat]) -> Result<Precoder, JmbError> {
+        let _span = jmb_obs::span("zf_precoder");
         if h_per_subcarrier.is_empty() {
             return Err(JmbError::BadConfig("no subcarriers"));
         }

@@ -122,6 +122,7 @@ impl FftPlan {
     /// Panics if `buf.len() != self.len()`.
     pub fn forward(&self, buf: &mut [Complex64]) {
         assert_eq!(buf.len(), self.n, "FFT buffer length mismatch");
+        let _span = jmb_obs::span("fft_forward");
         self.permute(buf);
         self.butterflies(buf, false);
     }
@@ -133,6 +134,7 @@ impl FftPlan {
     /// Panics if `buf.len() != self.len()`.
     pub fn inverse(&self, buf: &mut [Complex64]) {
         assert_eq!(buf.len(), self.n, "FFT buffer length mismatch");
+        let _span = jmb_obs::span("fft_inverse");
         self.permute(buf);
         self.butterflies(buf, true);
         let scale = 1.0 / self.n as f64;

@@ -1,0 +1,481 @@
+//! The unified event type.
+//!
+//! One enum covers every layer's happenings — medium (transmit / render /
+//! drop / corruption), MAC and traffic (enqueue, lead election, batch
+//! selection, ACK, retry), liveness (AP down/up), and control plane (sync
+//! misses, CSI staleness, re-measurement, degradation). Each recorded
+//! [`Event`] carries a global timestamp and a per-trace sequence number so
+//! simultaneous events keep a total order.
+
+/// Why a transmission or packet was abandoned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// Fault injection removed the waveform from the air (deep fade or an
+    /// un-modelled collision).
+    Fault,
+    /// The link layer exhausted the packet's retry budget (§9: packets stay
+    /// queued until ACKed — but not forever).
+    RetryLimit,
+}
+
+impl DropCause {
+    /// Stable name used in JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropCause::Fault => "Fault",
+            DropCause::RetryLimit => "RetryLimit",
+        }
+    }
+
+    /// Inverse of [`DropCause::name`].
+    pub fn from_name(s: &str) -> Option<DropCause> {
+        match s {
+            "Fault" => Some(DropCause::Fault),
+            "RetryLimit" => Some(DropCause::RetryLimit),
+            _ => None,
+        }
+    }
+}
+
+/// What happened (the payload of an [`Event`]; the *when* lives on the
+/// event itself).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// Medium: a waveform was scheduled.
+    Transmit {
+        /// Node index.
+        node: usize,
+        /// Length in samples.
+        len: usize,
+        /// Mean sample power.
+        power: f64,
+    },
+    /// Medium: a receive window was rendered.
+    Render {
+        /// Node index.
+        node: usize,
+        /// Length in samples.
+        len: usize,
+    },
+    /// A transmission or packet was dropped.
+    Dropped {
+        /// Node index (transmitter for [`DropCause::Fault`], destination
+        /// client for [`DropCause::RetryLimit`]).
+        node: usize,
+        /// Why it was dropped.
+        cause: DropCause,
+    },
+    /// Medium: a scheduled waveform had its payload samples corrupted in
+    /// flight by fault injection (pre-CRC, so receivers see a CRC
+    /// rejection).
+    Corrupted {
+        /// Transmitting node index.
+        node: usize,
+    },
+    /// MAC: a downlink packet entered the shared queue.
+    Enqueued {
+        /// Destination client.
+        client: usize,
+        /// Queue-assigned packet id.
+        id: u64,
+    },
+    /// MAC: the designated AP of the head-of-queue packet was elected lead
+    /// for a joint transmission (§9).
+    LeadElected {
+        /// Lead AP index.
+        ap: usize,
+    },
+    /// MAC: a joint batch was selected from the shared queue.
+    BatchSelected {
+        /// Number of packets (= concurrent streams) in the batch.
+        n_packets: usize,
+    },
+    /// MAC: a packet was acknowledged (asynchronously, §9).
+    Acked {
+        /// Destination client.
+        client: usize,
+        /// Queue-assigned packet id.
+        id: u64,
+    },
+    /// MAC: a packet was not acknowledged and returned to the queue for a
+    /// future joint transmission.
+    Retry {
+        /// Destination client.
+        client: usize,
+        /// Queue-assigned packet id.
+        id: u64,
+        /// Attempts made so far.
+        attempt: u32,
+    },
+    /// An AP went down (fault schedule).
+    ApDown {
+        /// AP index.
+        ap: usize,
+    },
+    /// An AP recovered.
+    ApUp {
+        /// AP index.
+        ap: usize,
+    },
+    /// Control plane: a slave AP missed the lead's sync header for a joint
+    /// transmission (fault injection or a physically failed measurement).
+    SyncMissed {
+        /// Slave AP index.
+        slave: usize,
+    },
+    /// Control plane: CSI age exceeded the staleness threshold and a
+    /// re-measurement became due.
+    CsiStale {
+        /// Age of the oldest CSI entry, seconds.
+        age_s: f64,
+    },
+    /// Control plane: a re-measurement was scheduled (initial attempt or a
+    /// backoff retry after a lost measurement frame).
+    RemeasureScheduled {
+        /// Earliest time the attempt may run, seconds.
+        at: f64,
+        /// Attempt number (1 = first retry after a failure).
+        attempt: u32,
+    },
+    /// Control plane: a measurement frame was lost and the re-measurement
+    /// attempt failed.
+    RemeasureFailed {
+        /// Attempt number that failed.
+        attempt: u32,
+    },
+    /// Control plane: a re-measurement succeeded and refreshed the CSI.
+    RemeasureOk {
+        /// Attempt number that succeeded (1 = first try).
+        attempt: u32,
+    },
+    /// PHY control plane: a measurement frame was lost in flight (the
+    /// attempt-numbered [`EventKind::RemeasureFailed`] view of the same
+    /// loss is emitted by the layer that owns the backoff tracker).
+    MeasurementLost,
+    /// Control plane: a slave AP accumulated enough consecutive sync-header
+    /// misses to be marked degraded (excluded from joint batches until it
+    /// re-syncs).
+    ApDegraded {
+        /// Slave AP index.
+        ap: usize,
+    },
+    /// Control plane: a degraded slave AP heard a sync header again and was
+    /// restored to service.
+    ApRestored {
+        /// Slave AP index.
+        ap: usize,
+    },
+}
+
+impl EventKind {
+    /// Stable kind name (used by [`crate::TraceQuery::kind`] and JSON
+    /// output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Transmit { .. } => "Transmit",
+            EventKind::Render { .. } => "Render",
+            EventKind::Dropped { .. } => "Dropped",
+            EventKind::Corrupted { .. } => "Corrupted",
+            EventKind::Enqueued { .. } => "Enqueued",
+            EventKind::LeadElected { .. } => "LeadElected",
+            EventKind::BatchSelected { .. } => "BatchSelected",
+            EventKind::Acked { .. } => "Acked",
+            EventKind::Retry { .. } => "Retry",
+            EventKind::ApDown { .. } => "ApDown",
+            EventKind::ApUp { .. } => "ApUp",
+            EventKind::SyncMissed { .. } => "SyncMissed",
+            EventKind::CsiStale { .. } => "CsiStale",
+            EventKind::RemeasureScheduled { .. } => "RemeasureScheduled",
+            EventKind::RemeasureFailed { .. } => "RemeasureFailed",
+            EventKind::RemeasureOk { .. } => "RemeasureOk",
+            EventKind::MeasurementLost => "MeasurementLost",
+            EventKind::ApDegraded { .. } => "ApDegraded",
+            EventKind::ApRestored { .. } => "ApRestored",
+        }
+    }
+
+    /// The AP index this event concerns, if any (slaves count as APs).
+    pub fn ap(&self) -> Option<usize> {
+        match *self {
+            EventKind::LeadElected { ap }
+            | EventKind::ApDown { ap }
+            | EventKind::ApUp { ap }
+            | EventKind::ApDegraded { ap }
+            | EventKind::ApRestored { ap } => Some(ap),
+            EventKind::SyncMissed { slave } => Some(slave),
+            _ => None,
+        }
+    }
+
+    /// The client index this event concerns, if any.
+    pub fn client(&self) -> Option<usize> {
+        match *self {
+            EventKind::Enqueued { client, .. }
+            | EventKind::Acked { client, .. }
+            | EventKind::Retry { client, .. } => Some(client),
+            _ => None,
+        }
+    }
+
+    /// The medium node index this event concerns, if any.
+    pub fn node(&self) -> Option<usize> {
+        match *self {
+            EventKind::Transmit { node, .. }
+            | EventKind::Render { node, .. }
+            | EventKind::Dropped { node, .. }
+            | EventKind::Corrupted { node } => Some(node),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded event: *when* (timestamp + per-trace sequence number) and
+/// *what* ([`EventKind`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Per-trace sequence number (0-based, assigned at emission; the
+    /// determinism tie-break for simultaneous events).
+    pub seq: u64,
+    /// Global time, seconds.
+    pub t: f64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// One-line JSON rendering: `{"seq":N,"t":T,"kind":"Name",...fields}`.
+    ///
+    /// Numbers use Rust's shortest round-trip formatting, so equal values
+    /// serialize to equal bytes and [`Event::from_json`] recovers them
+    /// exactly.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"seq\":{},\"t\":{},\"kind\":\"{}\"",
+            self.seq,
+            self.t,
+            self.kind.name()
+        );
+        match &self.kind {
+            EventKind::Transmit { node, len, power } => {
+                push_field(&mut s, "node", *node as u64);
+                push_field(&mut s, "len", *len as u64);
+                s.push_str(&format!(",\"power\":{power}"));
+            }
+            EventKind::Render { node, len } => {
+                push_field(&mut s, "node", *node as u64);
+                push_field(&mut s, "len", *len as u64);
+            }
+            EventKind::Dropped { node, cause } => {
+                push_field(&mut s, "node", *node as u64);
+                s.push_str(&format!(",\"cause\":\"{}\"", cause.name()));
+            }
+            EventKind::Corrupted { node } => push_field(&mut s, "node", *node as u64),
+            EventKind::Enqueued { client, id } | EventKind::Acked { client, id } => {
+                push_field(&mut s, "client", *client as u64);
+                push_field(&mut s, "id", *id);
+            }
+            EventKind::LeadElected { ap }
+            | EventKind::ApDown { ap }
+            | EventKind::ApUp { ap }
+            | EventKind::ApDegraded { ap }
+            | EventKind::ApRestored { ap } => push_field(&mut s, "ap", *ap as u64),
+            EventKind::BatchSelected { n_packets } => {
+                push_field(&mut s, "n_packets", *n_packets as u64)
+            }
+            EventKind::Retry {
+                client,
+                id,
+                attempt,
+            } => {
+                push_field(&mut s, "client", *client as u64);
+                push_field(&mut s, "id", *id);
+                push_field(&mut s, "attempt", *attempt as u64);
+            }
+            EventKind::SyncMissed { slave } => push_field(&mut s, "slave", *slave as u64),
+            EventKind::CsiStale { age_s } => s.push_str(&format!(",\"age_s\":{age_s}")),
+            EventKind::RemeasureScheduled { at, attempt } => {
+                s.push_str(&format!(",\"at\":{at}"));
+                push_field(&mut s, "attempt", *attempt as u64);
+            }
+            EventKind::RemeasureFailed { attempt } | EventKind::RemeasureOk { attempt } => {
+                push_field(&mut s, "attempt", *attempt as u64)
+            }
+            EventKind::MeasurementLost => {}
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parses one line produced by [`Event::to_json`]. Returns `None` on
+    /// anything malformed (foreign JSON is out of scope — this is a replay
+    /// format, not a general parser).
+    pub fn from_json(line: &str) -> Option<Event> {
+        let body = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+        let mut seq = None;
+        let mut t = None;
+        let mut num = std::collections::BTreeMap::new();
+        let mut strs = std::collections::BTreeMap::new();
+        for part in body.split(',') {
+            let (k, v) = part.split_once(':')?;
+            let k = k.trim().strip_prefix('"')?.strip_suffix('"')?;
+            let v = v.trim();
+            if let Some(sv) = v.strip_prefix('"').and_then(|x| x.strip_suffix('"')) {
+                strs.insert(k, sv);
+            } else {
+                let fv: f64 = v.parse().ok()?;
+                match k {
+                    "seq" => seq = Some(fv as u64),
+                    "t" => t = Some(fv),
+                    _ => {
+                        num.insert(k, fv);
+                    }
+                }
+            }
+        }
+        let kind_name = strs.get("kind").copied();
+        let get = |k: &str| num.get(k).map(|&v| v as usize);
+        let getf = |k: &str| num.get(k).copied();
+        let kind = match kind_name? {
+            "Transmit" => EventKind::Transmit {
+                node: get("node")?,
+                len: get("len")?,
+                power: getf("power")?,
+            },
+            "Render" => EventKind::Render {
+                node: get("node")?,
+                len: get("len")?,
+            },
+            "Dropped" => EventKind::Dropped {
+                node: get("node")?,
+                cause: DropCause::from_name(strs.get("cause")?)?,
+            },
+            "Corrupted" => EventKind::Corrupted { node: get("node")? },
+            "Enqueued" => EventKind::Enqueued {
+                client: get("client")?,
+                id: get("id")? as u64,
+            },
+            "LeadElected" => EventKind::LeadElected { ap: get("ap")? },
+            "BatchSelected" => EventKind::BatchSelected {
+                n_packets: get("n_packets")?,
+            },
+            "Acked" => EventKind::Acked {
+                client: get("client")?,
+                id: get("id")? as u64,
+            },
+            "Retry" => EventKind::Retry {
+                client: get("client")?,
+                id: get("id")? as u64,
+                attempt: get("attempt")? as u32,
+            },
+            "ApDown" => EventKind::ApDown { ap: get("ap")? },
+            "ApUp" => EventKind::ApUp { ap: get("ap")? },
+            "SyncMissed" => EventKind::SyncMissed {
+                slave: get("slave")?,
+            },
+            "CsiStale" => EventKind::CsiStale {
+                age_s: getf("age_s")?,
+            },
+            "RemeasureScheduled" => EventKind::RemeasureScheduled {
+                at: getf("at")?,
+                attempt: get("attempt")? as u32,
+            },
+            "RemeasureFailed" => EventKind::RemeasureFailed {
+                attempt: get("attempt")? as u32,
+            },
+            "RemeasureOk" => EventKind::RemeasureOk {
+                attempt: get("attempt")? as u32,
+            },
+            "MeasurementLost" => EventKind::MeasurementLost,
+            "ApDegraded" => EventKind::ApDegraded { ap: get("ap")? },
+            "ApRestored" => EventKind::ApRestored { ap: get("ap")? },
+            _ => return None,
+        };
+        Some(Event {
+            seq: seq?,
+            t: t?,
+            kind,
+        })
+    }
+}
+
+/// Appends `,"name":V` with integer formatting (all our integer fields —
+/// indices, ids, attempts — fit u64).
+fn push_field(s: &mut String, name: &str, v: u64) {
+    s.push_str(&format!(",\"{name}\":{v}"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(kind: EventKind) {
+        let e = Event {
+            seq: 42,
+            t: 0.001625,
+            kind,
+        };
+        let json = e.to_json();
+        let back = Event::from_json(&json).unwrap_or_else(|| panic!("parse failed: {json}"));
+        assert_eq!(back, e, "json was {json}");
+    }
+
+    #[test]
+    fn json_roundtrip_every_kind() {
+        roundtrip(EventKind::Transmit {
+            node: 3,
+            len: 320,
+            power: 0.012345,
+        });
+        roundtrip(EventKind::Render { node: 1, len: 80 });
+        roundtrip(EventKind::Dropped {
+            node: 2,
+            cause: DropCause::Fault,
+        });
+        roundtrip(EventKind::Dropped {
+            node: 2,
+            cause: DropCause::RetryLimit,
+        });
+        roundtrip(EventKind::Corrupted { node: 0 });
+        roundtrip(EventKind::Enqueued { client: 5, id: 77 });
+        roundtrip(EventKind::LeadElected { ap: 2 });
+        roundtrip(EventKind::BatchSelected { n_packets: 4 });
+        roundtrip(EventKind::Acked { client: 1, id: 9 });
+        roundtrip(EventKind::Retry {
+            client: 0,
+            id: 3,
+            attempt: 2,
+        });
+        roundtrip(EventKind::ApDown { ap: 1 });
+        roundtrip(EventKind::ApUp { ap: 1 });
+        roundtrip(EventKind::SyncMissed { slave: 3 });
+        roundtrip(EventKind::CsiStale { age_s: 0.0525 });
+        roundtrip(EventKind::RemeasureScheduled {
+            at: 0.125,
+            attempt: 3,
+        });
+        roundtrip(EventKind::RemeasureFailed { attempt: 1 });
+        roundtrip(EventKind::RemeasureOk { attempt: 2 });
+        roundtrip(EventKind::MeasurementLost);
+        roundtrip(EventKind::ApDegraded { ap: 2 });
+        roundtrip(EventKind::ApRestored { ap: 2 });
+    }
+
+    #[test]
+    fn accessors_pick_the_right_index() {
+        assert_eq!(EventKind::SyncMissed { slave: 3 }.ap(), Some(3));
+        assert_eq!(EventKind::LeadElected { ap: 1 }.ap(), Some(1));
+        assert_eq!(EventKind::Acked { client: 2, id: 0 }.client(), Some(2));
+        assert_eq!(EventKind::Corrupted { node: 4 }.node(), Some(4));
+        assert_eq!(EventKind::MeasurementLost.ap(), None);
+        assert_eq!(EventKind::CsiStale { age_s: 0.1 }.client(), None);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        assert!(Event::from_json("").is_none());
+        assert!(Event::from_json("{}").is_none());
+        assert!(Event::from_json("{\"seq\":1,\"t\":0.0,\"kind\":\"Nope\"}").is_none());
+        assert!(Event::from_json("{\"seq\":1,\"t\":0.0,\"kind\":\"Acked\"}").is_none());
+        assert!(Event::from_json("not json at all").is_none());
+    }
+}

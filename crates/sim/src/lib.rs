@@ -16,8 +16,9 @@
 //!   and cross-validated against the sample-level medium in tests.
 //!
 //! Fault injection (packet drops, noise bursts — in the spirit of smoltcp's
-//! example fault options) lives in [`fault`], and a lightweight event trace
-//! in [`trace`].
+//! example fault options) lives in [`fault`]; event tracing comes from the
+//! workspace-wide [`jmb_obs`] observability crate (re-exported via
+//! [`trace`]).
 //!
 //! Determinism: the medium owns one RNG (for noise and faults); node
 //! oscillators own theirs. Same seeds ⇒ same waveforms, bit for bit.
@@ -35,4 +36,7 @@ pub use fault::{
 };
 pub use freq::{InstantPhasors, StaticChannel, SubcarrierMedium};
 pub use medium::{Medium, NodeId, Transmission};
-pub use trace::{DropCause, Trace, TraceEvent};
+pub use trace::{
+    read_jsonl, DropCause, Event, EventKind, FilterSink, JsonLinesSink, RingBufferSink, Trace,
+    TraceQuery, TraceSink,
+};

@@ -16,7 +16,7 @@
 //! 6. **AWGN** — per-receiver noise floor.
 
 use crate::fault::{FaultConfig, FaultSchedule};
-use crate::trace::{DropCause, Trace, TraceEvent};
+use crate::trace::{DropCause, EventKind, Trace};
 use jmb_channel::{Link, PhaseTrajectory};
 use jmb_dsp::delay::interpolate_at;
 use jmb_dsp::rng::{complex_gaussian, JmbRng};
@@ -166,11 +166,13 @@ impl Medium {
         let f = self.fault.config_at(start_s);
         let (drop_chance, corrupt_chance) = (f.drop_chance, f.corrupt_chance);
         if drop_chance > 0.0 && self.rng.gen::<f64>() < drop_chance {
-            self.trace.push(TraceEvent::Dropped {
-                node: tx.0,
-                t: start_s,
-                cause: DropCause::Fault,
-            });
+            self.trace.emit(
+                start_s,
+                EventKind::Dropped {
+                    node: tx.0,
+                    cause: DropCause::Fault,
+                },
+            );
             return;
         }
         if corrupt_chance > 0.0
@@ -185,17 +187,17 @@ impl Medium {
                     *s = -*s;
                 }
             }
-            self.trace.push(TraceEvent::Corrupted {
-                node: tx.0,
-                t: start_s,
-            });
+            self.trace
+                .emit(start_s, EventKind::Corrupted { node: tx.0 });
         }
-        self.trace.push(TraceEvent::Transmit {
-            node: tx.0,
-            t: start_s,
-            len: samples.len(),
-            power: jmb_dsp::complex::mean_power(&samples),
-        });
+        self.trace.emit(
+            start_s,
+            EventKind::Transmit {
+                node: tx.0,
+                len: samples.len(),
+                power: jmb_dsp::complex::mean_power(&samples),
+            },
+        );
         self.transmissions.push(Transmission {
             tx,
             start_s,
@@ -298,11 +300,8 @@ impl Medium {
                 }
             }
         }
-        self.trace.push(TraceEvent::Render {
-            node: rx.0,
-            t: start_s,
-            len: n,
-        });
+        self.trace
+            .emit(start_s, EventKind::Render { node: rx.0, len: n });
         out
     }
 
@@ -548,13 +547,8 @@ mod tests {
         assert_eq!(m.transmission_count(), 0);
         let out = m.render_rx(rx, 0.0, 320);
         assert!(mean_power(&out) < 1e-20);
-        assert!(m.trace.events().iter().any(|e| matches!(
-            e,
-            TraceEvent::Dropped {
-                cause: crate::trace::DropCause::Fault,
-                ..
-            }
-        )));
+        assert_eq!(m.trace.drop_count_by(DropCause::Fault), 1);
+        m.trace.query().assert_monotone_time();
     }
 
     #[test]

@@ -1,388 +1,12 @@
-//! Lightweight event tracing.
+//! Event tracing — re-exported from [`jmb_obs`].
 //!
-//! Records what happened on the medium — who transmitted when, what was
-//! rendered, what was dropped — and at the link/traffic layer above it —
-//! what was enqueued, which AP led a joint transmission, what was ACKed,
-//! retried, or abandoned — for debugging and for tests that assert on
-//! protocol behaviour rather than signal values. Disabled traces cost one
-//! branch per event.
+//! The medium used to carry its own hand-rolled trace type; tracing now
+//! lives in the workspace-wide observability crate so every layer (medium,
+//! fast network, MAC, traffic simulator) logs through one timestamped,
+//! seq-numbered [`Event`] pipeline with pluggable sinks and a replay/query
+//! API. This module keeps the old import paths working.
 
-/// Why a transmission or packet was abandoned.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DropCause {
-    /// Fault injection removed the waveform from the air (deep fade or an
-    /// un-modelled collision).
-    Fault,
-    /// The link layer exhausted the packet's retry budget (§9: packets stay
-    /// queued until ACKed — but not forever).
-    RetryLimit,
-}
-
-/// One recorded event.
-#[derive(Debug, Clone, PartialEq)]
-pub enum TraceEvent {
-    /// A waveform was scheduled.
-    Transmit {
-        /// Node index.
-        node: usize,
-        /// Global start time, seconds.
-        t: f64,
-        /// Length in samples.
-        len: usize,
-        /// Mean sample power.
-        power: f64,
-    },
-    /// A receive window was rendered.
-    Render {
-        /// Node index.
-        node: usize,
-        /// Global start time, seconds.
-        t: f64,
-        /// Length in samples.
-        len: usize,
-    },
-    /// A transmission or packet was dropped.
-    Dropped {
-        /// Node index (transmitter for [`DropCause::Fault`], destination
-        /// client for [`DropCause::RetryLimit`]).
-        node: usize,
-        /// Global time, seconds.
-        t: f64,
-        /// Why it was dropped.
-        cause: DropCause,
-    },
-    /// A scheduled waveform had its payload samples corrupted in flight by
-    /// fault injection (pre-CRC, so receivers see a CRC rejection).
-    Corrupted {
-        /// Transmitting node index.
-        node: usize,
-        /// Global start time, seconds.
-        t: f64,
-    },
-    /// MAC: a downlink packet entered the shared queue.
-    Enqueued {
-        /// Destination client.
-        client: usize,
-        /// Queue-assigned packet id.
-        id: u64,
-        /// Global time, seconds.
-        t: f64,
-    },
-    /// MAC: the designated AP of the head-of-queue packet was elected lead
-    /// for a joint transmission (§9).
-    LeadElected {
-        /// Lead AP index.
-        ap: usize,
-        /// Global time, seconds.
-        t: f64,
-    },
-    /// MAC: a joint batch was selected from the shared queue.
-    BatchSelected {
-        /// Number of packets (= concurrent streams) in the batch.
-        n_packets: usize,
-        /// Global time, seconds.
-        t: f64,
-    },
-    /// MAC: a packet was acknowledged (asynchronously, §9).
-    Acked {
-        /// Destination client.
-        client: usize,
-        /// Queue-assigned packet id.
-        id: u64,
-        /// Global time, seconds.
-        t: f64,
-    },
-    /// MAC: a packet was not acknowledged and returned to the queue for a
-    /// future joint transmission.
-    Retry {
-        /// Destination client.
-        client: usize,
-        /// Queue-assigned packet id.
-        id: u64,
-        /// Attempts made so far.
-        attempt: u32,
-        /// Global time, seconds.
-        t: f64,
-    },
-    /// An AP went down (fault schedule).
-    ApDown {
-        /// AP index.
-        ap: usize,
-        /// Global time, seconds.
-        t: f64,
-    },
-    /// An AP recovered.
-    ApUp {
-        /// AP index.
-        ap: usize,
-        /// Global time, seconds.
-        t: f64,
-    },
-    /// Control plane: a slave AP missed the lead's sync header for a joint
-    /// transmission (fault injection or a physically failed measurement).
-    SyncMissed {
-        /// Slave AP index.
-        slave: usize,
-        /// Global time, seconds.
-        t: f64,
-    },
-    /// Control plane: CSI age exceeded the staleness threshold and a
-    /// re-measurement became due.
-    CsiStale {
-        /// Age of the oldest CSI entry, seconds.
-        age_s: f64,
-        /// Global time, seconds.
-        t: f64,
-    },
-    /// Control plane: a re-measurement was scheduled (initial attempt or a
-    /// backoff retry after a lost measurement frame).
-    RemeasureScheduled {
-        /// Earliest time the attempt may run, seconds.
-        at: f64,
-        /// Attempt number (1 = first retry after a failure).
-        attempt: u32,
-        /// Global time, seconds.
-        t: f64,
-    },
-    /// Control plane: a measurement frame was lost and the re-measurement
-    /// attempt failed.
-    RemeasureFailed {
-        /// Attempt number that failed.
-        attempt: u32,
-        /// Global time, seconds.
-        t: f64,
-    },
-    /// Control plane: a slave AP accumulated enough consecutive sync-header
-    /// misses to be marked degraded (excluded from joint batches until it
-    /// re-syncs).
-    ApDegraded {
-        /// Slave AP index.
-        ap: usize,
-        /// Global time, seconds.
-        t: f64,
-    },
-    /// Control plane: a degraded slave AP heard a sync header again and was
-    /// restored to service.
-    ApRestored {
-        /// Slave AP index.
-        ap: usize,
-        /// Global time, seconds.
-        t: f64,
-    },
-}
-
-/// An append-only event log.
-#[derive(Debug, Clone, Default)]
-pub struct Trace {
-    events: Vec<TraceEvent>,
-    enabled: bool,
-}
-
-impl Trace {
-    /// Creates a disabled trace (enable with [`Trace::enable`]).
-    pub fn new() -> Self {
-        Trace {
-            events: Vec::new(),
-            enabled: false,
-        }
-    }
-
-    /// Starts recording.
-    pub fn enable(&mut self) {
-        self.enabled = true;
-    }
-
-    /// Stops recording (existing events are kept).
-    pub fn disable(&mut self) {
-        self.enabled = false;
-    }
-
-    /// Records an event if enabled.
-    pub fn push(&mut self, e: TraceEvent) {
-        if self.enabled {
-            self.events.push(e);
-        }
-    }
-
-    /// All recorded events in order.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
-    }
-
-    /// Number of events matching a predicate.
-    pub fn count(&self, pred: impl Fn(&TraceEvent) -> bool) -> usize {
-        self.events.iter().filter(|e| pred(e)).count()
-    }
-
-    /// Number of transmissions recorded.
-    pub fn transmit_count(&self) -> usize {
-        self.count(|e| matches!(e, TraceEvent::Transmit { .. }))
-    }
-
-    /// Number of drops recorded (any cause).
-    pub fn drop_count(&self) -> usize {
-        self.count(|e| matches!(e, TraceEvent::Dropped { .. }))
-    }
-
-    /// Number of drops recorded with the given cause.
-    pub fn drop_count_by(&self, cause: DropCause) -> usize {
-        self.count(|e| matches!(e, TraceEvent::Dropped { cause: c, .. } if *c == cause))
-    }
-
-    /// Number of in-flight corruptions recorded.
-    pub fn corrupt_count(&self) -> usize {
-        self.count(|e| matches!(e, TraceEvent::Corrupted { .. }))
-    }
-
-    /// Number of MAC acknowledgments recorded.
-    pub fn ack_count(&self) -> usize {
-        self.count(|e| matches!(e, TraceEvent::Acked { .. }))
-    }
-
-    /// Number of MAC retries recorded.
-    pub fn retry_count(&self) -> usize {
-        self.count(|e| matches!(e, TraceEvent::Retry { .. }))
-    }
-
-    /// Number of missed sync headers recorded.
-    pub fn sync_missed_count(&self) -> usize {
-        self.count(|e| matches!(e, TraceEvent::SyncMissed { .. }))
-    }
-
-    /// Number of scheduled re-measurements recorded.
-    pub fn remeasure_scheduled_count(&self) -> usize {
-        self.count(|e| matches!(e, TraceEvent::RemeasureScheduled { .. }))
-    }
-
-    /// Number of failed re-measurements recorded.
-    pub fn remeasure_failed_count(&self) -> usize {
-        self.count(|e| matches!(e, TraceEvent::RemeasureFailed { .. }))
-    }
-
-    /// Number of AP degradations recorded.
-    pub fn degraded_count(&self) -> usize {
-        self.count(|e| matches!(e, TraceEvent::ApDegraded { .. }))
-    }
-
-    /// Number of AP restorations recorded.
-    pub fn restored_count(&self) -> usize {
-        self.count(|e| matches!(e, TraceEvent::ApRestored { .. }))
-    }
-
-    /// Clears the log.
-    pub fn clear(&mut self) {
-        self.events.clear();
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn disabled_by_default() {
-        let mut t = Trace::new();
-        t.push(TraceEvent::Dropped {
-            node: 0,
-            t: 0.0,
-            cause: DropCause::Fault,
-        });
-        assert!(t.events().is_empty());
-    }
-
-    #[test]
-    fn records_when_enabled() {
-        let mut t = Trace::new();
-        t.enable();
-        t.push(TraceEvent::Transmit {
-            node: 1,
-            t: 0.5,
-            len: 80,
-            power: 0.01,
-        });
-        t.push(TraceEvent::Dropped {
-            node: 2,
-            t: 0.6,
-            cause: DropCause::Fault,
-        });
-        assert_eq!(t.events().len(), 2);
-        assert_eq!(t.transmit_count(), 1);
-        assert_eq!(t.drop_count(), 1);
-    }
-
-    #[test]
-    fn disable_keeps_history() {
-        let mut t = Trace::new();
-        t.enable();
-        t.push(TraceEvent::Render {
-            node: 0,
-            t: 0.0,
-            len: 10,
-        });
-        t.disable();
-        t.push(TraceEvent::Dropped {
-            node: 0,
-            t: 1.0,
-            cause: DropCause::Fault,
-        });
-        assert_eq!(t.events().len(), 1);
-        t.clear();
-        assert!(t.events().is_empty());
-    }
-
-    #[test]
-    fn mac_level_events_and_counters() {
-        let mut t = Trace::new();
-        t.enable();
-        t.push(TraceEvent::Enqueued {
-            client: 0,
-            id: 1,
-            t: 0.0,
-        });
-        t.push(TraceEvent::LeadElected { ap: 2, t: 0.1 });
-        t.push(TraceEvent::BatchSelected {
-            n_packets: 3,
-            t: 0.1,
-        });
-        t.push(TraceEvent::Acked {
-            client: 0,
-            id: 1,
-            t: 0.2,
-        });
-        t.push(TraceEvent::Retry {
-            client: 1,
-            id: 2,
-            attempt: 1,
-            t: 0.2,
-        });
-        t.push(TraceEvent::Dropped {
-            node: 1,
-            t: 0.3,
-            cause: DropCause::RetryLimit,
-        });
-        t.push(TraceEvent::ApDown { ap: 0, t: 0.4 });
-        t.push(TraceEvent::ApUp { ap: 0, t: 0.5 });
-        t.push(TraceEvent::Corrupted { node: 1, t: 0.6 });
-        t.push(TraceEvent::SyncMissed { slave: 2, t: 0.7 });
-        t.push(TraceEvent::CsiStale { age_s: 0.1, t: 0.7 });
-        t.push(TraceEvent::RemeasureScheduled {
-            at: 0.8,
-            attempt: 1,
-            t: 0.7,
-        });
-        t.push(TraceEvent::RemeasureFailed { attempt: 1, t: 0.8 });
-        t.push(TraceEvent::ApDegraded { ap: 2, t: 0.9 });
-        t.push(TraceEvent::ApRestored { ap: 2, t: 1.0 });
-        assert_eq!(t.sync_missed_count(), 1);
-        assert_eq!(t.remeasure_scheduled_count(), 1);
-        assert_eq!(t.remeasure_failed_count(), 1);
-        assert_eq!(t.degraded_count(), 1);
-        assert_eq!(t.restored_count(), 1);
-        assert_eq!(t.ack_count(), 1);
-        assert_eq!(t.retry_count(), 1);
-        assert_eq!(t.corrupt_count(), 1);
-        assert_eq!(t.drop_count_by(DropCause::RetryLimit), 1);
-        assert_eq!(t.drop_count_by(DropCause::Fault), 0);
-        assert_eq!(t.drop_count(), 1);
-    }
-}
+pub use jmb_obs::{
+    read_jsonl, DropCause, Event, EventKind, FilterSink, JsonLinesSink, RingBufferSink, Trace,
+    TraceQuery, TraceSink,
+};

@@ -24,7 +24,8 @@ use crate::metrics::{TimelineBin, TrafficMetrics};
 use jmb_core::error::JmbError;
 use jmb_core::mac::{JmbMac, MacConfig, MacPacket, PacketFate};
 use jmb_dsp::rng::JmbRng;
-use jmb_sim::{DropCause, Trace, TraceEvent};
+use jmb_obs::Registry;
+use jmb_sim::{DropCause, EventKind as TraceKind, Trace};
 use rand::Rng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -142,6 +143,11 @@ impl Ord for Event {
     }
 }
 
+/// Delivery-latency histogram buckets (upper bounds, seconds): 1 ms to
+/// 1 s in a 1-2-5 sequence — queueing latencies under load span exactly
+/// this range in the sweeps.
+const LATENCY_BUCKETS_S: &[f64] = &[1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1, 2e-1, 5e-1, 1.0];
+
 struct InFlight {
     batch: Vec<MacPacket>,
     acked: Vec<bool>,
@@ -167,6 +173,10 @@ pub struct TrafficSim<B: TransmitBackend> {
     phy_t: f64,
     /// Protocol/traffic event trace (enable before `run`).
     pub trace: Trace,
+    /// Run-level metrics registry: every counter [`TrafficMetrics`]
+    /// reports is accumulated here during the event loop and read out at
+    /// the end of [`TrafficSim::run`].
+    reg: Registry,
 }
 
 impl<B: TransmitBackend> TrafficSim<B> {
@@ -210,6 +220,8 @@ impl<B: TransmitBackend> TrafficSim<B> {
             })
             .collect();
         let backoff_rng = jmb_dsp::rng::derive_rng(cfg.seed, 0xB0_FF00);
+        let mut reg = Registry::new();
+        reg.register_hist("traffic_latency_s", LATENCY_BUCKETS_S);
         Ok(TrafficSim {
             active: vec![true; n_aps],
             home_ap,
@@ -222,6 +234,7 @@ impl<B: TransmitBackend> TrafficSim<B> {
             in_flight: None,
             phy_t: 0.0,
             trace: Trace::new(),
+            reg,
             cfg,
             backend,
         })
@@ -230,6 +243,12 @@ impl<B: TransmitBackend> TrafficSim<B> {
     /// Access to the PHY backend (fault injection, trace inspection).
     pub fn backend_mut(&mut self) -> &mut B {
         &mut self.backend
+    }
+
+    /// The run-level metrics registry (counters, airtime gauges, and the
+    /// delivery-latency histogram).
+    pub fn registry(&self) -> &Registry {
+        &self.reg
     }
 
     fn push_event(&mut self, t: f64, kind: EventKind) {
@@ -263,53 +282,44 @@ impl<B: TransmitBackend> TrafficSim<B> {
 
     /// Translates the backend's control-plane report into trace events and
     /// metrics counters, at sim time `now`.
-    fn record_control(
-        &mut self,
-        c: &crate::backend::ControlInfo,
-        now: f64,
-        m: &mut TrafficMetrics,
-    ) {
+    fn record_control(&mut self, c: &crate::backend::ControlInfo, now: f64) {
         if c.csi_stale {
-            m.csi_stale_events += 1;
-            self.trace.push(TraceEvent::CsiStale {
-                age_s: c.csi_age_s,
-                t: now,
-            });
+            self.reg.inc("traffic_csi_stale");
+            self.trace
+                .emit(now, TraceKind::CsiStale { age_s: c.csi_age_s });
         }
         for &(attempt, ok) in &c.remeasurements {
             if ok {
-                m.remeasure_ok += 1;
+                self.reg.inc("traffic_remeasure_ok");
+                self.trace.emit(now, TraceKind::RemeasureOk { attempt });
             } else {
-                m.remeasure_failed += 1;
-                self.trace
-                    .push(TraceEvent::RemeasureFailed { attempt, t: now });
+                self.reg.inc("traffic_remeasure_failed");
+                self.trace.emit(now, TraceKind::RemeasureFailed { attempt });
             }
         }
         if let Some((attempt, at)) = c.retry {
-            m.remeasure_scheduled += 1;
-            self.trace.push(TraceEvent::RemeasureScheduled {
-                at,
-                attempt,
-                t: now,
-            });
+            self.reg.inc("traffic_remeasure_scheduled");
+            self.trace
+                .emit(now, TraceKind::RemeasureScheduled { at, attempt });
         }
         for &slave in &c.missed_slaves {
-            m.sync_misses += 1;
-            self.trace.push(TraceEvent::SyncMissed { slave, t: now });
+            self.reg.inc("traffic_sync_misses");
+            self.trace.emit(now, TraceKind::SyncMissed { slave });
         }
         for &ap in &c.newly_degraded {
-            m.aps_degraded += 1;
-            self.trace.push(TraceEvent::ApDegraded { ap, t: now });
+            self.reg.inc("traffic_aps_degraded");
+            self.trace.emit(now, TraceKind::ApDegraded { ap });
         }
         for &ap in &c.newly_restored {
-            m.aps_restored += 1;
-            self.trace.push(TraceEvent::ApRestored { ap, t: now });
+            self.reg.inc("traffic_aps_restored");
+            self.trace.emit(now, TraceKind::ApRestored { ap });
         }
-        m.control_airtime_s += c.overhead_s;
+        self.reg
+            .gauge_add("traffic_control_airtime_s", c.overhead_s);
     }
 
     /// Starts a joint transmission if the medium is idle and work exists.
-    fn maybe_start_tx(&mut self, now: f64, m: &mut TrafficMetrics) {
+    fn maybe_start_tx(&mut self, now: f64) {
         if self.in_flight.is_some() || self.mac.queue_len() == 0 {
             return;
         }
@@ -318,8 +328,7 @@ impl<B: TransmitBackend> TrafficSim<B> {
             return;
         }
         if let Some(lead) = self.mac.next_lead() {
-            self.trace
-                .push(TraceEvent::LeadElected { ap: lead, t: now });
+            self.trace.emit(now, TraceKind::LeadElected { ap: lead });
         }
         let mut batch = self.mac.select_batch();
         if batch.is_empty() {
@@ -332,10 +341,12 @@ impl<B: TransmitBackend> TrafficSim<B> {
         if batch.is_empty() {
             return;
         }
-        self.trace.push(TraceEvent::BatchSelected {
-            n_packets: batch.len(),
-            t: now,
-        });
+        self.trace.emit(
+            now,
+            TraceKind::BatchSelected {
+                n_packets: batch.len(),
+            },
+        );
         let cw = self.mac.contention_window(batch.len());
         let backoff_s = self.backoff_rng.gen_range(0..cw) as f64 * self.cfg.slot_s;
         let t_start = now + backoff_s + self.cfg.header_overhead_s;
@@ -358,7 +369,7 @@ impl<B: TransmitBackend> TrafficSim<B> {
                 mcs_index: 0,
                 control: Default::default(),
             });
-        self.record_control(&report.control, now, m);
+        self.record_control(&report.control, now);
         let airtime_s =
             self.cfg.header_overhead_s + backoff_s + report.airtime_s + report.control.overhead_s;
         let t_done = now + airtime_s;
@@ -373,11 +384,11 @@ impl<B: TransmitBackend> TrafficSim<B> {
 
     /// Runs the simulation to completion and returns the metrics.
     pub fn run(&mut self) -> TrafficMetrics {
+        let _span = jmb_obs::span("traffic_event_loop");
         let n_clients = self.cfg.loads.len();
         let mut m = TrafficMetrics {
             duration_s: self.cfg.duration_s,
             offered_bps: self.cfg.loads.iter().map(|l| l.offered_bps()).sum(),
-            per_client_bits: vec![0.0; n_clients],
             ..Default::default()
         };
         let hard_end = self.cfg.duration_s + self.cfg.drain_timeout_s;
@@ -413,8 +424,8 @@ impl<B: TransmitBackend> TrafficSim<B> {
                     let (_, size) = pending[client].take().expect("staged arrival");
                     let id = self.mac.enqueue(client, vec![0u8; size]);
                     self.meta.insert(id, (now, size));
-                    m.generated += 1;
-                    self.trace.push(TraceEvent::Enqueued { client, id, t: now });
+                    self.reg.inc("traffic_generated");
+                    self.trace.emit(now, TraceKind::Enqueued { client, id });
                     let (t_next, s_next) = self.arrivals[client].next_arrival();
                     if t_next < self.cfg.duration_s {
                         pending[client] = Some((t_next, s_next));
@@ -423,18 +434,18 @@ impl<B: TransmitBackend> TrafficSim<B> {
                 }
                 EventKind::ApDown { ap } => {
                     self.active[ap] = false;
-                    self.trace.push(TraceEvent::ApDown { ap, t: now });
+                    self.trace.emit(now, TraceKind::ApDown { ap });
                     self.apply_liveness();
                 }
                 EventKind::ApUp { ap } => {
                     self.active[ap] = true;
-                    self.trace.push(TraceEvent::ApUp { ap, t: now });
+                    self.trace.emit(now, TraceKind::ApUp { ap });
                     self.apply_liveness();
                 }
                 EventKind::TxDone => {
                     let inf = self.in_flight.take().expect("tx completion without tx");
-                    m.transmissions += 1;
-                    m.airtime_s += inf.airtime_s;
+                    self.reg.inc("traffic_transmissions");
+                    self.reg.gauge_add("traffic_airtime_s", inf.airtime_s);
                     let fates = self
                         .mac
                         .complete_batch(inf.batch, &inf.acked, inf.airtime_s);
@@ -443,10 +454,12 @@ impl<B: TransmitBackend> TrafficSim<B> {
                             PacketFate::Acked { dest, id } => {
                                 let (t_in, size) =
                                     self.meta.remove(&id).expect("acked unknown packet");
-                                m.delivered += 1;
+                                self.reg.inc("traffic_delivered");
+                                self.reg.observe("traffic_latency_s", now - t_in);
                                 m.latencies_s.push(now - t_in);
                                 let bits = 8.0 * size as f64;
-                                m.per_client_bits[dest] += bits;
+                                self.reg
+                                    .gauge_add_at("traffic_client_bits", dest as u32, bits);
                                 record_timeline(
                                     &mut m.timeline,
                                     self.cfg.timeline_bin_s,
@@ -454,40 +467,41 @@ impl<B: TransmitBackend> TrafficSim<B> {
                                     bits,
                                     self.mac.queue_len(),
                                 );
-                                self.trace.push(TraceEvent::Acked {
-                                    client: dest,
-                                    id,
-                                    t: now,
-                                });
+                                self.trace.emit(now, TraceKind::Acked { client: dest, id });
                             }
                             PacketFate::Requeued { dest, id, attempts } => {
-                                m.retries += 1;
-                                self.trace.push(TraceEvent::Retry {
-                                    client: dest,
-                                    id,
-                                    attempt: attempts,
-                                    t: now,
-                                });
+                                self.reg.inc("traffic_retries");
+                                self.trace.emit(
+                                    now,
+                                    TraceKind::Retry {
+                                        client: dest,
+                                        id,
+                                        attempt: attempts,
+                                    },
+                                );
                             }
                             PacketFate::Dropped { dest, id } => {
                                 self.meta.remove(&id);
-                                m.dropped += 1;
-                                self.trace.push(TraceEvent::Dropped {
-                                    node: dest,
-                                    t: now,
-                                    cause: DropCause::RetryLimit,
-                                });
+                                self.reg.inc("traffic_dropped");
+                                self.trace.emit(
+                                    now,
+                                    TraceKind::Dropped {
+                                        node: dest,
+                                        cause: DropCause::RetryLimit,
+                                    },
+                                );
                             }
                         }
                     }
                 }
             }
-            self.maybe_start_tx(now, &mut m);
+            self.maybe_start_tx(now);
         }
 
         m.queued_at_end = self.mac.queue_len() as u64
             + self.in_flight.as_ref().map_or(0, |i| i.batch.len()) as u64;
         m.elapsed_s = now.max(self.cfg.duration_s);
+        m.fill_from_registry(&self.reg, n_clients);
         m
     }
 }
@@ -650,18 +664,16 @@ mod tests {
             .trace
             .events()
             .iter()
-            .any(|e| matches!(e, TraceEvent::ApDown { ap: 0, .. })));
+            .any(|e| matches!(e.kind, TraceKind::ApDown { ap: 0 })));
         assert!(sim
             .trace
             .events()
             .iter()
-            .any(|e| matches!(e, TraceEvent::ApUp { ap: 0, .. })));
+            .any(|e| matches!(e.kind, TraceKind::ApUp { ap: 0 })));
         // During the outage no lead election picks AP 0.
-        for e in sim.trace.events() {
-            if let TraceEvent::LeadElected { ap, t } = e {
-                if *t > 0.3 && *t < 0.7 {
-                    assert_ne!(*ap, 0, "dead AP elected lead at t={t}");
-                }
+        for e in sim.trace.query().between(0.3, 0.7).events() {
+            if let TraceKind::LeadElected { ap } = e.kind {
+                assert_ne!(ap, 0, "dead AP elected lead at t={}", e.t);
             }
         }
     }

@@ -28,7 +28,10 @@
 //!   the experiment harness that regenerates every figure of the paper;
 //! * [`traffic`] — the discrete-event traffic subsystem: per-client offered
 //!   load, queueing and latency through the shared downlink queue, and AP
-//!   failover, over either PHY fidelity.
+//!   failover, over either PHY fidelity;
+//! * [`obs`] — observability: the structured trace pipeline (events, sinks,
+//!   the `TraceQuery` replay/assertion API), the metrics registry, and
+//!   wall-clock spans. Also re-exported through [`sim`].
 //!
 //! ## Quickstart
 //!
@@ -60,6 +63,7 @@
 pub use jmb_channel as channel;
 pub use jmb_core as core;
 pub use jmb_dsp as dsp;
+pub use jmb_obs as obs;
 pub use jmb_phy as phy;
 pub use jmb_sim as sim;
 pub use jmb_traffic as traffic;

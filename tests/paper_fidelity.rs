@@ -1,0 +1,156 @@
+//! Paper-fidelity regression suite: quick-mode statistical acceptance
+//! bands against the headline claims of "JMB: scaling wireless capacity
+//! with user demands" (SIGCOMM 2012).
+//!
+//! Each test cites the paper section/figure it checks and asserts a
+//! *band*, not an exact value: quick-mode sweeps are small, so the bands
+//! are wide enough for sampling noise yet tight enough that a broken
+//! pipeline (lost array gain, phase-sync regression, scaling collapse)
+//! fails loudly.
+//!
+//! The master seed comes from `JMB_SEED` (default 1); CI runs the suite on
+//! several seeds to guard against a band that only holds on one draw.
+
+use jmb::channel::SnrBand;
+use jmb::core::experiment::{
+    aggregate_scaling, misalignment_samples, throughput_scaling, SweepConfig,
+};
+use jmb::core::fastnet::{FastConfig, FastNet};
+
+/// Master seed: `JMB_SEED` env var, default 1.
+fn master_seed() -> u64 {
+    std::env::var("JMB_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// §11.4 / Fig. 9: "JMB's throughput increases linearly with the number of
+/// transmitting APs." Quick-mode check: per-AP throughput (total / n) at
+/// 4, 6, and 8 APs stays within a band of the 2-AP per-AP throughput, so
+/// the scaling curve is a line through the origin within tolerance, not a
+/// saturating or collapsing one.
+#[test]
+fn fig9_throughput_scales_linearly_in_aps() {
+    let counts = [2usize, 4, 6, 8];
+    let sweep = SweepConfig {
+        n_topologies: 4,
+        seed: master_seed(),
+        ..Default::default()
+    };
+    let runs = throughput_scaling(&[SnrBand::High], &counts, &sweep, true);
+    let agg = aggregate_scaling(&runs);
+    assert_eq!(agg.len(), counts.len());
+    let per_ap_ref = agg[0].jmb_mean / agg[0].n_aps as f64;
+    assert!(per_ap_ref > 0.0, "Fig. 9: 2-AP throughput vanished");
+    for p in &agg[1..] {
+        let per_ap = p.jmb_mean / p.n_aps as f64;
+        let ratio = per_ap / per_ap_ref;
+        assert!(
+            (0.5..=1.5).contains(&ratio),
+            "Fig. 9 (§11.4): per-AP throughput at {} APs is {:.2}× the 2-AP \
+             value ({:.1} vs {:.1} Mb/s per AP) — scaling is no longer linear \
+             within the acceptance band",
+            p.n_aps,
+            ratio,
+            per_ap / 1e6,
+            per_ap_ref / 1e6
+        );
+    }
+    // And the totals must actually grow: 8 APs beat 2 APs by at least 2×.
+    assert!(
+        agg[3].jmb_mean > 2.0 * agg[0].jmb_mean,
+        "Fig. 9 (§11.4): total throughput failed to grow with APs \
+         ({:.1} Mb/s at 8 APs vs {:.1} Mb/s at 2)",
+        agg[3].jmb_mean / 1e6,
+        agg[0].jmb_mean / 1e6
+    );
+}
+
+/// §11.2 / Fig. 7: the phase misalignment JMB achieves is small — paper
+/// measures a median of 0.017 rad and a 95th percentile of 0.05 rad.
+/// Quick-mode band: median within 4× of the paper's median and the 95th
+/// percentile under 3× the paper's value.
+#[test]
+fn fig7_misalignment_matches_paper_band() {
+    let samples = misalignment_samples(4, 15, master_seed()).expect("probe");
+    assert!(!samples.is_empty());
+    let mut sorted = samples.clone();
+    sorted.sort_by(f64::total_cmp);
+    let median = sorted[sorted.len() / 2];
+    let p95 = sorted[(sorted.len() - 1) * 95 / 100];
+    assert!(
+        median <= 4.0 * 0.017,
+        "Fig. 7 (§11.2): median misalignment {median:.4} rad is outside the \
+         quick-mode band (paper: 0.017 rad)"
+    );
+    assert!(
+        p95 <= 3.0 * 0.05,
+        "Fig. 7 (§11.2): 95th-pct misalignment {p95:.4} rad is outside the \
+         quick-mode band (paper: 0.05 rad)"
+    );
+}
+
+/// §11.3 / Fig. 11: joint (diversity) transmission from N phase-synced APs
+/// beams coherently at one client, so its SNR must sit in a window above
+/// the single-designated-AP 802.11 baseline: positive gain, and no more
+/// than the ideal coherent array gain `20·log10(N)` dB plus slack for the
+/// topology draw (per-AP link strengths differ).
+#[test]
+fn fig11_joint_snr_within_array_gain_window_of_baseline() {
+    let n_aps = 4usize;
+    let cfg = FastConfig::default_with(n_aps, 1, vec![25.0], master_seed());
+    let mut net = FastNet::new(cfg).expect("fastnet");
+    net.run_measurement().expect("measurement");
+    let baseline = mean(&net.baseline_snr_db(0));
+    let joint = mean(&net.diversity_snr_db(0).expect("diversity probe"));
+    let gain_db = joint - baseline;
+    let ideal_db = 20.0 * (n_aps as f64).log10(); // ≈ 12 dB for N = 4
+    assert!(
+        gain_db > 1.0,
+        "Fig. 11 (§11.3): joint SNR {joint:.1} dB shows no array gain over \
+         the single-AP baseline {baseline:.1} dB"
+    );
+    assert!(
+        gain_db <= ideal_db + 6.0,
+        "Fig. 11 (§11.3): array gain {gain_db:.1} dB exceeds the coherent \
+         limit {ideal_db:.1} dB (+6 dB slack) — the baseline or the \
+         combiner is miscalibrated"
+    );
+}
+
+/// §8: JMB's distributed phase synchronisation keeps every slave's error
+/// small; the system's own error budget (the `FastNet` default under which
+/// a desynced slave is excluded) is 0.35 rad. Across a 10-run seed sweep,
+/// each run's *median* error and the sweep's pooled 95th percentile must
+/// stay inside that budget (single tail samples may spike on an unlucky
+/// noise draw — the budget is a statistical envelope, not a hard max).
+#[test]
+fn phase_sync_error_stays_inside_budget_across_seed_sweep() {
+    let base = master_seed();
+    let mut pooled = Vec::new();
+    for i in 0..10u64 {
+        let seed = base.wrapping_add(1000 * i);
+        let samples = misalignment_samples(1, 10, seed).expect("probe");
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        assert!(
+            median < 0.35,
+            "§8: run with seed {seed} has median phase error {median:.4} rad — \
+             outside the 0.35 rad sync budget"
+        );
+        pooled.extend(samples);
+    }
+    pooled.sort_by(f64::total_cmp);
+    let p95 = pooled[(pooled.len() - 1) * 95 / 100];
+    assert!(
+        p95 < 0.35,
+        "§8: pooled 95th-pct phase error {p95:.4} rad over the 10-run sweep — \
+         outside the 0.35 rad sync budget"
+    );
+}

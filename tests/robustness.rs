@@ -6,7 +6,7 @@
 
 use jmb::core::fastnet::FastConfig;
 use jmb::prelude::*;
-use jmb::sim::{FaultConfig, FaultSchedule, TraceEvent};
+use jmb::sim::{EventKind, FaultConfig, FaultSchedule};
 use jmb::traffic::TrafficMetrics;
 
 /// 4 APs / 4 clients at saturating load (2500 pps × 1500 B per client)
@@ -50,8 +50,8 @@ fn lost_measurement_triggers_backoff_remeasure() {
         .trace
         .events()
         .iter()
-        .filter_map(|e| match e {
-            TraceEvent::RemeasureFailed { attempt, .. } => Some(*attempt),
+        .filter_map(|e| match e.kind {
+            EventKind::RemeasureFailed { attempt } => Some(attempt),
             _ => None,
         })
         .collect();
@@ -63,8 +63,8 @@ fn lost_measurement_triggers_backoff_remeasure() {
         .trace
         .events()
         .iter()
-        .filter_map(|e| match e {
-            TraceEvent::RemeasureScheduled { at, t, .. } => Some(at - t),
+        .filter_map(|e| match e.kind {
+            EventKind::RemeasureScheduled { at, .. } => Some(at - e.t),
             _ => None,
         })
         .collect();
@@ -99,10 +99,12 @@ fn measurement_storm_passes_and_remeasure_recovers() {
     assert!(m.remeasure_ok >= 1, "recoveries: {}", m.remeasure_ok);
     assert!(m.delivered > 0);
     // The failure happens before the recovery.
-    let t_fail = sim.trace.events().iter().find_map(|e| match e {
-        TraceEvent::RemeasureFailed { t, .. } => Some(*t),
-        _ => None,
-    });
+    let t_fail = sim
+        .trace
+        .query()
+        .kind("RemeasureFailed")
+        .first()
+        .map(|e| e.t);
     assert!(t_fail.is_some_and(|t| t < 0.12), "fail time {t_fail:?}");
 }
 
@@ -150,14 +152,20 @@ fn sync_storm_degrades_slave_then_restores_it() {
     assert!(m.delivered > 0, "storm must not stall traffic");
     assert!(m.aps_degraded >= 1, "degraded: {}", m.aps_degraded);
     assert!(m.aps_restored >= 1, "restored: {}", m.aps_restored);
-    let t_degraded = sim.trace.events().iter().find_map(|e| match e {
-        TraceEvent::ApDegraded { ap: 1, t } => Some(*t),
-        _ => None,
-    });
-    let t_restored = sim.trace.events().iter().find_map(|e| match e {
-        TraceEvent::ApRestored { ap: 1, t } => Some(*t),
-        _ => None,
-    });
+    let t_degraded = sim
+        .trace
+        .query()
+        .kind("ApDegraded")
+        .ap(1)
+        .first()
+        .map(|e| e.t);
+    let t_restored = sim
+        .trace
+        .query()
+        .kind("ApRestored")
+        .ap(1)
+        .first()
+        .map(|e| e.t);
     let (td, tr) = (t_degraded.unwrap(), t_restored.unwrap());
     assert!(td < tr, "degraded at {td}, restored at {tr}");
     assert!(td >= 0.05, "degradation inside the storm window: {td}");

@@ -75,11 +75,16 @@ fn lead_failover_degrades_but_does_not_stall() {
         .sum();
     assert!(in_window > 0.0, "queue stalled during the outage");
     // And the dead AP is never elected lead while down.
-    for e in sim.trace.events() {
-        if let jmb::sim::TraceEvent::LeadElected { ap, t } = e {
-            if *t > 0.07 && *t < 0.14 {
-                assert_ne!(*ap, 0, "dead AP elected lead at t={t}");
-            }
+    sim.trace.query().assert_monotone_time();
+    for e in sim
+        .trace
+        .query()
+        .kind("LeadElected")
+        .between(0.07, 0.14)
+        .events()
+    {
+        if let jmb::sim::EventKind::LeadElected { ap } = e.kind {
+            assert_ne!(ap, 0, "dead AP elected lead at t={}", e.t);
         }
     }
 }
