@@ -249,6 +249,7 @@ impl FastNet {
                 let mean_db = {
                     let link = medium
                         .link(a, c)
+                        // jmb-allow(no-panic-hot-path): constructor-local — the loop above installed a link for every (ap, client) pair of this very medium
                         .expect("invariant: every (ap, client) link was installed above");
                     let acc: f64 = occupied_list
                         .iter()
@@ -367,6 +368,7 @@ impl FastNet {
     /// Advances time (oscillators drift; call [`FastNet::evolve_fading`]
     /// separately to age the channels).
     pub fn advance(&mut self, dt: f64) {
+        // jmb-allow(no-panic-hot-path): a negative dt is a harness programming error, not a runtime condition — time only flows forward in every caller
         assert!(dt >= 0.0, "cannot rewind simulation time (dt = {dt})");
         self.now += dt;
     }
@@ -622,6 +624,7 @@ impl FastNet {
                     }
                 }
                 eff.mul_into(w, &mut g)
+                    // jmb-allow(no-panic-hot-path): eff (nb x n_tx), w (n_tx x nb), g (nb x nb) are sized from the same dims a few lines up; mul_into only errors on shape mismatch
                     .expect("invariant: eff/w/g allocated with matching dims just above");
                 for j in 0..n_clients {
                     sig[j * n_k + k_idx] += g[(j, j)].norm_sqr();
@@ -1034,6 +1037,7 @@ impl FastNet {
                     }
                 }
                 eff.mul_into(w, &mut g)
+                    // jmb-allow(no-panic-hot-path): eff (nb x n_tx), w (n_tx x nb), g (nb x nb) are sized from the same dims a few lines up; mul_into only errors on shape mismatch
                     .expect("invariant: eff/w/g allocated with matching dims just above");
                 for r in 0..nb {
                     sig[r * n_k + k_idx] += g[(r, r)].norm_sqr();

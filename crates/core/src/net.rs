@@ -255,6 +255,7 @@ impl JmbNetwork {
     /// Advances time without any transmissions (e.g. to let oscillators
     /// drift between the measurement and the data phases).
     pub fn advance(&mut self, dt: f64) {
+        // jmb-allow(no-panic-hot-path): a negative dt is a harness programming error; simulated time only flows forward
         assert!(dt >= 0.0, "cannot rewind time");
         self.now += dt;
         self.medium.expire(self.now - 0.05);

@@ -229,15 +229,18 @@ impl Precoder {
     ///
     /// Panics if `x.len() != n_streams`.
     pub fn apply(&self, k_idx: usize, x: &[Complex64]) -> Vec<Complex64> {
+        // jmb-allow(no-panic-hot-path): documented precondition (# Panics) — stream count is part of the API contract
         assert_eq!(x.len(), self.n_streams, "stream vector length");
         self.weights[k_idx]
             .mul_vec(x)
+            // jmb-allow(no-panic-hot-path): weights[k] is n_tx x n_streams by construction and x.len() was just asserted — mul_vec cannot fail
             .expect("dimensions fixed at construction")
     }
 
     /// The effective channel `H(k)·W(k)` a set of clients would see.
     pub fn effective_channel(&self, k_idx: usize, h: &CMat) -> CMat {
         h.mul_mat(&self.weights[k_idx])
+            // jmb-allow(no-panic-hot-path): caller contract — h spans the same antennas that built this precoder; mul_mat only errors on shape mismatch
             .expect("dimensions fixed at construction")
     }
 

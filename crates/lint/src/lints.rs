@@ -1,0 +1,716 @@
+//! The lint registry: every repo invariant `jmb-lint` enforces.
+//!
+//! Each lint is a pure function from lexed sources to diagnostics. The
+//! catalogue ([`LINTS`]) is the single source of truth for names,
+//! default severities, and one-line descriptions (`--list` prints it;
+//! DESIGN.md §3.10 documents the rationale for each entry).
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Catalogue entry for one lint.
+pub struct LintInfo {
+    /// Stable kebab-case name (used in `jmb-allow(...)`).
+    pub name: &'static str,
+    /// Default severity before any `--deny` promotion.
+    pub severity: Severity,
+    /// One-line description for `--list`.
+    pub description: &'static str,
+}
+
+/// The full catalogue, in evaluation order.
+pub const LINTS: &[LintInfo] = &[
+    LintInfo {
+        name: "no-panic-hot-path",
+        severity: Severity::Deny,
+        description: "forbid unwrap/expect/panic!/unreachable!/todo!/unimplemented!/assert! in \
+                      non-test hot-path code (fastnet, net, precoder, mac, csi, jmb-sim, \
+                      jmb-traffic, phy decode chain); steer toward JmbError",
+    },
+    LintInfo {
+        name: "no-wallclock-in-sim",
+        severity: Severity::Deny,
+        description: "forbid std::time::{SystemTime, Instant} and thread::sleep outside \
+                      jmb-obs::span and crates/bench — simulated time must come from the \
+                      event loop, never the host clock",
+    },
+    LintInfo {
+        name: "seeded-rng-only",
+        severity: Severity::Deny,
+        description: "forbid rand::thread_rng/from_entropy/OsRng everywhere (tests included): \
+                      all randomness flows from salted, seeded constructors",
+    },
+    LintInfo {
+        name: "safety-comment",
+        severity: Severity::Deny,
+        description: "every `unsafe` block or fn must carry a `// SAFETY:` comment \
+                      explaining why the contract holds",
+    },
+    LintInfo {
+        name: "trace-taxonomy-complete",
+        severity: Severity::Deny,
+        description: "every EventKind variant must have an emission site outside jmb-obs \
+                      and appear in at least one test",
+    },
+    LintInfo {
+        name: "doc-public-items",
+        severity: Severity::Deny,
+        description: "every public item in jmb-core and jmb-obs must have a doc comment",
+    },
+    LintInfo {
+        name: "allow-syntax",
+        severity: Severity::Deny,
+        description: "jmb-allow comments must name a known lint and give a non-empty reason",
+    },
+    LintInfo {
+        name: "unused-allow",
+        severity: Severity::Warn,
+        description: "a jmb-allow comment that suppressed nothing is stale and must be removed",
+    },
+];
+
+/// Default severity for `name` (the catalogue is authoritative).
+pub fn severity_of(name: &str) -> Severity {
+    LINTS
+        .iter()
+        .find(|l| l.name == name)
+        .map(|l| l.severity)
+        .unwrap_or(Severity::Deny)
+}
+
+/// Is `name` a known lint (valid in `jmb-allow(...)`)?
+pub fn is_known_lint(name: &str) -> bool {
+    LINTS.iter().any(|l| l.name == name)
+}
+
+/// Files subject to `no-panic-hot-path`: the §4/§9 hot paths named in the
+/// roadmap, all of `jmb-sim` and `jmb-traffic`, and the jmb-phy decode
+/// chain (everything `frame::decode` touches).
+fn is_hot_path(rel: &str) -> bool {
+    const CORE_HOT: &[&str] = &[
+        "crates/core/src/fastnet.rs",
+        "crates/core/src/net.rs",
+        "crates/core/src/precoder.rs",
+        "crates/core/src/mac.rs",
+        "crates/core/src/csi.rs",
+    ];
+    const PHY_DECODE: &[&str] = &[
+        "crates/phy/src/frame.rs",
+        "crates/phy/src/sync.rs",
+        "crates/phy/src/ofdm.rs",
+        "crates/phy/src/chanest.rs",
+        "crates/phy/src/modulation.rs",
+        "crates/phy/src/interleaver.rs",
+        "crates/phy/src/convcode.rs",
+        "crates/phy/src/viterbi.rs",
+        "crates/phy/src/scrambler.rs",
+        "crates/phy/src/crc.rs",
+    ];
+    CORE_HOT.contains(&rel)
+        || PHY_DECODE.contains(&rel)
+        || rel.starts_with("crates/sim/src/")
+        || rel.starts_with("crates/traffic/src/")
+}
+
+/// `no-panic-hot-path`: ban panicking constructs in non-test hot-path
+/// code. `debug_assert*` is exempt (compiled out of release sweeps).
+pub fn no_panic_hot_path(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !is_hot_path(&file.rel) || file.is_test_file() {
+        return;
+    }
+    const PANIC_MACROS: &[&str] = &[
+        "panic",
+        "unreachable",
+        "todo",
+        "unimplemented",
+        "assert",
+        "assert_eq",
+        "assert_ne",
+    ];
+    for (i, tok) in file.tokens.iter().enumerate() {
+        if file.in_test[i] || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = file.text(tok);
+        let next_is = |ch: u8| {
+            file.next_significant(i)
+                .is_some_and(|j| file.tokens[j].is_punct(ch))
+        };
+        if (name == "unwrap" || name == "expect")
+            && next_is(b'(')
+            && file
+                .prev_significant(i)
+                .is_some_and(|j| file.tokens[j].is_punct(b'.'))
+        {
+            out.push(Diagnostic {
+                lint: "no-panic-hot-path",
+                severity: severity_of("no-panic-hot-path"),
+                file: file.rel.clone(),
+                line: tok.line,
+                col: tok.col,
+                message: format!("`.{name}()` can panic in hot-path code"),
+                suggestion: "propagate a typed `JmbError` (`ok_or`/`map_err` + `?`), or, if \
+                             the call is provably infallible, annotate the line with \
+                             `// jmb-allow(no-panic-hot-path): <the invariant>`"
+                    .into(),
+            });
+        } else if PANIC_MACROS.contains(&name) && next_is(b'!') {
+            out.push(Diagnostic {
+                lint: "no-panic-hot-path",
+                severity: severity_of("no-panic-hot-path"),
+                file: file.rel.clone(),
+                line: tok.line,
+                col: tok.col,
+                message: format!("`{name}!` panics in hot-path code"),
+                suggestion: "return `JmbError::BadConfig`/a typed error for caller mistakes, \
+                             use `debug_assert!` for internal invariants checked in CI, or \
+                             annotate with `// jmb-allow(no-panic-hot-path): <the invariant>`"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// `no-wallclock-in-sim`: the host clock must never influence simulated
+/// behaviour. Only `jmb-obs::span` (explicitly wall-clock, kept out of
+/// the event stream) and the `crates/bench` timing harnesses may read it.
+/// Test code is exempt: a test that times itself cannot perturb results.
+pub fn no_wallclock_in_sim(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.rel == "crates/obs/src/span.rs" || file.rel.starts_with("crates/bench/") {
+        return;
+    }
+    let test_file = file.is_test_file();
+    for (i, tok) in file.tokens.iter().enumerate() {
+        if test_file || file.in_test[i] || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = file.text(tok);
+        let flagged = match name {
+            "SystemTime" | "Instant" => true,
+            "sleep" => {
+                // Only `thread::sleep` — a local fn named `sleep` would
+                // need the `thread ::` path prefix to be flagged.
+                let p1 = file.prev_significant(i);
+                let p0 = p1.and_then(|j| file.prev_significant(j));
+                let p_1 = p0.and_then(|j| file.prev_significant(j));
+                matches!((p_1, p0, p1), (Some(a), Some(b), Some(c))
+                    if file.tokens[a].is_ident(&file.src, "thread")
+                        && file.tokens[b].is_punct(b':')
+                        && file.tokens[c].is_punct(b':'))
+            }
+            _ => false,
+        };
+        if flagged {
+            out.push(Diagnostic {
+                lint: "no-wallclock-in-sim",
+                severity: severity_of("no-wallclock-in-sim"),
+                file: file.rel.clone(),
+                line: tok.line,
+                col: tok.col,
+                message: format!(
+                    "`{name}` reads the host clock — simulation results must not depend on \
+                     wall-clock time"
+                ),
+                suggestion: "drive time from the event loop (`advance`/simulated seconds); \
+                             for kernel timing use `jmb_obs::span`, which never enters the \
+                             event stream"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// `seeded-rng-only`: every random draw must come from a salted, seeded
+/// generator so runs replay byte-identically. Applies to tests too —
+/// flaky tests are how determinism regressions slip in.
+pub fn seeded_rng_only(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    const ENTROPY_SOURCES: &[&str] = &["thread_rng", "from_entropy", "OsRng"];
+    for tok in &file.tokens {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = file.text(tok);
+        if ENTROPY_SOURCES.contains(&name) {
+            out.push(Diagnostic {
+                lint: "seeded-rng-only",
+                severity: severity_of("seeded-rng-only"),
+                file: file.rel.clone(),
+                line: tok.line,
+                col: tok.col,
+                message: format!("`{name}` draws OS entropy — runs would no longer replay"),
+                suggestion: "construct the generator from the experiment seed via the salted \
+                             constructors (e.g. `SmallRng::seed_from_u64(salt(seed, …))`)"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// `safety-comment`: an `unsafe` block or fn must justify itself with a
+/// `// SAFETY:` comment immediately above or trailing on the same line.
+pub fn safety_comment(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (i, tok) in file.tokens.iter().enumerate() {
+        if !tok.is_ident(&file.src, "unsafe") {
+            continue;
+        }
+        // Comments directly above the `unsafe` token (walk back through
+        // a contiguous comment run).
+        let mut justified = (0..i)
+            .rev()
+            .take_while(|&j| matches!(file.tokens[j].kind, TokenKind::Comment { .. }))
+            .any(|j| file.text(&file.tokens[j]).contains("SAFETY:"));
+        // Or a trailing comment on the same source line.
+        justified |= file.tokens[i + 1..]
+            .iter()
+            .take_while(|t| t.line == tok.line)
+            .any(|t| {
+                matches!(t.kind, TokenKind::Comment { .. }) && t.text(&file.src).contains("SAFETY:")
+            });
+        if !justified {
+            out.push(Diagnostic {
+                lint: "safety-comment",
+                severity: severity_of("safety-comment"),
+                file: file.rel.clone(),
+                line: tok.line,
+                col: tok.col,
+                message: "`unsafe` without a `// SAFETY:` comment".into(),
+                suggestion: "state the specific contract being upheld (aliasing, bounds, \
+                             initialization, …) in a `// SAFETY:` comment directly above \
+                             the `unsafe` keyword"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// `doc-public-items`: every `pub` item at module level (or in an
+/// inherent impl) in `jmb-core` and `jmb-obs` needs a doc comment.
+/// `pub(crate)` and friends are not public API; trait-impl items inherit
+/// the trait's docs and are skipped.
+pub fn doc_public_items(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !(file.rel.starts_with("crates/core/src/") || file.rel.starts_with("crates/obs/src/")) {
+        return;
+    }
+    #[derive(Clone, Copy, PartialEq)]
+    enum Block {
+        Mod,
+        InherentImpl,
+        Other,
+    }
+    let mut stack: Vec<Block> = vec![Block::Mod]; // file root behaves like a module
+    let mut last_kw: Option<&str> = None;
+    let mut impl_saw_for = false;
+    const ITEM_KWS: &[&str] = &[
+        "fn", "struct", "enum", "trait", "type", "const", "static", "mod", "union", "async",
+        "unsafe", "extern",
+    ];
+    for (i, tok) in file.tokens.iter().enumerate() {
+        match tok.kind {
+            TokenKind::Punct(b'{') => {
+                let block = match last_kw {
+                    Some("mod") => Block::Mod,
+                    Some("impl") if !impl_saw_for => Block::InherentImpl,
+                    _ => Block::Other,
+                };
+                stack.push(block);
+                last_kw = None;
+                impl_saw_for = false;
+            }
+            TokenKind::Punct(b'}') => {
+                if stack.len() > 1 {
+                    stack.pop();
+                }
+                last_kw = None;
+            }
+            TokenKind::Punct(b';') | TokenKind::Punct(b'=') => last_kw = None,
+            TokenKind::Ident => {
+                let name = file.text(tok);
+                match name {
+                    "impl" => {
+                        last_kw = Some("impl");
+                        impl_saw_for = false;
+                    }
+                    "for" if last_kw == Some("impl") => impl_saw_for = true,
+                    "mod" if last_kw != Some("impl") => last_kw = Some("mod"),
+                    "fn" | "struct" | "enum" | "trait" | "match" | "if" | "while" | "loop"
+                    | "move"
+                        if last_kw != Some("impl") =>
+                    {
+                        last_kw = Some("");
+                    }
+                    "pub"
+                        if !file.in_test[i]
+                            && *stack.last().unwrap_or(&Block::Other) != Block::Other =>
+                    {
+                        check_pub_item(file, i, ITEM_KWS, out);
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Shared tail of `doc_public_items`: given the index of a `pub` token in
+/// item position, require a doc comment (or `#[doc…]` attribute) above it.
+fn check_pub_item(file: &SourceFile, pub_idx: usize, item_kws: &[&str], out: &mut Vec<Diagnostic>) {
+    let Some(next) = file.next_significant(pub_idx) else {
+        return;
+    };
+    // `pub(crate)` / `pub(super)` — restricted visibility, not public API.
+    if file.tokens[next].is_punct(b'(') {
+        return;
+    }
+    let item_kw = file.text(&file.tokens[next]);
+    if !item_kws.contains(&item_kw) {
+        return; // `pub use` re-exports and anything unrecognised
+    }
+    if item_kw == "mod" {
+        // `pub mod name;` (out-of-line): the module's documentation is the
+        // `//!` header of its own file, which rustc's `missing_docs`
+        // already attributes correctly — only inline `pub mod name { … }`
+        // needs a doc comment at the declaration.
+        let name = file.next_significant(next);
+        let after = name.and_then(|j| file.next_significant(j));
+        if after.is_some_and(|j| file.tokens[j].is_punct(b';')) {
+            return;
+        }
+    }
+    // Walk backwards over attributes and comments looking for a doc.
+    let mut j = pub_idx;
+    while let Some(prev) = j.checked_sub(1) {
+        match file.tokens[prev].kind {
+            TokenKind::Comment { doc: true, .. } => return, // documented
+            TokenKind::Comment { doc: false, .. } => j = prev,
+            TokenKind::Punct(b']') => {
+                // Skip the attribute `#[ … ]` backwards; `#[doc = …]` or
+                // `#[doc(hidden)]` counts as documentation.
+                let mut depth = 0i32;
+                let mut k = prev;
+                let mut has_doc_attr = false;
+                loop {
+                    match file.tokens[k].kind {
+                        TokenKind::Punct(b']') => depth += 1,
+                        TokenKind::Punct(b'[') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        TokenKind::Ident if file.text(&file.tokens[k]) == "doc" => {
+                            has_doc_attr = true;
+                        }
+                        _ => {}
+                    }
+                    let Some(k2) = k.checked_sub(1) else { break };
+                    k = k2;
+                }
+                if has_doc_attr {
+                    return;
+                }
+                // Step over the leading `#` of the attribute.
+                j = k.saturating_sub(1);
+                if !file.tokens.get(j).is_some_and(|t| t.is_punct(b'#')) {
+                    j = k;
+                }
+            }
+            _ => break,
+        }
+    }
+    let tok = &file.tokens[pub_idx];
+    out.push(Diagnostic {
+        lint: "doc-public-items",
+        severity: severity_of("doc-public-items"),
+        file: file.rel.clone(),
+        line: tok.line,
+        col: tok.col,
+        message: format!("public `{item_kw}` has no doc comment"),
+        suggestion: "add a `///` doc comment — state what the item does and, for fallible \
+                     APIs, when it errors"
+            .into(),
+    });
+}
+
+/// `trace-taxonomy-complete`: cross-file. Parse the `EventKind` enum out
+/// of `crates/obs/src/event.rs`, then require each variant to (a) be
+/// constructed at least once outside `jmb-obs` in non-test code, and
+/// (b) appear in at least one test (as an identifier or a string literal
+/// — `TraceQuery::kind` matches by name string).
+pub fn trace_taxonomy_complete(files: &[SourceFile], out: &mut Vec<Diagnostic>) {
+    const EVENT_RS: &str = "crates/obs/src/event.rs";
+    let Some(event_file) = files.iter().find(|f| f.rel == EVENT_RS) else {
+        return; // not linting the full workspace (e.g. a fixture subset)
+    };
+    let variants = parse_event_kind_variants(event_file);
+    for (variant, line, col) in &variants {
+        let emitted = files.iter().any(|f| {
+            !f.rel.starts_with("crates/obs/")
+                && !f.is_test_file()
+                && has_eventkind_ref(f, variant, false)
+        });
+        let tested = files.iter().any(|f| {
+            let whole_file = f.is_test_file();
+            f.tokens.iter().enumerate().any(|(i, t)| {
+                (whole_file || f.in_test[i])
+                    && match t.kind {
+                        TokenKind::Ident => f.text(t) == variant,
+                        TokenKind::StrLit => f.text(t).trim_matches('"') == variant,
+                        _ => false,
+                    }
+            })
+        });
+        if !emitted {
+            out.push(Diagnostic {
+                lint: "trace-taxonomy-complete",
+                severity: severity_of("trace-taxonomy-complete"),
+                file: EVENT_RS.into(),
+                line: *line,
+                col: *col,
+                message: format!(
+                    "`EventKind::{variant}` is never emitted outside jmb-obs — a taxonomy \
+                     entry nothing produces is dead vocabulary"
+                ),
+                suggestion: format!(
+                    "emit `EventKind::{variant}` from the subsystem that owns the condition, \
+                     or delete the variant"
+                ),
+            });
+        }
+        if !tested {
+            out.push(Diagnostic {
+                lint: "trace-taxonomy-complete",
+                severity: severity_of("trace-taxonomy-complete"),
+                file: EVENT_RS.into(),
+                line: *line,
+                col: *col,
+                message: format!(
+                    "`EventKind::{variant}` appears in no test — its emission conditions are \
+                     unverified"
+                ),
+                suggestion: format!(
+                    "assert the variant in a trace-replay test (e.g. \
+                     `TraceQuery::kind(\"{variant}\")` with a count bound)"
+                ),
+            });
+        }
+    }
+}
+
+/// Extract `(name, line, col)` for each variant of `pub enum EventKind`.
+fn parse_event_kind_variants(file: &SourceFile) -> Vec<(String, u32, u32)> {
+    let toks = &file.tokens;
+    let mut variants = Vec::new();
+    // Find `enum EventKind {`.
+    let Some(open) = (0..toks.len()).find_map(|i| {
+        if toks[i].is_ident(&file.src, "enum")
+            && file
+                .next_significant(i)
+                .is_some_and(|j| toks[j].is_ident(&file.src, "EventKind"))
+        {
+            let j = file.next_significant(i)?;
+            let brace = file.next_significant(j)?;
+            toks[brace].is_punct(b'{').then_some(brace)
+        } else {
+            None
+        }
+    }) else {
+        return variants;
+    };
+    let mut depth = 1i32;
+    let mut expecting_variant = true;
+    let mut i = open + 1;
+    while i < toks.len() && depth > 0 {
+        match toks[i].kind {
+            TokenKind::Punct(b'{') | TokenKind::Punct(b'(') => {
+                depth += 1;
+                expecting_variant = false;
+            }
+            TokenKind::Punct(b'}') | TokenKind::Punct(b')') => {
+                depth -= 1;
+            }
+            TokenKind::Punct(b',') if depth == 1 => expecting_variant = true,
+            TokenKind::Ident if depth == 1 && expecting_variant => {
+                let t = &toks[i];
+                variants.push((file.text(t).to_string(), t.line, t.col));
+                expecting_variant = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    variants
+}
+
+/// Does `file` reference `EventKind::<variant>`? Honours local renames
+/// (`use jmb_sim::EventKind as TraceKind;`). With `include_test` false,
+/// test-region tokens don't count.
+fn has_eventkind_ref(file: &SourceFile, variant: &str, include_test: bool) -> bool {
+    // Local names for the enum: `EventKind` plus any `EventKind as X`.
+    let mut names: Vec<&str> = vec!["EventKind"];
+    for (i, t) in file.tokens.iter().enumerate() {
+        if t.is_ident(&file.src, "EventKind") {
+            if let Some(j) = file.next_significant(i) {
+                if file.tokens[j].is_ident(&file.src, "as") {
+                    if let Some(k) = file.next_significant(j) {
+                        if file.tokens[k].kind == TokenKind::Ident {
+                            names.push(file.text(&file.tokens[k]));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    file.tokens.iter().enumerate().any(|(i, t)| {
+        if !include_test && file.in_test[i] {
+            return false;
+        }
+        if !t.is_ident(&file.src, variant) {
+            return false;
+        }
+        // Require an `EventKind ::` (or alias `::`) prefix.
+        let p1 = file.prev_significant(i);
+        let p0 = p1.and_then(|j| file.prev_significant(j));
+        let p_1 = p0.and_then(|j| file.prev_significant(j));
+        matches!((p_1, p0, p1), (Some(a), Some(b), Some(c))
+            if file.tokens[a].kind == TokenKind::Ident
+                && names.contains(&file.text(&file.tokens[a]))
+                && file.tokens[b].is_punct(b':')
+                && file.tokens[c].is_punct(b':'))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags_for(rel: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new(rel.into(), src.into());
+        let mut out = Vec::new();
+        no_panic_hot_path(&f, &mut out);
+        no_wallclock_in_sim(&f, &mut out);
+        seeded_rng_only(&f, &mut out);
+        safety_comment(&f, &mut out);
+        doc_public_items(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn hot_path_unwrap_flagged_only_in_hot_files() {
+        let src = "fn f(v: Vec<u8>) -> u8 { v.first().unwrap().clone() }";
+        assert_eq!(diags_for("crates/core/src/fastnet.rs", src).len(), 1);
+        assert_eq!(diags_for("crates/core/src/experiment.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn unwrap_in_test_mod_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f(v: Vec<u8>) { v.first().unwrap(); }\n}";
+        assert!(diags_for("crates/core/src/fastnet.rs", src).is_empty());
+    }
+
+    #[test]
+    fn debug_assert_is_exempt_but_assert_is_not() {
+        let src = "fn f(n: usize) { debug_assert_eq!(n, 1); assert_eq!(n, 1); }";
+        let d = diags_for("crates/sim/src/medium.rs", src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("assert_eq"));
+    }
+
+    #[test]
+    fn field_named_expect_is_not_a_call() {
+        // `expect` not preceded by `.` or not followed by `(` must not fire.
+        let src = "struct S { expect: u8 }\nfn f(s: S) -> u8 { s.expect }";
+        assert!(diags_for("crates/core/src/mac.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wallclock_flagged_outside_span_and_bench() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        assert_eq!(diags_for("crates/sim/src/medium.rs", src).len(), 1);
+        assert!(diags_for("crates/bench/src/bin/perf.rs", src).is_empty());
+        assert!(diags_for("crates/obs/src/span.rs", src).is_empty());
+    }
+
+    #[test]
+    fn thread_sleep_flagged_but_other_sleep_not() {
+        let src = "fn f() { std::thread::sleep(d); }";
+        assert_eq!(diags_for("crates/traffic/src/sim.rs", src).len(), 1);
+        let ok = "fn f(radio: &mut Radio) { radio.sleep(); }";
+        assert!(diags_for("crates/traffic/src/sim.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn entropy_rng_flagged_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f() { let mut r = rand::thread_rng(); }\n}";
+        assert_eq!(diags_for("crates/dsp/src/rng.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bad = "fn f(p: *const u8) -> u8 { unsafe { *p } }";
+        assert_eq!(diags_for("crates/dsp/src/fft.rs", bad).len(), 1);
+        let good = "fn f(p: *const u8) -> u8 {\n // SAFETY: p is valid for reads; caller contract\n unsafe { *p }\n}";
+        assert!(diags_for("crates/dsp/src/fft.rs", good).is_empty());
+        let trailing = "fn f(p: *const u8) -> u8 { unsafe { *p } // SAFETY: caller contract\n}";
+        assert!(diags_for("crates/dsp/src/fft.rs", trailing).is_empty());
+    }
+
+    #[test]
+    fn pub_item_without_doc_flagged_in_core_only() {
+        let src = "pub fn undocumented() {}";
+        assert_eq!(diags_for("crates/core/src/csi.rs", src).len(), 1);
+        assert!(diags_for("crates/phy/src/ofdm.rs", src).is_empty());
+        let documented = "/// Does the thing.\npub fn documented() {}";
+        assert!(diags_for("crates/core/src/csi.rs", documented).is_empty());
+        let derived = "/// Doc.\n#[derive(Clone)]\npub struct S;";
+        assert!(diags_for("crates/core/src/csi.rs", derived).is_empty());
+    }
+
+    #[test]
+    fn pub_crate_and_trait_impls_are_exempt() {
+        let src = "pub(crate) fn internal() {}\nimpl std::fmt::Display for S {\n    pub fn weird() {}\n    fn fmt(&self) {}\n}";
+        assert!(diags_for("crates/obs/src/event.rs", src).is_empty());
+    }
+
+    #[test]
+    fn inherent_impl_pub_fn_needs_doc() {
+        let src = "/// S.\npub struct S;\nimpl S {\n    pub fn no_doc(&self) {}\n}";
+        let d = diags_for("crates/obs/src/registry.rs", src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("fn"));
+    }
+
+    #[test]
+    fn taxonomy_detects_unemitted_and_untested_variants() {
+        let event = SourceFile::new(
+            "crates/obs/src/event.rs".into(),
+            "/// K.\npub enum EventKind {\n /// A.\n Used { n: usize },\n /// B.\n Orphan,\n}"
+                .into(),
+        );
+        let emitter = SourceFile::new(
+            "crates/sim/src/medium.rs".into(),
+            "fn f(t: &Trace) { t.record(EventKind::Used { n: 1 }); }".into(),
+        );
+        let test = SourceFile::new(
+            "tests/observability.rs".into(),
+            "fn check(q: Q) { q.kind(\"Used\").assert_count_between(1, 9); }".into(),
+        );
+        let mut out = Vec::new();
+        trace_taxonomy_complete(&[event, emitter, test], &mut out);
+        // `Used` is emitted and tested; `Orphan` is neither → 2 findings.
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|d| d.message.contains("Orphan")));
+    }
+
+    #[test]
+    fn taxonomy_variant_parser_handles_payloads() {
+        let event = SourceFile::new(
+            "crates/obs/src/event.rs".into(),
+            "pub enum EventKind {\n A { x: Vec<(usize, f64)> },\n B(usize),\n C,\n}".into(),
+        );
+        let v = parse_event_kind_variants(&event);
+        let names: Vec<&str> = v.iter().map(|(n, _, _)| n.as_str()).collect();
+        assert_eq!(names, ["A", "B", "C"]);
+    }
+}

@@ -1,0 +1,142 @@
+//! `jmb-lint` — run the repo-invariant lints over the workspace.
+//!
+//! ```text
+//! jmb-lint [--deny] [--format human|json] [--root <dir>] [--list]
+//! ```
+//!
+//! Exit status: 0 when no gating diagnostic remains, 1 otherwise, 2 on
+//! usage or I/O errors. `--deny` promotes warnings (e.g. `unused-allow`)
+//! to deny, which is how CI runs it.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use jmb_lint::{engine, lints, render_json};
+
+/// Print to stdout, treating a closed pipe (`jmb-lint --list | head`) as a
+/// clean early exit rather than a panic.
+fn out(line: std::fmt::Arguments<'_>) {
+    if writeln!(std::io::stdout(), "{line}").is_err() {
+        std::process::exit(0);
+    }
+}
+
+const USAGE: &str = "\
+jmb-lint: repo-invariant static analysis for the JMB workspace
+
+USAGE:
+    jmb-lint [OPTIONS]
+
+OPTIONS:
+    --deny             promote warnings to deny (CI mode); exit 1 on any finding
+    --format <fmt>     output format: human (default) | json
+    --root <dir>       workspace root (default: walk up from cwd to the
+                       directory whose Cargo.toml declares [workspace])
+    --list             print the lint catalogue and exit
+    -h, --help         this text
+
+Suppression: `// jmb-allow(lint-name): reason` on the offending line or the
+line above. The reason is mandatory; stale allows are reported.";
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut format = String::from("human");
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--format" => match args.next() {
+                Some(f) if f == "human" || f == "json" => format = f,
+                _ => return usage_error("--format takes `human` or `json`"),
+            },
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage_error("--root takes a directory"),
+            },
+            "--list" => {
+                for l in lints::LINTS {
+                    out(format_args!(
+                        "{:<24} {:<5} {}",
+                        l.name, l.severity, l.description
+                    ));
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                out(format_args!("{USAGE}"));
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root.map_or_else(find_workspace_root, Ok) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("jmb-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let files = match engine::load(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "jmb-lint: failed to read sources under {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut diags = engine::run(&files);
+    if deny {
+        engine::promote(&mut diags);
+    }
+
+    if format == "json" {
+        out(format_args!("{}", render_json(&diags)));
+    } else {
+        for d in &diags {
+            out(format_args!("{}", d.render_human()));
+        }
+        out(format_args!(
+            "jmb-lint: {} file(s) scanned, {} finding(s)",
+            files.len(),
+            diags.len()
+        ));
+    }
+
+    if engine::has_deny(&diags) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("jmb-lint: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Walk up from the current directory to the workspace root (the
+/// Cargo.toml that declares `[workspace]`).
+fn find_workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).map_err(|e| e.to_string())?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace root found above the current directory \
+                        (pass --root explicitly)"
+                .into());
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//@path crates/obs/src/registry.rs
+//! Fixture: `doc-public-items` — public API in jmb-core/jmb-obs needs docs.
+
+pub fn undocumented_fn() {}
+
+pub struct UndocumentedStruct;
+
+/// Documented — no finding.
+pub fn documented_fn() {}
+
+/// Documented struct.
+#[derive(Debug, Clone)]
+pub struct WithDerives;
+
+pub(crate) fn crate_visible_is_exempt() {}
+
+/// A documented type with an inherent impl.
+pub struct Holder(u8);
+
+impl Holder {
+    pub fn undocumented_method(&self) -> u8 {
+        self.0
+    }
+
+    /// Documented method — no finding.
+    pub fn documented_method(&self) -> u8 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Holder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+pub mod out_of_line_shim;
+
+/// Inline modules are items like any other.
+pub mod inline {
+    pub fn nested_undocumented() {}
+}

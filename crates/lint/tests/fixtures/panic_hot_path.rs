@@ -1,0 +1,57 @@
+//@path crates/core/src/fastnet.rs
+//! Fixture: every shape of `no-panic-hot-path` violation, plus the forms
+//! that must NOT fire (suppressed, test code, debug_assert, strings).
+
+fn bad_unwrap(v: Vec<u8>) -> u8 {
+    *v.first().unwrap()
+}
+
+fn bad_expect(v: Vec<u8>) -> u8 {
+    *v.first().expect("non-empty")
+}
+
+fn bad_macros(n: usize) {
+    assert!(n > 0, "positive");
+    assert_eq!(n, 1);
+    if n > 9 {
+        panic!("too many");
+    }
+    match n {
+        1 => {}
+        _ => unreachable!("only one"),
+    }
+}
+
+fn suppressed(v: Vec<u8>) -> u8 {
+    // jmb-allow(no-panic-hot-path): v is non-empty — the caller builds it with at least one element
+    *v.first().unwrap()
+}
+
+fn trailing_suppressed(v: Vec<u8>) -> u8 {
+    *v.first().unwrap() // jmb-allow(no-panic-hot-path): same invariant, trailing form
+}
+
+fn not_violations(n: usize, s: &str) -> bool {
+    debug_assert!(n > 0);
+    debug_assert_eq!(n, n);
+    // A comment saying unwrap() is fine, as is "a string .expect( call":
+    s.contains("unwrap()")
+}
+
+struct Carrier {
+    expect: u8,
+}
+
+fn field_access(c: Carrier) -> u8 {
+    c.expect
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v = vec![1u8];
+        assert_eq!(*v.first().unwrap(), 1);
+        v.get(9).expect("will panic, and that is fine in a test");
+    }
+}

@@ -1,0 +1,26 @@
+//@path crates/dsp/src/rng.rs
+//! Fixture: `seeded-rng-only` violations — OS entropy is forbidden even in
+//! test code, because flaky tests are how determinism regressions land.
+
+fn bad_thread_rng() {
+    let mut r = rand::thread_rng();
+    let _ = r;
+}
+
+fn bad_from_entropy() {
+    let r = SmallRng::from_entropy();
+    let _ = r;
+}
+
+fn good_seeded(seed: u64) {
+    let r = SmallRng::seed_from_u64(seed);
+    let _ = r;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn entropy_in_tests_still_flagged() {
+        let _ = rand::rngs::OsRng;
+    }
+}

@@ -1,0 +1,30 @@
+//@path crates/dsp/src/fft.rs
+//! Fixture: `safety-comment` — every `unsafe` needs a `// SAFETY:` rationale.
+
+fn bad_block(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+unsafe fn bad_fn(p: *const u8) -> u8 {
+    *p
+}
+
+fn good_block(v: &[u8]) -> u8 {
+    // SAFETY: the caller guarantees v is non-empty (checked at the API
+    // boundary), so index 0 is in bounds.
+    unsafe { *v.get_unchecked(0) }
+}
+
+fn good_trailing(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) } // SAFETY: v verified non-empty above
+}
+
+// SAFETY: this fn only reads the first byte; callers pass non-null p.
+unsafe fn good_fn(p: *const u8) -> u8 {
+    *p
+}
+
+fn not_a_violation(s: &str) -> bool {
+    // The word unsafe in a comment or "an unsafe string" must not fire.
+    s.contains("unsafe")
+}

@@ -1,0 +1,22 @@
+//@path crates/sim/src/medium.rs
+//! Fixture: emission sites for the taxonomy check, including through a
+//! local rename of the enum.
+
+use jmb_obs::EventKind as TraceKind;
+
+fn emit_healthy(trace: &mut Trace, node: usize) {
+    trace.emit(0.0, TraceKind::Healthy { node });
+}
+
+fn emit_never_tested(trace: &mut Trace) {
+    trace.emit(0.0, EventKind::NeverTested(3));
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn emission_in_test_code_does_not_count_as_an_emission_site() {
+        // NeverEmitted constructed only here — still "never emitted".
+        let _ = EventKind::NeverEmitted;
+    }
+}

@@ -1,0 +1,20 @@
+//@path crates/obs/src/event.rs
+//! Fixture: a miniature `EventKind` with one healthy variant, one never
+//! emitted, one never tested, and one suppressed as intentionally
+//! emission-only.
+
+/// Fixture event kinds.
+pub enum EventKind {
+    /// Emitted and tested — no findings.
+    Healthy {
+        /// Node index.
+        node: usize,
+    },
+    /// Tested but never emitted.
+    NeverEmitted,
+    /// Emitted but never appears in a test.
+    NeverTested(usize),
+    /// Neither emitted nor tested, but suppressed with a reason.
+    // jmb-allow(trace-taxonomy-complete): reserved for the PR that lands AP power-save; tracked in ROADMAP
+    Reserved,
+}

@@ -1,0 +1,8 @@
+//@path tests/observability.rs
+//! Fixture: test-side references — an identifier use and a string-literal
+//! use (the `TraceQuery::kind` form) both count.
+
+fn replay_asserts(q: TraceQuery) {
+    q.kind("Healthy").assert_count_between(1, 100);
+    let _ = EventKind::NeverEmitted;
+}

@@ -1,0 +1,36 @@
+//@path crates/sim/src/medium.rs
+//! Fixture: `no-wallclock-in-sim` violations and exemptions.
+
+use std::time::{Duration, Instant, SystemTime};
+
+fn bad_instant() -> Instant {
+    Instant::now()
+}
+
+fn bad_systemtime() -> SystemTime {
+    SystemTime::now()
+}
+
+fn bad_sleep(d: Duration) {
+    std::thread::sleep(d);
+}
+
+struct Radio;
+impl Radio {
+    fn sleep(&mut self) {}
+}
+
+fn not_a_violation(r: &mut Radio) {
+    // A method named `sleep` on a domain type is not the host clock.
+    r.sleep();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_time_themselves() {
+        let t0 = std::time::Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(t0.elapsed().as_nanos() > 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Meta-test: `jmb-lint` runs clean on its own workspace. This is the
+//! same gate CI applies (`jmb-lint --deny`), expressed as a test so a
+//! plain `cargo test` catches invariant regressions without the extra CI
+//! round-trip.
+
+use std::path::Path;
+
+use jmb_lint::engine;
+
+#[test]
+fn workspace_has_zero_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf();
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "expected workspace root at {}",
+        root.display()
+    );
+    let files = engine::load(&root).expect("workspace sources readable");
+    assert!(
+        files.len() > 50,
+        "discovery looks broken: only {} files found",
+        files.len()
+    );
+    let mut diags = engine::run(&files);
+    engine::promote(&mut diags); // CI runs --deny: warnings gate too
+    let rendered: Vec<String> = diags.iter().map(|d| d.render_human()).collect();
+    assert!(
+        diags.is_empty(),
+        "jmb-lint found {} violation(s) in the workspace:\n{}",
+        diags.len(),
+        rendered.join("\n")
+    );
+}

@@ -39,6 +39,7 @@ impl ChannelEstimate {
         params
             .data_subcarriers
             .iter()
+            // jmb-allow(no-panic-hot-path): the workspace runs one OFDM numerology — the estimate covers every occupied bin of the same params
             .map(|&k| self.gain_at(k).expect("data subcarrier occupied"))
             .collect()
     }
@@ -47,6 +48,7 @@ impl ChannelEstimate {
     pub fn pilot_gains(&self, params: &OfdmParams) -> [Complex64; 4] {
         let mut out = [Complex64::ZERO; 4];
         for (i, &k) in params.pilot_subcarriers.iter().enumerate() {
+            // jmb-allow(no-panic-hot-path): the workspace runs one OFDM numerology — the estimate covers every occupied bin of the same params
             out[i] = self.gain_at(k).expect("pilot subcarrier occupied");
         }
         out
@@ -77,6 +79,7 @@ impl ChannelEstimate {
 ///
 /// Panics if `ltf_samples.len() != 160`.
 pub fn estimate_from_ltf(params: &OfdmParams, ltf_samples: &[Complex64]) -> ChannelEstimate {
+    // jmb-allow(no-panic-hot-path): documented precondition (# Panics) — the frame parser slices exactly one LTF window
     assert_eq!(ltf_samples.len(), crate::preamble::LTF_LEN, "need full LTF");
     let plan = jmb_dsp::fft::plan(params.fft_size);
     let l = ltf_freq();

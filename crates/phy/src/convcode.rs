@@ -93,6 +93,7 @@ pub fn puncture(coded: &[u8], rate: CodeRate) -> Vec<u8> {
 pub fn depuncture(soft: &[f64], rate: CodeRate, n_coded: usize) -> Vec<f64> {
     let pat = puncture_pattern(rate);
     let expected = (0..n_coded).filter(|i| pat[i % pat.len()]).count();
+    // jmb-allow(no-panic-hot-path): documented precondition (# Panics) — the demap stage hands depuncture exactly the surviving soft bits
     assert_eq!(
         soft.len(),
         expected,
@@ -103,6 +104,7 @@ pub fn depuncture(soft: &[f64], rate: CodeRate, n_coded: usize) -> Vec<f64> {
     let mut it = soft.iter();
     for i in 0..n_coded {
         if pat[i % pat.len()] {
+            // jmb-allow(no-panic-hot-path): the assert above pins soft.len() to the pattern's surviving count — the iterator cannot run dry
             out.push(*it.next().expect("length checked above"));
         } else {
             out.push(0.0); // erasure: no information about this bit

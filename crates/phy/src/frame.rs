@@ -464,6 +464,7 @@ impl FrameRx {
 ///
 /// Panics if `ltf_samples.len() != 160`.
 pub fn noise_from_ltf(params: &OfdmParams, ltf_samples: &[Complex64]) -> f64 {
+    // jmb-allow(no-panic-hot-path): documented precondition (# Panics) — decode slices exactly one LTF window
     assert_eq!(ltf_samples.len(), preamble::LTF_LEN);
     let plan = jmb_dsp::fft::plan(params.fft_size);
     let mut sym1 = ltf_samples[32..96].to_vec();

@@ -57,6 +57,7 @@ impl Interleaver {
     ///
     /// Panics if `bits.len() != block_len()`.
     pub fn interleave<T: Copy>(&self, bits: &[T]) -> Vec<T> {
+        // jmb-allow(no-panic-hot-path): documented precondition (# Panics) — block length is fixed by the MCS
         assert_eq!(
             bits.len(),
             self.block_len(),
@@ -71,6 +72,7 @@ impl Interleaver {
     ///
     /// Panics if `bits.len() != block_len()`.
     pub fn deinterleave<T: Copy>(&self, bits: &[T]) -> Vec<T> {
+        // jmb-allow(no-panic-hot-path): documented precondition (# Panics) — block length is fixed by the MCS
         assert_eq!(
             bits.len(),
             self.block_len(),
@@ -85,6 +87,7 @@ impl Interleaver {
     ///
     /// Panics if the stream is not a whole number of blocks.
     pub fn interleave_stream<T: Copy>(&self, bits: &[T]) -> Vec<T> {
+        // jmb-allow(no-panic-hot-path): documented precondition (# Panics) — streams are produced whole-block by the encoder
         assert_eq!(bits.len() % self.block_len(), 0, "stream not whole blocks");
         bits.chunks(self.block_len())
             .flat_map(|b| self.interleave(b))
@@ -97,6 +100,7 @@ impl Interleaver {
     ///
     /// Panics if the stream is not a whole number of blocks.
     pub fn deinterleave_stream<T: Copy>(&self, bits: &[T]) -> Vec<T> {
+        // jmb-allow(no-panic-hot-path): documented precondition (# Panics) — streams are produced whole-block by the encoder
         assert_eq!(bits.len() % self.block_len(), 0, "stream not whole blocks");
         bits.chunks(self.block_len())
             .flat_map(|b| self.deinterleave(b))

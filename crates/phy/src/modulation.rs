@@ -61,6 +61,7 @@ impl Modulation {
                 let idx = (bits[0] << 2 | bits[1] << 1 | bits[2]) as usize;
                 [-7.0, -5.0, -1.0, -3.0, 7.0, 5.0, 1.0, 3.0][idx]
             }
+            // jmb-allow(no-panic-hot-path): axis widths are 1-3 bits (BPSK..64-QAM) — the Mcs table admits no other constellation
             n => unreachable!("axis width {n}"),
         }
     }
@@ -72,6 +73,7 @@ impl Modulation {
     ///
     /// Panics if `bits.len() != self.bits_per_symbol()`.
     pub fn map(self, bits: &[u8]) -> Complex64 {
+        // jmb-allow(no-panic-hot-path): documented precondition (# Panics) — bits per symbol is part of the API contract
         assert_eq!(
             bits.len(),
             self.bits_per_symbol(),
@@ -101,6 +103,7 @@ impl Modulation {
     /// Panics if `bits.len()` is not a multiple of `bits_per_symbol()`.
     pub fn map_stream(self, bits: &[u8]) -> Vec<Complex64> {
         let bps = self.bits_per_symbol();
+        // jmb-allow(no-panic-hot-path): documented precondition (# Panics) — bit streams are produced whole-symbol by the encoder
         assert_eq!(
             bits.len() % bps,
             0,
@@ -124,13 +127,12 @@ impl Modulation {
     pub fn demap_hard(self, y: Complex64) -> Vec<u8> {
         self.constellation()
             .into_iter()
-            .min_by(|(a, _), (b, _)| {
-                (*a - y)
-                    .norm_sqr()
-                    .partial_cmp(&(*b - y).norm_sqr())
-                    .expect("finite distances")
-            })
+            // total_cmp: a NaN distance (a NaN sample from equalising a
+            // spectral null) must demap to some point and fail CRC, not
+            // panic the decode path.
+            .min_by(|(a, _), (b, _)| (*a - y).norm_sqr().total_cmp(&(*b - y).norm_sqr()))
             .map(|(_, bits)| bits)
+            // jmb-allow(no-panic-hot-path): constellation() yields 2^bits_per_symbol points — never empty for any Modulation variant
             .expect("non-empty constellation")
     }
 
@@ -166,6 +168,7 @@ impl Modulation {
 
     /// Soft-demaps a symbol stream into one flat LLR vector.
     pub fn demap_soft_stream(self, ys: &[Complex64], noise_var: f64, csi: &[f64]) -> Vec<f64> {
+        // jmb-allow(no-panic-hot-path): documented precondition — one CSI weight per symbol, produced by the same channel estimate
         assert_eq!(ys.len(), csi.len(), "per-symbol CSI required");
         let mut out = Vec::with_capacity(ys.len() * self.bits_per_symbol());
         for (y, &w) in ys.iter().zip(csi) {

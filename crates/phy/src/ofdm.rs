@@ -47,6 +47,7 @@ impl Ofdm {
 
     /// Places data and pilots into the 64 FFT bins (frequency domain).
     pub fn assemble_bins(&self, data: &[Complex64], polarity: f64) -> Vec<Complex64> {
+        // jmb-allow(no-panic-hot-path): documented precondition — the framer always supplies n_data_subcarriers symbols
         assert_eq!(
             data.len(),
             self.params.n_data_subcarriers(),
@@ -65,6 +66,7 @@ impl Ofdm {
 
     /// Converts 64 frequency bins into 80 samples (IFFT + cyclic prefix).
     pub fn bins_to_samples(&self, bins: &[Complex64]) -> Vec<Complex64> {
+        // jmb-allow(no-panic-hot-path): caller contract — bins come from assemble_bins of the same numerology
         assert_eq!(bins.len(), self.params.fft_size);
         let mut body = bins.to_vec();
         self.plan.inverse(&mut body);
@@ -81,6 +83,7 @@ impl Ofdm {
     ///
     /// Panics if `samples.len() != 80`.
     pub fn demodulate_symbol(&self, samples: &[Complex64]) -> Vec<Complex64> {
+        // jmb-allow(no-panic-hot-path): documented precondition (# Panics) — the frame parser slices whole symbols
         assert_eq!(
             samples.len(),
             self.params.symbol_len(),
@@ -126,6 +129,7 @@ impl Ofdm {
 /// channel estimate is ~zero are zeroed (they carry no usable information and
 /// their LLR weight should be ~0 anyway).
 pub fn equalize(received: &[Complex64], channel: &[Complex64]) -> Vec<Complex64> {
+    // jmb-allow(no-panic-hot-path): caller contract — symbols and channel gains are sliced from the same estimate
     assert_eq!(received.len(), channel.len(), "equalize: length mismatch");
     received
         .iter()

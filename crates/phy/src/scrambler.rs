@@ -20,6 +20,7 @@ impl Scrambler {
     /// Panics if `seed` is zero (an all-zero LFSR never advances) or wider
     /// than 7 bits.
     pub fn new(seed: u8) -> Self {
+        // jmb-allow(no-panic-hot-path): documented precondition (# Panics) — seeds come from the fixed 7-bit service field
         assert!(
             seed != 0 && seed < 0x80,
             "scrambler seed must be 1..=127, got {seed}"

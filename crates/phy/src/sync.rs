@@ -95,6 +95,7 @@ pub fn fine_cfo(params: &OfdmParams, ltf: &[Complex64]) -> f64 {
 }
 
 fn lagged_cfo(params: &OfdmParams, region: &[Complex64], lag: usize) -> f64 {
+    // jmb-allow(no-panic-hot-path): internal helper — both call sites pass preamble windows longer than the fixed lag
     assert!(region.len() > lag, "region shorter than lag");
     let mut acc = Complex64::ZERO;
     for n in 0..region.len() - lag {

@@ -130,7 +130,10 @@ pub fn decode(soft: &[f64]) -> Result<Vec<u8>, ViterbiError> {
         metric
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("metrics are not NaN"))
+            // total_cmp: a NaN metric (possible when upstream equalisation
+            // divides by a spectral null) must yield a wrong pick that the
+            // CRC rejects, never a decoder panic.
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0)
     };

@@ -343,6 +343,7 @@ impl SubcarrierMedium {
     ) -> Vec<Vec<Complex64>> {
         let n = self.params.fft_size;
         for (_, bins) in txs {
+            // jmb-allow(no-panic-hot-path): caller contract — every transmitter renders bins with the medium's own fft_size
             assert_eq!(bins.len(), n, "tx bins must be fft_size long");
         }
         let occupied = self.params.occupied_subcarriers();
