@@ -38,6 +38,36 @@ fn bench_viterbi(c: &mut Criterion) {
     c.bench_function("viterbi_864b", |b| {
         b.iter(|| viterbi::decode(&soft).unwrap())
     });
+    // The add-compare-select kernel alone (no traceback, no allocation):
+    // the dominant cost of every decode.
+    let n_steps = soft.len() / 2;
+    let mut decision = vec![0u8; n_steps * viterbi::N_STATES];
+    c.bench_function("viterbi_acs_block", |b| {
+        b.iter(|| {
+            let mut metric = [viterbi::NEG_INF; viterbi::N_STATES];
+            metric[0] = 0.0;
+            viterbi::acs_block(&soft, &mut metric, &mut decision)
+        })
+    });
+}
+
+fn bench_demap(c: &mut Criterion) {
+    use jmb_phy::modulation::Modulation;
+    // One OFDM symbol's worth of QAM-64 values near constellation points,
+    // through the batched soft demapper (the rx pipeline's per-symbol call).
+    let mut rng = rng_from_seed(7);
+    let m = Modulation::Qam64;
+    let ys: Vec<Complex64> = (0..48).map(|_| complex_gaussian(&mut rng, 1.0)).collect();
+    let csi = vec![1.0f64; ys.len()];
+    let mut llrs = Vec::new();
+    c.bench_function("demap_soft_stream", |b| {
+        b.iter(|| {
+            llrs.clear();
+            let mut evm = 0.0;
+            m.demap_soft_evm_into(&ys, 0.1, &csi, &mut llrs, &mut evm);
+            evm
+        })
+    });
 }
 
 fn bench_precoder(c: &mut Criterion) {
@@ -53,6 +83,12 @@ fn bench_precoder(c: &mut Criterion) {
         .collect();
     c.bench_function("zf_precoder_10x10_52sc", |b| {
         b.iter(|| jmb_core::precoder::Precoder::zero_forcing(&hs).unwrap())
+    });
+    // Gram-matrix assembly alone (G = H·Hᴴ, lower triangle): the first and
+    // heaviest stage of each per-subcarrier pseudo-inverse.
+    let mut solver = jmb_dsp::ZfSolver::new(10, 10);
+    c.bench_function("zf_gram_assembly", |b| {
+        b.iter(|| solver.gram_assembly(&hs[0]).unwrap())
     });
 }
 
@@ -111,6 +147,6 @@ fn bench_e2e_packet(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_fft, bench_viterbi, bench_precoder, bench_phasesync, bench_medium, bench_e2e_packet
+    targets = bench_fft, bench_viterbi, bench_demap, bench_precoder, bench_phasesync, bench_medium, bench_e2e_packet
 }
 criterion_main!(benches);

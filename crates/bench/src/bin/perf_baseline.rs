@@ -8,8 +8,13 @@
 //!
 //! `--quick` (or `JMB_QUICK=1`) shrinks the measurement budget for smoke
 //! runs; the JSON shape is identical.
+//!
+//! `--compare PATH` diffs this run against a previously written
+//! `BENCH_<date>.json` and exits nonzero when any shared entry regressed by
+//! more than `--regress-threshold PCT` (default 10%), so CI can gate on the
+//! checked-in baseline.
 
-use jmb_bench::FigOpts;
+use jmb_bench::{FigOpts, USAGE};
 use jmb_channel::oscillator::PhaseTrajectory;
 use jmb_channel::Link;
 use jmb_dsp::rng::{complex_gaussian, rng_from_seed};
@@ -84,8 +89,74 @@ fn json_escape_free(name: &str) -> &str {
     name
 }
 
+/// `(name, ns_per_op)` rows extracted from a `BENCH_<date>.json` written by
+/// this binary. The format is our own (flat, one `"name"`/`"ns_per_op"` pair
+/// per entry), so a string scan is enough — no JSON dependency.
+fn parse_bench_entries(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for chunk in text.split("\"name\":").skip(1) {
+        let Some(q0) = chunk.find('"') else { continue };
+        let rest = &chunk[q0 + 1..];
+        let Some(q1) = rest.find('"') else { continue };
+        let name = rest[..q1].to_string();
+        let Some(p) = rest.find("\"ns_per_op\":") else {
+            continue;
+        };
+        let num: String = rest[p + "\"ns_per_op\":".len()..]
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((name, v));
+        }
+    }
+    out
+}
+
+const EXTRA_USAGE: &str =
+    "  --compare PATH           diff against a prior BENCH_<date>.json; exit 1 on regression
+  --regress-threshold PCT  regression tolerance for --compare (default 10)";
+
 fn main() {
-    let opts = FigOpts::from_args();
+    // Strip the compare-specific flags before handing the rest to the
+    // shared parser (which rejects unknown arguments).
+    let mut compare: Option<std::path::PathBuf> = None;
+    let mut threshold = 10.0f64;
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--compare" => match args.next() {
+                Some(p) => compare = Some(std::path::PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --compare needs a path\n{USAGE}\n{EXTRA_USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--regress-threshold" => match args.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(p) if p.is_finite() && p >= 0.0 => threshold = p,
+                _ => {
+                    eprintln!(
+                            "error: --regress-threshold needs a non-negative percentage\n{USAGE}\n{EXTRA_USAGE}"
+                        );
+                    std::process::exit(2);
+                }
+            },
+            _ => rest.push(a),
+        }
+    }
+    let opts = match FigOpts::parse(rest) {
+        Ok(Some(o)) => o,
+        Ok(None) => {
+            println!("{USAGE}\n{EXTRA_USAGE}");
+            return;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n{USAGE}\n{EXTRA_USAGE}");
+            std::process::exit(2);
+        }
+    };
     // Span-instrumented kernels (FFT, ZF precoder, traffic event loop)
     // accumulate wall-clock stats into the global jmb-obs span table; the
     // report at the end cross-checks the medians measured here.
@@ -228,6 +299,24 @@ fn main() {
             throughput: Some((1500.0 * 8.0 / (ns_rx * 1e-9), "bits/s")),
         });
         println!("phy_rx_1500B_qam16          {ns_rx:>12.1} ns/op");
+        // The modulation extremes bracket the rx pipeline's mix: BPSK is
+        // Viterbi-dominated (longest symbol count per bit), QAM-64 leans on
+        // the soft demapper and deinterleaver.
+        for (name, mcs) in [
+            ("phy_rx_1500B_bpsk", Mcs::ALL[0]),
+            ("phy_rx_1500B_qam64", Mcs::ALL[7]),
+        ] {
+            let wave = tx.tx_frame(mcs, &payload).unwrap();
+            let ns = time_median(samples, min_batch, || {
+                rx.rx_frame(&wave).unwrap();
+            });
+            entries.push(Entry {
+                name,
+                ns_per_op: ns,
+                throughput: Some((1500.0 * 8.0 / (ns * 1e-9), "bits/s")),
+            });
+            println!("{name:<27} {ns:>12.1} ns/op");
+        }
     }
 
     // --- FastNet joint-transmit step (the figure-sweep inner loop) ------
@@ -329,4 +418,70 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write(&path, &json).expect("write BENCH json");
     println!("\nwrote {}", path.display());
+
+    // --- Optional comparison against a prior baseline -------------------
+    if let Some(base_path) = compare {
+        let text = match std::fs::read_to_string(&base_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", base_path.display());
+                std::process::exit(2);
+            }
+        };
+        let baseline = parse_bench_entries(&text);
+        if baseline.is_empty() {
+            eprintln!("error: no entries found in {}", base_path.display());
+            std::process::exit(2);
+        }
+        println!(
+            "\ncomparison vs {} (regression threshold +{threshold:.1}%):",
+            base_path.display()
+        );
+        println!(
+            "{:<27} {:>14} {:>14} {:>9}",
+            "name", "old ns/op", "new ns/op", "delta"
+        );
+        let mut regressions = Vec::new();
+        for e in &entries {
+            match baseline.iter().find(|(n, _)| n == e.name) {
+                Some((_, old)) => {
+                    let delta = (e.ns_per_op - old) / old * 100.0;
+                    let flag = if delta > threshold {
+                        "  REGRESSION"
+                    } else {
+                        ""
+                    };
+                    println!(
+                        "{:<27} {:>14.1} {:>14.1} {:>+8.1}%{flag}",
+                        e.name, old, e.ns_per_op, delta
+                    );
+                    if delta > threshold {
+                        regressions.push(e.name);
+                    }
+                }
+                None => {
+                    println!(
+                        "{:<27} {:>14} {:>14.1} {:>9}",
+                        e.name, "(new)", e.ns_per_op, "-"
+                    );
+                }
+            }
+        }
+        for (name, _) in &baseline {
+            if !entries.iter().any(|e| e.name == name) {
+                println!("{name:<27} {:>14} {:>14} {:>9}", "-", "(gone)", "-");
+            }
+        }
+        if regressions.is_empty() {
+            println!("no regressions beyond +{threshold:.1}%");
+        } else {
+            eprintln!(
+                "error: {} entr{} regressed beyond +{threshold:.1}%: {}",
+                regressions.len(),
+                if regressions.len() == 1 { "y" } else { "ies" },
+                regressions.join(", ")
+            );
+            std::process::exit(1);
+        }
+    }
 }

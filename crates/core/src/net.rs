@@ -130,6 +130,10 @@ pub struct JmbNetwork {
     precoder: Option<Precoder>,
     ftx: FrameTx,
     frx: FrameRx,
+    /// Receive-path scratch reused across every client decode: equalised
+    /// symbols, LLR/depuncture buffers and the Viterbi decision lanes are
+    /// allocated once per network, not once per frame.
+    rx_scratch: jmb_phy::frame::RxScratch,
     now: f64,
     rng: JmbRng,
     /// Per-slave sync-header health (index 0 belongs to AP 1): a slave that
@@ -231,6 +235,7 @@ impl JmbNetwork {
             precoder: None,
             ftx: FrameTx::new(params.clone()),
             frx: FrameRx::new(params),
+            rx_scratch: jmb_phy::frame::RxScratch::new(),
             now: 1e-4,
             rng,
             sync_health,
@@ -599,7 +604,11 @@ impl JmbNetwork {
             let window = self
                 .medium
                 .render_rx(c, t_d - pad as f64 * ts, pkt_len + 2 * pad);
-            results.push(self.frx.rx_frame(&window).map_err(JmbError::Rx));
+            results.push(
+                self.frx
+                    .rx_frame_with(&mut self.rx_scratch, &window)
+                    .map_err(JmbError::Rx),
+            );
         }
 
         self.now = t_d + pkt_len as f64 * ts + 50e-6;

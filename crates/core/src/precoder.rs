@@ -76,7 +76,10 @@ impl Precoder {
             // *faded* directions — one AP's faded diagonal would blow up
             // the weights and drag every client on that subcarrier.
             for (j, g) in col_gain.iter_mut().enumerate() {
-                let p: f64 = (0..n_tx).map(|m| w[(m, j)].norm_sqr()).sum();
+                // Column power read from the solver's contiguous scratch
+                // (same ascending-antenna summation order as scanning the
+                // strided column of `w`, so the gains are bit-identical).
+                let p = solver.col_power(j);
                 if p <= 0.0 || !p.is_finite() {
                     return Err(JmbError::Precoding(jmb_dsp::matrix::MatError::Singular));
                 }

@@ -536,6 +536,10 @@ pub struct ZfSolver {
     gram: Vec<Complex64>,
     /// `n_streams × n_tx` substitution scratch (`Y`, then `X`).
     work: Vec<Complex64>,
+    /// `n_tx × n_streams` conjugate transpose of the current channel:
+    /// `ht[k*n + j] = h[j][k]*`. Staged once per solve so the Gram
+    /// assembly's inner loop runs over contiguous memory.
+    ht: Vec<Complex64>,
 }
 
 impl ZfSolver {
@@ -555,7 +559,75 @@ impl ZfSolver {
             n_tx,
             gram: vec![Complex64::ZERO; n_streams * n_streams],
             work: vec![Complex64::ZERO; n_streams * n_tx],
+            ht: vec![Complex64::ZERO; n_streams * n_tx],
         }
+    }
+
+    /// Assembles the Gram matrix `G = H·Hᴴ` (lower triangle + diagonal;
+    /// Hermitian) into the solver's scratch and returns the largest diagonal
+    /// entry.
+    ///
+    /// This is the first stage of [`ZfSolver::pinv_into`], split out so the
+    /// benchmark suite can measure it in isolation. `H`'s conjugate transpose
+    /// is staged once into a `n_tx × n_streams` scratch so the accumulation
+    /// inner loop runs over contiguous rows (one broadcast element times one
+    /// contiguous row per step), which LLVM vectorises; per output cell the
+    /// summation order is ascending `k`, identical to a direct dot-product
+    /// scan, so the assembled Gram matrix is bitwise identical to the naive
+    /// triple loop.
+    ///
+    /// Returns [`MatError::Singular`] when the largest diagonal entry is not
+    /// a positive finite number, and [`MatError::DimensionMismatch`] when
+    /// `h`'s shape does not match the solver's.
+    pub fn gram_assembly(&mut self, h: &CMat) -> Result<f64, MatError> {
+        let (n, m) = (self.n_streams, self.n_tx);
+        if h.rows() != n || h.cols() != m {
+            return Err(MatError::DimensionMismatch {
+                left: (n, m),
+                right: (h.rows(), h.cols()),
+            });
+        }
+
+        // Stage Hᴴ so the k-outer accumulation below reads contiguous rows.
+        for j in 0..n {
+            let hj = h.row(j);
+            for (k, &hjk) in hj.iter().enumerate() {
+                self.ht[k * n + j] = hjk.conj();
+            }
+        }
+
+        // G = H·Hᴴ, lower triangle + diagonal only. Row i of G accumulates
+        // rank-1 updates `hi[k] * ht[k][..=i]` for ascending k: per cell this
+        // is the same ascending-k multiply-accumulate chain as the reference
+        // dot product, just with the j loop innermost (contiguous).
+        let mut max_diag = 0.0f64;
+        for i in 0..n {
+            let hi = h.row(i);
+            let row = &mut self.gram[i * n..i * n + i + 1];
+            row.fill(Complex64::ZERO);
+            for (&a, ht_row) in hi.iter().zip(self.ht.chunks_exact(n)) {
+                for (g, &t) in row.iter_mut().zip(&ht_row[..i + 1]) {
+                    *g = a.mul_add(t, *g);
+                }
+            }
+            max_diag = max_diag.max(row[i].re);
+        }
+        if max_diag <= 0.0 || !max_diag.is_finite() {
+            return Err(MatError::Singular);
+        }
+        Ok(max_diag)
+    }
+
+    /// Squared 2-norm of column `j` of the precoder `W` computed by the last
+    /// successful [`ZfSolver::pinv_into`], summed in ascending-antenna order
+    /// (bitwise identical to scanning `W`'s column directly — conjugation
+    /// does not change `|·|²`). Reads the solver's contiguous substitution
+    /// scratch instead of striding down the output matrix.
+    pub fn col_power(&self, j: usize) -> f64 {
+        let m = self.n_tx;
+        self.work[j * m..(j + 1) * m]
+            .iter()
+            .fold(0.0, |p, w| p + w.norm_sqr())
     }
 
     /// Computes `W = H⁺ = Hᴴ(HHᴴ)⁻¹` into `out` (`n_tx × n_streams`).
@@ -565,32 +637,7 @@ impl ZfSolver {
     /// not match the solver's.
     pub fn pinv_into(&mut self, h: &CMat, out: &mut CMat) -> Result<(), MatError> {
         let (n, m) = (self.n_streams, self.n_tx);
-        if h.rows() != n || h.cols() != m {
-            return Err(MatError::DimensionMismatch {
-                left: (n, m),
-                right: (h.rows(), h.cols()),
-            });
-        }
-
-        // G = H·Hᴴ, lower triangle + diagonal only (Hermitian).
-        let mut max_diag = 0.0f64;
-        for i in 0..n {
-            let hi = h.row(i);
-            for j in 0..=i {
-                let hj = h.row(j);
-                let mut acc = Complex64::ZERO;
-                for k in 0..m {
-                    acc = hi[k].mul_add(hj[k].conj(), acc);
-                }
-                self.gram[i * n + j] = acc;
-                if i == j {
-                    max_diag = max_diag.max(acc.re);
-                }
-            }
-        }
-        if max_diag <= 0.0 || !max_diag.is_finite() {
-            return Err(MatError::Singular);
-        }
+        let max_diag = self.gram_assembly(h)?;
 
         // In-place Cholesky G → L. The pivot threshold is relative to the
         // largest diagonal (the pivots are squared singular values, so this
@@ -617,24 +664,39 @@ impl ZfSolver {
         }
 
         // Forward substitution L·Y = H (Y is n × m, row i depends on rows < i).
+        // AXPY form: row i starts as H's row i and subtracts `l_ik · row_k`
+        // for ascending k, so each cell sees the same ascending-k chain of
+        // unfused `s - l·w` updates as a per-cell scan (bitwise identical),
+        // while the inner loop walks two contiguous rows.
         for i in 0..n {
-            let hi = h.row(i);
-            for (c, &hic) in hi.iter().enumerate() {
-                let mut s = hic;
-                for k in 0..i {
-                    s -= self.gram[i * n + k] * self.work[k * m + c];
+            let (prev, rest) = self.work.split_at_mut(i * m);
+            let row_i = &mut rest[..m];
+            row_i.copy_from_slice(h.row(i));
+            for (k, w_k) in prev.chunks_exact(m).enumerate() {
+                let l = self.gram[i * n + k];
+                for (r, &w) in row_i.iter_mut().zip(w_k) {
+                    *r -= l * w;
                 }
-                self.work[i * m + c] = s.scale(1.0 / self.gram[i * n + i].re);
+            }
+            let inv = 1.0 / self.gram[i * n + i].re;
+            for r in row_i.iter_mut() {
+                *r = r.scale(inv);
             }
         }
-        // Back substitution Lᴴ·X = Y in place (row i depends on rows > i).
+        // Back substitution Lᴴ·X = Y in place (row i depends on rows > i),
+        // same AXPY restructuring with ascending k in `i+1..n`.
         for i in (0..n).rev() {
-            for c in 0..m {
-                let mut s = self.work[i * m + c];
-                for k in i + 1..n {
-                    s -= self.gram[k * n + i].conj() * self.work[k * m + c];
+            let (head, rest) = self.work.split_at_mut((i + 1) * m);
+            let row_i = &mut head[i * m..];
+            for (k, w_k) in (i + 1..n).zip(rest.chunks_exact(m)) {
+                let l = self.gram[k * n + i].conj();
+                for (r, &w) in row_i.iter_mut().zip(w_k) {
+                    *r -= l * w;
                 }
-                self.work[i * m + c] = s.scale(1.0 / self.gram[i * n + i].re);
+            }
+            let inv = 1.0 / self.gram[i * n + i].re;
+            for r in row_i.iter_mut() {
+                *r = r.scale(inv);
             }
         }
 

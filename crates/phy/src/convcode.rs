@@ -91,6 +91,17 @@ pub fn puncture(coded: &[u8], rate: CodeRate) -> Vec<u8> {
 /// Panics if `soft.len()` does not equal the number of surviving positions
 /// for `n_coded` bits under this rate's pattern.
 pub fn depuncture(soft: &[f64], rate: CodeRate, n_coded: usize) -> Vec<f64> {
+    let mut out = Vec::new();
+    depuncture_into(soft, rate, n_coded, &mut out);
+    out
+}
+
+/// Allocation-free [`depuncture`]: clears `out` and fills it.
+///
+/// # Panics
+///
+/// As [`depuncture`].
+pub fn depuncture_into(soft: &[f64], rate: CodeRate, n_coded: usize, out: &mut Vec<f64>) {
     let pat = puncture_pattern(rate);
     let expected = (0..n_coded).filter(|i| pat[i % pat.len()]).count();
     // jmb-allow(no-panic-hot-path): documented precondition (# Panics) — the demap stage hands depuncture exactly the surviving soft bits
@@ -100,7 +111,8 @@ pub fn depuncture(soft: &[f64], rate: CodeRate, n_coded: usize) -> Vec<f64> {
         "depuncture: got {} soft bits, pattern expects {expected} for {n_coded} coded bits",
         soft.len()
     );
-    let mut out = Vec::with_capacity(n_coded);
+    out.clear();
+    out.reserve(n_coded);
     let mut it = soft.iter();
     for i in 0..n_coded {
         if pat[i % pat.len()] {
@@ -110,7 +122,6 @@ pub fn depuncture(soft: &[f64], rate: CodeRate, n_coded: usize) -> Vec<f64> {
             out.push(0.0); // erasure: no information about this bit
         }
     }
-    out
 }
 
 /// Number of coded bits surviving puncturing for `n_data` input bits

@@ -26,8 +26,8 @@ use crate::convcode;
 use crate::crc;
 use crate::interleaver::Interleaver;
 use crate::modulation::Modulation;
-use crate::ofdm::equalize;
 use crate::ofdm::Ofdm;
+use crate::ofdm::{equalize, equalize_into};
 use crate::params::OfdmParams;
 use crate::preamble;
 use crate::rates::Mcs;
@@ -256,6 +256,64 @@ impl RxResult {
     }
 }
 
+/// Reusable receive-path scratch buffers (DESIGN.md §3.11).
+///
+/// Every allocation the per-frame decode chain needs lives here: the
+/// CFO-corrected sample window, the flattened demodulated bins, the
+/// per-symbol equalise/demap staging buffers, the whole-frame soft-bit
+/// stream, and the Viterbi survivor masks. Allocate one per receiver (or
+/// per thread — the receiver itself stays immutable and shareable) and pass
+/// it to the `*_with` entry points; buffers grow to the largest frame seen
+/// and are recycled across frames. The scratch carries no state between
+/// frames: decoding with a recycled scratch is byte-identical to decoding
+/// with a fresh one.
+#[derive(Debug, Clone, Default)]
+pub struct RxScratch {
+    /// CFO-corrected time-domain window (time-domain entry points only).
+    work: Vec<Complex64>,
+    /// Flattened demodulated bins, `n_symbols × fft_size`.
+    bins: Vec<Complex64>,
+    /// One symbol's pilot-corrected data subcarriers.
+    data: Vec<Complex64>,
+    /// One symbol's equalised data subcarriers.
+    eq: Vec<Complex64>,
+    /// One symbol's LLRs (pre-deinterleave).
+    llrs: Vec<f64>,
+    /// Whole-frame deinterleaved soft bits.
+    soft: Vec<f64>,
+    /// Whole-frame depunctured (rate-1/2) soft bits.
+    restored: Vec<f64>,
+    /// Viterbi output bits.
+    bits: Vec<u8>,
+    /// Viterbi survivor masks.
+    viterbi: viterbi::ViterbiScratch,
+}
+
+impl RxScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+std::thread_local! {
+    /// Scratch used by the non-`_with` convenience entry points, so casual
+    /// callers get the same allocation-amortised fast path as sweeps that
+    /// thread their own [`RxScratch`].
+    static TLS_SCRATCH: std::cell::RefCell<RxScratch> =
+        std::cell::RefCell::new(RxScratch::new());
+}
+
+/// Runs `f` with the thread-local scratch, falling back to a fresh scratch
+/// if the thread-local one is already borrowed (a reentrant decode from a
+/// callback) rather than panicking.
+fn with_tls_scratch<R>(f: impl FnOnce(&mut RxScratch) -> R) -> R {
+    TLS_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut s) => f(&mut s),
+        Err(_) => f(&mut RxScratch::new()),
+    })
+}
+
 /// The receiver.
 #[derive(Debug, Clone)]
 pub struct FrameRx {
@@ -279,9 +337,19 @@ impl FrameRx {
 
     /// Full receive chain: detect → sync → estimate → decode.
     pub fn rx_frame(&self, samples: &[Complex64]) -> Result<RxResult, RxError> {
+        with_tls_scratch(|scratch| self.rx_frame_with(scratch, samples))
+    }
+
+    /// [`FrameRx::rx_frame`] with caller-owned scratch buffers — the
+    /// allocation-amortised entry point for decode-heavy sweeps.
+    pub fn rx_frame_with(
+        &self,
+        scratch: &mut RxScratch,
+        samples: &[Complex64],
+    ) -> Result<RxResult, RxError> {
         let params = self.ofdm.params();
         let s = sync::synchronize(params, samples).ok_or(RxError::NoPreamble)?;
-        self.rx_frame_at(samples, s.stf_start, s.cfo_hz)
+        self.rx_frame_at_with(scratch, samples, s.stf_start, s.cfo_hz)
     }
 
     /// Receive chain with externally supplied timing and CFO (used when the
@@ -293,28 +361,48 @@ impl FrameRx {
         stf_start: usize,
         cfo_hz: f64,
     ) -> Result<RxResult, RxError> {
+        with_tls_scratch(|scratch| self.rx_frame_at_with(scratch, samples, stf_start, cfo_hz))
+    }
+
+    /// [`FrameRx::rx_frame_at`] with caller-owned scratch buffers.
+    pub fn rx_frame_at_with(
+        &self,
+        scratch: &mut RxScratch,
+        samples: &[Complex64],
+        stf_start: usize,
+        cfo_hz: f64,
+    ) -> Result<RxResult, RxError> {
         let params = self.ofdm.params();
         if stf_start + 320 + params.symbol_len() > samples.len() {
             return Err(RxError::Truncated);
         }
         // CFO-correct from the start of the frame.
-        let mut work = samples[stf_start..].to_vec();
-        sync::correct_cfo(params, &mut work, cfo_hz, 0.0);
+        scratch.work.clear();
+        scratch.work.extend_from_slice(&samples[stf_start..]);
+        sync::correct_cfo(params, &mut scratch.work, cfo_hz, 0.0);
 
         // Channel + noise from LTF.
-        let ltf = &work[160..320];
+        let ltf = &scratch.work[160..320];
         let channel = chanest::estimate_from_ltf(params, ltf);
         let noise_var = noise_from_ltf(params, ltf);
 
-        // Demodulate all remaining whole symbols into bins.
+        // Demodulate all remaining whole symbols into one flat bins buffer
+        // (borrowed out of the scratch so the decode stage can reuse the
+        // rest of it).
         let sym_len = params.symbol_len();
-        let n_avail = (work.len() - 320) / sym_len;
-        let mut bins = Vec::with_capacity(n_avail);
+        let n_avail = (scratch.work.len() - 320) / sym_len;
+        let mut flat = std::mem::take(&mut scratch.bins);
+        flat.clear();
+        flat.reserve(n_avail * params.fft_size);
         for i in 0..n_avail {
-            let sym = &work[320 + i * sym_len..320 + (i + 1) * sym_len];
-            bins.push(self.ofdm.demodulate_symbol(sym));
+            let sym = &scratch.work[320 + i * sym_len..320 + (i + 1) * sym_len];
+            self.ofdm.demodulate_symbol_into(sym, &mut flat);
         }
-        let mut result = self.decode_stream_bins(&bins, &channel, noise_var)?;
+        let views: Vec<&[Complex64]> = flat.chunks_exact(params.fft_size).collect();
+        let result = self.decode_stream_bins_with(scratch, &views, &channel, noise_var);
+        drop(views);
+        scratch.bins = flat;
+        let mut result = result?;
         result.cfo_hz = cfo_hz;
         Ok(result)
     }
@@ -322,9 +410,27 @@ impl FrameRx {
     /// Frequency-domain receive chain: `bins` holds one 64-bin vector per
     /// received OFDM symbol (SIGNAL first). Used directly by the
     /// per-subcarrier fidelity simulator and by [`FrameRx::rx_frame_at`].
-    pub fn decode_stream_bins(
+    pub fn decode_stream_bins<S: AsRef<[Complex64]>>(
         &self,
-        bins: &[Vec<Complex64>],
+        bins: &[S],
+        channel: &ChannelEstimate,
+        noise_var: f64,
+    ) -> Result<RxResult, RxError> {
+        with_tls_scratch(|scratch| self.decode_stream_bins_with(scratch, bins, channel, noise_var))
+    }
+
+    /// [`FrameRx::decode_stream_bins`] with caller-owned scratch buffers.
+    ///
+    /// The batched pipeline: per DATA symbol the pilot-corrected
+    /// subcarriers, equalised values and LLRs are staged in preallocated
+    /// buffers, and the deinterleaved soft bits accumulate into one
+    /// contiguous whole-frame stream that feeds depuncture → Viterbi
+    /// without further copies. Decoded output is bitwise identical to the
+    /// historical per-symbol allocate-and-scatter flow.
+    pub fn decode_stream_bins_with<S: AsRef<[Complex64]>>(
+        &self,
+        scratch: &mut RxScratch,
+        bins: &[S],
         channel: &ChannelEstimate,
         noise_var: f64,
     ) -> Result<RxResult, RxError> {
@@ -338,53 +444,57 @@ impl FrameRx {
         let csi: Vec<f64> = data_gains.iter().map(|g| g.norm_sqr()).collect();
 
         // --- SIGNAL.
-        let (mcs, psdu_len) = self.decode_signal(&bins[0], channel, noise_var, polarity[0])?;
+        let (mcs, psdu_len) =
+            self.decode_signal(bins[0].as_ref(), channel, noise_var, polarity[0])?;
         let n_sym = mcs.symbols_for_psdu(params, psdu_len);
         if bins.len() < 1 + n_sym {
             return Err(RxError::Truncated);
         }
 
-        // --- DATA symbols: pilot-track, equalise, soft-demap.
+        // --- DATA symbols: pilot-track, equalise, soft-demap, deinterleave.
         let ncbps = mcs.coded_bits_per_symbol(params);
         let il = Interleaver::new(params, mcs.modulation);
-        let mut soft = Vec::with_capacity(n_sym * ncbps);
+        scratch.soft.clear();
+        scratch.soft.reserve(n_sym * ncbps);
         let mut evm_acc = 0.0f64;
         let mut evm_n = 0usize;
         for n in 0..n_sym {
-            let b = &bins[1 + n];
+            let b = bins[1 + n].as_ref();
             let p = polarity[(n + 1) % polarity.len()];
             let pilots = self.ofdm.extract_pilots(b);
             let track = chanest::track_pilots(params, &pilots, &pilot_gains, p);
-            let mut data = self.ofdm.extract_data(b);
-            for (v, &k) in data.iter_mut().zip(&params.data_subcarriers) {
-                *v *= track.correction(k);
+            scratch.data.clear();
+            for &k in &params.data_subcarriers {
+                scratch.data.push(b[params.bin(k)] * track.correction(k));
             }
-            let eq = equalize(&data, &data_gains);
-            // EVM against nearest constellation point.
-            for y in &eq {
-                let hard = mcs.modulation.demap_hard(*y);
-                let ideal = mcs.modulation.map(&hard);
-                evm_acc += (*y - ideal).norm_sqr();
-                evm_n += 1;
-            }
-            let llrs = mcs.modulation.demap_soft_stream(&eq, noise_var, &csi);
-            soft.extend(il.deinterleave(&llrs));
+            equalize_into(&scratch.data, &data_gains, &mut scratch.eq);
+            scratch.llrs.clear();
+            mcs.modulation.demap_soft_evm_into(
+                &scratch.eq,
+                noise_var,
+                &csi,
+                &mut scratch.llrs,
+                &mut evm_acc,
+            );
+            evm_n += scratch.eq.len();
+            il.deinterleave_into(&scratch.llrs, &mut scratch.soft);
         }
 
         // --- Decode: depuncture → Viterbi → descramble → CRC.
         let ndbps = mcs.data_bits_per_symbol(params);
         let n_coded = 2 * n_sym * ndbps;
-        let restored = convcode::depuncture(&soft, mcs.code_rate, n_coded);
+        convcode::depuncture_into(&scratch.soft, mcs.code_rate, n_coded, &mut scratch.restored);
         // Viterbi truncates 6 tail bits from the end of the stream; we only
         // need the SERVICE + PSDU prefix.
-        let decoded = viterbi::decode(&restored).map_err(|_| RxError::Truncated)?;
+        viterbi::decode_with(&scratch.restored, &mut scratch.viterbi, &mut scratch.bits)
+            .map_err(|_| RxError::Truncated)?;
         let needed = 16 + 8 * psdu_len;
-        if decoded.len() < needed {
+        if scratch.bits.len() < needed {
             return Err(RxError::Truncated);
         }
-        let mut bits = decoded;
         let mut scr = Scrambler::new(self.seed);
-        scr.scramble_in_place(&mut bits);
+        scr.scramble_in_place(&mut scratch.bits);
+        let bits = &scratch.bits;
         let mut psdu = Vec::with_capacity(psdu_len);
         for i in 0..psdu_len {
             let mut byte = 0u8;

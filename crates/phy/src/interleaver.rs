@@ -81,6 +81,22 @@ impl Interleaver {
         self.inv.iter().map(|&j| bits[j]).collect()
     }
 
+    /// Deinterleaves one symbol block, appending to `out` instead of
+    /// allocating (the batched receive path calls this once per symbol).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != block_len()`.
+    pub fn deinterleave_into<T: Copy>(&self, bits: &[T], out: &mut Vec<T>) {
+        // jmb-allow(no-panic-hot-path): documented precondition (# Panics) — block length is fixed by the MCS
+        assert_eq!(
+            bits.len(),
+            self.block_len(),
+            "deinterleave: block size mismatch"
+        );
+        out.extend(self.inv.iter().map(|&j| bits[j]));
+    }
+
     /// Interleaves a multi-symbol stream block by block.
     ///
     /// # Panics

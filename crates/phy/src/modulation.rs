@@ -7,6 +7,15 @@
 
 use jmb_dsp::Complex64;
 
+/// Flat constellation lookup shared by the batched demap path: points in
+/// label order (the order [`Modulation::constellation`] yields) plus, per
+/// bit position, a mask over point indices whose label has that bit set.
+/// Built once per modulation and cached for the life of the process.
+struct ConstTable {
+    pts: Vec<Complex64>,
+    bit1: [u64; 6],
+}
+
 /// A constellation used by JMB (the paper's §10a list: "BPSK, 4QAM, 16QAM,
 /// and 64QAM").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -176,6 +185,88 @@ impl Modulation {
         }
         out
     }
+
+    fn table(self) -> &'static ConstTable {
+        use std::sync::OnceLock;
+        static TABLES: [OnceLock<ConstTable>; 4] = [
+            OnceLock::new(),
+            OnceLock::new(),
+            OnceLock::new(),
+            OnceLock::new(),
+        ];
+        let idx = match self {
+            Modulation::Bpsk => 0,
+            Modulation::Qpsk => 1,
+            Modulation::Qam16 => 2,
+            Modulation::Qam64 => 3,
+        };
+        TABLES[idx].get_or_init(|| {
+            let mut pts = Vec::new();
+            let mut bit1 = [0u64; 6];
+            for (i, (p, bits)) in self.constellation().into_iter().enumerate() {
+                pts.push(p);
+                for (b, &v) in bits.iter().enumerate() {
+                    if v == 1 {
+                        bit1[b] |= 1 << i;
+                    }
+                }
+            }
+            ConstTable { pts, bit1 }
+        })
+    }
+
+    /// Batched soft demap + EVM for one symbol's equalised subcarriers.
+    ///
+    /// Appends `bits_per_symbol()` max-log LLRs per received value to `llrs`
+    /// and accumulates into `evm_acc` the squared distance from each value
+    /// to its nearest constellation point (the EVM numerator). Produces
+    /// bitwise the values the scalar [`Modulation::demap_soft_stream`] /
+    /// [`Modulation::demap_hard`] pair would — every point distance is
+    /// simply computed once per value instead of once per bit — so the
+    /// decode chain stays byte-identical whichever path runs.
+    pub fn demap_soft_evm_into(
+        self,
+        ys: &[Complex64],
+        noise_var: f64,
+        csi: &[f64],
+        llrs: &mut Vec<f64>,
+        evm_acc: &mut f64,
+    ) {
+        // jmb-allow(no-panic-hot-path): documented precondition — one CSI weight per symbol, produced by the same channel estimate
+        assert_eq!(ys.len(), csi.len(), "per-symbol CSI required");
+        let bps = self.bits_per_symbol();
+        let t = self.table();
+        let n_pts = t.pts.len();
+        let nv = noise_var.max(1e-12);
+        llrs.reserve(ys.len() * bps);
+        let mut dist = [0.0f64; 64];
+        for (y, &w) in ys.iter().zip(csi) {
+            for (d, s) in dist[..n_pts].iter_mut().zip(&t.pts) {
+                *d = (*y - *s).norm_sqr();
+            }
+            // Nearest point, first-wins on ties and total_cmp NaN ordering —
+            // exactly Iterator::min_by as used by demap_hard.
+            let mut bi = 0usize;
+            for i in 1..n_pts {
+                if dist[i].total_cmp(&dist[bi]) == std::cmp::Ordering::Less {
+                    bi = i;
+                }
+            }
+            *evm_acc += dist[bi];
+            for &mask in &t.bit1[..bps] {
+                let mut d0 = f64::INFINITY;
+                let mut d1 = f64::INFINITY;
+                for (i, &d) in dist[..n_pts].iter().enumerate() {
+                    if (mask >> i) & 1 == 1 {
+                        d1 = d1.min(d);
+                    } else {
+                        d0 = d0.min(d);
+                    }
+                }
+                llrs.push((d1 - d0) / nv * w);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -327,6 +418,42 @@ mod tests {
     #[should_panic(expected = "needs")]
     fn wrong_bit_count_panics() {
         Modulation::Qam16.map(&[1, 0]);
+    }
+
+    #[test]
+    fn batched_demap_matches_scalar_bitwise() {
+        // The batched path must reproduce the scalar demap_soft_stream and
+        // demap_hard-based EVM down to the last bit, including NaN/∞ inputs.
+        for m in ALL {
+            let mut ys: Vec<Complex64> = (0..40)
+                .map(|i| {
+                    let a = (i as f64 * 0.37 - 3.0) * m.kmod();
+                    let b = (i as f64 * 0.51 - 4.1) * m.kmod();
+                    Complex64::new(a, b)
+                })
+                .collect();
+            ys.push(Complex64::new(f64::NAN, 0.3));
+            ys.push(Complex64::new(f64::INFINITY, -1.0));
+            ys.push(Complex64::ZERO);
+            let csi: Vec<f64> = (0..ys.len()).map(|i| 0.1 + 0.05 * i as f64).collect();
+            let nv = 0.137;
+
+            let mut llrs = Vec::new();
+            let mut evm = 0.0f64;
+            m.demap_soft_evm_into(&ys, nv, &csi, &mut llrs, &mut evm);
+
+            let want = m.demap_soft_stream(&ys, nv, &csi);
+            assert_eq!(llrs.len(), want.len(), "{m:?}");
+            for (i, (a, b)) in llrs.iter().zip(&want).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{m:?} llr {i}: {a} vs {b}");
+            }
+            let mut evm_ref = 0.0f64;
+            for y in &ys {
+                let ideal = m.map(&m.demap_hard(*y));
+                evm_ref += (*y - ideal).norm_sqr();
+            }
+            assert_eq!(evm.to_bits(), evm_ref.to_bits(), "{m:?} evm");
+        }
     }
 
     #[test]

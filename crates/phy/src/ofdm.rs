@@ -94,6 +94,24 @@ impl Ofdm {
         bins
     }
 
+    /// Demodulates one symbol, appending its `fft_size` bins to `out` —
+    /// the allocation-free form of [`Ofdm::demodulate_symbol`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples.len() != 80`.
+    pub fn demodulate_symbol_into(&self, samples: &[Complex64], out: &mut Vec<Complex64>) {
+        // jmb-allow(no-panic-hot-path): documented precondition (# Panics) — the frame parser slices whole symbols
+        assert_eq!(
+            samples.len(),
+            self.params.symbol_len(),
+            "need one full symbol"
+        );
+        let start = out.len();
+        out.extend_from_slice(&samples[self.params.cp_len..]);
+        self.plan.forward(&mut out[start..]);
+    }
+
     /// Extracts the 48 data-subcarrier values from 64 bins, in the order of
     /// `params.data_subcarriers`.
     pub fn extract_data(&self, bins: &[Complex64]) -> Vec<Complex64> {
@@ -129,19 +147,24 @@ impl Ofdm {
 /// channel estimate is ~zero are zeroed (they carry no usable information and
 /// their LLR weight should be ~0 anyway).
 pub fn equalize(received: &[Complex64], channel: &[Complex64]) -> Vec<Complex64> {
+    let mut out = Vec::new();
+    equalize_into(received, channel, &mut out);
+    out
+}
+
+/// Allocation-free [`equalize`]: clears `out` and fills it with the
+/// equalized values (bitwise identical to what [`equalize`] returns).
+pub fn equalize_into(received: &[Complex64], channel: &[Complex64], out: &mut Vec<Complex64>) {
     // jmb-allow(no-panic-hot-path): caller contract — symbols and channel gains are sliced from the same estimate
     assert_eq!(received.len(), channel.len(), "equalize: length mismatch");
-    received
-        .iter()
-        .zip(channel)
-        .map(|(&y, &h)| {
-            if h.norm_sqr() < 1e-18 {
-                Complex64::ZERO
-            } else {
-                y / h
-            }
-        })
-        .collect()
+    out.clear();
+    out.extend(received.iter().zip(channel).map(|(&y, &h)| {
+        if h.norm_sqr() < 1e-18 {
+            Complex64::ZERO
+        } else {
+            y / h
+        }
+    }));
 }
 
 #[cfg(test)]

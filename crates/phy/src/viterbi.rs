@@ -8,13 +8,75 @@
 //!
 //! LLR sign convention: **positive = bit 0 more likely** (matches
 //! [`crate::modulation::Modulation::demap_soft`]).
+//!
+//! Two implementations live here (DESIGN.md §3.11):
+//!
+//! * [`decode`] / [`decode_with`] — the throughput decoder. Path metrics are
+//!   held in a struct-of-arrays layout (one flat `[f64; 64]` per trellis
+//!   column), the add-compare-select step is branchless (clamped candidates,
+//!   select-by-comparison), and survivor decisions are one byte lane per
+//!   state per step in a flat buffer (the [`UNREACHED`] flag shares the
+//!   byte) instead of a per-step `Vec`.
+//! * [`decode_reference`] — the original scalar decoder, kept as the
+//!   executable specification. Property tests assert the fast decoder is
+//!   bit-exact against it, including NaN and ±∞ soft inputs.
 
 use crate::convcode::{G0, G1, TAIL_BITS};
 
-const N_STATES: usize = 64;
+/// Number of trellis states (`2^(K-1)` for the constraint-length-7 code).
+pub const N_STATES: usize = 64;
+/// Path metric of an unreached state.
+pub const NEG_INF: f64 = f64::NEG_INFINITY;
 
-/// Precomputed trellis: for each `(state, input)` the next state and the two
-/// output bits.
+/// Path metrics are shifted down when they exceed this bound so that long
+/// streams cannot overflow to `+∞`. The threshold is astronomically above
+/// anything reachable from physical LLRs, so renormalisation never fires on
+/// sane inputs and the decoder stays bit-exact with [`decode_reference`].
+const RENORM_LIMIT: f64 = 1e250;
+
+/// How often (in trellis steps) the renormalisation check runs.
+const RENORM_INTERVAL: usize = 64;
+
+/// Butterfly output codes: `BFLY_CODE[j]` is the 2-bit encoder output
+/// (bit 1 = g0, bit 0 = g1) of the transition from predecessor `2j` into
+/// new state `j` (input bit 0), for `j < 32`.
+///
+/// The three sibling transitions of the butterfly follow by sign symmetry:
+/// the predecessor's LSB and the input bit each feed both generator taps
+/// (bit 0 and bit 6 are set in both `G0` and `G1`), so flipping either one
+/// flips both output bits, i.e. negates the branch metric.
+const BFLY_CODE: [u8; 32] = build_bfly_code();
+
+const fn build_bfly_code() -> [u8; 32] {
+    let mut t = [0u8; 32];
+    let mut j = 0;
+    while j < 32 {
+        // reg = (input bit << 6) | prev, with input 0 and prev = 2j.
+        let reg = (j << 1) as u8;
+        t[j] = ((((reg & G0).count_ones() & 1) << 1) | ((reg & G1).count_ones() & 1)) as u8;
+        j += 1;
+    }
+    t
+}
+
+/// Per-butterfly sign of `l0` (g0 soft value) in the branch metric of the
+/// `2j → j` transition: `+1.0` when the output bit is 0.
+const SIGN0: [f64; 32] = build_signs(0b10);
+/// Per-butterfly sign of `l1` (g1 soft value), as [`SIGN0`].
+const SIGN1: [f64; 32] = build_signs(0b01);
+
+const fn build_signs(mask: u8) -> [f64; 32] {
+    let mut t = [0.0f64; 32];
+    let mut j = 0;
+    while j < 32 {
+        t[j] = if BFLY_CODE[j] & mask == 0 { 1.0 } else { -1.0 };
+        j += 1;
+    }
+    t
+}
+
+/// Precomputed trellis for [`decode_reference`]: for each `(state, input)`
+/// the next state and the two output bits.
 #[derive(Debug, Clone)]
 struct Trellis {
     /// `next[state][input]`.
@@ -65,6 +127,181 @@ impl std::fmt::Display for ViterbiError {
 
 impl std::error::Error for ViterbiError {}
 
+/// Survivor-decision byte for one `(step, state)` cell: bit 0 set ⇒ the
+/// survivor came from the odd predecessor (`(s<<1)&63 | 1`); bit
+/// [`UNREACHED`] set ⇒ no admissible (finite-metric) path reached this state
+/// and traceback restarts at `(state 0, bit 0)`, mirroring the reference
+/// decoder's zero-initialised decision bytes.
+pub const UNREACHED: u8 = 0b10;
+
+/// Reusable survivor storage for [`decode_with`]: one decision byte per
+/// `(step, state)`, stored as flat `n_steps × 64` lanes so the
+/// add-compare-select loop writes them with contiguous vector stores
+/// (packing them into per-step `u64` masks would serialise the loop on the
+/// shift-or chain). Allocate once per receiver and recycle across frames —
+/// `decode_with` grows it as needed and never shrinks it.
+#[derive(Debug, Clone, Default)]
+pub struct ViterbiScratch {
+    /// `decision[t * 64 + s]`: see [`UNREACHED`].
+    decision: Vec<u8>,
+}
+
+impl ViterbiScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// One block of add-compare-select steps over the 64-state trellis.
+///
+/// Consumes `soft` two values (one trellis step) at a time, advancing
+/// `metric` in place and recording 64 decision bytes per step into
+/// `decision` (bit 0 = odd predecessor won, bit 1 = [`UNREACHED`]).
+/// Processes as many steps as the shorter of the two buffers allows and
+/// returns that count.
+///
+/// The loop body is written as pure vertical lane arithmetic so LLVM can
+/// auto-vectorise it: predecessor metrics are deinterleaved into even/odd
+/// lanes once per step, every load and store in the butterfly loop is then
+/// contiguous, and decisions land as byte lanes instead of a packed bitmask
+/// (a `|= … << j` chain would serialise the loop).
+///
+/// Admission mirrors [`decode_reference`] exactly: a candidate that is NaN
+/// (a NaN LLR from equalising a spectral null) or −∞ (unreached predecessor)
+/// is clamped to −∞ and can never beat an admissible path; ties select the
+/// even predecessor, as the reference's ascending-state scan does.
+pub fn acs_block(soft: &[f64], metric: &mut [f64; N_STATES], decision: &mut [u8]) -> usize {
+    const HALF: usize = N_STATES / 2;
+    let mut cur = *metric;
+    // Even/odd predecessor metrics: `even[j] = cur[2j]`, `odd[j] = cur[2j+1]`.
+    let mut even = [NEG_INF; HALF];
+    let mut odd = [NEG_INF; HALF];
+    let mut n_steps = 0usize;
+    for (pair, dec) in soft
+        .chunks_exact(2)
+        .zip(decision.chunks_exact_mut(N_STATES))
+    {
+        let (l0, l1) = (pair[0], pair[1]);
+        // Deinterleave the trellis shuffle as explicit pair swaps so the
+        // backend lowers it to packed shuffles rather than scalar moves.
+        for ((quad, e), o) in cur
+            .chunks_exact(4)
+            .zip(even.chunks_exact_mut(2))
+            .zip(odd.chunks_exact_mut(2))
+        {
+            e[0] = quad[0];
+            e[1] = quad[2];
+            o[0] = quad[1];
+            o[1] = quad[3];
+        }
+        // Butterfly j couples predecessors {2j, 2j+1} to new states
+        // {j, j+32}; the four branch metrics are ±g with g the metric of
+        // the 2j→j transition (see BFLY_CODE). Exact sign symmetry keeps
+        // every candidate bitwise identical to the reference's. The winner
+        // select reuses the `c1 > c0` mask: candidates are NaN-free after
+        // the clamp, and path metrics are never −0.0 (they start at +0.0 and
+        // a round-to-nearest sum of a non-negative-zero value is never −0.0),
+        // so select-by-comparison equals the reference's scan bitwise.
+        let (lo, hi) = cur.split_at_mut(HALF);
+        let (dec_lo, dec_hi) = dec.split_at_mut(HALF);
+        for j in 0..HALF {
+            let g = SIGN0[j] * l0 + SIGN1[j] * l1;
+            let m0 = even[j];
+            let m1 = odd[j];
+            // New state j (input bit 0): branches +g / −g. The clamped
+            // metric is NaN-free, so `m == NEG_INF` is exactly "unreached".
+            let c0 = (m0 + g).max(NEG_INF);
+            let c1 = (m1 - g).max(NEG_INF);
+            let take1 = c1 > c0;
+            let m = if take1 { c1 } else { c0 };
+            lo[j] = m;
+            dec_lo[j] = take1 as u8 | (((m == NEG_INF) as u8) << 1);
+            // New state j+32 (input bit 1): signs flipped.
+            let c0 = (m0 - g).max(NEG_INF);
+            let c1 = (m1 + g).max(NEG_INF);
+            let take1 = c1 > c0;
+            let m = if take1 { c1 } else { c0 };
+            hi[j] = m;
+            dec_hi[j] = take1 as u8 | (((m == NEG_INF) as u8) << 1);
+        }
+        n_steps += 1;
+        if n_steps.is_multiple_of(RENORM_INTERVAL) {
+            let mx = cur.iter().fold(NEG_INF, |a, &b| a.max(b));
+            if mx > RENORM_LIMIT && mx.is_finite() {
+                for m in cur.iter_mut() {
+                    *m -= mx; // −∞ stays −∞; finite paths shift uniformly
+                }
+            }
+        }
+    }
+    *metric = cur;
+    n_steps
+}
+
+/// Decodes a rate-1/2 soft stream (LLR per coded bit, erasures as 0.0).
+///
+/// `soft.len()` must be even and correspond to at least the 6 tail bits.
+/// Returns the decoded data bits **without** the tail.
+///
+/// Allocation-free variant of [`decode`]: survivor masks live in `scratch`
+/// and the decoded bits are written into `out` (cleared first).
+pub fn decode_with(
+    soft: &[f64],
+    scratch: &mut ViterbiScratch,
+    out: &mut Vec<u8>,
+) -> Result<(), ViterbiError> {
+    if !soft.len().is_multiple_of(2) || soft.len() / 2 < TAIL_BITS {
+        return Err(ViterbiError::BadInputLength(soft.len()));
+    }
+    let n_steps = soft.len() / 2;
+    // Grow-only, no re-zeroing: acs_block overwrites every byte of the
+    // first n_steps × 64 cells before traceback reads them.
+    if scratch.decision.len() < n_steps * N_STATES {
+        scratch.decision.resize(n_steps * N_STATES, 0);
+    }
+
+    let mut metric = [NEG_INF; N_STATES];
+    metric[0] = 0.0; // encoder starts in state 0
+    acs_block(
+        soft,
+        &mut metric,
+        &mut scratch.decision[..n_steps * N_STATES],
+    );
+
+    // The tail flushes the encoder to state 0; terminate there. If state 0 is
+    // unreachable (severe erasures), fall back to the best surviving state.
+    let mut state = if metric[0] > NEG_INF {
+        0usize
+    } else {
+        metric
+            .iter()
+            .enumerate()
+            // total_cmp for parity with decode_reference (the clamped
+            // metrics are NaN-free, so this is a plain max, last-wins).
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    };
+
+    out.clear();
+    out.resize(n_steps, 0);
+    for t in (0..n_steps).rev() {
+        let d = scratch.decision[t * N_STATES + state];
+        if d & UNREACHED != 0 {
+            // Unreached state: the reference decoder's decision byte is the
+            // zero-initialised (prev 0, bit 0).
+            out[t] = 0;
+            state = 0;
+        } else {
+            out[t] = (state >> 5) as u8;
+            state = ((state << 1) & (N_STATES - 1)) | (d & 1) as usize;
+        }
+    }
+    out.truncate(n_steps - TAIL_BITS);
+    Ok(())
+}
+
 /// Decodes a rate-1/2 soft stream (LLR per coded bit, erasures as 0.0).
 ///
 /// `soft.len()` must be even and correspond to at least the 6 tail bits.
@@ -82,13 +319,31 @@ impl std::error::Error for ViterbiError {}
 /// assert_eq!(viterbi::decode(&soft).unwrap(), data);
 /// ```
 pub fn decode(soft: &[f64]) -> Result<Vec<u8>, ViterbiError> {
+    std::thread_local! {
+        /// Survivor storage reused across calls, so standalone `decode`
+        /// callers get the same allocation-amortised path as `decode_with`.
+        static TLS_SCRATCH: std::cell::RefCell<ViterbiScratch> =
+            std::cell::RefCell::new(ViterbiScratch::new());
+    }
+    let mut out = Vec::new();
+    TLS_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => decode_with(soft, &mut scratch, &mut out),
+        Err(_) => decode_with(soft, &mut ViterbiScratch::new(), &mut out),
+    })?;
+    Ok(out)
+}
+
+/// The original scalar decoder, retained as the executable specification of
+/// [`decode`]'s exact semantics (admission rules, tie-breaks, NaN handling,
+/// terminal-state fallback). Differential tests assert bit-exact agreement;
+/// production paths use [`decode`] / [`decode_with`].
+pub fn decode_reference(soft: &[f64]) -> Result<Vec<u8>, ViterbiError> {
     if !soft.len().is_multiple_of(2) || soft.len() / 2 < TAIL_BITS {
         return Err(ViterbiError::BadInputLength(soft.len()));
     }
     let n_steps = soft.len() / 2;
     let trellis = Trellis::shared();
 
-    const NEG_INF: f64 = f64::NEG_INFINITY;
     let mut metric = [NEG_INF; N_STATES];
     metric[0] = 0.0; // encoder starts in state 0
     let mut new_metric = [NEG_INF; N_STATES];
@@ -250,6 +505,10 @@ mod tests {
             decode(&[1.0; 4]),
             Err(ViterbiError::BadInputLength(4))
         ));
+        assert!(matches!(
+            decode_reference(&[1.0; 7]),
+            Err(ViterbiError::BadInputLength(7))
+        ));
     }
 
     #[test]
@@ -262,6 +521,83 @@ mod tests {
         let out = decode(&soft).unwrap();
         assert_eq!(out.len(), n_data);
         assert!(out.iter().all(|&b| b <= 1));
+        assert_eq!(out, decode_reference(&soft).unwrap());
+    }
+
+    #[test]
+    fn butterfly_tables_match_trellis() {
+        // The const butterfly tables must agree with the reference trellis:
+        // BFLY_CODE[j] is the output of (prev=2j, input=0), and the three
+        // sibling transitions are its bitwise complements per the sign rule.
+        let tr = Trellis::shared();
+        for (j, &code) in BFLY_CODE.iter().enumerate() {
+            assert_eq!(code, tr.out[2 * j][0], "j={j} even/0");
+            assert_eq!(code ^ 0b11, tr.out[2 * j + 1][0], "j={j} odd/0");
+            assert_eq!(code ^ 0b11, tr.out[2 * j][1], "j={j} even/1");
+            assert_eq!(code, tr.out[2 * j + 1][1], "j={j} odd/1");
+            assert_eq!(tr.next[2 * j][0] as usize, j);
+            assert_eq!(tr.next[2 * j + 1][0] as usize, j);
+            assert_eq!(tr.next[2 * j][1] as usize, j + 32);
+            assert_eq!(tr.next[2 * j + 1][1] as usize, j + 32);
+        }
+    }
+
+    #[test]
+    fn fast_matches_reference_on_noisy_soft_values() {
+        // Deterministic LCG noise over several lengths; the fast decoder
+        // must agree bit-for-bit with the reference, errors and all.
+        let mut lcg: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut next = || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (lcg >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for n_data in [1usize, 7, 53, 200] {
+            let data: Vec<u8> = (0..n_data).map(|i| ((i * 29 + 3) % 2) as u8).collect();
+            let coded = encode(&data);
+            let soft: Vec<f64> = coded
+                .iter()
+                .map(|&b| {
+                    let tx = if b == 0 { 1.0 } else { -1.0 };
+                    tx + 3.0 * next()
+                })
+                .collect();
+            assert_eq!(
+                decode(&soft).unwrap(),
+                decode_reference(&soft).unwrap(),
+                "n_data={n_data}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_matches_reference_with_nan_and_inf() {
+        let data: Vec<u8> = (0..60).map(|i| ((i * 11 + 2) % 2) as u8).collect();
+        let coded = encode(&data);
+        let mut soft = to_soft(&coded);
+        soft[4] = f64::NAN;
+        soft[5] = f64::NAN;
+        soft[20] = f64::INFINITY;
+        soft[33] = f64::NEG_INFINITY;
+        soft[70] = f64::NAN;
+        assert_eq!(decode(&soft).unwrap(), decode_reference(&soft).unwrap());
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless() {
+        // A recycled scratch must decode exactly like a fresh one, including
+        // after a longer frame has grown its buffers.
+        let mut scratch = ViterbiScratch::new();
+        let mut out = Vec::new();
+        let long: Vec<u8> = (0..300).map(|i| ((i * 7 + 1) % 2) as u8).collect();
+        let short: Vec<u8> = (0..40).map(|i| ((i * 13 + 4) % 2) as u8).collect();
+        for data in [&long, &short] {
+            let coded = encode(data);
+            let soft = to_soft(&coded);
+            decode_with(&soft, &mut scratch, &mut out).unwrap();
+            assert_eq!(&out, data);
+        }
     }
 
     #[test]

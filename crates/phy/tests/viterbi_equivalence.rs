@@ -1,0 +1,91 @@
+//! Property-based bit-exactness proof for the vectorised Viterbi decoder.
+//!
+//! `viterbi::decode` (lane-oriented add-compare-select over a flat decision
+//! buffer) must return *exactly* the bits of `viterbi::decode_reference`
+//! (the straightforward per-state scan kept as the executable spec) for any
+//! admissible soft input — not just agree on clean streams. These properties
+//! drive both decoders through every MCS's code rate with random payloads,
+//! heavy Gaussian-ish noise, erasures, spectral nulls (`-inf`), and NaN
+//! metrics, and require bitwise-equal output on all of them.
+
+use jmb_phy::convcode;
+use jmb_phy::rates::Mcs;
+use jmb_phy::viterbi::{self, ViterbiScratch};
+use proptest::prelude::*;
+
+/// Encode → puncture (at the MCS's code rate) → BPSK-style soft mapping with
+/// additive noise → depuncture, i.e. exactly the stream shape the frame
+/// decoder hands to the Viterbi stage.
+fn noisy_depunctured_stream(data: &[u8], mcs: Mcs, noise: &[f64], scale: f64) -> Vec<f64> {
+    let coded = convcode::encode(data);
+    let punctured = convcode::puncture(&coded, mcs.code_rate);
+    let soft: Vec<f64> = punctured
+        .iter()
+        .zip(noise.iter().cycle())
+        .map(|(&b, &n)| if b == 0 { 1.0 } else { -1.0 } + scale * n)
+        .collect();
+    convcode::depuncture(&soft, mcs.code_rate, coded.len())
+}
+
+proptest! {
+    /// All 8 MCS rates, random payloads, random noise amplitude: the fast
+    /// decoder's bits are the reference decoder's bits.
+    #[test]
+    fn fast_decoder_matches_reference_all_mcs(
+        data in prop::collection::vec(0u8..2, 1..400),
+        noise in prop::collection::vec(-1.0..1.0f64, 16..64),
+        mcs_idx in 0usize..8,
+        scale in 0.0..3.0f64,
+    ) {
+        let mcs = Mcs::ALL[mcs_idx];
+        let soft = noisy_depunctured_stream(&data, mcs, &noise, scale);
+        prop_assert_eq!(
+            viterbi::decode(&soft).unwrap(),
+            viterbi::decode_reference(&soft).unwrap()
+        );
+    }
+
+    /// Pathological metrics: random positions replaced by NaN (demapper
+    /// guard rails) or -inf (spectral nulls / erasures). The fast path must
+    /// make the same survivor choices as the reference scan, including the
+    /// unreached-state convention.
+    #[test]
+    fn fast_decoder_matches_reference_with_nan_and_nulls(
+        data in prop::collection::vec(0u8..2, 1..200),
+        noise in prop::collection::vec(-1.0..1.0f64, 16..64),
+        mcs_idx in 0usize..8,
+        poison in prop::collection::vec((0.0..1.0f64, 0usize..3), 0..40),
+    ) {
+        let mcs = Mcs::ALL[mcs_idx];
+        let mut soft = noisy_depunctured_stream(&data, mcs, &noise, 1.5);
+        for &(frac, kind) in &poison {
+            let idx = ((soft.len() - 1) as f64 * frac) as usize;
+            soft[idx] = match kind {
+                0 => f64::NAN,
+                1 => f64::NEG_INFINITY,
+                _ => 0.0, // hard erasure
+            };
+        }
+        prop_assert_eq!(
+            viterbi::decode(&soft).unwrap(),
+            viterbi::decode_reference(&soft).unwrap()
+        );
+    }
+
+    /// Scratch reuse across calls of wildly different lengths never leaks
+    /// state: decoding with a shared scratch equals decoding fresh.
+    #[test]
+    fn scratch_reuse_is_stateless_across_lengths(
+        lens in prop::collection::vec(7usize..250, 1..6),
+        noise in prop::collection::vec(-2.0..2.0f64, 32..96),
+    ) {
+        let mut scratch = ViterbiScratch::new();
+        for (i, &n_data) in lens.iter().enumerate() {
+            let data: Vec<u8> = (0..n_data).map(|b| ((b * 7 + i) % 2) as u8).collect();
+            let soft = noisy_depunctured_stream(&data, Mcs::ALL[i % 8], &noise, 1.0);
+            let mut out = Vec::new();
+            viterbi::decode_with(&soft, &mut scratch, &mut out).unwrap();
+            prop_assert_eq!(out, viterbi::decode_reference(&soft).unwrap());
+        }
+    }
+}
