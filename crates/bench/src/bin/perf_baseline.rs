@@ -337,6 +337,35 @@ fn main() {
         println!("fastnet_joint_transmit_4x4  {ns:>12.1} ns/op");
     }
 
+    // --- City quick sweep (the sharded multi-cell outer loop) -----------
+    // One op = a whole 4×4-grid city run (16 cells × 2 coupling epochs),
+    // timed at 1 and 4 worker threads so `--compare` catches regressions
+    // in both the per-cell cost and the shard dispatch overhead.
+    {
+        use jmb_city::{City, CityConfig, Reuse};
+        for (name, threads) in [("city_quick_4x4_t1", 1usize), ("city_quick_4x4_t4", 4usize)] {
+            let mut cfg = CityConfig::default_with(4, 4, Reuse::Three, opts.seed);
+            cfg.aps_per_cell = 2;
+            cfg.clients_per_cell = 4;
+            cfg.duration_s = 0.02;
+            cfg.rate_pps = 200.0;
+            cfg.threads = threads;
+            let cells_per_run = (cfg.cols * cfg.rows * cfg.epochs) as f64;
+            let ns = time_median(samples.min(5), min_batch, || {
+                City::new(cfg.clone())
+                    .expect("city config")
+                    .run()
+                    .expect("city run");
+            });
+            entries.push(Entry {
+                name,
+                ns_per_op: ns,
+                throughput: Some((cells_per_run / (ns * 1e-9), "cells/s")),
+            });
+            println!("{name:<27} {ns:>12.1} ns/op");
+        }
+    }
+
     // --- Span report ----------------------------------------------------
     let spans = jmb_obs::span_report();
     if !spans.is_empty() {

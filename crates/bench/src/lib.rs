@@ -18,6 +18,7 @@
 //! | `run_all_figures` | everything above in sequence |
 //! | `perf_baseline` | hot-path timing suite → `BENCH_<date>.json` |
 //! | `traffic_sweep` | goodput/latency vs offered load and AP count, plus a lead-AP failover run |
+//! | `city_sweep` | area capacity (bits/s/km²) vs frequency-reuse factor on a sharded multi-cell grid |
 //!
 //! All binaries accept `--quick` (or env `JMB_QUICK=1`), `--seed N`,
 //! `--out DIR` and `--threads N`; `--help` prints usage. Criterion

@@ -1,0 +1,136 @@
+//! Property tests for the shard/merge determinism contract.
+//!
+//! Two layers:
+//!
+//! * pure registry pooling — merging per-cell registries is
+//!   order-independent (values are quarter-integers, so the f64 sums are
+//!   exact and permutation-invariant down to the bit);
+//! * the whole city — any worker-thread count produces bit-identical
+//!   per-cell outcomes, pooled metrics, and merged registry rows as the
+//!   single-threaded run.
+
+use jmb_city::{City, CityConfig, Reuse};
+use jmb_obs::Registry;
+use proptest::prelude::*;
+
+const LAT_BOUNDS: [f64; 4] = [0.001, 0.01, 0.1, 1.0];
+
+/// One synthetic cell shard's worth of metrics.
+#[derive(Debug, Clone)]
+struct Shard {
+    delivered: u64,
+    drops: u64,
+    /// Quarter-integers (exact in f64, so sums commute exactly).
+    airtime_quarters: u32,
+    latencies_quarters: Vec<u32>,
+}
+
+fn shard_registry(s: &Shard, cell: u32) -> Registry {
+    let mut r = Registry::new();
+    r.register_hist("latency_s", &LAT_BOUNDS);
+    r.inc_by("delivered", s.delivered);
+    r.inc_by("drops", s.drops);
+    r.inc_at("cell_runs", cell);
+    r.gauge_add("airtime_s", s.airtime_quarters as f64 * 0.25);
+    r.gauge_add_at("cell_airtime_s", cell, s.airtime_quarters as f64 * 0.25);
+    for &q in &s.latencies_quarters {
+        r.observe("latency_s", q as f64 * 0.25);
+    }
+    r
+}
+
+/// Deterministic Fisher–Yates permutation of `0..n` from a seed (an LCG is
+/// plenty — we only need arbitrary orders, not good randomness).
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut state = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+    for i in (1..n).rev() {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        order.swap(i, (state >> 33) as usize % (i + 1));
+    }
+    order
+}
+
+fn shard_strategy() -> impl Strategy<Value = Shard> {
+    (
+        0u64..10_000,
+        0u64..100,
+        0u32..4_000,
+        prop::collection::vec(0u32..40, 0..12),
+    )
+        .prop_map(
+            |(delivered, drops, airtime_quarters, latencies_quarters)| Shard {
+                delivered,
+                drops,
+                airtime_quarters,
+                latencies_quarters,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn registry_merge_is_order_independent(
+        shards in prop::collection::vec(shard_strategy(), 1..12),
+        perm_seed in 0u64..1_000_000,
+    ) {
+        let regs: Vec<Registry> = shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| shard_registry(s, i as u32))
+            .collect();
+        let mut in_order = Registry::new();
+        for r in &regs {
+            in_order.merge(r);
+        }
+        let mut permuted = Registry::new();
+        for &i in &permutation(regs.len(), perm_seed) {
+            permuted.merge(&regs[i]);
+        }
+        prop_assert_eq!(permuted.rows(), in_order.rows());
+        // And the pooled totals are the plain sums of the shard inputs.
+        let delivered: u64 = shards.iter().map(|s| s.delivered).sum();
+        let quarters: u64 = shards.iter().map(|s| s.airtime_quarters as u64).sum();
+        let samples: u64 = shards.iter().map(|s| s.latencies_quarters.len() as u64).sum();
+        prop_assert_eq!(in_order.counter("delivered"), delivered);
+        prop_assert_eq!(in_order.gauge("airtime_s"), quarters as f64 * 0.25);
+        prop_assert_eq!(in_order.hist("latency_s").unwrap().count(), samples);
+    }
+}
+
+proptest! {
+    // City runs are whole simulations; a few cases at full depth beat many
+    // shallow ones.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn sharded_city_matches_single_threaded_pool(
+        seed in 0u64..1_000,
+        threads in 2usize..6,
+    ) {
+        let run = |threads: usize| {
+            let mut cfg = CityConfig::default_with(3, 2, Reuse::Three, seed);
+            cfg.aps_per_cell = 2;
+            cfg.clients_per_cell = 3;
+            cfg.duration_s = 0.02;
+            cfg.rate_pps = 300.0;
+            cfg.threads = threads;
+            let report = City::new(cfg).unwrap().run().unwrap();
+            let cells: Vec<(usize, f64, Vec<String>)> = report
+                .cells
+                .iter()
+                .map(|c| (c.cell, c.inr_db, c.metrics.csv_row()))
+                .collect();
+            (cells, report.pooled.csv_row(), report.registry.rows())
+        };
+        let serial = run(1);
+        let sharded = run(threads);
+        prop_assert_eq!(&sharded.0, &serial.0, "per-cell outcomes diverged");
+        prop_assert_eq!(&sharded.1, &serial.1, "pooled metrics diverged");
+        prop_assert_eq!(&sharded.2, &serial.2, "merged registry diverged");
+    }
+}

@@ -151,6 +151,12 @@ pub struct FastNet {
     /// forward — the stream is monotone in time by construction, and the
     /// integration tests assert it.
     pub trace: Trace,
+    /// External (out-of-cell) interference power per occupied subcarrier,
+    /// linear, in the same normalised units as `cfg.noise_var`. Zero by
+    /// default; a multi-cell deployment sets it to the aggregate co-channel
+    /// leakage from neighbouring cells, and it is added to the noise floor
+    /// in every SINR denominator and rate selection.
+    ext_intf: Vec<f64>,
 }
 
 impl FastNet {
@@ -296,7 +302,65 @@ impl FastNet {
             health,
             sync_error_budget_rad: 0.35,
             trace: Trace::new(),
+            ext_intf: Vec::new(),
         })
+    }
+
+    /// Sets the external (out-of-cell) interference floor, linear power in
+    /// the same normalised units as `cfg.noise_var`.
+    ///
+    /// Accepts either one value per occupied subcarrier or a single value
+    /// applied flat across the band; an empty slice clears it. The floor is
+    /// added to the thermal noise in every SINR denominator
+    /// ([`FastNet::joint_transmit`], [`FastNet::joint_transmit_subset`]) and
+    /// in the `k̂²/(N+I)` rate selection, so the EESM effective SNR — and
+    /// with it the PER margin a traffic backend derives — sees the
+    /// interference too.
+    pub fn set_external_interference(&mut self, per_bin: &[f64]) -> Result<(), JmbError> {
+        if per_bin.iter().any(|&v| !v.is_finite() || v < 0.0) {
+            return Err(JmbError::BadConfig(
+                "external interference must be finite and non-negative",
+            ));
+        }
+        match per_bin.len() {
+            0 => self.ext_intf.clear(),
+            1 => {
+                self.ext_intf.clear();
+                self.ext_intf.resize(self.occupied.len(), per_bin[0]);
+            }
+            n if n == self.occupied.len() => {
+                self.ext_intf.clear();
+                self.ext_intf.extend_from_slice(per_bin);
+            }
+            _ => {
+                return Err(JmbError::BadConfig(
+                    "external interference needs 0, 1, or one value per occupied subcarrier",
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// The external interference floor per occupied subcarrier (empty when
+    /// none is set).
+    pub fn external_interference(&self) -> &[f64] {
+        &self.ext_intf
+    }
+
+    /// External interference on subcarrier index `k_idx` (0 when unset).
+    #[inline]
+    fn ext_at(&self, k_idx: usize) -> f64 {
+        self.ext_intf.get(k_idx).copied().unwrap_or(0.0)
+    }
+
+    /// Band-mean external interference (0 when unset) — the flat value the
+    /// `k̂²/(N+I)` rate selection uses.
+    fn ext_mean(&self) -> f64 {
+        if self.ext_intf.is_empty() {
+            0.0
+        } else {
+            self.ext_intf.iter().sum::<f64>() / self.ext_intf.len() as f64
+        }
     }
 
     /// Installs a constant control-plane fault config (applies from now on).
@@ -499,7 +563,17 @@ impl FastNet {
             self.sync[s - 1].set_reference(est.clone());
             self.sync[s - 1].seed_cfo(&est, seed, seed_sigma, t0);
         }
-        self.precoder = Some(Precoder::zero_forcing(&h)?);
+        // A full-population precoder only exists when ZF is well posed
+        // (clients ≤ AP antennas). An over-subscribed cell — the city-scale
+        // case, hundreds of clients behind a handful of APs — still gets a
+        // valid measurement: the MAC schedules ≤ n_aps clients per batch and
+        // [`FastNet::joint_transmit_subset`] builds its per-batch precoder
+        // from `h_meas` directly.
+        self.precoder = if self.cfg.n_clients <= self.cfg.n_aps {
+            Some(Precoder::zero_forcing(&h)?)
+        } else {
+            None
+        };
         self.h_meas = Some(h);
         // Advance past the measurement packet.
         self.now = t0 + self.measurement_airtime_s();
@@ -642,7 +716,7 @@ impl FastNet {
                 let s = sig[j * n_k + k_idx] / np;
                 let i = intf[j * n_k + k_idx] / np;
                 interference[j][k_idx] = i;
-                sinr_db[j][k_idx] = jmb_dsp::stats::lin_to_db(s / (nv + i));
+                sinr_db[j][k_idx] = jmb_dsp::stats::lin_to_db(s / (nv + self.ext_at(k_idx) + i));
             }
         }
 
@@ -831,7 +905,13 @@ impl FastNet {
                 matrix[(client, i)] = est[i].gains[k_idx] * rot;
             }
         }
-        self.precoder = Some(Precoder::zero_forcing(&h)?);
+        // Same well-posedness gate as `run_measurement`: over-subscribed
+        // cells keep the stitched `h_meas` and rebuild per-batch precoders.
+        self.precoder = if self.cfg.n_clients <= self.cfg.n_aps {
+            Some(Precoder::zero_forcing(&h)?)
+        } else {
+            None
+        };
         self.h_meas = Some(h);
         self.now = t_j + 200e-6;
         Ok(())
@@ -841,10 +921,11 @@ impl FastNet {
     /// §9): from `k̂²/N`.
     pub fn select_joint_rate(&self) -> Option<Mcs> {
         let p = self.precoder.as_ref()?;
+        let floor = self.cfg.noise_var + self.ext_mean();
         let snrs_db: Vec<f64> = p
             .k_hats()
             .iter()
-            .map(|&k| jmb_dsp::stats::lin_to_db(k * k / self.cfg.noise_var))
+            .map(|&k| jmb_dsp::stats::lin_to_db(k * k / floor))
             .collect();
         jmb_phy::esnr::select_mcs(&snrs_db)
     }
@@ -992,10 +1073,11 @@ impl FastNet {
             }
         }
         let precoder = Precoder::zero_forcing(&h_sub)?;
+        let floor = self.cfg.noise_var + self.ext_mean();
         let snrs_db: Vec<f64> = precoder
             .k_hats()
             .iter()
-            .map(|&k| jmb_dsp::stats::lin_to_db(k * k / self.cfg.noise_var))
+            .map(|&k| jmb_dsp::stats::lin_to_db(k * k / floor))
             .collect();
         let mcs = jmb_phy::esnr::select_mcs(&snrs_db).unwrap_or(Mcs::BASE);
         let airtime_s = crate::baseline::frame_airtime(&self.cfg.params, mcs, payload_bytes);
@@ -1012,16 +1094,27 @@ impl FastNet {
         let mut inst = jmb_sim::InstantPhasors::default();
         let mut sig = vec![0.0f64; nb * n_k];
         let mut intf = vec![0.0f64; nb * n_k];
-        let mut h_now = CMat::zeros(self.cfg.n_clients, self.cfg.n_aps);
+        // Channel rows for the (batch client × effective AP) pairs only —
+        // `nb·na_eff` rows of `n_k` entries. A city-scale cell serves a few
+        // hundred clients from a handful of APs, so building the full
+        // `n_clients × n_aps` matrix per (probe, subcarrier) would dominate
+        // the sweep; `row_at` is bit-identical to `matrix_at` per entry
+        // (asserted by the sim crate's snapshot-equivalence test), so the
+        // outcome is unchanged.
+        let mut pair_rows: Vec<Vec<Complex64>> = vec![Vec::new(); nb * na_eff];
         let mut eff = CMat::zeros(nb, na_eff);
         let mut g = CMat::zeros(nb, nb);
 
         for &t in &probes {
             self.medium.instant_phasors(&snap, t, &mut inst);
+            for (c, &i) in eff_aps.iter().enumerate() {
+                for (r, &j) in clients.iter().enumerate() {
+                    snap.row_at(&inst, i, j, &mut pair_rows[r * na_eff + c]);
+                }
+            }
             for k_idx in 0..n_k {
                 let k = self.occupied[k_idx];
                 let w = precoder.weights_at(k_idx);
-                snap.matrix_at(&inst, k_idx, &mut h_now);
                 eff.reset(nb, na_eff);
                 for (c, &i) in eff_aps.iter().enumerate() {
                     let corr_c = if apply_phase_sync {
@@ -1032,8 +1125,8 @@ impl FastNet {
                     } else {
                         Complex64::ONE
                     };
-                    for (r, &j) in clients.iter().enumerate() {
-                        eff[(r, c)] = h_now[(j, i)] * corr_c;
+                    for r in 0..nb {
+                        eff[(r, c)] = pair_rows[r * na_eff + c][k_idx] * corr_c;
                     }
                 }
                 eff.mul_into(w, &mut g)
@@ -1057,7 +1150,7 @@ impl FastNet {
             for k_idx in 0..n_k {
                 let s = sig[r * n_k + k_idx] / np;
                 let i = intf[r * n_k + k_idx] / np;
-                sinr_db[r][k_idx] = jmb_dsp::stats::lin_to_db(s / (nv + i));
+                sinr_db[r][k_idx] = jmb_dsp::stats::lin_to_db(s / (nv + self.ext_at(k_idx) + i));
             }
         }
         let eff_snr_db: Vec<f64> = sinr_db
@@ -1436,5 +1529,82 @@ mod tests {
         // Paper Fig. 8: ~0.13 dB per added AP-client pair; allow 2-3x slack
         // for our simulated measurement-noise calibration.
         assert!(large < small + 0.4 * 6.0, "but gently: {small} → {large}");
+    }
+
+    #[test]
+    fn external_interference_lowers_sinr_and_rate() {
+        let run = |ext: Option<f64>| {
+            let mut net = FastNet::new(cfg(4, 20.0, 31)).unwrap();
+            if let Some(v) = ext {
+                net.set_external_interference(&[v]).unwrap();
+            }
+            net.run_measurement().unwrap();
+            net.advance(2e-3);
+            let out = net
+                .joint_transmit_subset(&[0, 1], &[0, 1, 2, 3], 1500, 2, true)
+                .unwrap();
+            (out.sinr_db, out.mcs)
+        };
+        let (clean, mcs_clean) = run(None);
+        // Interference equal to 9x the noise floor: the denominator grows
+        // from nv + leakage to 10·nv + leakage, so SINR falls by roughly
+        // 10·log10(10) = 10 dB. Not exactly: the backed-off MCS changes the
+        // batch airtime, so the probes sample slightly different fading
+        // instants — allow a ±2 dB band around the nominal loss.
+        let (loud, mcs_loud) = run(Some(9.0));
+        for (c, l) in clean.concat().iter().zip(loud.concat().iter()) {
+            let drop = c - l;
+            assert!(
+                (drop - 10.0).abs() < 2.0,
+                "expected ~10 dB of SINR loss: {c} vs {l}"
+            );
+        }
+        assert!(
+            mcs_loud.index() < mcs_clean.index(),
+            "rate must back off under interference: {mcs_clean} vs {mcs_loud}"
+        );
+        // An explicitly cleared floor is byte-identical to never setting one.
+        let (cleared, _) = run(Some(0.0));
+        assert_eq!(clean, cleared);
+    }
+
+    #[test]
+    fn external_interference_validates() {
+        let mut net = FastNet::new(cfg(2, 20.0, 32)).unwrap();
+        assert!(net.set_external_interference(&[0.5, 0.5]).is_err());
+        assert!(net.set_external_interference(&[-1.0]).is_err());
+        assert!(net.set_external_interference(&[f64::NAN]).is_err());
+        let n_k = net.config().params.occupied_subcarriers().len();
+        assert!(net.set_external_interference(&vec![0.25; n_k]).is_ok());
+        assert_eq!(net.external_interference().len(), n_k);
+        assert!(net.set_external_interference(&[]).is_ok());
+        assert!(net.external_interference().is_empty());
+    }
+
+    #[test]
+    fn oversubscribed_cell_measures_and_serves_batches() {
+        // City-scale shape: many more clients than AP antennas. The full
+        // population has no joint precoder (ZF would be ill-posed), but
+        // measurement succeeds and per-batch subset transmissions work.
+        let mut c = FastConfig::default_with(4, 12, vec![20.0; 12], 33);
+        c.rounds = 8; // keep the test fast
+        let mut net = FastNet::new(c).unwrap();
+        net.run_measurement().unwrap();
+        assert!(net.select_joint_rate().is_none(), "no full-population rate");
+        assert!(matches!(
+            net.joint_transmit(1e-3, 1, &[], true),
+            Err(JmbError::NoReference)
+        ));
+        net.advance(1e-3);
+        let out = net
+            .joint_transmit_subset(&[3, 7, 10, 11], &[0, 1, 2, 3], 1500, 1, true)
+            .unwrap();
+        assert_eq!(out.clients.len(), 4);
+        for (r, &e) in out.eff_snr_db.iter().enumerate() {
+            assert!(e.is_finite(), "stream {r}: eff SNR {e}");
+        }
+        // Decoupled re-measurement also keeps working without a precoder.
+        net.advance(1e-3);
+        net.remeasure_client(5).unwrap();
     }
 }

@@ -306,6 +306,25 @@ impl JmbNetwork {
         &self.clients
     }
 
+    /// Raises every client's effective noise floor by `extra_var` (per
+    /// time-domain sample, same normalised units as
+    /// [`NetConfig::client_noise_var`]) to model aggregate out-of-cell
+    /// interference as Gaussian noise. Takes effect at the next
+    /// measurement/transmission; pass `0.0` to restore the clean floor.
+    pub fn set_external_interference(&mut self, extra_var: f64) -> Result<(), JmbError> {
+        if !extra_var.is_finite() || extra_var < 0.0 {
+            return Err(JmbError::BadConfig(
+                "external interference must be finite and non-negative",
+            ));
+        }
+        let floor = self.cfg.client_noise_var + extra_var;
+        for i in 0..self.clients.len() {
+            let node = self.clients[i];
+            self.medium.set_noise_var(node, floor);
+        }
+        Ok(())
+    }
+
     /// Runs the channel-measurement phase (§5.1) at the current time.
     ///
     /// On return, the joint channel matrix is stored (feedback modelled as
@@ -970,5 +989,33 @@ mod tests {
             net.joint_transmit(&data, Mcs::ALL[0], true),
             Err(JmbError::BadConfig(_))
         ));
+    }
+
+    #[test]
+    fn external_interference_backs_off_sample_path_rate() {
+        // The sample-accurate path folds out-of-cell interference into the
+        // client noise floor; the measurement *estimates* that floor from
+        // the received window, so rate selection backs off automatically.
+        let run = |extra_var: f64| {
+            let cfg = NetConfig::default_with(2, 2, 25.0, 54);
+            let clean_floor = cfg.client_noise_var;
+            let mut net = JmbNetwork::new(cfg).unwrap();
+            net.set_external_interference(extra_var).unwrap();
+            let clients = net.client_nodes().to_vec();
+            for c in clients {
+                assert_eq!(net.medium_mut().noise_var(c), clean_floor + extra_var);
+            }
+            net.run_measurement().unwrap();
+            net.select_rate()
+        };
+        // Clean floor: the effective-SNR algorithm finds a workable rate.
+        assert!(run(0.0).is_some(), "clean cell must have a rate");
+        // ~7 dB of extra floor (5x the 1e-6 default): the estimated noise
+        // bins grow until no MCS clears every client — full back-off.
+        assert!(run(5e-6).is_none(), "interference must force back-off");
+        // Validation: rejects NaN and negative floors.
+        let mut net = JmbNetwork::new(NetConfig::default_with(2, 1, 20.0, 55)).unwrap();
+        assert!(net.set_external_interference(f64::NAN).is_err());
+        assert!(net.set_external_interference(-1.0).is_err());
     }
 }

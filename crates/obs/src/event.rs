@@ -165,6 +165,28 @@ pub enum EventKind {
         /// Slave AP index.
         ap: usize,
     },
+    /// City: a cell's event loop started an epoch of its shard.
+    CellStarted {
+        /// Cell index (row-major in the grid).
+        cell: usize,
+        /// Frequency-reuse color assigned to the cell.
+        color: usize,
+    },
+    /// City: the aggregate out-of-cell interference applied to a cell for
+    /// the current epoch.
+    CellInterference {
+        /// Cell index (row-major in the grid).
+        cell: usize,
+        /// Interference-to-noise ratio folded into the cell's floor, dB.
+        inr_db: f64,
+    },
+    /// City: a cell's event loop finished its shard for an epoch.
+    CellFinished {
+        /// Cell index (row-major in the grid).
+        cell: usize,
+        /// Packets the cell delivered this epoch.
+        delivered: u64,
+    },
 }
 
 impl EventKind {
@@ -191,6 +213,19 @@ impl EventKind {
             EventKind::MeasurementLost => "MeasurementLost",
             EventKind::ApDegraded { .. } => "ApDegraded",
             EventKind::ApRestored { .. } => "ApRestored",
+            EventKind::CellStarted { .. } => "CellStarted",
+            EventKind::CellInterference { .. } => "CellInterference",
+            EventKind::CellFinished { .. } => "CellFinished",
+        }
+    }
+
+    /// The city cell index this event concerns, if any.
+    pub fn cell(&self) -> Option<usize> {
+        match *self {
+            EventKind::CellStarted { cell, .. }
+            | EventKind::CellInterference { cell, .. }
+            | EventKind::CellFinished { cell, .. } => Some(cell),
+            _ => None,
         }
     }
 
@@ -301,6 +336,18 @@ impl Event {
                 push_field(&mut s, "attempt", *attempt as u64)
             }
             EventKind::MeasurementLost => {}
+            EventKind::CellStarted { cell, color } => {
+                push_field(&mut s, "cell", *cell as u64);
+                push_field(&mut s, "color", *color as u64);
+            }
+            EventKind::CellInterference { cell, inr_db } => {
+                push_field(&mut s, "cell", *cell as u64);
+                s.push_str(&format!(",\"inr_db\":{inr_db}"));
+            }
+            EventKind::CellFinished { cell, delivered } => {
+                push_field(&mut s, "cell", *cell as u64);
+                push_field(&mut s, "delivered", *delivered);
+            }
         }
         s.push('}');
         s
@@ -388,6 +435,18 @@ impl Event {
             "MeasurementLost" => EventKind::MeasurementLost,
             "ApDegraded" => EventKind::ApDegraded { ap: get("ap")? },
             "ApRestored" => EventKind::ApRestored { ap: get("ap")? },
+            "CellStarted" => EventKind::CellStarted {
+                cell: get("cell")?,
+                color: get("color")?,
+            },
+            "CellInterference" => EventKind::CellInterference {
+                cell: get("cell")?,
+                inr_db: getf("inr_db")?,
+            },
+            "CellFinished" => EventKind::CellFinished {
+                cell: get("cell")?,
+                delivered: get("delivered")? as u64,
+            },
             _ => return None,
         };
         Some(Event {
@@ -458,6 +517,15 @@ mod tests {
         roundtrip(EventKind::MeasurementLost);
         roundtrip(EventKind::ApDegraded { ap: 2 });
         roundtrip(EventKind::ApRestored { ap: 2 });
+        roundtrip(EventKind::CellStarted { cell: 37, color: 2 });
+        roundtrip(EventKind::CellInterference {
+            cell: 37,
+            inr_db: 11.75,
+        });
+        roundtrip(EventKind::CellFinished {
+            cell: 37,
+            delivered: 12345,
+        });
     }
 
     #[test]
@@ -468,6 +536,16 @@ mod tests {
         assert_eq!(EventKind::Corrupted { node: 4 }.node(), Some(4));
         assert_eq!(EventKind::MeasurementLost.ap(), None);
         assert_eq!(EventKind::CsiStale { age_s: 0.1 }.client(), None);
+        assert_eq!(EventKind::CellStarted { cell: 9, color: 1 }.cell(), Some(9));
+        assert_eq!(
+            EventKind::CellFinished {
+                cell: 4,
+                delivered: 0
+            }
+            .cell(),
+            Some(4)
+        );
+        assert_eq!(EventKind::ApDown { ap: 0 }.cell(), None);
     }
 
     #[test]

@@ -97,6 +97,19 @@ impl Medium {
         self.nodes.len()
     }
 
+    /// The receiver noise variance (per time-domain sample) at `node`.
+    pub fn noise_var(&self, node: NodeId) -> f64 {
+        self.nodes[node.0].noise_var
+    }
+
+    /// Overrides the receiver noise variance (per time-domain sample) at
+    /// `node`. A multi-cell deployment uses this to fold aggregate
+    /// out-of-cell interference into a node's effective noise floor
+    /// (Gaussian approximation of many distant co-channel transmitters).
+    pub fn set_noise_var(&mut self, node: NodeId, noise_var: f64) {
+        self.nodes[node.0].noise_var = noise_var;
+    }
+
     /// Installs the directional link `tx → rx`.
     pub fn set_link(&mut self, tx: NodeId, rx: NodeId, link: Link) {
         self.links[tx.0][rx.0] = Some(link);

@@ -68,6 +68,11 @@ pub struct ApOutage {
 /// Traffic-simulation configuration.
 #[derive(Debug, Clone)]
 pub struct TrafficConfig {
+    /// Absolute start time of the run, seconds (default 0). Arrivals are
+    /// generated in `[start_s, start_s + duration_s)`; outage times stay
+    /// absolute. A multi-cell deployment aligns every cell's event loop on
+    /// a shared city clock by giving each epoch the same `start_s`.
+    pub start_s: f64,
     /// Load-generation horizon, seconds.
     pub duration_s: f64,
     /// Extra time after the horizon to drain the queue, seconds.
@@ -96,6 +101,7 @@ impl TrafficConfig {
     /// 1 s horizon with 0.5 s drain.
     pub fn default_with(loads: Vec<ClientLoad>, seed: u64) -> Self {
         TrafficConfig {
+            start_s: 0.0,
             duration_s: 1.0,
             drain_timeout_s: 0.5,
             mac: MacConfig::default(),
@@ -202,6 +208,11 @@ impl<B: TransmitBackend> TrafficSim<B> {
         if cfg.duration_s <= 0.0 || cfg.timeline_bin_s <= 0.0 || cfg.slot_s <= 0.0 {
             return Err(JmbError::BadConfig("durations must be positive"));
         }
+        if !cfg.start_s.is_finite() || cfg.start_s < 0.0 {
+            return Err(JmbError::BadConfig(
+                "start time must be finite and non-negative",
+            ));
+        }
         let n_aps = backend.n_aps();
         let home_ap: Vec<usize> = (0..backend.n_clients()).map(|j| j % n_aps).collect();
         let mut mac = JmbMac::new(cfg.mac, home_ap.clone());
@@ -215,7 +226,7 @@ impl<B: TransmitBackend> TrafficSim<B> {
                     l.arrival,
                     l.size,
                     jmb_dsp::rng::derive_rng(cfg.seed, 0xA0_0000 + c as u64),
-                    0.0,
+                    cfg.start_s,
                 )
             })
             .collect();
@@ -232,7 +243,7 @@ impl<B: TransmitBackend> TrafficSim<B> {
             backoff_rng,
             meta: HashMap::new(),
             in_flight: None,
-            phy_t: 0.0,
+            phy_t: cfg.start_s,
             trace: Trace::new(),
             reg,
             cfg,
@@ -391,7 +402,8 @@ impl<B: TransmitBackend> TrafficSim<B> {
             offered_bps: self.cfg.loads.iter().map(|l| l.offered_bps()).sum(),
             ..Default::default()
         };
-        let hard_end = self.cfg.duration_s + self.cfg.drain_timeout_s;
+        let t_end = self.cfg.start_s + self.cfg.duration_s;
+        let hard_end = t_end + self.cfg.drain_timeout_s;
 
         // Seed the event heap: first arrival per client + the outage
         // schedule. `pending` holds the staged (time, size) for each
@@ -399,7 +411,7 @@ impl<B: TransmitBackend> TrafficSim<B> {
         let mut pending: Vec<Option<(f64, usize)>> = Vec::with_capacity(n_clients);
         for gen in self.arrivals.iter_mut() {
             let (t, size) = gen.next_arrival();
-            pending.push((t < self.cfg.duration_s).then_some((t, size)));
+            pending.push((t < t_end).then_some((t, size)));
         }
         for (c, slot) in pending.iter().enumerate() {
             if let Some((t, _)) = *slot {
@@ -413,7 +425,7 @@ impl<B: TransmitBackend> TrafficSim<B> {
             }
         }
 
-        let mut now = 0.0f64;
+        let mut now = self.cfg.start_s;
         while let Some(Reverse(ev)) = self.heap.pop() {
             if ev.t > hard_end {
                 break;
@@ -428,7 +440,7 @@ impl<B: TransmitBackend> TrafficSim<B> {
                     self.reg.inc("traffic_generated");
                     self.trace.emit(now, TraceKind::Enqueued { client, id });
                     let (t_next, s_next) = self.arrivals[client].next_arrival();
-                    if t_next < self.cfg.duration_s {
+                    if t_next < t_end {
                         pending[client] = Some((t_next, s_next));
                         self.push_event(t_next, EventKind::Arrival { client });
                     }
@@ -466,7 +478,7 @@ impl<B: TransmitBackend> TrafficSim<B> {
                                 record_timeline(
                                     &mut m.timeline,
                                     self.cfg.timeline_bin_s,
-                                    now,
+                                    now - self.cfg.start_s,
                                     bits,
                                     self.mac.queue_len(),
                                 );
@@ -503,7 +515,7 @@ impl<B: TransmitBackend> TrafficSim<B> {
 
         m.queued_at_end = self.mac.queue_len() as u64
             + self.in_flight.as_ref().map_or(0, |i| i.batch.len()) as u64;
-        m.elapsed_s = now.max(self.cfg.duration_s);
+        m.elapsed_s = (now - self.cfg.start_s).max(self.cfg.duration_s);
         m.fill_from_registry(&self.reg, n_clients);
         m
     }
@@ -744,6 +756,41 @@ mod tests {
         assert!(TrafficSim::new(cfg, StubBackend::perfect(2, 2)).is_err());
         let mut cfg = light_cfg(2, 1);
         cfg.duration_s = 0.0;
+        assert!(TrafficSim::new(cfg, StubBackend::perfect(2, 2)).is_err());
+    }
+
+    #[test]
+    fn start_offset_shifts_the_clock_not_the_traffic() {
+        // A run at start_s = S is the same run as at t = 0, just on a later
+        // clock: same packet counts, same (relative) timeline shape, and
+        // latencies matching to fp-rounding of the time shift.
+        let run = |start_s: f64| {
+            let mut cfg = light_cfg(3, 11);
+            cfg.start_s = start_s;
+            let mut sim = TrafficSim::new(cfg, StubBackend::perfect(3, 3)).unwrap();
+            sim.run()
+        };
+        let base = run(0.0);
+        let late = run(2.5);
+        assert_eq!(base.generated, late.generated);
+        assert_eq!(base.delivered, late.delivered);
+        assert_eq!(base.dropped, late.dropped);
+        assert_eq!(base.elapsed_s, base.elapsed_s.max(1.0));
+        assert_eq!(base.timeline.len(), late.timeline.len());
+        for (a, b) in base.timeline.iter().zip(late.timeline.iter()) {
+            assert_eq!(a.t_s, b.t_s, "timeline stays start-relative");
+            assert!((a.delivered_bits - b.delivered_bits).abs() < 1e-6);
+        }
+        assert_eq!(base.latencies_s.len(), late.latencies_s.len());
+        for (a, b) in base.latencies_s.iter().zip(late.latencies_s.iter()) {
+            assert!((a - b).abs() < 1e-9, "latency {a} vs {b}");
+        }
+        // Validation: a negative or non-finite start is rejected.
+        let mut cfg = light_cfg(2, 11);
+        cfg.start_s = -1.0;
+        assert!(TrafficSim::new(cfg, StubBackend::perfect(2, 2)).is_err());
+        let mut cfg = light_cfg(2, 11);
+        cfg.start_s = f64::NAN;
         assert!(TrafficSim::new(cfg, StubBackend::perfect(2, 2)).is_err());
     }
 

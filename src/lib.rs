@@ -31,7 +31,10 @@
 //!   failover, over either PHY fidelity;
 //! * [`obs`] — observability: the structured trace pipeline (events, sinks,
 //!   the `TraceQuery` replay/assertion API), the metrics registry, and
-//!   wall-clock spans. Also re-exported through [`sim`].
+//!   wall-clock spans. Also re-exported through [`sim`];
+//! * [`city`] — the city scale: a sharded grid of hundreds of cells with
+//!   frequency-reuse coloring and inter-cell interference coupling, pooled
+//!   deterministically across worker threads.
 //!
 //! ## Quickstart
 //!
@@ -61,6 +64,7 @@
 #![warn(missing_docs)]
 
 pub use jmb_channel as channel;
+pub use jmb_city as city;
 pub use jmb_core as core;
 pub use jmb_dsp as dsp;
 pub use jmb_obs as obs;
@@ -71,6 +75,7 @@ pub use jmb_traffic as traffic;
 /// The most commonly used types, for glob import.
 pub mod prelude {
     pub use jmb_channel::{Link, Multipath, MultipathSpec, Oscillator, OscillatorSpec, SnrBand};
+    pub use jmb_city::{City, CityConfig, CityReport, Grid, Reuse};
     pub use jmb_core::baseline;
     pub use jmb_core::compat::{CompatConfig, CompatNet};
     pub use jmb_core::experiment;
