@@ -14,9 +14,10 @@
 //! figure this binary draws.
 //!
 //! Every simulation is seeded; the CSV is byte-identical across runs and
-//! `--threads` settings.
+//! `--threads` settings. Exit codes follow the sweep contract: 0 pass,
+//! 1 failed acceptance property or runtime error, 2 invalid CLI.
 
-use jmb_bench::{banner, FigOpts, USAGE};
+use jmb_bench::{accept, banner, or_fail, FigOpts, USAGE};
 use jmb_city::{City, CityConfig, Reuse};
 use jmb_core::experiment::write_csv;
 use jmb_sim::JsonLinesSink;
@@ -101,7 +102,7 @@ fn main() {
     );
     for (ri, &reuse) in reuses.iter().enumerate() {
         let cfg = city_config(opts.quick, reuse, opts.seed, opts.threads);
-        let mut city = City::new(cfg).expect("city config");
+        let mut city = or_fail(City::new(cfg), "build city");
         // Trace the first reuse point's city-level event feed if asked.
         // Events are emitted outside the cell shards, so tracing cannot
         // perturb the sweep rows.
@@ -113,7 +114,12 @@ fn main() {
             city.trace
                 .attach_sink(JsonLinesSink::create(path).expect("open --trace-out file"));
         }
-        let report = city.run().expect("city run");
+        let report = or_fail(city.run(), "run city");
+        // The acceptance property: every reuse point delivers.
+        accept(
+            report.pooled.delivered > 0,
+            &format!("reuse-{} city delivered nothing", reuse.factor()),
+        );
         if traced {
             city.trace.flush();
             println!(
@@ -154,7 +160,10 @@ fn main() {
     }
 
     let header = format!("reuse,cell,color,inr_db,{}", TrafficMetrics::csv_header());
-    write_csv(&opts.csv_path("city_sweep.csv"), &header, rows).expect("write csv");
+    or_fail(
+        write_csv(&opts.csv_path("city_sweep.csv"), &header, rows),
+        "write city_sweep.csv",
+    );
     println!(
         "\n§11 at city scale: spectral aggression (reuse 1) vs isolation (reuse 7) in bits/s/km²."
     );

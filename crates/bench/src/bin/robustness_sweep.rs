@@ -23,9 +23,12 @@
 //! switch to single-cell mode (used by the CI fault matrix): one pooled
 //! operating point at those probabilities, written to
 //! `robustness_cell.csv`. Every simulation is seeded; rows are
-//! byte-identical across runs and `--threads` settings.
+//! byte-identical across runs and `--threads` settings. Exit codes
+//! follow the sweep contract: 0 pass, 1 failed acceptance property or
+//! runtime error, 2 invalid CLI (out-of-range fault probabilities are
+//! reported via `FaultError`'s field-name message).
 
-use jmb_bench::{banner, FigOpts, USAGE};
+use jmb_bench::{accept, banner, or_fail, FigOpts, USAGE};
 use jmb_core::experiment::{parallel_map, write_csv, SweepConfig};
 use jmb_core::fastnet::FastConfig;
 use jmb_sim::{FaultConfig, FaultSchedule, JsonLinesSink};
@@ -56,7 +59,7 @@ fn fault_with(sync_loss: f64, meas_loss: f64) -> FaultConfig {
         .sync_loss_chance(sync_loss)
         .meas_loss_chance(meas_loss)
         .build()
-        .expect("probabilities validated at parse time")
+        .expect("ramp constants are in range")
 }
 
 fn print_header() {
@@ -92,9 +95,9 @@ fn main() {
             }
         };
         match args.next().and_then(|s| s.parse::<f64>().ok()) {
-            Some(p) if (0.0..=1.0).contains(&p) => *slot = Some(p),
-            _ => {
-                eprintln!("error: {a} needs a probability in [0, 1]\n{USAGE}");
+            Some(p) => *slot = Some(p),
+            None => {
+                eprintln!("error: {a} needs a numeric probability\n{USAGE}");
                 eprintln!("  --sync-loss P  single-cell mode: sync-header loss probability");
                 eprintln!("  --meas-loss P  single-cell mode: measurement-frame loss probability");
                 std::process::exit(2);
@@ -135,7 +138,21 @@ fn main() {
 
     // --- Single-cell mode for the CI fault matrix. ---
     if sync_loss.is_some() || meas_loss.is_some() {
-        let fault = fault_with(sync_loss.unwrap_or(0.0), meas_loss.unwrap_or(0.0));
+        // Range validation is the fault layer's job: out-of-range values
+        // surface `FaultError`'s field-name message (e.g. "fault
+        // probability `sync_loss_chance` = 1.5 outside [0, 1]") as the
+        // CLI diagnostic, exit 2.
+        let fault = match FaultConfig::builder()
+            .sync_loss_chance(sync_loss.unwrap_or(0.0))
+            .meas_loss_chance(meas_loss.unwrap_or(0.0))
+            .build()
+        {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: {e}\n{USAGE}");
+                std::process::exit(2);
+            }
+        };
         let runs = parallel_map(&mk_sweep(n_topo), |i| {
             run_point(
                 FaultSchedule::constant(fault.clone()),
@@ -151,11 +168,14 @@ fn main() {
         );
         print_header();
         print_row(sync_loss.unwrap_or(0.0).max(meas_loss.unwrap_or(0.0)), &m);
-        assert!(m.delivered > 0, "faulted cell stalled");
+        accept(m.delivered > 0, "faulted cell stalled");
         let mut row = vec!["cell".to_string()];
         row.extend(m.csv_row());
         let header = format!("section,{}", TrafficMetrics::csv_header());
-        write_csv(&opts.csv_path("robustness_cell.csv"), &header, vec![row]).expect("write csv");
+        or_fail(
+            write_csv(&opts.csv_path("robustness_cell.csv"), &header, vec![row]),
+            "write robustness_cell.csv",
+        );
         return;
     }
 
@@ -186,9 +206,9 @@ fn main() {
         100.0 * at_10 / clean
     );
     // The acceptance bound: graceful, not a cliff.
-    assert!(
+    accept(
         at_10 >= 0.75 * clean,
-        "10% sync loss cost more than 25% of goodput ({at_10:.0} vs {clean:.0} b/s)"
+        &format!("10% sync loss cost more than 25% of goodput ({at_10:.0} vs {clean:.0} b/s)"),
     );
 
     // --- Section 2: measurement-frame loss ramp. ---
@@ -204,7 +224,10 @@ fn main() {
     print_header();
     for (l, m) in losses.iter().zip(&meas) {
         print_row(*l, m);
-        assert!(m.delivered > 0, "meas-loss {l} stalled the network");
+        accept(
+            m.delivered > 0,
+            &format!("meas-loss {l} stalled the network"),
+        );
         let mut row = vec!["meas".to_string(), format!("{l:.2}")];
         row.extend(m.csv_row());
         rows.push(row);
@@ -228,16 +251,19 @@ fn main() {
     println!("\nstorm (slave 1 misses every header, middle third):");
     print_header();
     print_row(1.0, &m);
-    assert!(
+    accept(
         m.aps_degraded >= 1 && m.aps_restored >= 1,
-        "storm must degrade the slave and restore it afterwards"
+        "storm must degrade the slave and restore it afterwards",
     );
     let mut row = vec!["storm".to_string(), "1.00".to_string()];
     row.extend(m.csv_row());
     rows.push(row);
 
     let header = format!("section,loss,{}", TrafficMetrics::csv_header());
-    write_csv(&opts.csv_path("robustness_sweep.csv"), &header, rows).expect("write csv");
+    or_fail(
+        write_csv(&opts.csv_path("robustness_sweep.csv"), &header, rows),
+        "write robustness_sweep.csv",
+    );
 
     // --- Optional: dump one representative cell's event trace. ---
     // A dedicated re-run of the storm cell (seed = master seed) so the

@@ -16,9 +16,10 @@
 //!
 //! Every simulation is seeded; rows are byte-identical across runs and
 //! `--threads` settings (parallelism is across simulations, each of which
-//! is single-threaded).
+//! is single-threaded). Exit codes follow the sweep contract: 0 pass,
+//! 1 failed acceptance property or runtime error, 2 invalid CLI.
 
-use jmb_bench::{banner, FigOpts};
+use jmb_bench::{accept, banner, or_fail, FigOpts};
 use jmb_core::experiment::{parallel_map, write_csv, SweepConfig};
 use jmb_core::fastnet::FastConfig;
 use jmb_sim::JsonLinesSink;
@@ -165,9 +166,9 @@ fn main() {
         failover.delivery_ratio() * 100.0
     );
     // The acceptance property: degraded, not stalled.
-    assert!(
+    accept(
         failover.delivered > 0 && failover.goodput_bps() > 0.0,
-        "failover run stalled"
+        "failover run stalled",
     );
     for (label, m) in [("healthy", &healthy), ("failover", &failover)] {
         let mut row = vec![label.to_string(), "4".to_string()];
@@ -176,7 +177,10 @@ fn main() {
     }
 
     let header = format!("section,n_aps,{}", TrafficMetrics::csv_header());
-    write_csv(&opts.csv_path("traffic_sweep.csv"), &header, rows).expect("write csv");
+    or_fail(
+        write_csv(&opts.csv_path("traffic_sweep.csv"), &header, rows),
+        "write traffic_sweep.csv",
+    );
 
     // --- Optional: dump one representative cell's event trace. ---
     // A dedicated re-run of the failover cell (seed = master seed) so the

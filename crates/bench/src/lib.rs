@@ -150,6 +150,31 @@ impl FigOpts {
     }
 }
 
+/// Checks an acceptance property under the sweep exit-code contract
+/// (shared with `jmb-scenario run`): exit 0 on pass, exit 1 on a failed
+/// acceptance property or runtime error, exit 2 on invalid CLI. A failed
+/// property prints the evidence and exits 1 instead of panicking, so CI
+/// and scripts can branch on the code.
+pub fn accept(ok: bool, msg: &str) {
+    if !ok {
+        eprintln!("acceptance failure: {msg}");
+        std::process::exit(1);
+    }
+}
+
+/// Unwraps a runtime result under the sweep exit-code contract: on error,
+/// prints `error: <what>: <cause>` and exits 1 (runtime failure — the
+/// CLI itself was valid).
+pub fn or_fail<T, E: std::fmt::Display>(r: Result<T, E>, what: &str) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {what}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Prints a header banner for a figure run.
 pub fn banner(fig: &str, what: &str, opts: &FigOpts) {
     println!("=== {fig}: {what} ===");

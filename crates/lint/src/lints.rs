@@ -26,7 +26,7 @@ pub const LINTS: &[LintInfo] = &[
         severity: Severity::Deny,
         description: "forbid unwrap/expect/panic!/unreachable!/todo!/unimplemented!/assert! in \
                       non-test hot-path code (fastnet, net, precoder, mac, csi, jmb-sim, \
-                      jmb-traffic, phy decode chain); steer toward JmbError",
+                      jmb-traffic, jmb-scenario, phy decode chain); steer toward JmbError",
     },
     LintInfo {
         name: "no-wallclock-in-sim",
@@ -111,6 +111,7 @@ fn is_hot_path(rel: &str) -> bool {
         || PHY_DECODE.contains(&rel)
         || rel.starts_with("crates/sim/src/")
         || rel.starts_with("crates/traffic/src/")
+        || rel.starts_with("crates/scenario/src/")
 }
 
 /// `no-panic-hot-path`: ban panicking constructs in non-test hot-path

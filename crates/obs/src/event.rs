@@ -37,6 +37,46 @@ impl DropCause {
     }
 }
 
+/// Why a bounded run stopped (carried by [`EventKind::ScenarioStopped`]
+/// and returned by bounded event loops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// The run drained its event queue and finished naturally.
+    Completed,
+    /// The processed-event budget (`max_events`) was exhausted first.
+    MaxEvents,
+    /// The simulated-time budget (`max_sim_time`) was exhausted first.
+    MaxSimTime,
+    /// An external stop predicate fired (in practice: the scenario
+    /// runner's wall-clock deadline). This is the one cause that is not
+    /// deterministic across machines, which is why wall-clock budgets are
+    /// safety nets, never part of a scenario's pass criteria.
+    Wallclock,
+}
+
+impl StopCause {
+    /// Stable name used in JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            StopCause::Completed => "Completed",
+            StopCause::MaxEvents => "MaxEvents",
+            StopCause::MaxSimTime => "MaxSimTime",
+            StopCause::Wallclock => "Wallclock",
+        }
+    }
+
+    /// Inverse of [`StopCause::name`].
+    pub fn from_name(s: &str) -> Option<StopCause> {
+        match s {
+            "Completed" => Some(StopCause::Completed),
+            "MaxEvents" => Some(StopCause::MaxEvents),
+            "MaxSimTime" => Some(StopCause::MaxSimTime),
+            "Wallclock" => Some(StopCause::Wallclock),
+            _ => None,
+        }
+    }
+}
+
 /// What happened (the payload of an [`Event`]; the *when* lives on the
 /// event itself).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -187,6 +227,25 @@ pub enum EventKind {
         /// Packets the cell delivered this epoch.
         delivered: u64,
     },
+    /// Scenario: a declarative manifest run began.
+    ScenarioStarted {
+        /// Number of assertions the manifest declares.
+        assertions: usize,
+    },
+    /// Scenario: one assertion of the manifest was evaluated.
+    ScenarioAssertion {
+        /// Assertion index in manifest order.
+        index: usize,
+        /// Whether the assertion held.
+        passed: bool,
+    },
+    /// Scenario: the run ended (naturally or at a resource limit).
+    ScenarioStopped {
+        /// Why the run stopped.
+        cause: StopCause,
+        /// Simulation events processed before stopping.
+        events: u64,
+    },
 }
 
 impl EventKind {
@@ -216,6 +275,9 @@ impl EventKind {
             EventKind::CellStarted { .. } => "CellStarted",
             EventKind::CellInterference { .. } => "CellInterference",
             EventKind::CellFinished { .. } => "CellFinished",
+            EventKind::ScenarioStarted { .. } => "ScenarioStarted",
+            EventKind::ScenarioAssertion { .. } => "ScenarioAssertion",
+            EventKind::ScenarioStopped { .. } => "ScenarioStopped",
         }
     }
 
@@ -348,6 +410,17 @@ impl Event {
                 push_field(&mut s, "cell", *cell as u64);
                 push_field(&mut s, "delivered", *delivered);
             }
+            EventKind::ScenarioStarted { assertions } => {
+                push_field(&mut s, "assertions", *assertions as u64);
+            }
+            EventKind::ScenarioAssertion { index, passed } => {
+                push_field(&mut s, "index", *index as u64);
+                push_field(&mut s, "passed", u64::from(*passed));
+            }
+            EventKind::ScenarioStopped { cause, events } => {
+                s.push_str(&format!(",\"cause\":\"{}\"", cause.name()));
+                push_field(&mut s, "events", *events);
+            }
         }
         s.push('}');
         s
@@ -447,6 +520,17 @@ impl Event {
                 cell: get("cell")?,
                 delivered: get("delivered")? as u64,
             },
+            "ScenarioStarted" => EventKind::ScenarioStarted {
+                assertions: get("assertions")?,
+            },
+            "ScenarioAssertion" => EventKind::ScenarioAssertion {
+                index: get("index")?,
+                passed: getf("passed")? != 0.0,
+            },
+            "ScenarioStopped" => EventKind::ScenarioStopped {
+                cause: StopCause::from_name(strs.get("cause")?)?,
+                events: get("events")? as u64,
+            },
             _ => return None,
         };
         Some(Event {
@@ -526,6 +610,36 @@ mod tests {
             cell: 37,
             delivered: 12345,
         });
+        roundtrip(EventKind::ScenarioStarted { assertions: 6 });
+        roundtrip(EventKind::ScenarioAssertion {
+            index: 2,
+            passed: true,
+        });
+        roundtrip(EventKind::ScenarioAssertion {
+            index: 3,
+            passed: false,
+        });
+        for cause in [
+            StopCause::Completed,
+            StopCause::MaxEvents,
+            StopCause::MaxSimTime,
+            StopCause::Wallclock,
+        ] {
+            roundtrip(EventKind::ScenarioStopped { cause, events: 99 });
+        }
+    }
+
+    #[test]
+    fn stop_cause_names_roundtrip() {
+        for cause in [
+            StopCause::Completed,
+            StopCause::MaxEvents,
+            StopCause::MaxSimTime,
+            StopCause::Wallclock,
+        ] {
+            assert_eq!(StopCause::from_name(cause.name()), Some(cause));
+        }
+        assert_eq!(StopCause::from_name("Nope"), None);
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! The machine-readable run record (`result.json`).
+//!
+//! JSON is hand-rolled (the workspace is dependency-free) with a fixed
+//! field order and shortest-roundtrip float formatting, so the same
+//! manifest + seed produces byte-identical bytes across runs, machines,
+//! and `--threads` settings — CI byte-compares these files.
+
+use crate::assertion::AssertionOutcome;
+use jmb_obs::StopCause;
+
+/// The overall outcome of a scenario run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every assertion held (exit 0).
+    Pass,
+    /// The run completed but at least one assertion failed (exit 1).
+    AssertionFailed,
+    /// A resource limit stopped the run early (exit 3).
+    LimitExceeded,
+    /// The manifest was invalid or the run could not start (exit 2).
+    Invalid,
+}
+
+impl Verdict {
+    /// Stable kebab-case name used in `result.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::AssertionFailed => "assertion-failed",
+            Verdict::LimitExceeded => "limit-exceeded",
+            Verdict::Invalid => "invalid",
+        }
+    }
+
+    /// The standardized process exit code for this verdict.
+    pub fn exit_code(self) -> i32 {
+        match self {
+            Verdict::Pass => crate::EXIT_PASS,
+            Verdict::AssertionFailed => crate::EXIT_ASSERTION,
+            Verdict::LimitExceeded => crate::EXIT_LIMIT,
+            Verdict::Invalid => crate::EXIT_INVALID,
+        }
+    }
+}
+
+/// Everything a scenario run reports (serialized as `result.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name (from the manifest, or the file stem when the
+    /// manifest itself failed to parse).
+    pub name: String,
+    /// The master seed the run used.
+    pub seed: u64,
+    /// Overall outcome.
+    pub verdict: Verdict,
+    /// Why the event loop stopped.
+    pub stop_cause: StopCause,
+    /// Simulation events processed.
+    pub events: u64,
+    /// Per-assertion outcomes, in manifest order.
+    pub assertions: Vec<AssertionOutcome>,
+    /// The metrics snapshot, in canonical order.
+    pub metrics: Vec<(String, f64)>,
+    /// Machine-readable error text when `verdict` is `invalid`.
+    pub error: Option<String>,
+}
+
+impl ScenarioReport {
+    /// A report for a manifest that never ran (parse/validation/build
+    /// failure). Exit code 2, no metrics, no assertions.
+    pub fn invalid(name: &str, error: &crate::ScenarioError) -> Self {
+        ScenarioReport {
+            name: name.to_string(),
+            seed: 0,
+            verdict: Verdict::Invalid,
+            stop_cause: StopCause::Completed,
+            events: 0,
+            assertions: Vec::new(),
+            metrics: Vec::new(),
+            error: Some(error.to_string()),
+        }
+    }
+
+    /// Serializes the report with a stable field order.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        s.push_str("  \"schema_version\": 1,\n");
+        s.push_str(&format!("  \"name\": {},\n", json_str(&self.name)));
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"verdict\": \"{}\",\n", self.verdict.name()));
+        s.push_str(&format!("  \"exit_code\": {},\n", self.verdict.exit_code()));
+        s.push_str(&format!(
+            "  \"stop_cause\": \"{}\",\n",
+            self.stop_cause.name()
+        ));
+        s.push_str(&format!("  \"events\": {},\n", self.events));
+        s.push_str("  \"assertions\": [");
+        for (i, a) in self.assertions.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"index\": {}, \"text\": {}, \"passed\": {}, \"actual\": {}}}",
+                a.index,
+                json_str(&a.text),
+                a.passed,
+                json_f64(a.actual)
+            ));
+        }
+        if self.assertions.is_empty() {
+            s.push_str("],\n");
+        } else {
+            s.push_str("\n  ],\n");
+        }
+        s.push_str("  \"metrics\": {");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n    {}: {}", json_str(k), json_f64(*v)));
+        }
+        if self.metrics.is_empty() {
+            s.push_str("},\n");
+        } else {
+            s.push_str("\n  },\n");
+        }
+        match &self.error {
+            Some(e) => s.push_str(&format!("  \"error\": {}\n", json_str(e))),
+            None => s.push_str("  \"error\": null\n"),
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// JSON string escaping (quotes, backslashes, control chars).
+fn json_str(v: &str) -> String {
+    let mut out = String::with_capacity(v.len() + 2);
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Floats in shortest-roundtrip form; non-finite values become `null`
+/// (JSON has no NaN) — deterministically.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Integral values print as integers either way ("3"), which is
+        // valid JSON and stable.
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScenarioReport {
+        ScenarioReport {
+            name: "demo".into(),
+            seed: 7,
+            verdict: Verdict::AssertionFailed,
+            stop_cause: StopCause::Completed,
+            events: 123,
+            assertions: vec![AssertionOutcome {
+                index: 0,
+                text: "metric jain >= 0.8".into(),
+                passed: false,
+                actual: 0.5,
+            }],
+            metrics: vec![("jain".into(), 0.5), ("weird".into(), f64::NAN)],
+            error: None,
+        }
+    }
+
+    #[test]
+    fn verdict_contract() {
+        assert_eq!(Verdict::Pass.exit_code(), 0);
+        assert_eq!(Verdict::AssertionFailed.exit_code(), 1);
+        assert_eq!(Verdict::Invalid.exit_code(), 2);
+        assert_eq!(Verdict::LimitExceeded.exit_code(), 3);
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let r = sample();
+        assert_eq!(r.to_json(), r.to_json());
+        let j = r.to_json();
+        assert!(j.contains("\"verdict\": \"assertion-failed\""));
+        assert!(j.contains("\"exit_code\": 1"));
+        assert!(j.contains("\"passed\": false"));
+        assert!(j.contains("\"weird\": null"), "NaN must serialize as null");
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn invalid_report_shape() {
+        let e = crate::ScenarioError::Parse {
+            line: 3,
+            message: "unknown key `x`".into(),
+        };
+        let r = ScenarioReport::invalid("broken", &e);
+        assert_eq!(r.verdict, Verdict::Invalid);
+        let j = r.to_json();
+        assert!(j.contains("\"assertions\": [],"));
+        assert!(j.contains("\"metrics\": {},"));
+        assert!(j.contains("line 3"));
+    }
+}

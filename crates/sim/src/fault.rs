@@ -240,8 +240,21 @@ pub struct FaultWindow {
 /// A time-varying fault plan: a base config plus zero or more windows
 /// (loss "storms") that replace it for a stretch of simulated time.
 ///
-/// When windows overlap, the **last added** matching window wins, so later
-/// `with_window` calls layer over earlier ones.
+/// # Boundary semantics (pinned)
+///
+/// Scenario manifests compile straight into schedules, so the edge cases
+/// are contractual, not incidental:
+///
+/// * windows are **half-open** `[from_s, until_s)`: a query at exactly
+///   `from_s` is inside the window, a query at exactly `until_s` is
+///   outside it — two windows that share a boundary time hand over
+///   exactly once, with no overlap instant and no gap;
+/// * when windows overlap — including at exact boundary times — the
+///   **last added** matching window wins, so later
+///   [`FaultSchedule::with_window`] calls layer over earlier ones;
+/// * zero-length and inverted windows are rejected at construction
+///   ([`FaultError::Window`]), as are NaN endpoints — a window either
+///   covers real time or is a config bug.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FaultSchedule {
     base: FaultConfig,
@@ -282,7 +295,9 @@ impl FaultSchedule {
     }
 
     /// The config in effect at time `t` (last matching window wins, the
-    /// base config outside every window).
+    /// base config outside every window). Windows are half-open: `t ==
+    /// from_s` matches, `t == until_s` does not (see the type-level
+    /// boundary-semantics contract).
     pub fn config_at(&self, t: f64) -> &FaultConfig {
         self.windows
             .iter()
@@ -449,6 +464,105 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("empty or inverted"));
+    }
+
+    /// A config whose sync-loss probability doubles as a label.
+    fn sync(p: f64) -> FaultConfig {
+        FaultConfig::builder().sync_loss_chance(p).build().unwrap()
+    }
+
+    #[test]
+    fn config_at_exact_window_edges_is_half_open() {
+        // Pinned: [from_s, until_s) — inclusive start, exclusive end.
+        let s = FaultSchedule::none()
+            .with_window(1.0, 2.0, sync(0.5))
+            .unwrap();
+        assert_eq!(
+            s.config_at(1.0).control.sync_loss_chance,
+            0.5,
+            "t == from_s is inside"
+        );
+        assert_eq!(
+            s.config_at(2.0).control.sync_loss_chance,
+            0.0,
+            "t == until_s is outside"
+        );
+        assert_eq!(
+            s.config_at(1.0 + f64::EPSILON).control.sync_loss_chance,
+            0.5
+        );
+        assert_eq!(
+            s.config_at(2.0 - f64::EPSILON).control.sync_loss_chance,
+            0.5
+        );
+        // Adjacent windows sharing a boundary hand over exactly once.
+        let s = FaultSchedule::none()
+            .with_window(0.0, 1.0, sync(0.1))
+            .unwrap()
+            .with_window(1.0, 2.0, sync(0.9))
+            .unwrap();
+        assert_eq!(s.config_at(1.0).control.sync_loss_chance, 0.9);
+        assert_eq!(
+            s.config_at(1.0 - f64::EPSILON).control.sync_loss_chance,
+            0.1
+        );
+    }
+
+    #[test]
+    fn overlapping_windows_last_added_wins_at_exact_boundaries() {
+        // Two windows with IDENTICAL endpoints: the later with_window call
+        // wins everywhere in the window, including at from_s itself.
+        let s = FaultSchedule::none()
+            .with_window(1.0, 2.0, sync(0.2))
+            .unwrap()
+            .with_window(1.0, 2.0, sync(0.8))
+            .unwrap();
+        assert_eq!(s.config_at(1.0).control.sync_loss_chance, 0.8);
+        assert_eq!(s.config_at(1.5).control.sync_loss_chance, 0.8);
+        assert_eq!(s.config_at(2.0).control.sync_loss_chance, 0.0);
+        // Partial overlap where the later window *starts* at the earlier
+        // one's exact end: no instant belongs to both, no instant to
+        // neither.
+        let s = FaultSchedule::none()
+            .with_window(0.0, 5.0, sync(0.3))
+            .unwrap()
+            .with_window(2.0, 3.0, sync(0.7))
+            .unwrap();
+        assert_eq!(
+            s.config_at(2.0).control.sync_loss_chance,
+            0.7,
+            "overlay start edge"
+        );
+        assert_eq!(
+            s.config_at(3.0).control.sync_loss_chance,
+            0.3,
+            "overlay end edge"
+        );
+        // Reversed insertion order flips the winner — order is semantic.
+        let s = FaultSchedule::none()
+            .with_window(2.0, 3.0, sync(0.7))
+            .unwrap()
+            .with_window(0.0, 5.0, sync(0.3))
+            .unwrap();
+        assert_eq!(s.config_at(2.5).control.sync_loss_chance, 0.3);
+    }
+
+    #[test]
+    fn zero_length_inverted_and_nan_windows_rejected() {
+        // Zero-length: [t, t) covers no instant under half-open semantics,
+        // so construction refuses it rather than silently never matching.
+        for (from, until) in [(2.0, 2.0), (3.0, 2.0), (f64::NAN, 1.0), (1.0, f64::NAN)] {
+            let err = FaultSchedule::none()
+                .with_window(from, until, FaultConfig::none())
+                .unwrap_err();
+            assert!(matches!(err, FaultError::Window { .. }), "{from}..{until}");
+        }
+        // A valid schedule stays usable after a rejected extension attempt
+        // (with_window consumes self; the Ok path re-binds).
+        let s = FaultSchedule::none()
+            .with_window(0.0, 1.0, sync(0.5))
+            .unwrap();
+        assert_eq!(s.config_at(0.5).control.sync_loss_chance, 0.5);
     }
 
     #[test]

@@ -37,6 +37,6 @@ pub use fault::{
 pub use freq::{InstantPhasors, StaticChannel, SubcarrierMedium};
 pub use medium::{Medium, NodeId, Transmission};
 pub use trace::{
-    read_jsonl, DropCause, Event, EventKind, FilterSink, JsonLinesSink, RingBufferSink, Trace,
-    TraceQuery, TraceSink,
+    read_jsonl, DropCause, Event, EventKind, FilterSink, JsonLinesSink, RingBufferSink, StopCause,
+    Trace, TraceQuery, TraceSink,
 };

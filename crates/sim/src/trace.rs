@@ -7,6 +7,6 @@
 //! API. This module keeps the old import paths working.
 
 pub use jmb_obs::{
-    read_jsonl, DropCause, Event, EventKind, FilterSink, JsonLinesSink, RingBufferSink, Trace,
-    TraceQuery, TraceSink,
+    read_jsonl, DropCause, Event, EventKind, FilterSink, JsonLinesSink, RingBufferSink, StopCause,
+    Trace, TraceQuery, TraceSink,
 };

@@ -21,4 +21,4 @@ pub mod sim;
 pub use arrival::{ArrivalGen, ArrivalProcess, PacketSizeDist};
 pub use backend::{ControlInfo, FastBackend, SampleBackend, TransmitBackend, TxReport};
 pub use metrics::{TimelineBin, TrafficMetrics};
-pub use sim::{ApOutage, ClientLoad, TrafficConfig, TrafficSim};
+pub use sim::{ApOutage, BoundedRun, ClientLoad, RunLimits, TrafficConfig, TrafficSim};

@@ -25,7 +25,7 @@ use jmb_core::error::JmbError;
 use jmb_core::mac::{JmbMac, MacConfig, MacPacket, PacketFate};
 use jmb_dsp::rng::JmbRng;
 use jmb_obs::Registry;
-use jmb_sim::{DropCause, EventKind as TraceKind, Trace};
+use jmb_sim::{DropCause, EventKind as TraceKind, StopCause, Trace};
 use rand::Rng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -147,6 +147,72 @@ impl Ord for Event {
         // process in creation order — the determinism tie-break.
         self.t.total_cmp(&other.t).then(self.seq.cmp(&other.seq))
     }
+}
+
+/// Resource limits for a bounded run ([`TrafficSim::run_bounded`]).
+///
+/// Each limit is checked *before* an event is processed, so a run never
+/// does partial work past its budget; the drain deadline (`duration_s +
+/// drain_timeout_s`) still applies on top of these. [`RunLimits::none`]
+/// makes `run_bounded` behave exactly like [`TrafficSim::run`].
+pub struct RunLimits {
+    /// Stop after this many processed events ([`StopCause::MaxEvents`]).
+    pub max_events: Option<u64>,
+    /// Stop before processing any event later than `start_s +
+    /// max_sim_time_s` ([`StopCause::MaxSimTime`]). An event at exactly
+    /// the deadline still processes (the same half-open convention as
+    /// fault windows, seen from the other side).
+    pub max_sim_time_s: Option<f64>,
+    /// External stop predicate, called with `(events_processed, sim_time)`
+    /// every [`RunLimits::stop_poll_events`] events; returning `true`
+    /// stops the run with [`StopCause::Wallclock`]. This is the scenario
+    /// runner's wall-clock deadline hook — the predicate owns the clock so
+    /// the simulation itself stays free of wall-time reads.
+    pub stop: Option<Box<dyn FnMut(u64, f64) -> bool>>,
+    /// Poll period for [`RunLimits::stop`], in events (0 is treated as 1).
+    pub stop_poll_events: u64,
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        RunLimits {
+            max_events: None,
+            max_sim_time_s: None,
+            stop: None,
+            stop_poll_events: 1024,
+        }
+    }
+}
+
+impl RunLimits {
+    /// No limits: `run_bounded` completes naturally, like `run`.
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
+
+impl std::fmt::Debug for RunLimits {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunLimits")
+            .field("max_events", &self.max_events)
+            .field("max_sim_time_s", &self.max_sim_time_s)
+            .field("stop", &self.stop.as_ref().map(|_| "<fn>"))
+            .field("stop_poll_events", &self.stop_poll_events)
+            .finish()
+    }
+}
+
+/// Outcome of [`TrafficSim::run_bounded`]: the metrics plus why and when
+/// the loop stopped.
+#[derive(Debug)]
+pub struct BoundedRun {
+    /// The usual run metrics. On an early stop, `elapsed_s` is the sim
+    /// time actually covered (not padded up to `duration_s`).
+    pub metrics: TrafficMetrics,
+    /// Why the loop stopped.
+    pub cause: StopCause,
+    /// Events processed before stopping.
+    pub events: u64,
 }
 
 /// Delivery-latency histogram buckets (upper bounds, seconds): 1 ms to
@@ -395,6 +461,18 @@ impl<B: TransmitBackend> TrafficSim<B> {
 
     /// Runs the simulation to completion and returns the metrics.
     pub fn run(&mut self) -> TrafficMetrics {
+        self.run_bounded(RunLimits::none()).metrics
+    }
+
+    /// Runs the simulation under resource limits.
+    ///
+    /// With [`RunLimits::none`] this is exactly [`TrafficSim::run`] — same
+    /// events, same RNG draws, byte-identical metrics. Each limit is
+    /// checked before processing an event (sim-time deadline first, then
+    /// the event budget, then the polled stop predicate), so a stopped run
+    /// leaves the trace and registry consistent: every emitted event was
+    /// fully processed.
+    pub fn run_bounded(&mut self, mut limits: RunLimits) -> BoundedRun {
         let _span = jmb_obs::span("traffic_event_loop");
         let n_clients = self.cfg.loads.len();
         let mut m = TrafficMetrics {
@@ -425,11 +503,32 @@ impl<B: TransmitBackend> TrafficSim<B> {
             }
         }
 
+        let sim_deadline = limits.max_sim_time_s.map(|d| self.cfg.start_s + d);
+        let poll = limits.stop_poll_events.max(1);
+        let mut processed: u64 = 0;
+        let mut cause = StopCause::Completed;
         let mut now = self.cfg.start_s;
         while let Some(Reverse(ev)) = self.heap.pop() {
             if ev.t > hard_end {
                 break;
             }
+            if sim_deadline.is_some_and(|d| ev.t > d) {
+                cause = StopCause::MaxSimTime;
+                break;
+            }
+            if limits.max_events.is_some_and(|max| processed >= max) {
+                cause = StopCause::MaxEvents;
+                break;
+            }
+            if processed.is_multiple_of(poll) {
+                if let Some(stop) = limits.stop.as_mut() {
+                    if stop(processed, ev.t) {
+                        cause = StopCause::Wallclock;
+                        break;
+                    }
+                }
+            }
+            processed += 1;
             now = ev.t;
             match ev.kind {
                 EventKind::Arrival { client } => {
@@ -515,9 +614,19 @@ impl<B: TransmitBackend> TrafficSim<B> {
 
         m.queued_at_end = self.mac.queue_len() as u64
             + self.in_flight.as_ref().map_or(0, |i| i.batch.len()) as u64;
-        m.elapsed_s = (now - self.cfg.start_s).max(self.cfg.duration_s);
+        m.elapsed_s = if cause == StopCause::Completed {
+            (now - self.cfg.start_s).max(self.cfg.duration_s)
+        } else {
+            // Early stop: report only the sim time actually covered, so
+            // goodput (bits / elapsed) reflects the truncated run.
+            now - self.cfg.start_s
+        };
         m.fill_from_registry(&self.reg, n_clients);
-        m
+        BoundedRun {
+            metrics: m,
+            cause,
+            events: processed,
+        }
     }
 }
 
@@ -792,6 +901,82 @@ mod tests {
         let mut cfg = light_cfg(2, 11);
         cfg.start_s = f64::NAN;
         assert!(TrafficSim::new(cfg, StubBackend::perfect(2, 2)).is_err());
+    }
+
+    #[test]
+    fn run_bounded_without_limits_matches_run() {
+        let run = |bounded: bool| {
+            let mut sim = TrafficSim::new(light_cfg(3, 9), StubBackend::perfect(3, 3)).unwrap();
+            if bounded {
+                let out = sim.run_bounded(RunLimits::none());
+                assert_eq!(out.cause, StopCause::Completed);
+                assert!(out.events > 0);
+                out.metrics
+            } else {
+                sim.run()
+            }
+        };
+        let (plain, bounded) = (run(false), run(true));
+        assert_eq!(plain.csv_row(), bounded.csv_row());
+        assert_eq!(plain.latencies_s, bounded.latencies_s);
+        assert_eq!(plain.elapsed_s, bounded.elapsed_s);
+    }
+
+    #[test]
+    fn run_bounded_max_events_stops_early() {
+        let mut sim = TrafficSim::new(light_cfg(3, 9), StubBackend::perfect(3, 3)).unwrap();
+        let full = sim.run_bounded(RunLimits::none());
+        let budget = full.events / 2;
+        let mut sim = TrafficSim::new(light_cfg(3, 9), StubBackend::perfect(3, 3)).unwrap();
+        let out = sim.run_bounded(RunLimits {
+            max_events: Some(budget),
+            ..RunLimits::none()
+        });
+        assert_eq!(out.cause, StopCause::MaxEvents);
+        assert_eq!(out.events, budget);
+        assert!(out.metrics.delivered < full.metrics.delivered);
+        // Truncated elapsed time is not padded up to duration_s.
+        assert!(out.metrics.elapsed_s < full.metrics.elapsed_s);
+    }
+
+    #[test]
+    fn run_bounded_sim_time_deadline() {
+        let mut sim = TrafficSim::new(light_cfg(3, 9), StubBackend::perfect(3, 3)).unwrap();
+        let out = sim.run_bounded(RunLimits {
+            max_sim_time_s: Some(0.25),
+            ..RunLimits::none()
+        });
+        assert_eq!(out.cause, StopCause::MaxSimTime);
+        // No processed event lies past the deadline...
+        assert!(out.metrics.elapsed_s <= 0.25, "{}", out.metrics.elapsed_s);
+        // ...and a deadline past the drain horizon is never hit.
+        let mut sim = TrafficSim::new(light_cfg(3, 9), StubBackend::perfect(3, 3)).unwrap();
+        let out = sim.run_bounded(RunLimits {
+            max_sim_time_s: Some(100.0),
+            ..RunLimits::none()
+        });
+        assert_eq!(out.cause, StopCause::Completed);
+    }
+
+    #[test]
+    fn run_bounded_stop_predicate_fires_wallclock() {
+        let mut sim = TrafficSim::new(light_cfg(3, 9), StubBackend::perfect(3, 3)).unwrap();
+        // Fire as soon as any sim time has elapsed; polled every event.
+        let out = sim.run_bounded(RunLimits {
+            stop: Some(Box::new(|_events, t| t > 0.1)),
+            stop_poll_events: 1,
+            ..RunLimits::none()
+        });
+        assert_eq!(out.cause, StopCause::Wallclock);
+        assert!(out.metrics.elapsed_s < 1.0);
+        // A predicate that never fires leaves the run untouched.
+        let mut sim = TrafficSim::new(light_cfg(3, 9), StubBackend::perfect(3, 3)).unwrap();
+        let out = sim.run_bounded(RunLimits {
+            stop: Some(Box::new(|_, _| false)),
+            stop_poll_events: 0, // treated as 1, not a division by zero
+            ..RunLimits::none()
+        });
+        assert_eq!(out.cause, StopCause::Completed);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-JMB_PKGS=(-p jmb -p jmb-bench -p jmb-channel -p jmb-city -p jmb-core -p jmb-dsp -p jmb-lint -p jmb-obs -p jmb-phy -p jmb-sim -p jmb-traffic)
+JMB_PKGS=(-p jmb -p jmb-bench -p jmb-channel -p jmb-city -p jmb-core -p jmb-dsp -p jmb-lint -p jmb-obs -p jmb-phy -p jmb-scenario -p jmb-sim -p jmb-traffic)
 
 cargo build --release
 cargo test -q
