@@ -14,47 +14,18 @@
 //! figure this binary draws.
 //!
 //! Every simulation is seeded; the CSV is byte-identical across runs and
-//! `--threads` settings. Exit codes follow the sweep contract: 0 pass,
-//! 1 failed acceptance property or runtime error, 2 invalid CLI.
+//! `--threads` settings, and the row generation lives in
+//! [`jmb_bench::sweeps`], shared with the `sync_equivalence` fixture test.
+//! Exit codes follow the sweep contract: 0 pass, 1 failed acceptance
+//! property or runtime error, 2 invalid CLI.
 
+use jmb_bench::sweeps::{self, SweepSettings};
 use jmb_bench::{accept, banner, or_fail, FigOpts, USAGE};
-use jmb_city::{City, CityConfig, Reuse};
+use jmb_city::Reuse;
 use jmb_core::experiment::write_csv;
-use jmb_sim::JsonLinesSink;
-use jmb_traffic::TrafficMetrics;
 
 const EXTRA_USAGE: &str =
     "  --reuse LIST   comma-separated reuse factors from {1,3,7} (default 1,3,7)";
-
-/// The city configuration for one reuse point of the sweep.
-fn city_config(quick: bool, reuse: Reuse, seed: u64, threads: Option<usize>) -> CityConfig {
-    let mut cfg = if quick {
-        // 8×8 grid of small cells: 128 APs, 512 clients.
-        let mut c = CityConfig::default_with(8, 8, reuse, seed);
-        c.aps_per_cell = 2;
-        c.clients_per_cell = 8;
-        c.duration_s = 0.05;
-        c.rate_pps = 200.0;
-        c
-    } else {
-        // 16×16 grid: 1024 APs, 102,400 clients. 10 pps × 700 B × 400
-        // clients ≈ 22 Mb/s of offered load per cell — near the clean-cell
-        // capacity, so the interference epochs bite without drowning the
-        // run in retry work.
-        let mut c = CityConfig::default_with(16, 16, reuse, seed);
-        c.aps_per_cell = 4;
-        c.clients_per_cell = 400;
-        c.duration_s = 0.1;
-        c.rate_pps = 10.0;
-        c
-    };
-    if let Some(t) = threads {
-        cfg.threads = t;
-    } else {
-        cfg.threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    }
-    cfg
-}
 
 fn main() {
     // Strip --reuse before handing the rest to the shared parser.
@@ -94,6 +65,7 @@ fn main() {
         "area capacity vs frequency-reuse factor",
         &opts,
     );
+    let set = SweepSettings::from_opts(&opts);
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     println!(
@@ -101,34 +73,29 @@ fn main() {
         "reuse", "cells", "aps", "clients", "mean_inr_db", "area_mbps_km2", "delivery"
     );
     for (ri, &reuse) in reuses.iter().enumerate() {
-        let cfg = city_config(opts.quick, reuse, opts.seed, opts.threads);
-        let mut city = or_fail(City::new(cfg), "build city");
         // Trace the first reuse point's city-level event feed if asked.
-        // Events are emitted outside the cell shards, so tracing cannot
-        // perturb the sweep rows.
-        let traced = ri == 0 && opts.trace_out.is_some();
-        if traced {
-            let path = opts.trace_out.as_ref().unwrap();
-            city.trace.enable();
-            city.trace.set_buffering(false);
-            city.trace
-                .attach_sink(JsonLinesSink::create(path).expect("open --trace-out file"));
-        }
-        let report = or_fail(city.run(), "run city");
+        let trace_out = if ri == 0 {
+            opts.trace_out.as_deref()
+        } else {
+            None
+        };
+        let report = or_fail(
+            sweeps::city_point(&set, reuse, trace_out, &mut rows),
+            "run city",
+        );
         // The acceptance property: every reuse point delivers.
         accept(
             report.pooled.delivered > 0,
             &format!("reuse-{} city delivered nothing", reuse.factor()),
         );
-        if traced {
-            city.trace.flush();
+        if let Some(path) = trace_out {
             println!(
                 "trace of the reuse-{} city → {}",
                 reuse.factor(),
-                opts.trace_out.as_ref().unwrap().display()
+                path.display()
             );
         }
-        let cfg = city.config();
+        let cfg = sweeps::city_config(set.quick, reuse, set.seed, set.threads);
         println!(
             "{:>5} {:>6} {:>8} {:>9} {:>12.2} {:>13.2} {:>8.1}%",
             reuse.factor(),
@@ -139,29 +106,14 @@ fn main() {
             report.area_capacity_bps_per_km2() / 1e6,
             report.delivery_ratio() * 100.0
         );
-        for c in &report.cells {
-            let mut row = vec![
-                reuse.factor().to_string(),
-                c.cell.to_string(),
-                c.color.to_string(),
-                format!("{:.6}", c.inr_db),
-            ];
-            row.extend(c.metrics.csv_row());
-            rows.push(row);
-        }
-        let mut pooled = vec![
-            reuse.factor().to_string(),
-            "all".to_string(),
-            "-".to_string(),
-            format!("{:.6}", report.mean_inr_db()),
-        ];
-        pooled.extend(report.pooled.csv_row());
-        rows.push(pooled);
     }
 
-    let header = format!("reuse,cell,color,inr_db,{}", TrafficMetrics::csv_header());
     or_fail(
-        write_csv(&opts.csv_path("city_sweep.csv"), &header, rows),
+        write_csv(
+            &opts.csv_path("city_sweep.csv"),
+            &sweeps::city_header(),
+            rows,
+        ),
         "write city_sweep.csv",
     );
     println!(

@@ -6,7 +6,7 @@
 //! joint batches — but never collapses the network or stalls the queue.
 //!
 //! Three sections, all through the discrete-event traffic simulator over
-//! the per-subcarrier PHY ([`FastBackend`]):
+//! the per-subcarrier PHY ([`jmb_traffic::FastBackend`]):
 //!
 //! * `sync` — saturating load at 4 APs / 4 clients with the per-batch
 //!   sync-header loss probability ramping 0 → 30%: goodput must fall
@@ -23,44 +23,18 @@
 //! switch to single-cell mode (used by the CI fault matrix): one pooled
 //! operating point at those probabilities, written to
 //! `robustness_cell.csv`. Every simulation is seeded; rows are
-//! byte-identical across runs and `--threads` settings. Exit codes
-//! follow the sweep contract: 0 pass, 1 failed acceptance property or
-//! runtime error, 2 invalid CLI (out-of-range fault probabilities are
-//! reported via `FaultError`'s field-name message).
+//! byte-identical across runs and `--threads` settings, and the row
+//! generation lives in [`jmb_bench::sweeps`], shared with the
+//! `sync_equivalence` fixture test. Exit codes follow the sweep contract:
+//! 0 pass, 1 failed acceptance property or runtime error, 2 invalid CLI
+//! (out-of-range fault probabilities are reported via `FaultError`'s
+//! field-name message).
 
+use jmb_bench::sweeps::{self, SweepSettings};
 use jmb_bench::{accept, banner, or_fail, FigOpts, USAGE};
-use jmb_core::experiment::{parallel_map, write_csv, SweepConfig};
-use jmb_core::fastnet::FastConfig;
-use jmb_sim::{FaultConfig, FaultSchedule, JsonLinesSink};
-use jmb_traffic::{ClientLoad, FastBackend, TrafficConfig, TrafficMetrics, TrafficSim};
-
-const PACKET_BYTES: usize = 1500;
-const SNR_DB: f64 = 30.0;
-const N_APS: usize = 4;
-/// 2500 pps × 1500 B = 30 Mb/s per client: saturating, so goodput measures
-/// capacity and any control-plane cliff would be visible.
-const RATE_PPS: f64 = 2500.0;
-
-/// One traffic simulation with the given control-fault schedule installed
-/// after the (always clean) initial measurement.
-fn run_point(faults: FaultSchedule, duration_s: f64, seed: u64) -> TrafficMetrics {
-    let cfg = FastConfig::default_with(N_APS, N_APS, vec![SNR_DB; N_APS], seed);
-    let mut backend = FastBackend::new(cfg).expect("backend");
-    backend.net_mut().set_fault_schedule(faults);
-    let loads = vec![ClientLoad::poisson(RATE_PPS, PACKET_BYTES); N_APS];
-    let mut tcfg = TrafficConfig::default_with(loads, seed);
-    tcfg.duration_s = duration_s;
-    tcfg.drain_timeout_s = duration_s * 0.5;
-    TrafficSim::new(tcfg, backend).expect("sim").run()
-}
-
-fn fault_with(sync_loss: f64, meas_loss: f64) -> FaultConfig {
-    FaultConfig::builder()
-        .sync_loss_chance(sync_loss)
-        .meas_loss_chance(meas_loss)
-        .build()
-        .expect("ramp constants are in range")
-}
+use jmb_core::experiment::write_csv;
+use jmb_sim::FaultConfig;
+use jmb_traffic::TrafficMetrics;
 
 fn print_header() {
     println!("loss_pct  goodput_mbps  sync_misses  remeas_fail  degraded  restored");
@@ -122,19 +96,7 @@ fn main() {
         "goodput vs control-frame loss (graceful degradation)",
         &opts,
     );
-    let duration_s = if opts.quick { 0.2 } else { 0.8 };
-    let n_topo = if opts.quick { 3 } else { 8 };
-    let mk_sweep = |points: usize| {
-        let mut s = SweepConfig {
-            n_topologies: points,
-            seed: opts.seed,
-            ..Default::default()
-        };
-        if let Some(t) = opts.threads {
-            s.parallelism = t;
-        }
-        s
-    };
+    let set = SweepSettings::from_opts(&opts);
 
     // --- Single-cell mode for the CI fault matrix. ---
     if sync_loss.is_some() || meas_loss.is_some() {
@@ -153,14 +115,7 @@ fn main() {
                 std::process::exit(2);
             }
         };
-        let runs = parallel_map(&mk_sweep(n_topo), |i| {
-            run_point(
-                FaultSchedule::constant(fault.clone()),
-                duration_s,
-                opts.seed + i as u64,
-            )
-        });
-        let m = TrafficMetrics::merge(&runs);
+        let (m, header, rows) = sweeps::robustness_cell(&set, fault);
         println!(
             "cell: sync-loss {:.0}%, meas-loss {:.0}%",
             sync_loss.unwrap_or(0.0) * 100.0,
@@ -169,38 +124,28 @@ fn main() {
         print_header();
         print_row(sync_loss.unwrap_or(0.0).max(meas_loss.unwrap_or(0.0)), &m);
         accept(m.delivered > 0, "faulted cell stalled");
-        let mut row = vec!["cell".to_string()];
-        row.extend(m.csv_row());
-        let header = format!("section,{}", TrafficMetrics::csv_header());
         or_fail(
-            write_csv(&opts.csv_path("robustness_cell.csv"), &header, vec![row]),
+            write_csv(&opts.csv_path("robustness_cell.csv"), &header, rows),
             "write robustness_cell.csv",
         );
         return;
     }
 
-    let losses: Vec<f64> = vec![0.0, 0.02, 0.05, 0.1, 0.2, 0.3];
-    let mut rows: Vec<Vec<String>> = Vec::new();
+    let out = sweeps::robustness_sweep(&set);
 
-    // --- Section 1: sync-header loss ramp. ---
-    let flat = parallel_map(&mk_sweep(losses.len() * n_topo), |i| {
-        run_point(
-            FaultSchedule::constant(fault_with(losses[i / n_topo], 0.0)),
-            duration_s,
-            opts.seed + (i % n_topo) as u64,
-        )
-    });
-    let sync: Vec<TrafficMetrics> = flat.chunks(n_topo).map(TrafficMetrics::merge).collect();
     println!("sync-header loss:");
     print_header();
-    for (l, m) in losses.iter().zip(&sync) {
+    for (l, m) in &out.sync {
         print_row(*l, m);
-        let mut row = vec!["sync".to_string(), format!("{l:.2}")];
-        row.extend(m.csv_row());
-        rows.push(row);
     }
-    let clean = sync[0].goodput_bps();
-    let at_10 = sync[losses.iter().position(|&l| l == 0.1).expect("10% point")].goodput_bps();
+    let clean = out.sync[0].1.goodput_bps();
+    let at_10 = out
+        .sync
+        .iter()
+        .find(|(l, _)| *l == 0.1)
+        .expect("10% point")
+        .1
+        .goodput_bps();
     println!(
         "  goodput at 10% sync loss: {:.1}% of fault-free",
         100.0 * at_10 / clean
@@ -211,57 +156,30 @@ fn main() {
         &format!("10% sync loss cost more than 25% of goodput ({at_10:.0} vs {clean:.0} b/s)"),
     );
 
-    // --- Section 2: measurement-frame loss ramp. ---
-    let flat = parallel_map(&mk_sweep(losses.len() * n_topo), |i| {
-        run_point(
-            FaultSchedule::constant(fault_with(0.0, losses[i / n_topo])),
-            duration_s,
-            opts.seed + (i % n_topo) as u64,
-        )
-    });
-    let meas: Vec<TrafficMetrics> = flat.chunks(n_topo).map(TrafficMetrics::merge).collect();
     println!("\nmeasurement-frame loss:");
     print_header();
-    for (l, m) in losses.iter().zip(&meas) {
+    for (l, m) in &out.meas {
         print_row(*l, m);
         accept(
             m.delivered > 0,
             &format!("meas-loss {l} stalled the network"),
         );
-        let mut row = vec!["meas".to_string(), format!("{l:.2}")];
-        row.extend(m.csv_row());
-        rows.push(row);
     }
 
-    // --- Section 3: total sync loss on one slave, middle third. ---
-    let storm = FaultSchedule::none()
-        .with_window(
-            duration_s / 3.0,
-            duration_s * 2.0 / 3.0,
-            FaultConfig::builder()
-                .per_slave_sync_loss(1, 1.0)
-                .build()
-                .expect("valid"),
-        )
-        .expect("valid window");
-    let runs = parallel_map(&mk_sweep(n_topo), |i| {
-        run_point(storm.clone(), duration_s, opts.seed + i as u64)
-    });
-    let m = TrafficMetrics::merge(&runs);
     println!("\nstorm (slave 1 misses every header, middle third):");
     print_header();
-    print_row(1.0, &m);
+    print_row(1.0, &out.storm);
     accept(
-        m.aps_degraded >= 1 && m.aps_restored >= 1,
+        out.storm.aps_degraded >= 1 && out.storm.aps_restored >= 1,
         "storm must degrade the slave and restore it afterwards",
     );
-    let mut row = vec!["storm".to_string(), "1.00".to_string()];
-    row.extend(m.csv_row());
-    rows.push(row);
 
-    let header = format!("section,loss,{}", TrafficMetrics::csv_header());
     or_fail(
-        write_csv(&opts.csv_path("robustness_sweep.csv"), &header, rows),
+        write_csv(
+            &opts.csv_path("robustness_sweep.csv"),
+            &out.header,
+            out.rows,
+        ),
         "write robustness_sweep.csv",
     );
 
@@ -269,20 +187,7 @@ fn main() {
     // A dedicated re-run of the storm cell (seed = master seed) so the
     // sweep rows above stay byte-identical whether or not tracing is on.
     if let Some(path) = &opts.trace_out {
-        let cfg = FastConfig::default_with(N_APS, N_APS, vec![SNR_DB; N_APS], opts.seed);
-        let mut backend = FastBackend::new(cfg).expect("backend");
-        backend.net_mut().set_fault_schedule(storm);
-        let loads = vec![ClientLoad::poisson(RATE_PPS, PACKET_BYTES); N_APS];
-        let mut tcfg = TrafficConfig::default_with(loads, opts.seed);
-        tcfg.duration_s = duration_s;
-        tcfg.drain_timeout_s = duration_s * 0.5;
-        let mut sim = TrafficSim::new(tcfg, backend).expect("sim");
-        sim.trace.enable();
-        sim.trace.set_buffering(false);
-        sim.trace
-            .attach_sink(JsonLinesSink::create(path).expect("open --trace-out file"));
-        sim.run();
-        sim.trace.flush();
+        sweeps::robustness_storm_trace(&set, path);
         println!("trace of the storm cell → {}", path.display());
     }
     println!("\n§7: control-frame loss degrades JMB smoothly — no cliff, no stall.");

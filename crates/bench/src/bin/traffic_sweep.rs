@@ -2,7 +2,7 @@
 //! a lead-AP failover run.
 //!
 //! Three sections, all through the discrete-event traffic simulator over
-//! the per-subcarrier PHY ([`FastBackend`]):
+//! the per-subcarrier PHY ([`jmb_traffic::FastBackend`]):
 //!
 //! * `scaling` — saturating load, 1–10 APs serving as many clients:
 //!   goodput should grow with the number of APs (the paper's headline
@@ -16,36 +16,14 @@
 //!
 //! Every simulation is seeded; rows are byte-identical across runs and
 //! `--threads` settings (parallelism is across simulations, each of which
-//! is single-threaded). Exit codes follow the sweep contract: 0 pass,
-//! 1 failed acceptance property or runtime error, 2 invalid CLI.
+//! is single-threaded). The row generation itself lives in
+//! [`jmb_bench::sweeps`], shared with the `sync_equivalence` fixture test.
+//! Exit codes follow the sweep contract: 0 pass, 1 failed acceptance
+//! property or runtime error, 2 invalid CLI.
 
+use jmb_bench::sweeps::{self, SweepSettings};
 use jmb_bench::{accept, banner, or_fail, FigOpts};
-use jmb_core::experiment::{parallel_map, write_csv, SweepConfig};
-use jmb_core::fastnet::FastConfig;
-use jmb_sim::JsonLinesSink;
-use jmb_traffic::{ApOutage, ClientLoad, FastBackend, TrafficConfig, TrafficMetrics, TrafficSim};
-
-const PACKET_BYTES: usize = 1500;
-const SNR_DB: f64 = 30.0;
-
-/// Runs one traffic simulation: `n` APs serving `n` clients at
-/// `rate_pps` Poisson arrivals each, with the given outage schedule.
-fn run_point(
-    n_aps: usize,
-    rate_pps: f64,
-    duration_s: f64,
-    outages: Vec<ApOutage>,
-    seed: u64,
-) -> TrafficMetrics {
-    let cfg = FastConfig::default_with(n_aps, n_aps, vec![SNR_DB; n_aps], seed);
-    let backend = FastBackend::new(cfg).expect("backend");
-    let loads = vec![ClientLoad::poisson(rate_pps, PACKET_BYTES); n_aps];
-    let mut tcfg = TrafficConfig::default_with(loads, seed);
-    tcfg.duration_s = duration_s;
-    tcfg.drain_timeout_s = duration_s * 0.5;
-    tcfg.outages = outages;
-    TrafficSim::new(tcfg, backend).expect("sim").run()
-}
+use jmb_core::experiment::write_csv;
 
 fn main() {
     let opts = FigOpts::from_args();
@@ -54,69 +32,21 @@ fn main() {
         "goodput/latency vs offered load, AP count, and failover",
         &opts,
     );
-    let duration_s = if opts.quick { 0.2 } else { 0.8 };
-    // Each operating point pools several random topologies; pooling (not a
-    // single draw) is what makes the scaling trend visible above
-    // topology-to-topology ZF-conditioning noise.
-    let n_topo = if opts.quick { 3 } else { 8 };
-    let mut rows: Vec<Vec<String>> = Vec::new();
-    let mk_sweep = |points: usize| {
-        let mut s = SweepConfig {
-            n_topologies: points,
-            seed: opts.seed,
-            ..Default::default()
-        };
-        if let Some(t) = opts.threads {
-            s.parallelism = t;
-        }
-        s
-    };
+    let set = SweepSettings::from_opts(&opts);
+    let out = sweeps::traffic_sweep(&set);
 
-    // --- Section 1: goodput vs AP count under saturating load. ---
-    let ap_counts: Vec<usize> = (1..=10).collect();
-    // 2500 pps × 1500 B = 30 Mb/s per client: beyond what one stream can
-    // carry, so every AP count runs saturated.
-    let flat = parallel_map(&mk_sweep(ap_counts.len() * n_topo), |i| {
-        run_point(
-            ap_counts[i / n_topo],
-            2500.0,
-            duration_s,
-            Vec::new(),
-            opts.seed + (i % n_topo) as u64,
-        )
-    });
-    let scaling: Vec<TrafficMetrics> = flat.chunks(n_topo).map(TrafficMetrics::merge).collect();
     println!("n_aps  offered_mbps  goodput_mbps  p99_ms");
-    for (n, m) in ap_counts.iter().zip(&scaling) {
+    for (n, m) in &out.scaling {
         println!(
             "{n:>5}  {:>12.1}  {:>12.1}  {:>6.1}",
             m.offered_bps / 1e6,
             m.goodput_bps() / 1e6,
             m.p99_latency_s() * 1e3
         );
-        let mut row = vec!["scaling".to_string(), format!("{n}")];
-        row.extend(m.csv_row());
-        rows.push(row);
     }
 
-    // --- Section 2: offered-load ramp at 4 APs / 4 clients. ---
-    let rates: Vec<f64> = if opts.quick {
-        vec![200.0, 800.0, 3200.0]
-    } else {
-        vec![100.0, 200.0, 400.0, 800.0, 1600.0, 2400.0, 3200.0]
-    };
-    let flat = parallel_map(&mk_sweep(rates.len() * n_topo), |i| {
-        run_point(
-            4,
-            rates[i / n_topo],
-            duration_s,
-            Vec::new(),
-            opts.seed + (i % n_topo) as u64,
-        )
-    });
-    let ramp: Vec<TrafficMetrics> = flat.chunks(n_topo).map(TrafficMetrics::merge).collect();
     println!("\nrate_pps  offered_mbps  goodput_mbps  median_ms  p99_ms");
-    for (r, m) in rates.iter().zip(&ramp) {
+    for (r, m) in &out.ramp {
         println!(
             "{r:>8.0}  {:>12.1}  {:>12.1}  {:>9.2}  {:>6.1}",
             m.offered_bps / 1e6,
@@ -124,61 +54,30 @@ fn main() {
             m.median_latency_s() * 1e3,
             m.p99_latency_s() * 1e3
         );
-        let mut row = vec!["load".to_string(), "4".to_string()];
-        row.extend(m.csv_row());
-        rows.push(row);
     }
 
-    // --- Section 3: lead-AP failover, middle third of the run. ---
-    let outage = ApOutage {
-        ap: 0,
-        down_at_s: duration_s / 3.0,
-        up_at_s: duration_s * 2.0 / 3.0,
-    };
-    let flat = parallel_map(&mk_sweep(2 * n_topo), |i| {
-        let outages = if i / n_topo == 0 {
-            Vec::new()
-        } else {
-            vec![outage]
-        };
-        run_point(
-            4,
-            800.0,
-            duration_s,
-            outages,
-            opts.seed + (i % n_topo) as u64,
-        )
-    });
-    let healthy = TrafficMetrics::merge(&flat[..n_topo]);
-    let failover = TrafficMetrics::merge(&flat[n_topo..]);
     println!("\nfailover (lead AP down for the middle third):");
     println!(
         "  healthy : goodput {:>6.1} Mb/s, p99 {:>6.1} ms, backlog {}",
-        healthy.goodput_bps() / 1e6,
-        healthy.p99_latency_s() * 1e3,
-        healthy.queued_at_end
+        out.healthy.goodput_bps() / 1e6,
+        out.healthy.p99_latency_s() * 1e3,
+        out.healthy.queued_at_end
     );
     println!(
         "  failover: goodput {:>6.1} Mb/s, p99 {:>6.1} ms, backlog {}, delivery {:.1}%",
-        failover.goodput_bps() / 1e6,
-        failover.p99_latency_s() * 1e3,
-        failover.queued_at_end,
-        failover.delivery_ratio() * 100.0
+        out.failover.goodput_bps() / 1e6,
+        out.failover.p99_latency_s() * 1e3,
+        out.failover.queued_at_end,
+        out.failover.delivery_ratio() * 100.0
     );
     // The acceptance property: degraded, not stalled.
     accept(
-        failover.delivered > 0 && failover.goodput_bps() > 0.0,
+        out.failover.delivered > 0 && out.failover.goodput_bps() > 0.0,
         "failover run stalled",
     );
-    for (label, m) in [("healthy", &healthy), ("failover", &failover)] {
-        let mut row = vec![label.to_string(), "4".to_string()];
-        row.extend(m.csv_row());
-        rows.push(row);
-    }
 
-    let header = format!("section,n_aps,{}", TrafficMetrics::csv_header());
     or_fail(
-        write_csv(&opts.csv_path("traffic_sweep.csv"), &header, rows),
+        write_csv(&opts.csv_path("traffic_sweep.csv"), &out.header, out.rows),
         "write traffic_sweep.csv",
     );
 
@@ -186,20 +85,7 @@ fn main() {
     // A dedicated re-run of the failover cell (seed = master seed) so the
     // sweep rows above stay byte-identical whether or not tracing is on.
     if let Some(path) = &opts.trace_out {
-        let cfg = FastConfig::default_with(4, 4, vec![SNR_DB; 4], opts.seed);
-        let backend = FastBackend::new(cfg).expect("backend");
-        let loads = vec![ClientLoad::poisson(800.0, PACKET_BYTES); 4];
-        let mut tcfg = TrafficConfig::default_with(loads, opts.seed);
-        tcfg.duration_s = duration_s;
-        tcfg.drain_timeout_s = duration_s * 0.5;
-        tcfg.outages = vec![outage];
-        let mut sim = TrafficSim::new(tcfg, backend).expect("sim");
-        sim.trace.enable();
-        sim.trace.set_buffering(false);
-        sim.trace
-            .attach_sink(JsonLinesSink::create(path).expect("open --trace-out file"));
-        sim.run();
-        sim.trace.flush();
+        sweeps::traffic_failover_trace(&set, path);
         println!("trace of the failover cell → {}", path.display());
     }
     println!("\n§9/§11: capacity — and now queueing delay — scale with the number of APs.");

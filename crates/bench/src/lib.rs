@@ -19,6 +19,7 @@
 //! | `perf_baseline` | hot-path timing suite → `BENCH_<date>.json` |
 //! | `traffic_sweep` | goodput/latency vs offered load and AP count, plus a lead-AP failover run |
 //! | `city_sweep` | area capacity (bits/s/km²) vs frequency-reuse factor on a sharded multi-cell grid |
+//! | `sync_shootout` | pluggable sync backends side by side: phase-error CDF, control-overhead fraction, storm scaling |
 //!
 //! All binaries accept `--quick` (or env `JMB_QUICK=1`), `--seed N`,
 //! `--out DIR` and `--threads N`; `--help` prints usage. Criterion
@@ -26,6 +27,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod sweeps;
 
 use std::path::PathBuf;
 

@@ -16,12 +16,12 @@
 
 use crate::csi::SyncHealth;
 use crate::error::JmbError;
-use crate::phasesync::PhaseSync;
 use crate::precoder::Precoder;
+use crate::sync::{strategy_for, SyncCtx, SyncStrategy, SyncStrategyId};
 use jmb_channel::multipath::{Multipath, MultipathSpec};
 use jmb_channel::oscillator::{OscillatorSpec, PhaseTrajectory};
 use jmb_channel::Link;
-use jmb_dsp::rng::{complex_gaussian, normal, JmbRng};
+use jmb_dsp::rng::{complex_gaussian, JmbRng};
 use jmb_dsp::{CMat, Complex64};
 use jmb_phy::chanest::ChannelEstimate;
 use jmb_phy::params::OfdmParams;
@@ -60,6 +60,9 @@ pub struct FastConfig {
     pub rounds: usize,
     /// Master seed.
     pub seed: u64,
+    /// Synchronization backend (the paper's lead/slave resync by default;
+    /// see [`crate::sync`] for the rivals).
+    pub sync: SyncStrategyId,
 }
 
 impl FastConfig {
@@ -83,6 +86,7 @@ impl FastConfig {
             turnaround_s: 150e-6,
             rounds: 32.max(128usize.div_ceil(n_aps.max(1))),
             seed,
+            sync: SyncStrategyId::default(),
         }
     }
 }
@@ -121,7 +125,10 @@ pub struct FastNet {
     medium: SubcarrierMedium,
     aps: Vec<NodeId>,
     clients: Vec<NodeId>,
-    sync: Vec<PhaseSync>,
+    /// The pluggable synchronization backend ([`crate::sync`]). Owns the
+    /// per-slave phase state; the network keeps the protocol timeline,
+    /// fault draws, health bookkeeping and trace events.
+    strategy: Box<dyn SyncStrategy>,
     /// Measured joint channel per occupied subcarrier.
     h_meas: Option<Vec<CMat>>,
     precoder: Option<Precoder>,
@@ -281,7 +288,7 @@ impl FastNet {
             }
         }
 
-        let sync = (1..cfg.n_aps).map(|_| PhaseSync::new()).collect();
+        let strategy = strategy_for(cfg.sync, cfg.n_aps);
         let health = (1..cfg.n_aps).map(|_| SyncHealth::default()).collect();
         let fault_rng = jmb_dsp::rng::derive_rng(cfg.seed, 0xFA17);
         let occupied = cfg.params.occupied_subcarriers();
@@ -290,7 +297,7 @@ impl FastNet {
             medium,
             aps,
             clients,
-            sync,
+            strategy,
             h_meas: None,
             precoder: None,
             occupied,
@@ -300,7 +307,7 @@ impl FastNet {
             faults: FaultSchedule::none(),
             fault_rng,
             health,
-            sync_error_budget_rad: 0.35,
+            sync_error_budget_rad: crate::sync::SYNC_ERROR_BUDGET_RAD,
             trace: Trace::new(),
             ext_intf: Vec::new(),
         })
@@ -387,10 +394,43 @@ impl FastNet {
 
     /// Airtime of one full channel-measurement exchange, including the
     /// post-packet turnaround — what a lost measurement still costs the air.
+    /// Scaled by the sync backend's measurement factor: implicit-CSI
+    /// strategies skip the explicit per-client measurement frames.
     pub fn measurement_airtime_s(&self) -> f64 {
-        (320 + self.cfg.rounds * self.cfg.n_aps * self.cfg.params.symbol_len()) as f64
+        ((320 + self.cfg.rounds * self.cfg.n_aps * self.cfg.params.symbol_len()) as f64
             * self.cfg.params.sample_period()
-            + 50e-6
+            + 50e-6)
+            * self.strategy.measurement_airtime_factor()
+    }
+
+    /// The active synchronization backend.
+    pub fn sync_strategy(&self) -> SyncStrategyId {
+        self.strategy.kind()
+    }
+
+    /// Swaps the synchronization backend, discarding per-slave sync state
+    /// (the next [`FastNet::run_measurement`] re-seeds it). Emits
+    /// [`EventKind::SyncStrategySwitched`] on the trace.
+    pub fn set_sync_strategy(&mut self, kind: SyncStrategyId) {
+        self.strategy = strategy_for(kind, self.cfg.n_aps);
+        self.trace
+            .emit(self.now, EventKind::SyncStrategySwitched { strategy: kind });
+    }
+
+    /// Worst-case predicted phase error (radians) across slaves at the
+    /// current time — the per-strategy gauge the traffic layer exports.
+    /// Infinite until the backend has references (before any measurement).
+    pub fn sync_phase_error_rad(&self) -> f64 {
+        (1..self.cfg.n_aps)
+            .map(|s| self.strategy.phase_error_rad(s, self.now))
+            .fold(0.0, f64::max)
+    }
+
+    /// Drains the out-of-band control airtime (seconds) the sync backend
+    /// accrued since the last call (pilot broadcasts; zero for the default
+    /// in-band strategy).
+    pub fn take_sync_control_airtime_s(&mut self) -> f64 {
+        self.strategy.take_control_airtime_s()
     }
 
     /// Whether the measurement frame at time `t` is lost to fault injection.
@@ -551,18 +591,18 @@ impl FastNet {
             * self.cfg.params.symbol_len() as f64
             * self.cfg.params.sample_period();
         let seed_sigma = (0.02 / (2.0 * std::f64::consts::PI * span_s)).max(10.0);
-        for s in 1..self.cfg.n_aps {
-            let est =
-                self.noisy_estimate_with_var(self.aps[0], self.aps[s], t0, self.header_noise_var());
-            let true_cfo = {
-                let f_lead = self.medium.trajectory_mut(self.aps[0]).cfo_hz_at(t0);
-                let f_slave = self.medium.trajectory_mut(self.aps[s]).cfo_hz_at(t0);
-                f_lead - f_slave
-            };
-            let seed = true_cfo + normal(&mut self.rng, seed_sigma);
-            self.sync[s - 1].set_reference(est.clone());
-            self.sync[s - 1].seed_cfo(&est, seed, seed_sigma, t0);
-        }
+        let hnv = self.header_noise_var();
+        self.strategy.on_measurement(
+            &mut SyncCtx {
+                medium: &mut self.medium,
+                rng: &mut self.rng,
+                aps: &self.aps,
+                occupied: &self.occupied,
+                header_noise_var: hnv,
+            },
+            t0,
+            seed_sigma,
+        );
         // A full-population precoder only exists when ZF is well posed
         // (clients ≤ AP antennas). An over-subscribed cell — the city-scale
         // case, hundreds of clients behind a handful of APs — still gets a
@@ -623,22 +663,27 @@ impl FastNet {
         let params = self.cfg.params.clone();
         let t_meas = t_h + 240.0 * params.sample_period();
 
-        // Slave corrections from a fresh header measurement.
+        // Slave corrections from the sync backend (for the default JMB
+        // strategy: a fresh in-band header measurement at `t_meas`). Each
+        // correction carries its own anchor time: within-packet tracking
+        // extrapolates from wherever the backend last observed the lead.
         let mut corr: Vec<Option<crate::phasesync::PhaseCorrection>> = vec![None; self.cfg.n_aps];
-        for (s, slot) in corr.iter_mut().enumerate().skip(1) {
-            let est = self.noisy_estimate_with_var(
-                self.aps[0],
-                self.aps[s],
+        let mut anchor = vec![t_meas; self.cfg.n_aps];
+        let hnv = self.header_noise_var();
+        for s in 1..self.cfg.n_aps {
+            let (pc, t_anchor) = self.strategy.on_header(
+                &mut SyncCtx {
+                    medium: &mut self.medium,
+                    rng: &mut self.rng,
+                    aps: &self.aps,
+                    occupied: &self.occupied,
+                    header_noise_var: hnv,
+                },
+                s,
                 t_meas,
-                self.header_noise_var(),
-            );
-            let raw_cfo = {
-                let f_lead = self.medium.trajectory_mut(self.aps[0]).cfo_hz_at(t_meas);
-                let f_slave = self.medium.trajectory_mut(self.aps[s]).cfo_hz_at(t_meas);
-                f_lead - f_slave + normal(&mut self.rng, 200.0)
-            };
-            self.sync[s - 1].observe_header(&est, raw_cfo, t_meas);
-            *slot = Some(self.sync[s - 1].correction(&est)?);
+            )?;
+            anchor[s] = t_anchor;
+            corr[s] = Some(pc);
         }
 
         let t_d = t_h + 320.0 * params.sample_period() + self.cfg.turnaround_s;
@@ -687,7 +732,7 @@ impl FastNet {
                 for i in 0..n_aps {
                     let c = if apply_phase_sync {
                         match &corr[i] {
-                            Some(c) => c.correction_at(k, t - t_meas, spacing, carrier),
+                            Some(c) => c.correction_at(k, t - anchor[i], spacing, carrier),
                             None => Complex64::ONE,
                         }
                     } else {
@@ -761,20 +806,22 @@ impl FastNet {
         let params = self.cfg.params.clone();
         let t_meas = t_h + 240.0 * params.sample_period();
         let mut corr: Vec<Option<crate::phasesync::PhaseCorrection>> = vec![None; self.cfg.n_aps];
-        for (s, slot) in corr.iter_mut().enumerate().skip(1) {
-            let est = self.noisy_estimate_with_var(
-                self.aps[0],
-                self.aps[s],
+        let mut anchor = vec![t_meas; self.cfg.n_aps];
+        let hnv = self.header_noise_var();
+        for s in 1..self.cfg.n_aps {
+            let (pc, t_anchor) = self.strategy.on_header(
+                &mut SyncCtx {
+                    medium: &mut self.medium,
+                    rng: &mut self.rng,
+                    aps: &self.aps,
+                    occupied: &self.occupied,
+                    header_noise_var: hnv,
+                },
+                s,
                 t_meas,
-                self.header_noise_var(),
-            );
-            let raw_cfo = {
-                let f_lead = self.medium.trajectory_mut(self.aps[0]).cfo_hz_at(t_meas);
-                let f_slave = self.medium.trajectory_mut(self.aps[s]).cfo_hz_at(t_meas);
-                f_lead - f_slave + normal(&mut self.rng, 200.0)
-            };
-            self.sync[s - 1].observe_header(&est, raw_cfo, t_meas);
-            *slot = Some(self.sync[s - 1].correction(&est)?);
+            )?;
+            anchor[s] = t_anchor;
+            corr[s] = Some(pc);
         }
         let t = t_h + 320.0 * params.sample_period() + self.cfg.turnaround_s + 200e-6;
         let nv = self.cfg.noise_var;
@@ -800,7 +847,7 @@ impl FastNet {
             let mut rx = Complex64::ZERO;
             for (i, row) in rows.iter().enumerate() {
                 let c = match &corr[i] {
-                    Some(c) => c.correction_at(k, t - t_meas, spacing, carrier),
+                    Some(c) => c.correction_at(k, t - anchor[i], spacing, carrier),
                     None => Complex64::ONE,
                 };
                 rx += row[k_idx] * c * w[(i, 0)];
@@ -876,8 +923,9 @@ impl FastNet {
                 t_j,
                 self.header_noise_var(),
             );
-            let stored = self.sync[s - 1]
-                .reference()
+            let stored = self
+                .strategy
+                .reference(s)
                 .ok_or(JmbError::NoReference)?
                 .clone();
             let ratios: Vec<Complex64> = now_ref
@@ -999,24 +1047,27 @@ impl FastNet {
         let mut newly_degraded = Vec::new();
         let mut newly_restored = Vec::new();
         let mut excluded = vec![false; self.cfg.n_aps];
+        let hnv = self.header_noise_var();
+        let inband = self.strategy.uses_inband_header();
         for &s in active_aps {
             if s == 0 {
                 continue; // lead transmits the reference, needs no correction
             }
-            if self.draw_sync_miss(s, t_meas) {
+            // The miss/health machinery only exists for strategies that
+            // listen for the in-band header: an out-of-band backend makes
+            // no per-header fault draw (losing a frame header cannot
+            // desynchronize it) and never degrades.
+            if inband && self.draw_sync_miss(s, t_meas) {
                 self.trace.emit(t_meas, EventKind::SyncMissed { slave: s });
                 missed_slaves.push(s);
                 if self.health[s - 1].record_miss() {
                     self.trace.emit(t_meas, EventKind::ApDegraded { ap: s });
                     newly_degraded.push(s);
                 }
-                let within_budget =
-                    self.sync[s - 1].extrapolation_error_rad(t_meas) <= self.sync_error_budget_rad;
-                let fallback = if !self.health[s - 1].is_degraded() && within_budget {
-                    self.sync[s - 1].extrapolated_correction().ok()
-                } else {
-                    None
-                };
+                let degraded = self.health[s - 1].is_degraded();
+                let fallback =
+                    self.strategy
+                        .on_header_missed(s, t_meas, self.sync_error_budget_rad, degraded);
                 match fallback {
                     Some((pc, t_old)) => {
                         anchor[s] = t_old;
@@ -1027,23 +1078,23 @@ impl FastNet {
                 }
                 continue;
             }
-            if self.health[s - 1].record_sync() {
+            if inband && self.health[s - 1].record_sync() {
                 self.trace.emit(t_meas, EventKind::ApRestored { ap: s });
                 newly_restored.push(s);
             }
-            let est = self.noisy_estimate_with_var(
-                self.aps[0],
-                self.aps[s],
+            let (pc, t_anchor) = self.strategy.on_header(
+                &mut SyncCtx {
+                    medium: &mut self.medium,
+                    rng: &mut self.rng,
+                    aps: &self.aps,
+                    occupied: &self.occupied,
+                    header_noise_var: hnv,
+                },
+                s,
                 t_meas,
-                self.header_noise_var(),
-            );
-            let raw_cfo = {
-                let f_lead = self.medium.trajectory_mut(self.aps[0]).cfo_hz_at(t_meas);
-                let f_slave = self.medium.trajectory_mut(self.aps[s]).cfo_hz_at(t_meas);
-                f_lead - f_slave + normal(&mut self.rng, 200.0)
-            };
-            self.sync[s - 1].observe_header(&est, raw_cfo, t_meas);
-            corr[s] = Some(self.sync[s - 1].correction(&est)?);
+            )?;
+            anchor[s] = t_anchor;
+            corr[s] = Some(pc);
         }
 
         // The effective AP set: everyone still able to phase-align. If too
@@ -1488,6 +1539,43 @@ mod tests {
             .unwrap();
         assert_eq!(out.newly_restored, vec![1]);
         assert!(!net.sync_health()[0].is_degraded());
+    }
+
+    #[test]
+    fn sync_loss_window_ending_on_the_resync_tick_is_half_open() {
+        // The slave re-measures the lead 240 samples into the batch, so the
+        // sync-miss fault draw happens at `t_meas = now + 240·T_s` — not at
+        // the batch start. A storm window that ends *exactly* on that tick
+        // must not swallow the header (windows are `[from_s, until_s)`),
+        // while a window lasting any longer must.
+        let base = cfg(2, 20.0, 31);
+        let sp = base.params.sample_period();
+        let storm = FaultConfig::builder()
+            .per_slave_sync_loss(1, 1.0)
+            .build()
+            .unwrap();
+        let run = |until_of: &dyn Fn(f64) -> f64| {
+            let mut net = FastNet::new(base.clone()).unwrap();
+            net.run_measurement().unwrap();
+            net.advance(1e-3);
+            let t_meas = net.now() + 240.0 * sp;
+            net.set_fault_schedule(
+                FaultSchedule::none()
+                    .with_window(0.0, until_of(t_meas), storm.clone())
+                    .unwrap(),
+            );
+            net.joint_transmit_subset(&[0, 1], &[0, 1], 1500, 1, true)
+                .unwrap()
+        };
+        // Boundary tick: `t_meas == until_s` sits outside the window.
+        let out = run(&|t_meas| t_meas);
+        assert!(
+            out.missed_slaves.is_empty(),
+            "resync on the window's end tick must hear the header"
+        );
+        // One representable instant longer and the draw lands inside.
+        let out = run(&|t_meas: f64| t_meas.next_up());
+        assert_eq!(out.missed_slaves, vec![1]);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | [`decouple`] | §7 + appendix | decoupled channel measurements to different receivers via the lead→slave reference channels |
 //! | [`csi`] | §7, robustness | CSI age/confidence tracking, backoff re-measurement scheduling, per-slave sync health |
 //! | [`compat`] | §6 | 802.11n compatibility: reference-antenna channel stitching and multi-antenna (2×2 → 4×4) joint transmission |
+//! | [`sync`] | §5.2 + related work | pluggable synchronization strategies: the paper's lead/slave resync plus out-of-band pilot tracking and implicit-CSI rivals behind one [`sync::SyncStrategy`] trait |
 //! | [`mac`] | §9 | the link layer: shared queue, designated APs, lead election, joint packet selection, async ACKs, retransmission |
 //! | [`baseline`] | §11 | the comparison systems: 802.11 TDMA equal-share and single-AP MU-MIMO |
 //! | [`experiment`] | §11 | the harness that regenerates every figure of the evaluation |
@@ -36,8 +37,10 @@ pub mod measure;
 pub mod net;
 pub mod phasesync;
 pub mod precoder;
+pub mod sync;
 
 pub use csi::{BackoffPolicy, CsiTracker, SyncHealth};
 pub use error::JmbError;
 pub use phasesync::PhaseSync;
 pub use precoder::Precoder;
+pub use sync::{strategy_for, SyncCtx, SyncStrategy, SyncStrategyId};

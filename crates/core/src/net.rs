@@ -671,6 +671,28 @@ impl JmbNetwork {
         n_rounds: usize,
         inter_round_gap_s: f64,
     ) -> Result<Vec<f64>, JmbError> {
+        self.misalignment_probe_with(
+            n_rounds,
+            inter_round_gap_s,
+            crate::sync::SyncStrategyId::JmbLeadSlave,
+        )
+    }
+
+    /// Strategy-aware variant of [`JmbNetwork::misalignment_probe`]: the
+    /// waveform timeline (lead header, alternating chanest symbols) is
+    /// identical, but the slave's correction source follows the chosen
+    /// backend. `JmbLeadSlave` re-measures the in-band header every round
+    /// (byte-identical to [`JmbNetwork::misalignment_probe`]); the
+    /// out-of-band backends absorb a header observation only when their
+    /// pilot/recalibration tick is due and extrapolate in between —
+    /// reciprocity additionally sees noisier estimates (implicit CSI rides
+    /// uncontrolled uplink frames).
+    pub fn misalignment_probe_with(
+        &mut self,
+        n_rounds: usize,
+        inter_round_gap_s: f64,
+        strategy: crate::sync::SyncStrategyId,
+    ) -> Result<Vec<f64>, JmbError> {
         if self.cfg.n_aps < 2 {
             return Err(JmbError::BadConfig("probe needs a lead and a slave"));
         }
@@ -684,6 +706,17 @@ impl JmbNetwork {
         let ofdm = jmb_phy::ofdm::Ofdm::new(params.clone());
         let mut reference_rel: Option<Complex64> = None;
         let mut out = Vec::with_capacity(n_rounds.saturating_sub(1));
+        // Out-of-band update schedule (rival strategies): ticks are
+        // quantized to round headers — the probe's rounds are the only
+        // instants the sample-level medium renders.
+        let update_interval_s = match strategy {
+            crate::sync::SyncStrategyId::JmbLeadSlave => 0.0,
+            crate::sync::SyncStrategyId::AirSyncPilot => crate::sync::AIRSYNC_PILOT_INTERVAL_S,
+            crate::sync::SyncStrategyId::ReciprocityImplicit => {
+                crate::sync::RECIPROCITY_RECAL_INTERVAL_S
+            }
+        };
+        let mut next_update: Option<f64> = None;
 
         for _ in 0..n_rounds {
             let t_h = self.now;
@@ -691,11 +724,39 @@ impl JmbNetwork {
             self.medium
                 .transmit(self.aps[0], t_h, preamble::preamble(&params));
             let window = self.medium.render_rx(self.aps[1], t_h, 320 + 8);
-            let (est, cfo) = measure::slave_header_measurement(&params, &window)
-                .map_err(|_| JmbError::SyncHeaderMissed { slave: 1 })?;
             let t_meas = t_h + 240.0 * ts;
-            self.sync_state[0].observe_header(&est, cfo, t_meas);
-            let corr = self.sync_state[0].correction(&est)?;
+            let (corr, t_anchor) = match strategy {
+                crate::sync::SyncStrategyId::JmbLeadSlave => {
+                    let (est, cfo) = measure::slave_header_measurement(&params, &window)
+                        .map_err(|_| JmbError::SyncHeaderMissed { slave: 1 })?;
+                    self.sync_state[0].observe_header(&est, cfo, t_meas);
+                    (self.sync_state[0].correction(&est)?, t_meas)
+                }
+                crate::sync::SyncStrategyId::AirSyncPilot
+                | crate::sync::SyncStrategyId::ReciprocityImplicit => {
+                    if next_update.is_none_or(|t| t_meas >= t) {
+                        let (mut est, mut cfo) =
+                            measure::slave_header_measurement(&params, &window)
+                                .map_err(|_| JmbError::SyncHeaderMissed { slave: 1 })?;
+                        if strategy == crate::sync::SyncStrategyId::ReciprocityImplicit {
+                            // Implicit estimates are noisier: 4× the
+                            // header's estimation variance (the header
+                            // averages two clean LTF repetitions; an
+                            // overheard uplink frame does not).
+                            for g in est.gains.iter_mut() {
+                                *g += jmb_dsp::rng::complex_gaussian(
+                                    &mut self.rng,
+                                    1.5 * self.cfg.ap_noise_var,
+                                );
+                            }
+                            cfo += normal(&mut self.rng, 300.0);
+                        }
+                        self.sync_state[0].observe_header(&est, cfo, t_meas);
+                        next_update = Some(t_meas + update_interval_s);
+                    }
+                    self.sync_state[0].extrapolated_correction()?
+                }
+            };
 
             // Alternating symbols: lead at t_d, slave at t_d + 80·Ts.
             let t_d = t_h + 320.0 * ts + self.cfg.turnaround_s;
@@ -709,7 +770,7 @@ impl JmbNetwork {
             let mut slave_sym = ofdm.bins_to_samples(&slave_bins);
             let t_slave = t_d + sym_len as f64 * ts;
             for (n, x) in slave_sym.iter_mut().enumerate() {
-                let t = t_slave + n as f64 * ts - t_meas;
+                let t = t_slave + n as f64 * ts - t_anchor;
                 *x *= Complex64::cis(2.0 * std::f64::consts::PI * corr.cfo_hz * t);
             }
             let jitter = self.trigger_offsets[1] + normal(&mut self.rng, self.cfg.trigger_jitter_s);

@@ -461,6 +461,52 @@ mod tests {
     }
 
     #[test]
+    fn correction_recovers_rotation_at_exactly_pi() {
+        // A rotation of exactly π sits on the wrap seam: +π and −π label
+        // the same phasor, and the fit must recover that phasor — not an
+        // average of the two labels (which would cancel to zero).
+        let mut ps = PhaseSync::new();
+        ps.set_reference(estimate_from(|_| Complex64::ONE));
+        let plus = estimate_from(|_| Complex64::cis(std::f64::consts::PI));
+        let minus = estimate_from(|_| Complex64::cis(-std::f64::consts::PI));
+        let cp = ps.correction(&plus).unwrap();
+        let cm = ps.correction(&minus).unwrap();
+        assert!(
+            wrap_phase(cp.common_phase - std::f64::consts::PI).abs() < 1e-9,
+            "common phase {} is not the seam rotation",
+            cp.common_phase
+        );
+        // Both labels of the seam produce the same correction.
+        assert!(wrap_phase(cp.common_phase - cm.common_phase).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_header_unwrap_survives_a_phase_advance_past_pi() {
+        // Header-to-header phase advance of π + 0.2 rad: the *measured*
+        // advance wraps to 0.2 − π, so a wrap-naive refinement would pull
+        // the CFO toward an alias 1/dt Hz away. Unwrapping against the
+        // seeded estimate must recover the true frequency instead.
+        let dt = 2e-3;
+        let advance = std::f64::consts::PI + 0.2;
+        let f_true = advance / (2.0 * std::f64::consts::PI * dt); // ≈ 266 Hz
+        let mut ps = PhaseSync::new();
+        let est1 = estimate_from(|_| Complex64::ONE);
+        ps.set_reference(est1.clone());
+        ps.seed_cfo(&est1, f_true - 6.0, 5.0, 0.0);
+        let est2 = estimate_from(|_| Complex64::cis(advance));
+        // The raw per-header CFO is garbage on purpose: the cross-header
+        // phase measurement alone must pin the frequency.
+        ps.observe_header(&est2, 0.0, dt);
+        let f_hat = ps.tracking_cfo().unwrap();
+        assert!(
+            (f_hat - f_true).abs() < 1.0,
+            "refined CFO {f_hat} Hz vs true {f_true} Hz"
+        );
+        // Nowhere near the wrap alias at f_true − 1/dt.
+        assert!((f_hat - (f_true - 1.0 / dt)).abs() > 100.0);
+    }
+
+    #[test]
     fn faded_subcarriers_downweighted() {
         let mut rng = rng_from_seed(2);
         let mut ps = PhaseSync::new();

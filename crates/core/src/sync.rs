@@ -1,0 +1,770 @@
+//! Pluggable synchronization strategies.
+//!
+//! The paper's lead/slave resync (§5.2) is one answer to the distributed
+//! phase-sync problem; the literature has others. This module extracts the
+//! strategy decisions — *when* a slave refreshes its lead-relative phase,
+//! *what* it measures, and *what the control plane costs* — behind one
+//! trait, so the network models ([`crate::fastnet::FastNet`],
+//! [`crate::net::JmbNetwork`]) stay fixed while the sync backend varies:
+//!
+//! * [`JmbLeadSlave`] — the paper's mechanism, verbatim: slaves re-measure
+//!   the lead's channel from the in-band sync header of every joint
+//!   transmission. This is the default, and the refactor's safety contract:
+//!   it reproduces the pre-extraction network **bit-exactly** (pinned by
+//!   the `sync_equivalence` fixture suite in `jmb-bench`).
+//! * [`AirSyncPilot`] — continuous out-of-band pilot tracking: the lead
+//!   broadcasts a short pilot every couple of milliseconds on a side
+//!   channel, and slaves run the same sigma-weighted predict/correct phase
+//!   tracker ([`PhaseSync`]'s unwrap-refined CFO filter — a steady-state
+//!   Kalman form) against those pilots. Data frames carry no sync header,
+//!   so in-band header loss cannot desynchronize the array; the price is a
+//!   standing pilot airtime tax, surfaced through
+//!   [`SyncStrategy::take_control_airtime_s`].
+//! * [`ReciprocityImplicit`] — calibrated implicit CSI in the spirit of
+//!   Rogalin et al.: slaves refresh their lead-relative phase from regular
+//!   uplink traffic (reciprocity calibration), with zero dedicated
+//!   per-client measurement frames. Updates are infrequent and noisier, so
+//!   the phase-error envelope is wider than JMB's; the payoff is a much
+//!   cheaper measurement phase
+//!   ([`SyncStrategy::measurement_airtime_factor`]).
+//!
+//! The trait deliberately does **not** own fault draws, sync-health
+//! bookkeeping, or trace emission — those stay in the network, which calls
+//! [`SyncStrategy::on_header_missed`] only for strategies that actually
+//! listen for in-band headers ([`SyncStrategy::uses_inband_header`]).
+
+use crate::error::JmbError;
+use crate::phasesync::{PhaseCorrection, PhaseSync};
+use jmb_dsp::rng::{complex_gaussian, normal, JmbRng};
+use jmb_phy::chanest::ChannelEstimate;
+use jmb_sim::{NodeId, SubcarrierMedium};
+
+pub use jmb_sim::SyncStrategyId;
+
+/// 1σ accuracy (Hz) of a single raw per-header CFO estimate at typical
+/// AP↔AP SNRs — the same constant the pre-extraction network used inline.
+const RAW_HEADER_CFO_SIGMA_HZ: f64 = 200.0;
+
+/// The paper's phase-error budget (§5.2): a slave whose extrapolated
+/// correction would exceed this misalignment sits the batch out rather
+/// than transmit destructively. Networks default to this value; the
+/// `sync_shootout` bench pins the lead/slave CDF against it.
+pub const SYNC_ERROR_BUDGET_RAD: f64 = 0.35;
+
+/// AirSync pilot cadence: one out-of-band pilot broadcast by the lead
+/// every 2 ms keeps a 2 Hz-accurate CFO tracker under 0.05 rad of
+/// extrapolation error between pilots.
+pub const AIRSYNC_PILOT_INTERVAL_S: f64 = 2e-3;
+/// Airtime of one pilot broadcast (a 320-sample header plus guard at
+/// 20 MS/s) — charged once per pilot, shared by every slave.
+const AIRSYNC_PILOT_AIRTIME_S: f64 = 40e-6;
+
+/// Reciprocity recalibration cadence: implicit estimates ride on uplink
+/// traffic, which is bursty — model it as a 25 ms refresh.
+pub const RECIPROCITY_RECAL_INTERVAL_S: f64 = 25e-3;
+/// Implicit estimates are noisier than a dedicated header (no controlled
+/// preamble; the calibration rides whatever uplink frame was heard).
+const RECIPROCITY_NOISE_SCALE: f64 = 4.0;
+/// Raw CFO sigma of one implicit estimate (Hz).
+const RECIPROCITY_CFO_SIGMA_HZ: f64 = 400.0;
+/// With implicit CSI the measurement phase shrinks to a short calibration
+/// exchange: no per-client downlink measurement frames (the Rogalin-style
+/// win), just uplink pilots the APs overhear anyway.
+const RECIPROCITY_MEAS_AIRTIME_FACTOR: f64 = 0.2;
+
+/// Out-of-band updates processed per catch-up call. Older due updates are
+/// still *charged* (the pilots were on the air) but their estimates are
+/// skipped — only the most recent few carry information the tracker has
+/// not already absorbed.
+const MAX_CATCHUP_UPDATES: u64 = 3;
+
+/// Everything a strategy may touch when it measures: the medium (channel
+/// rows and oscillator trajectories), the network's main RNG stream (so
+/// the default strategy's draws land in exactly the pre-extraction order),
+/// and the AP roster.
+pub struct SyncCtx<'a> {
+    /// The per-subcarrier medium.
+    pub medium: &'a mut SubcarrierMedium,
+    /// The network's main RNG stream (estimation noise, CFO noise).
+    pub rng: &'a mut JmbRng,
+    /// AP node ids; index 0 is the lead.
+    pub aps: &'a [NodeId],
+    /// Occupied subcarrier indices (ascending).
+    pub occupied: &'a [i32],
+    /// Estimation noise variance of one in-band sync-header measurement.
+    pub header_noise_var: f64,
+}
+
+impl SyncCtx<'_> {
+    /// Noisy per-subcarrier estimate of the lead→`slave` channel at `t`
+    /// with explicit noise variance: one channel-row evaluation plus one
+    /// complex-Gaussian draw per occupied subcarrier, in subcarrier order
+    /// — the exact draw sequence of the pre-extraction network.
+    pub fn estimate_with_var(&mut self, slave: usize, t: f64, var: f64) -> ChannelEstimate {
+        let mut gains = Vec::with_capacity(self.occupied.len());
+        self.medium
+            .channel_row_into(self.aps[0], self.aps[slave], self.occupied, t, &mut gains);
+        for g in gains.iter_mut() {
+            *g += complex_gaussian(self.rng, var);
+        }
+        ChannelEstimate {
+            subcarriers: self.occupied.to_vec(),
+            gains,
+        }
+    }
+
+    /// The in-band sync-header estimate of the lead→`slave` channel.
+    pub fn header_estimate(&mut self, slave: usize, t: f64) -> ChannelEstimate {
+        self.estimate_with_var(slave, t, self.header_noise_var)
+    }
+
+    /// Ground-truth lead-relative CFO of `slave` at `t` (Hz). Draws no
+    /// noise itself — callers add their measurement error on top.
+    pub fn true_cfo_hz(&mut self, slave: usize, t: f64) -> f64 {
+        let f_lead = self.medium.trajectory_mut(self.aps[0]).cfo_hz_at(t);
+        let f_slave = self.medium.trajectory_mut(self.aps[slave]).cfo_hz_at(t);
+        f_lead - f_slave
+    }
+
+    /// Number of APs (lead included).
+    pub fn n_aps(&self) -> usize {
+        self.aps.len()
+    }
+}
+
+/// A pluggable phase-synchronization backend.
+///
+/// The network owns the protocol timeline, fault draws, health
+/// bookkeeping and trace events; the strategy owns per-slave phase state
+/// and answers three questions: what correction does slave `s` apply at
+/// header time `t` (heard or missed), how wrong is an extrapolated
+/// correction predicted to be, and what did the sync control plane cost
+/// the air since last asked.
+pub trait SyncStrategy: Send {
+    /// Which strategy this is.
+    fn kind(&self) -> SyncStrategyId;
+
+    /// Whether the strategy consumes the in-band sync header of each joint
+    /// transmission. When `false`, the network skips per-header fault
+    /// draws, miss events and health bookkeeping entirely — losing a frame
+    /// header cannot desynchronize a strategy that never listens for it.
+    fn uses_inband_header(&self) -> bool {
+        true
+    }
+
+    /// Scale factor on the full channel-measurement exchange's airtime
+    /// (1.0 = the paper's explicit per-client measurement frames).
+    fn measurement_airtime_factor(&self) -> f64 {
+        1.0
+    }
+
+    /// Called at the end of a successful full channel measurement at `t0`:
+    /// the strategy stores per-slave reference channels and seeds its CFO
+    /// trackers. `seed_sigma_hz` is the 1σ accuracy the measurement
+    /// packet's span supports.
+    fn on_measurement(&mut self, ctx: &mut SyncCtx<'_>, t0: f64, seed_sigma_hz: f64);
+
+    /// A joint transmission's header instant `t_meas` arrived (and, for
+    /// in-band strategies, the slave heard it). Returns the phase
+    /// correction the slave applies for this packet plus its anchor time
+    /// (within-packet CFO tracking extrapolates from the anchor).
+    fn on_header(
+        &mut self,
+        ctx: &mut SyncCtx<'_>,
+        slave: usize,
+        t_meas: f64,
+    ) -> Result<(PhaseCorrection, f64), JmbError>;
+
+    /// The slave missed the in-band header at `t_meas` (only called when
+    /// [`SyncStrategy::uses_inband_header`]). Returns a fallback
+    /// correction and its anchor time, or `None` to sit the batch out.
+    /// `degraded` is the network's health verdict for this slave;
+    /// `budget_rad` the network's extrapolation-error budget.
+    fn on_header_missed(
+        &mut self,
+        slave: usize,
+        t_meas: f64,
+        budget_rad: f64,
+        degraded: bool,
+    ) -> Option<(PhaseCorrection, f64)>;
+
+    /// Predicted 1σ phase error (radians) of the correction slave `slave`
+    /// would apply at time `t` without a fresh in-band header. Infinite
+    /// before any reference exists.
+    fn phase_error_rad(&self, slave: usize, t: f64) -> f64;
+
+    /// The stored reference channel of `slave` (for decoupled
+    /// re-measurement stitching, §7).
+    fn reference(&self, slave: usize) -> Option<&ChannelEstimate>;
+
+    /// Drains the out-of-band control airtime (seconds) accrued since the
+    /// last call — pilot broadcasts, calibration exchanges. The traffic
+    /// backend folds it into per-batch control overhead. Zero for
+    /// strategies whose control plane rides in-band.
+    fn take_control_airtime_s(&mut self) -> f64 {
+        0.0
+    }
+}
+
+/// Builds the strategy backend for `kind` in a network with `n_aps` APs.
+pub fn strategy_for(kind: SyncStrategyId, n_aps: usize) -> Box<dyn SyncStrategy> {
+    match kind {
+        SyncStrategyId::JmbLeadSlave => Box::new(JmbLeadSlave::new(n_aps)),
+        SyncStrategyId::AirSyncPilot => Box::new(AirSyncPilot::new(n_aps)),
+        SyncStrategyId::ReciprocityImplicit => Box::new(ReciprocityImplicit::new(n_aps)),
+    }
+}
+
+/// The paper's lead/slave resync (§5.2), extracted verbatim: per-slave
+/// [`PhaseSync`] state, seeded at measurement time, updated from every
+/// in-band sync header, with the CFO-extrapolated fallback on a miss.
+pub struct JmbLeadSlave {
+    sync: Vec<PhaseSync>,
+}
+
+impl JmbLeadSlave {
+    /// Fresh state for a network with `n_aps` APs (index 0 = lead).
+    pub fn new(n_aps: usize) -> Self {
+        JmbLeadSlave {
+            sync: (1..n_aps).map(|_| PhaseSync::new()).collect(),
+        }
+    }
+}
+
+impl SyncStrategy for JmbLeadSlave {
+    fn kind(&self) -> SyncStrategyId {
+        SyncStrategyId::JmbLeadSlave
+    }
+
+    fn on_measurement(&mut self, ctx: &mut SyncCtx<'_>, t0: f64, seed_sigma_hz: f64) {
+        for s in 1..ctx.n_aps() {
+            let est = ctx.header_estimate(s, t0);
+            let seed = ctx.true_cfo_hz(s, t0) + normal(ctx.rng, seed_sigma_hz);
+            self.sync[s - 1].set_reference(est.clone());
+            self.sync[s - 1].seed_cfo(&est, seed, seed_sigma_hz, t0);
+        }
+    }
+
+    fn on_header(
+        &mut self,
+        ctx: &mut SyncCtx<'_>,
+        slave: usize,
+        t_meas: f64,
+    ) -> Result<(PhaseCorrection, f64), JmbError> {
+        let est = ctx.header_estimate(slave, t_meas);
+        let raw_cfo = ctx.true_cfo_hz(slave, t_meas) + normal(ctx.rng, RAW_HEADER_CFO_SIGMA_HZ);
+        self.sync[slave - 1].observe_header(&est, raw_cfo, t_meas);
+        Ok((self.sync[slave - 1].correction(&est)?, t_meas))
+    }
+
+    fn on_header_missed(
+        &mut self,
+        slave: usize,
+        t_meas: f64,
+        budget_rad: f64,
+        degraded: bool,
+    ) -> Option<(PhaseCorrection, f64)> {
+        let within_budget = self.sync[slave - 1].extrapolation_error_rad(t_meas) <= budget_rad;
+        if !degraded && within_budget {
+            self.sync[slave - 1].extrapolated_correction().ok()
+        } else {
+            None
+        }
+    }
+
+    fn phase_error_rad(&self, slave: usize, t: f64) -> f64 {
+        self.sync[slave - 1].extrapolation_error_rad(t)
+    }
+
+    fn reference(&self, slave: usize) -> Option<&ChannelEstimate> {
+        self.sync[slave - 1].reference()
+    }
+}
+
+/// Shared machinery of the out-of-band strategies: per-slave [`PhaseSync`]
+/// trackers updated on a global periodic schedule (pilots or calibration
+/// exchanges are broadcast — one airtime charge covers every slave), with
+/// corrections always extrapolated from the latest update.
+struct OobTracker {
+    sync: Vec<PhaseSync>,
+    interval_s: f64,
+    noise_scale: f64,
+    cfo_sigma_hz: f64,
+    update_airtime_s: f64,
+    /// Global time of the next scheduled update; `None` until seeded.
+    next_update_t: Option<f64>,
+    pending_airtime_s: f64,
+}
+
+impl OobTracker {
+    fn new(
+        n_aps: usize,
+        interval_s: f64,
+        noise_scale: f64,
+        cfo_sigma_hz: f64,
+        update_airtime_s: f64,
+    ) -> Self {
+        OobTracker {
+            sync: (1..n_aps).map(|_| PhaseSync::new()).collect(),
+            interval_s,
+            noise_scale,
+            cfo_sigma_hz,
+            update_airtime_s,
+            next_update_t: None,
+            pending_airtime_s: 0.0,
+        }
+    }
+
+    /// Seeds references and CFO trackers (same shape as the measurement
+    /// seeding of the in-band strategy) and starts the update schedule.
+    fn seed(&mut self, ctx: &mut SyncCtx<'_>, t0: f64, seed_sigma_hz: f64) {
+        for s in 1..ctx.n_aps() {
+            let est = ctx.header_estimate(s, t0);
+            let seed = ctx.true_cfo_hz(s, t0) + normal(ctx.rng, seed_sigma_hz);
+            self.sync[s - 1].set_reference(est.clone());
+            self.sync[s - 1].seed_cfo(&est, seed, seed_sigma_hz, t0);
+        }
+        self.next_update_t = Some(t0 + self.interval_s);
+    }
+
+    /// Processes every scheduled update due by `t`. All due updates are
+    /// charged to the air (the broadcasts happen regardless), but only the
+    /// most recent [`MAX_CATCHUP_UPDATES`] contribute estimates — older
+    /// ones carry nothing the tracker's latest state does not supersede.
+    /// Self-seeds on first contact if the network never ran a measurement.
+    fn catch_up(&mut self, ctx: &mut SyncCtx<'_>, t: f64) {
+        let first_tick = match self.next_update_t {
+            Some(next) => next,
+            None => {
+                self.seed(ctx, t, self.cfo_sigma_hz);
+                return;
+            }
+        };
+        if t < first_tick {
+            return;
+        }
+        let n_due = ((t - first_tick) / self.interval_s).floor() as u64 + 1;
+        self.pending_airtime_s += n_due as f64 * self.update_airtime_s;
+        let var = self.noise_scale * ctx.header_noise_var;
+        for i in n_due.saturating_sub(MAX_CATCHUP_UPDATES)..n_due {
+            let t_p = first_tick + i as f64 * self.interval_s;
+            for s in 1..ctx.n_aps() {
+                let est = ctx.estimate_with_var(s, t_p, var);
+                let cfo = ctx.true_cfo_hz(s, t_p) + normal(ctx.rng, self.cfo_sigma_hz);
+                self.sync[s - 1].observe_header(&est, cfo, t_p);
+            }
+        }
+        self.next_update_t = Some(first_tick + n_due as f64 * self.interval_s);
+    }
+
+    /// The correction for `slave` at `t`: catch up the update schedule,
+    /// then extrapolate from the latest absorbed update.
+    fn correction_at(
+        &mut self,
+        ctx: &mut SyncCtx<'_>,
+        slave: usize,
+        t: f64,
+    ) -> Result<(PhaseCorrection, f64), JmbError> {
+        self.catch_up(ctx, t);
+        self.sync[slave - 1].extrapolated_correction()
+    }
+}
+
+/// Continuous out-of-band pilot tracking (AirSync-style): see the module
+/// docs. Header-quality estimates at a 2 ms cadence keep the predictor's
+/// extrapolation error well inside the paper's 0.35 rad budget, at the
+/// cost of a standing pilot airtime tax.
+pub struct AirSyncPilot {
+    tracker: OobTracker,
+}
+
+impl AirSyncPilot {
+    /// Fresh state for a network with `n_aps` APs.
+    pub fn new(n_aps: usize) -> Self {
+        AirSyncPilot {
+            tracker: OobTracker::new(
+                n_aps,
+                AIRSYNC_PILOT_INTERVAL_S,
+                1.0,
+                RAW_HEADER_CFO_SIGMA_HZ,
+                AIRSYNC_PILOT_AIRTIME_S,
+            ),
+        }
+    }
+}
+
+impl SyncStrategy for AirSyncPilot {
+    fn kind(&self) -> SyncStrategyId {
+        SyncStrategyId::AirSyncPilot
+    }
+
+    fn uses_inband_header(&self) -> bool {
+        false
+    }
+
+    fn on_measurement(&mut self, ctx: &mut SyncCtx<'_>, t0: f64, seed_sigma_hz: f64) {
+        self.tracker.seed(ctx, t0, seed_sigma_hz);
+    }
+
+    fn on_header(
+        &mut self,
+        ctx: &mut SyncCtx<'_>,
+        slave: usize,
+        t_meas: f64,
+    ) -> Result<(PhaseCorrection, f64), JmbError> {
+        self.tracker.correction_at(ctx, slave, t_meas)
+    }
+
+    fn on_header_missed(
+        &mut self,
+        _slave: usize,
+        _t_meas: f64,
+        _budget_rad: f64,
+        _degraded: bool,
+    ) -> Option<(PhaseCorrection, f64)> {
+        None // unreachable: no in-band headers to miss
+    }
+
+    fn phase_error_rad(&self, slave: usize, t: f64) -> f64 {
+        self.tracker.sync[slave - 1].extrapolation_error_rad(t)
+    }
+
+    fn reference(&self, slave: usize) -> Option<&ChannelEstimate> {
+        self.tracker.sync[slave - 1].reference()
+    }
+
+    fn take_control_airtime_s(&mut self) -> f64 {
+        std::mem::take(&mut self.tracker.pending_airtime_s)
+    }
+}
+
+/// Calibrated implicit CSI from uplink reciprocity (Rogalin et al.): see
+/// the module docs. Updates are free of dedicated airtime but sparse and
+/// noisy — the phase-error envelope is the widest of the three backends.
+pub struct ReciprocityImplicit {
+    tracker: OobTracker,
+}
+
+impl ReciprocityImplicit {
+    /// Fresh state for a network with `n_aps` APs.
+    pub fn new(n_aps: usize) -> Self {
+        ReciprocityImplicit {
+            tracker: OobTracker::new(
+                n_aps,
+                RECIPROCITY_RECAL_INTERVAL_S,
+                RECIPROCITY_NOISE_SCALE,
+                RECIPROCITY_CFO_SIGMA_HZ,
+                0.0, // implicit: the uplink frames were on the air anyway
+            ),
+        }
+    }
+}
+
+impl SyncStrategy for ReciprocityImplicit {
+    fn kind(&self) -> SyncStrategyId {
+        SyncStrategyId::ReciprocityImplicit
+    }
+
+    fn uses_inband_header(&self) -> bool {
+        false
+    }
+
+    fn measurement_airtime_factor(&self) -> f64 {
+        RECIPROCITY_MEAS_AIRTIME_FACTOR
+    }
+
+    fn on_measurement(&mut self, ctx: &mut SyncCtx<'_>, t0: f64, seed_sigma_hz: f64) {
+        self.tracker.seed(ctx, t0, seed_sigma_hz);
+    }
+
+    fn on_header(
+        &mut self,
+        ctx: &mut SyncCtx<'_>,
+        slave: usize,
+        t_meas: f64,
+    ) -> Result<(PhaseCorrection, f64), JmbError> {
+        self.tracker.correction_at(ctx, slave, t_meas)
+    }
+
+    fn on_header_missed(
+        &mut self,
+        _slave: usize,
+        _t_meas: f64,
+        _budget_rad: f64,
+        _degraded: bool,
+    ) -> Option<(PhaseCorrection, f64)> {
+        None // unreachable: no in-band headers to miss
+    }
+
+    fn phase_error_rad(&self, slave: usize, t: f64) -> f64 {
+        self.tracker.sync[slave - 1].extrapolation_error_rad(t)
+    }
+
+    fn reference(&self, slave: usize) -> Option<&ChannelEstimate> {
+        self.tracker.sync[slave - 1].reference()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmb_channel::oscillator::{OscillatorSpec, PhaseTrajectory};
+    use jmb_phy::params::OfdmParams;
+    use rand::Rng;
+
+    /// A tiny two-AP medium for driving strategies directly.
+    struct Rig {
+        medium: SubcarrierMedium,
+        rng: JmbRng,
+        aps: Vec<NodeId>,
+        occupied: Vec<i32>,
+    }
+
+    fn rig(n_aps: usize, seed: u64) -> Rig {
+        let params = OfdmParams::default();
+        let mut rng = jmb_dsp::rng::rng_from_seed(seed);
+        let mut medium = SubcarrierMedium::new(params.clone(), rng.gen());
+        let carrier = params.carrier_freq;
+        let aps: Vec<NodeId> = (0..n_aps)
+            .map(|_| {
+                let traj = PhaseTrajectory::new(OscillatorSpec::usrp2(), carrier, &mut rng);
+                medium.add_node(traj, 1.0)
+            })
+            .collect();
+        for i in 0..n_aps {
+            for j in 0..n_aps {
+                if i == j {
+                    continue;
+                }
+                let mut link = jmb_channel::Link::new(
+                    jmb_dsp::Complex64::from_polar(1.0, jmb_dsp::rng::random_phase(&mut rng)),
+                    rng.gen::<f64>() * 30e-9,
+                    jmb_channel::multipath::Multipath::new(
+                        jmb_channel::multipath::MultipathSpec::indoor_los(),
+                        &mut rng,
+                    ),
+                );
+                link.calibrate_snr(30.0, 1.0);
+                medium.set_link(aps[i], aps[j], link);
+            }
+        }
+        let occupied = params.occupied_subcarriers();
+        Rig {
+            medium,
+            rng,
+            aps,
+            occupied,
+        }
+    }
+
+    impl Rig {
+        fn ctx(&mut self) -> SyncCtx<'_> {
+            SyncCtx {
+                medium: &mut self.medium,
+                rng: &mut self.rng,
+                aps: &self.aps,
+                occupied: &self.occupied,
+                header_noise_var: 0.5,
+            }
+        }
+    }
+
+    #[test]
+    fn factory_builds_every_kind() {
+        for kind in SyncStrategyId::ALL {
+            let s = strategy_for(kind, 3);
+            assert_eq!(s.kind(), kind);
+            assert_eq!(
+                s.uses_inband_header(),
+                kind == SyncStrategyId::JmbLeadSlave,
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn jmb_headers_refresh_and_error_grows_between_them() {
+        let mut r = rig(2, 7);
+        let mut s = JmbLeadSlave::new(2);
+        assert_eq!(s.phase_error_rad(1, 0.1), f64::INFINITY);
+        s.on_measurement(&mut r.ctx(), 1e-4, 10.0);
+        assert!(s.reference(1).is_some());
+        let (c, anchor) = s.on_header(&mut r.ctx(), 1, 2e-3).unwrap();
+        assert_eq!(anchor, 2e-3);
+        assert!(c.common_phase.is_finite() && c.cfo_hz.is_finite());
+        // Error right after the header is ~0 and grows with staleness.
+        let e0 = s.phase_error_rad(1, 2e-3);
+        let e1 = s.phase_error_rad(1, 7e-3);
+        assert!(e0 < e1, "{e0} vs {e1}");
+    }
+
+    #[test]
+    fn jmb_missed_header_fallback_respects_budget_and_health() {
+        let mut r = rig(2, 8);
+        let mut s = JmbLeadSlave::new(2);
+        // No header ever heard: no fallback.
+        assert!(s.on_header_missed(1, 1e-3, 0.35, false).is_none());
+        s.on_measurement(&mut r.ctx(), 1e-4, 10.0);
+        let (_, anchor) = s.on_header(&mut r.ctx(), 1, 1e-3).unwrap();
+        // Fresh state: fallback anchored at the last heard header.
+        let (_, t_old) = s.on_header_missed(1, 2e-3, 0.35, false).unwrap();
+        assert_eq!(t_old, anchor);
+        // Degraded slaves never get a fallback, however fresh.
+        assert!(s.on_header_missed(1, 2e-3, 0.35, true).is_none());
+        // A zero budget rejects any nonzero predicted error.
+        assert!(s.on_header_missed(1, 2.5e-3, 0.0, false).is_none());
+    }
+
+    #[test]
+    fn jmb_fallback_is_inclusive_exactly_at_the_error_budget() {
+        // The fallback gate compares `extrapolation_error_rad(t) <= budget`:
+        // a predicted error *exactly* at 0.35 rad still transmits; the first
+        // representable instant past it sits the batch out. Seeding fixes
+        // the CFO sigma, so the error is the closed form `2π·σ·(t − t0)` and
+        // the crossing time can be solved exactly.
+        let mut r = rig(2, 13);
+        let mut s = JmbLeadSlave::new(2);
+        let (t0, sigma_hz) = (1e-4, 10.0);
+        s.on_measurement(&mut r.ctx(), t0, sigma_hz);
+        let t_star = t0 + SYNC_ERROR_BUDGET_RAD / (2.0 * std::f64::consts::PI * sigma_hz);
+        let err = s.phase_error_rad(1, t_star);
+        assert!(
+            (err - SYNC_ERROR_BUDGET_RAD).abs() < 1e-12,
+            "crossing-time error {err} rad is not at the budget"
+        );
+        // Exactly at the budget: fallback granted, anchored at the seed.
+        let (_, anchor) = s.on_header_missed(1, t_star, err, false).unwrap();
+        assert_eq!(anchor, t0);
+        // The next representable error past the budget: no fallback.
+        assert!(s
+            .on_header_missed(1, t_star, err.next_down(), false)
+            .is_none());
+        // A nanosecond later the closed-form error exceeds the budget too.
+        assert!(s.on_header_missed(1, t_star + 1e-9, err, false).is_none());
+    }
+
+    #[test]
+    fn oob_strategies_supply_corrections_without_headers() {
+        for kind in [
+            SyncStrategyId::AirSyncPilot,
+            SyncStrategyId::ReciprocityImplicit,
+        ] {
+            let mut r = rig(2, 9);
+            let mut s = strategy_for(kind, 2);
+            s.on_measurement(&mut r.ctx(), 1e-4, 10.0);
+            // Corrections keep flowing at arbitrary later times.
+            for &t in &[1e-3, 5e-3, 30e-3, 31e-3] {
+                let (c, anchor) = s.on_header(&mut r.ctx(), 1, t).unwrap();
+                assert!(c.common_phase.is_finite(), "{kind:?} at {t}");
+                assert!(anchor <= t, "{kind:?}: anchor {anchor} after {t}");
+            }
+            // The predicted error stays finite once seeded.
+            assert!(s.phase_error_rad(1, 40e-3).is_finite());
+        }
+    }
+
+    #[test]
+    fn oob_strategies_self_seed_without_a_measurement() {
+        let mut r = rig(2, 10);
+        let mut s = AirSyncPilot::new(2);
+        let (c, _) = s.on_header(&mut r.ctx(), 1, 5e-3).unwrap();
+        assert!(c.common_phase.is_finite());
+    }
+
+    #[test]
+    fn airsync_charges_pilot_airtime_reciprocity_does_not() {
+        let mut r = rig(2, 11);
+        let mut air = AirSyncPilot::new(2);
+        air.on_measurement(&mut r.ctx(), 0.0, 10.0);
+        air.on_header(&mut r.ctx(), 1, 10e-3).unwrap();
+        // 10 ms at one pilot per 2 ms: 5 pilots on the air, all charged
+        // even though only the most recent few were absorbed.
+        let charged = air.take_control_airtime_s();
+        assert!(
+            (charged - 5.0 * AIRSYNC_PILOT_AIRTIME_S).abs() < 1e-12,
+            "charged {charged}"
+        );
+        // Drained: a second take returns zero.
+        assert_eq!(air.take_control_airtime_s(), 0.0);
+
+        let mut rec = ReciprocityImplicit::new(2);
+        rec.on_measurement(&mut r.ctx(), 0.0, 10.0);
+        rec.on_header(&mut r.ctx(), 1, 60e-3).unwrap();
+        assert_eq!(rec.take_control_airtime_s(), 0.0);
+        // But its measurement phase is far cheaper.
+        assert!(rec.measurement_airtime_factor() < 0.5);
+        assert_eq!(JmbLeadSlave::new(2).measurement_airtime_factor(), 1.0);
+    }
+
+    #[test]
+    fn airsync_error_envelope_is_bounded_by_pilot_cadence() {
+        let mut r = rig(2, 12);
+        let mut s = AirSyncPilot::new(2);
+        s.on_measurement(&mut r.ctx(), 0.0, 10.0);
+        // Let the tracker converge over many pilots.
+        s.on_header(&mut r.ctx(), 1, 50e-3).unwrap();
+        // Worst case staleness = one pilot interval.
+        let worst = s.phase_error_rad(1, 50e-3 + AIRSYNC_PILOT_INTERVAL_S);
+        assert!(worst < 0.35, "worst-case pilot-gap error {worst} rad");
+    }
+
+    mod contract {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// Trait contract, every backend: once seeded, corrections are
+            /// finite, anchors never run ahead of the request time and are
+            /// monotone across a monotone header sequence, the predicted
+            /// phase error is finite and non-negative, and control airtime
+            /// is non-negative and drains exactly once.
+            #[test]
+            fn corrections_finite_anchors_monotone(
+                kind_i in 0usize..3,
+                seed in 0u64..1000,
+                n_aps in 2usize..4,
+                steps in 1usize..8,
+                dt_ms in 1.0..5.0f64,
+            ) {
+                let kind = SyncStrategyId::ALL[kind_i];
+                let mut r = rig(n_aps, seed);
+                let mut s = strategy_for(kind, n_aps);
+                s.on_measurement(&mut r.ctx(), 1e-4, 10.0);
+                for slave in 1..n_aps {
+                    prop_assert!(s.reference(slave).is_some(), "{kind:?} slave {slave}");
+                }
+                // Time is globally monotone (the out-of-band schedules are
+                // shared across slaves), so the clock is the outer loop —
+                // exactly how `FastNet` drives the strategy.
+                let mut last_anchor = vec![f64::NEG_INFINITY; n_aps - 1];
+                for k in 1..=steps {
+                    let t = 1e-4 + k as f64 * dt_ms * 1e-3;
+                    for (i, last) in last_anchor.iter_mut().enumerate() {
+                        let slave = i + 1;
+                        let (c, anchor) = s.on_header(&mut r.ctx(), slave, t).unwrap();
+                        prop_assert!(
+                            c.common_phase.is_finite()
+                                && c.slope.is_finite()
+                                && c.cfo_hz.is_finite(),
+                            "{kind:?} slave {slave} at {t}"
+                        );
+                        prop_assert!(c.per_subcarrier.iter().all(|p| p.norm_sqr().is_finite()));
+                        prop_assert!(anchor <= t, "{kind:?}: anchor {anchor} ahead of {t}");
+                        prop_assert!(
+                            anchor >= *last,
+                            "{kind:?}: anchor went backwards {last} -> {anchor}"
+                        );
+                        *last = anchor;
+                        let e = s.phase_error_rad(slave, t + 1e-3);
+                        prop_assert!(e.is_finite() && e >= 0.0, "{kind:?}: error {e}");
+                    }
+                }
+                let charged = s.take_control_airtime_s();
+                prop_assert!(charged >= 0.0, "{kind:?}: charged {charged}");
+                prop_assert_eq!(s.take_control_airtime_s(), 0.0);
+            }
+        }
+    }
+}

@@ -77,6 +77,74 @@ impl StopCause {
     }
 }
 
+/// Which pluggable synchronization backend a network is running — carried
+/// by [`EventKind::SyncStrategySwitched`] and shared by every layer that
+/// names a strategy (the `[sync]` manifest section, the `JMB_SYNC` env,
+/// bench CLI flags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncStrategyId {
+    /// The paper's lead/slave resync: slaves re-measure the lead's channel
+    /// from the in-band sync header of every joint transmission (§5.2).
+    #[default]
+    JmbLeadSlave,
+    /// Continuous out-of-band pilot tracking: the lead broadcasts periodic
+    /// pilots on a side channel and slaves run a Kalman-style phase
+    /// predictor, so data frames need no in-band sync header.
+    AirSyncPilot,
+    /// Calibrated implicit CSI from uplink reciprocity: slaves refresh
+    /// their lead-relative phase from regular uplink traffic, with zero
+    /// dedicated per-client measurement frames.
+    ReciprocityImplicit,
+}
+
+impl SyncStrategyId {
+    /// Every strategy, in declaration order.
+    pub const ALL: [SyncStrategyId; 3] = [
+        SyncStrategyId::JmbLeadSlave,
+        SyncStrategyId::AirSyncPilot,
+        SyncStrategyId::ReciprocityImplicit,
+    ];
+
+    /// Stable name used in JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SyncStrategyId::JmbLeadSlave => "JmbLeadSlave",
+            SyncStrategyId::AirSyncPilot => "AirSyncPilot",
+            SyncStrategyId::ReciprocityImplicit => "ReciprocityImplicit",
+        }
+    }
+
+    /// Inverse of [`SyncStrategyId::name`].
+    pub fn from_name(s: &str) -> Option<SyncStrategyId> {
+        match s {
+            "JmbLeadSlave" => Some(SyncStrategyId::JmbLeadSlave),
+            "AirSyncPilot" => Some(SyncStrategyId::AirSyncPilot),
+            "ReciprocityImplicit" => Some(SyncStrategyId::ReciprocityImplicit),
+            _ => None,
+        }
+    }
+
+    /// Stable kebab-case token used by manifests, CLI flags and the
+    /// `JMB_SYNC` env.
+    pub fn token(self) -> &'static str {
+        match self {
+            SyncStrategyId::JmbLeadSlave => "jmb-lead-slave",
+            SyncStrategyId::AirSyncPilot => "airsync-pilot",
+            SyncStrategyId::ReciprocityImplicit => "reciprocity-implicit",
+        }
+    }
+
+    /// Inverse of [`SyncStrategyId::token`].
+    pub fn from_token(s: &str) -> Option<SyncStrategyId> {
+        match s {
+            "jmb-lead-slave" => Some(SyncStrategyId::JmbLeadSlave),
+            "airsync-pilot" => Some(SyncStrategyId::AirSyncPilot),
+            "reciprocity-implicit" => Some(SyncStrategyId::ReciprocityImplicit),
+            _ => None,
+        }
+    }
+}
+
 /// What happened (the payload of an [`Event`]; the *when* lives on the
 /// event itself).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -205,6 +273,12 @@ pub enum EventKind {
         /// Slave AP index.
         ap: usize,
     },
+    /// Control plane: the network switched its synchronization backend (or
+    /// a run started on a non-default one).
+    SyncStrategySwitched {
+        /// The strategy now in effect.
+        strategy: SyncStrategyId,
+    },
     /// City: a cell's event loop started an epoch of its shard.
     CellStarted {
         /// Cell index (row-major in the grid).
@@ -272,6 +346,7 @@ impl EventKind {
             EventKind::MeasurementLost => "MeasurementLost",
             EventKind::ApDegraded { .. } => "ApDegraded",
             EventKind::ApRestored { .. } => "ApRestored",
+            EventKind::SyncStrategySwitched { .. } => "SyncStrategySwitched",
             EventKind::CellStarted { .. } => "CellStarted",
             EventKind::CellInterference { .. } => "CellInterference",
             EventKind::CellFinished { .. } => "CellFinished",
@@ -398,6 +473,9 @@ impl Event {
                 push_field(&mut s, "attempt", *attempt as u64)
             }
             EventKind::MeasurementLost => {}
+            EventKind::SyncStrategySwitched { strategy } => {
+                s.push_str(&format!(",\"strategy\":\"{}\"", strategy.name()));
+            }
             EventKind::CellStarted { cell, color } => {
                 push_field(&mut s, "cell", *cell as u64);
                 push_field(&mut s, "color", *color as u64);
@@ -507,6 +585,9 @@ impl Event {
             },
             "MeasurementLost" => EventKind::MeasurementLost,
             "ApDegraded" => EventKind::ApDegraded { ap: get("ap")? },
+            "SyncStrategySwitched" => EventKind::SyncStrategySwitched {
+                strategy: SyncStrategyId::from_name(strs.get("strategy")?)?,
+            },
             "ApRestored" => EventKind::ApRestored { ap: get("ap")? },
             "CellStarted" => EventKind::CellStarted {
                 cell: get("cell")?,
@@ -601,6 +682,9 @@ mod tests {
         roundtrip(EventKind::MeasurementLost);
         roundtrip(EventKind::ApDegraded { ap: 2 });
         roundtrip(EventKind::ApRestored { ap: 2 });
+        for strategy in SyncStrategyId::ALL {
+            roundtrip(EventKind::SyncStrategySwitched { strategy });
+        }
         roundtrip(EventKind::CellStarted { cell: 37, color: 2 });
         roundtrip(EventKind::CellInterference {
             cell: 37,
@@ -627,6 +711,17 @@ mod tests {
         ] {
             roundtrip(EventKind::ScenarioStopped { cause, events: 99 });
         }
+    }
+
+    #[test]
+    fn sync_strategy_names_and_tokens_roundtrip() {
+        for id in SyncStrategyId::ALL {
+            assert_eq!(SyncStrategyId::from_name(id.name()), Some(id));
+            assert_eq!(SyncStrategyId::from_token(id.token()), Some(id));
+        }
+        assert_eq!(SyncStrategyId::from_name("Nope"), None);
+        assert_eq!(SyncStrategyId::from_token("nope"), None);
+        assert_eq!(SyncStrategyId::default(), SyncStrategyId::JmbLeadSlave);
     }
 
     #[test]

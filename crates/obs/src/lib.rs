@@ -35,7 +35,7 @@ pub mod sink;
 pub mod span;
 pub mod trace;
 
-pub use event::{DropCause, Event, EventKind, StopCause};
+pub use event::{DropCause, Event, EventKind, StopCause, SyncStrategyId};
 pub use query::{read_jsonl, TraceQuery};
 pub use registry::{Histogram, Registry};
 pub use sink::{FilterSink, JsonLinesSink, RingBufferSink, TraceSink};

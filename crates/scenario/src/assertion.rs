@@ -34,6 +34,7 @@ pub const KNOWN_EVENT_KINDS: &[&str] = &[
     "RemeasureOk",
     "MeasurementLost",
     "ApDegraded",
+    "SyncStrategySwitched",
     "ApRestored",
     "CellStarted",
     "CellInterference",

@@ -45,6 +45,8 @@ pub use manifest::{
 pub use report::{ScenarioReport, Verdict};
 pub use runner::{run_manifest, RunOptions, RunOutput};
 
+pub use jmb_obs::SyncStrategyId;
+
 /// Every assertion held.
 pub const EXIT_PASS: i32 = 0;
 /// The run completed but at least one assertion failed.

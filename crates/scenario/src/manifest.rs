@@ -25,6 +25,9 @@
 //! [channel]
 //! backend fast
 //!
+//! [sync]
+//! strategy jmb-lead-slave
+//!
 //! [traffic]
 //! arrival poisson 2000
 //! packet fixed 1500
@@ -49,6 +52,7 @@
 
 use crate::assertion::{KNOWN_EVENT_KINDS, KNOWN_METRICS};
 use crate::error::ScenarioError;
+use jmb_obs::SyncStrategyId;
 use std::fmt::Write as _;
 
 /// Comparison operator in an assertion.
@@ -356,6 +360,8 @@ pub struct Manifest {
     pub topology: Topology,
     /// PHY backend.
     pub backend: Backend,
+    /// Inter-AP synchronization strategy.
+    pub sync: SyncStrategyId,
     /// Offered load and horizon.
     pub traffic: TrafficSpec,
     /// Fault schedule.
@@ -467,6 +473,7 @@ enum Section {
     Header,
     Topology,
     Channel,
+    Sync,
     Traffic,
     Faults,
     Limits,
@@ -484,6 +491,7 @@ impl Manifest {
         let mut seed: u64 = 1;
         let mut topo = TopoDraft::Unset;
         let mut backend = Backend::Fast;
+        let mut sync = SyncStrategyId::default();
         let mut traffic = TrafficDraft::default();
         let mut faults = FaultSpec::default();
         let mut limits = Limits::default();
@@ -507,6 +515,7 @@ impl Manifest {
                 let (tag, next) = match sec {
                     "topology" => ("topology", Section::Topology),
                     "channel" => ("channel", Section::Channel),
+                    "sync" => ("sync", Section::Sync),
                     "traffic" => ("traffic", Section::Traffic),
                     "faults" => ("faults", Section::Faults),
                     "limits" => ("limits", Section::Limits),
@@ -627,6 +636,20 @@ impl Manifest {
                         }
                     },
                     other => return Err(perr(ln, format!("unknown channel key `{other}`"))),
+                },
+                Section::Sync => match key {
+                    "strategy" => {
+                        let v = one("value")?;
+                        sync = SyncStrategyId::from_token(v).ok_or_else(|| {
+                            let known: Vec<&str> =
+                                SyncStrategyId::ALL.iter().map(|s| s.token()).collect();
+                            perr(
+                                ln,
+                                format!("unknown sync strategy `{v}` ({})", known.join("|")),
+                            )
+                        })?;
+                    }
+                    other => return Err(perr(ln, format!("unknown sync key `{other}`"))),
                 },
                 Section::Traffic => match key {
                     "arrival" => {
@@ -880,6 +903,7 @@ impl Manifest {
             seed,
             topology,
             backend,
+            sync,
             traffic,
             faults,
             limits,
@@ -937,6 +961,11 @@ impl Manifest {
                                 `backend sample` is not available"
                         .into());
                 }
+                if self.sync != SyncStrategyId::default() {
+                    return inv("city runs pin the paper's lead/slave resync; \
+                                `[sync]` strategy selection needs a single-cell scenario"
+                        .into());
+                }
                 if !self.faults.is_empty() {
                     return inv("city runs have no per-cell fault hook yet; \
                                 move faults to a single-cell scenario"
@@ -962,6 +991,13 @@ impl Manifest {
             return inv("the sample backend has no fault-schedule hook; \
                         fault probabilities and windows need `backend fast`"
                 .into());
+        }
+        if self.backend == Backend::Sample && self.sync != SyncStrategyId::default() {
+            return inv(
+                "the sample backend renders the paper's in-band resync waveform; \
+                        `[sync]` strategy selection needs `backend fast`"
+                    .into(),
+            );
         }
         if let PacketSpec::Uniform { min, max } = self.traffic.packet {
             if min == 0 || min > max {
@@ -1036,6 +1072,10 @@ impl Manifest {
                 Backend::Sample => "sample",
             }
         );
+        if self.sync != SyncStrategyId::default() {
+            s.push_str("\n[sync]\n");
+            let _ = writeln!(s, "strategy {}", self.sync.token());
+        }
         s.push_str("\n[traffic]\n");
         match self.traffic.arrival {
             ArrivalSpec::Poisson { rate_pps } => {
@@ -1336,6 +1376,12 @@ duration_s 0.1
             Manifest::parse(&bad),
             Err(ScenarioError::Invalid(_))
         ));
+        // City runs pin the paper's lead/slave sync.
+        let bad = format!("{city}[sync]\nstrategy airsync-pilot\n");
+        assert!(Manifest::parse(&bad)
+            .unwrap_err()
+            .to_string()
+            .contains("single-cell"));
         let bad = format!("{city}[limits]\nmax_events 5\n");
         assert!(matches!(
             Manifest::parse(&bad),
@@ -1366,5 +1412,82 @@ duration_s 0.1
             .unwrap_err()
             .to_string()
             .contains("duplicate section"));
+    }
+
+    #[test]
+    fn sync_section_parses_and_roundtrips() {
+        // No [sync] block means the paper's lead/slave resync, and the
+        // canonical form stays free of the section (existing corpus files
+        // keep their bytes).
+        let m = Manifest::parse(GOOD).unwrap();
+        assert_eq!(m.sync, SyncStrategyId::JmbLeadSlave);
+        assert!(!m.to_text().contains("[sync]"));
+
+        for kind in [
+            SyncStrategyId::AirSyncPilot,
+            SyncStrategyId::ReciprocityImplicit,
+        ] {
+            let text = GOOD.replace(
+                "[traffic]",
+                &format!("[sync]\nstrategy {}\n\n[traffic]", kind.token()),
+            );
+            let m = Manifest::parse(&text).unwrap();
+            assert_eq!(m.sync, kind);
+            let canon = m.to_text();
+            assert!(canon.contains(&format!("[sync]\nstrategy {}\n", kind.token())));
+            assert_eq!(Manifest::parse(&canon).unwrap(), m);
+            assert_eq!(Manifest::parse(&canon).unwrap().to_text(), canon);
+        }
+    }
+
+    #[test]
+    fn sync_section_diagnostics_are_line_numbered() {
+        // `[traffic]` sits on line 14 of GOOD, so the spliced strategy
+        // line lands on 15.
+        let bad = GOOD.replace("[traffic]", "[sync]\nstrategy gps-disciplined\n\n[traffic]");
+        let err = Manifest::parse(&bad).unwrap_err();
+        assert_eq!(line_of(err.clone()), 15);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("gps-disciplined") && msg.contains("airsync-pilot"),
+            "{msg}"
+        );
+
+        let bad = GOOD.replace("[traffic]", "[sync]\ninterval 5\n\n[traffic]");
+        assert!(Manifest::parse(&bad)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown sync key"));
+
+        let bad = GOOD.replace("[traffic]", "[sync]\n\n[sync]\n\n[traffic]");
+        assert!(Manifest::parse(&bad)
+            .unwrap_err()
+            .to_string()
+            .contains("duplicate section"));
+    }
+
+    #[test]
+    fn sample_backend_rejects_strategy_selection() {
+        let sample = "\
+version 1
+name s
+[topology]
+kind single
+aps 2
+clients 1
+snr_db 25
+[channel]
+backend sample
+[sync]
+strategy airsync-pilot
+[traffic]
+arrival poisson 500
+packet fixed 700
+duration_s 0.1
+";
+        assert!(Manifest::parse(sample)
+            .unwrap_err()
+            .to_string()
+            .contains("backend fast"));
     }
 }

@@ -66,7 +66,8 @@ pub fn run_manifest(m: &Manifest, opts: &RunOptions) -> Result<RunOutput, Scenar
                 Backend::Fast => {
                     let schedule = schedule_from(&m.faults)?;
                     run_single(m, seed, |clean| {
-                        let cfg = FastConfig::default_with(*aps, *clients, snr.clone(), seed);
+                        let mut cfg = FastConfig::default_with(*aps, *clients, snr.clone(), seed);
+                        cfg.sync = m.sync;
                         let mut b =
                             FastBackend::new(cfg).map_err(|e| ScenarioError::Sim(e.to_string()))?;
                         if !clean {
@@ -146,6 +147,7 @@ fn traffic_config(m: &Manifest, seed: u64, clients: usize, with_outages: bool) -
     let mut cfg = TrafficConfig::default_with(vec![load_from(&m.traffic); clients], seed);
     cfg.duration_s = m.traffic.duration_s;
     cfg.drain_timeout_s = m.traffic.drain_s;
+    cfg.sync_strategy = m.sync;
     if with_outages {
         cfg.outages = m
             .faults

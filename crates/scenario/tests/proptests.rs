@@ -4,7 +4,7 @@
 
 use jmb_scenario::{
     ArrivalSpec, Assertion, Backend, FaultKnobs, FaultSpec, Limits, Manifest, Op, OutageSpec,
-    PacketSpec, ScenarioError, Topology, TrafficSpec, WindowSpec,
+    PacketSpec, ScenarioError, SyncStrategyId, Topology, TrafficSpec, WindowSpec,
 };
 use proptest::prelude::*;
 
@@ -29,6 +29,7 @@ proptest! {
         len in 0.01..0.2f64,
         budget in 1000u64..100_000,
         threshold in 0.0..1.0f64,
+        sync_i in 0usize..3,
     ) {
         let m = Manifest {
             version: 1,
@@ -36,6 +37,7 @@ proptest! {
             seed,
             topology: Topology::Single { aps, clients, snr_db: vec![snr] },
             backend: Backend::Fast,
+            sync: SyncStrategyId::ALL[sync_i],
             traffic: TrafficSpec {
                 arrival: ArrivalSpec::OnOff { burst_pps: rate, on_s: from, off_s: len },
                 packet: PacketSpec::Bimodal { small: 64, large: pkt, p_small: p },
@@ -97,6 +99,7 @@ proptest! {
                 snr_db: snr,
             },
             backend: Backend::Fast,
+            sync: SyncStrategyId::default(),
             traffic: TrafficSpec {
                 arrival: ArrivalSpec::Poisson { rate_pps: rate },
                 packet: PacketSpec::Fixed(pkt),
@@ -121,6 +124,7 @@ proptest! {
         snr in 5.0..35.0f64,
         rate in 100.0..5000.0f64,
         duration in 0.05..0.5f64,
+        sync_i in 0usize..3,
     ) {
         let m = Manifest {
             version: 1,
@@ -128,6 +132,7 @@ proptest! {
             seed,
             topology: Topology::Single { aps: 2, clients: 2, snr_db: vec![snr, snr * 0.5] },
             backend: Backend::Fast,
+            sync: SyncStrategyId::ALL[sync_i],
             traffic: TrafficSpec {
                 arrival: ArrivalSpec::Poisson { rate_pps: rate },
                 packet: PacketSpec::Uniform { min: 64, max: 1400 },

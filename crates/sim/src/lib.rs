@@ -38,5 +38,5 @@ pub use freq::{InstantPhasors, StaticChannel, SubcarrierMedium};
 pub use medium::{Medium, NodeId, Transmission};
 pub use trace::{
     read_jsonl, DropCause, Event, EventKind, FilterSink, JsonLinesSink, RingBufferSink, StopCause,
-    Trace, TraceQuery, TraceSink,
+    SyncStrategyId, Trace, TraceQuery, TraceSink,
 };

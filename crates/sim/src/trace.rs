@@ -8,5 +8,5 @@
 
 pub use jmb_obs::{
     read_jsonl, DropCause, Event, EventKind, FilterSink, JsonLinesSink, RingBufferSink, StopCause,
-    Trace, TraceQuery, TraceSink,
+    SyncStrategyId, Trace, TraceQuery, TraceSink,
 };

@@ -12,6 +12,7 @@ use jmb_core::csi::{BackoffPolicy, CsiTracker};
 use jmb_core::error::JmbError;
 use jmb_core::fastnet::{FastConfig, FastNet};
 use jmb_core::net::{JmbNetwork, NetConfig};
+use jmb_core::sync::SyncStrategyId;
 use jmb_dsp::rng::JmbRng;
 use jmb_phy::esnr::MCS_THRESHOLD_DB;
 use jmb_phy::rates::Mcs;
@@ -42,6 +43,11 @@ pub struct ControlInfo {
     pub csi_age_s: f64,
     /// Whether the CSI was past its staleness threshold at serve time.
     pub csi_stale: bool,
+    /// Worst-case predicted phase error (radians) across slaves after the
+    /// batch, as reported by the sync backend — the traffic layer exports
+    /// it as the per-strategy phase-error gauge. Zero when the PHY has no
+    /// pluggable sync (or before any reference exists).
+    pub sync_phase_err_rad: f64,
 }
 
 /// Outcome of serving one joint batch.
@@ -75,6 +81,15 @@ pub trait TransmitBackend {
         payload_len: usize,
         active_aps: &[usize],
     ) -> Result<TxReport, JmbError>;
+    /// The synchronization backend keeping the array phase-aligned.
+    /// Defaults to the paper's lead/slave strategy for PHYs without
+    /// pluggable sync.
+    fn sync_strategy(&self) -> SyncStrategyId {
+        SyncStrategyId::default()
+    }
+    /// Swaps the synchronization backend. A no-op for PHYs without
+    /// pluggable sync.
+    fn set_sync_strategy(&mut self, _kind: SyncStrategyId) {}
 }
 
 /// Per-subcarrier backend over [`FastNet`]: SINR → packet success through
@@ -223,6 +238,14 @@ impl TransmitBackend for FastBackend {
                 control.newly_restored.push(slave);
             }
         }
+        // Out-of-band sync control airtime (pilot broadcasts) accrued while
+        // serving this batch is charged as control overhead — zero for the
+        // in-band JMB strategy, which keeps its accounting byte-exact.
+        control.overhead_s += self.net.take_sync_control_airtime_s();
+        let phase_err = self.net.sync_phase_error_rad();
+        if phase_err.is_finite() {
+            control.sync_phase_err_rad = phase_err;
+        }
         let out = match result {
             Ok(out) => out,
             Err(JmbError::SyncHeaderMissed { .. }) => {
@@ -262,6 +285,14 @@ impl TransmitBackend for FastBackend {
             mcs_index: out.mcs.index(),
             control,
         })
+    }
+
+    fn sync_strategy(&self) -> SyncStrategyId {
+        self.net.sync_strategy()
+    }
+
+    fn set_sync_strategy(&mut self, kind: SyncStrategyId) {
+        self.net.set_sync_strategy(kind);
     }
 }
 

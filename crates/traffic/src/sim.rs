@@ -23,6 +23,7 @@ use crate::backend::TransmitBackend;
 use crate::metrics::{TimelineBin, TrafficMetrics};
 use jmb_core::error::JmbError;
 use jmb_core::mac::{JmbMac, MacConfig, MacPacket, PacketFate};
+use jmb_core::sync::SyncStrategyId;
 use jmb_dsp::rng::JmbRng;
 use jmb_obs::Registry;
 use jmb_sim::{DropCause, EventKind as TraceKind, StopCause, Trace};
@@ -92,6 +93,11 @@ pub struct TrafficConfig {
     pub timeline_bin_s: f64,
     /// Master seed (arrivals and backoff; the backend seeds itself).
     pub seed: u64,
+    /// Synchronization backend for the run. Applied to the PHY at
+    /// construction when it differs from the backend's current strategy;
+    /// a non-default choice is announced on the trace at run start with
+    /// [`TraceKind::SyncStrategySwitched`].
+    pub sync_strategy: SyncStrategyId,
 }
 
 impl TrafficConfig {
@@ -111,6 +117,7 @@ impl TrafficConfig {
             header_overhead_s: 216e-6,
             timeline_bin_s: 50e-3,
             seed,
+            sync_strategy: SyncStrategyId::default(),
         }
     }
 }
@@ -257,7 +264,7 @@ impl<B: TransmitBackend> TrafficSim<B> {
     /// The initial designated-AP map assigns client `j` to AP `j mod n_aps`
     /// (matching the backend topologies, where strongest APs are spread
     /// across clients).
-    pub fn new(cfg: TrafficConfig, backend: B) -> Result<Self, JmbError> {
+    pub fn new(cfg: TrafficConfig, mut backend: B) -> Result<Self, JmbError> {
         if cfg.loads.len() != backend.n_clients() {
             return Err(JmbError::BadConfig("one load per client required"));
         }
@@ -278,6 +285,13 @@ impl<B: TransmitBackend> TrafficSim<B> {
             return Err(JmbError::BadConfig(
                 "start time must be finite and non-negative",
             ));
+        }
+        // Apply the run's sync strategy only when it differs: a backend
+        // whose PHY was already built on the requested strategy keeps its
+        // measurement-phase seeding (and, for the default strategy, its
+        // byte-exact draw stream).
+        if backend.sync_strategy() != cfg.sync_strategy {
+            backend.set_sync_strategy(cfg.sync_strategy);
         }
         let n_aps = backend.n_aps();
         let home_ap: Vec<usize> = (0..backend.n_clients()).map(|j| j % n_aps).collect();
@@ -393,6 +407,10 @@ impl<B: TransmitBackend> TrafficSim<B> {
         }
         self.reg
             .gauge_add("traffic_control_airtime_s", c.overhead_s);
+        if c.sync_phase_err_rad > 0.0 {
+            self.reg
+                .gauge_set("traffic_sync_phase_err_rad", c.sync_phase_err_rad);
+        }
     }
 
     /// Starts a joint transmission if the medium is idle and work exists.
@@ -474,6 +492,17 @@ impl<B: TransmitBackend> TrafficSim<B> {
     /// fully processed.
     pub fn run_bounded(&mut self, mut limits: RunLimits) -> BoundedRun {
         let _span = jmb_obs::span("traffic_event_loop");
+        // Announce a non-default sync backend on the trace: the trace is
+        // usually enabled after `new`, so the construction-time switch
+        // would otherwise be invisible to headless assertion checks.
+        if self.cfg.sync_strategy != SyncStrategyId::default() {
+            self.trace.emit(
+                self.cfg.start_s,
+                TraceKind::SyncStrategySwitched {
+                    strategy: self.cfg.sync_strategy,
+                },
+            );
+        }
         let n_clients = self.cfg.loads.len();
         let mut m = TrafficMetrics {
             duration_s: self.cfg.duration_s,

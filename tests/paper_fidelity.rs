@@ -10,12 +10,20 @@
 //!
 //! The master seed comes from `JMB_SEED` (default 1); CI runs the suite on
 //! several seeds to guard against a band that only holds on one draw.
+//! `JMB_SYNC` (a strategy token: `jmb-lead-slave`, `airsync-pilot`,
+//! `reciprocity-implicit`; default `jmb-lead-slave`) swaps the
+//! synchronization backend the phase-sensitive tests drive. The paper's
+//! lead/slave resync must hit the paper's own numbers; the rival
+//! backends are held to their *documented envelopes* (wider bands that
+//! still rule out collapse) — see the `sync_shootout` bench for where
+//! those envelopes come from.
 
 use jmb::channel::SnrBand;
 use jmb::core::experiment::{
-    aggregate_scaling, misalignment_samples, throughput_scaling, SweepConfig,
+    aggregate_scaling, misalignment_samples_with, throughput_scaling, SweepConfig,
 };
 use jmb::core::fastnet::{FastConfig, FastNet};
+use jmb::core::sync::SyncStrategyId;
 
 /// Master seed: `JMB_SEED` env var, default 1.
 fn master_seed() -> u64 {
@@ -23,6 +31,21 @@ fn master_seed() -> u64 {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(1)
+}
+
+/// Synchronization backend under test: `JMB_SYNC` env var (strategy
+/// token), default the paper's lead/slave resync.
+fn sync_strategy() -> SyncStrategyId {
+    match std::env::var("JMB_SYNC") {
+        Ok(tok) => SyncStrategyId::from_token(&tok).unwrap_or_else(|| {
+            let known: Vec<&str> = SyncStrategyId::ALL.iter().map(|s| s.token()).collect();
+            panic!(
+                "JMB_SYNC=`{tok}` is not a strategy token ({})",
+                known.join("|")
+            )
+        }),
+        Err(_) => SyncStrategyId::default(),
+    }
 }
 
 fn mean(xs: &[f64]) -> f64 {
@@ -33,7 +56,9 @@ fn mean(xs: &[f64]) -> f64 {
 /// transmitting APs." Quick-mode check: per-AP throughput (total / n) at
 /// 4, 6, and 8 APs stays within a band of the 2-AP per-AP throughput, so
 /// the scaling curve is a line through the origin within tolerance, not a
-/// saturating or collapsing one.
+/// saturating or collapsing one. (This pipeline exercises the paper's
+/// lead/slave path regardless of `JMB_SYNC` — scaling under rival
+/// backends is the `sync_shootout` bench's job.)
 #[test]
 fn fig9_throughput_scales_linearly_in_aps() {
     let counts = [2usize, 4, 6, 8];
@@ -75,23 +100,36 @@ fn fig9_throughput_scales_linearly_in_aps() {
 /// measures a median of 0.017 rad and a 95th percentile of 0.05 rad.
 /// Quick-mode band: median within 4× of the paper's median and the 95th
 /// percentile under 3× the paper's value.
+///
+/// Per-strategy bands: the lead/slave resync (and AirSync pilot tracking,
+/// whose 2 ms cadence matches the probe's round spacing) must sit in the
+/// paper's band; calibrated reciprocity rides uncontrolled uplink frames,
+/// so its documented envelope is a 0.8 rad median and a 2.5 rad 95th
+/// percentile — degraded, never collapsed.
 #[test]
 fn fig7_misalignment_matches_paper_band() {
-    let samples = misalignment_samples(4, 15, master_seed()).expect("probe");
+    let strategy = sync_strategy();
+    let samples = misalignment_samples_with(4, 15, master_seed(), strategy).expect("probe");
     assert!(!samples.is_empty());
     let mut sorted = samples.clone();
     sorted.sort_by(f64::total_cmp);
     let median = sorted[sorted.len() / 2];
     let p95 = sorted[(sorted.len() - 1) * 95 / 100];
+    let (median_cap, p95_cap) = match strategy {
+        SyncStrategyId::JmbLeadSlave | SyncStrategyId::AirSyncPilot => (4.0 * 0.017, 3.0 * 0.05),
+        SyncStrategyId::ReciprocityImplicit => (0.8, 2.5),
+    };
     assert!(
-        median <= 4.0 * 0.017,
-        "Fig. 7 (§11.2): median misalignment {median:.4} rad is outside the \
-         quick-mode band (paper: 0.017 rad)"
+        median <= median_cap,
+        "Fig. 7 (§11.2): {} median misalignment {median:.4} rad is outside \
+         its band (cap {median_cap} rad)",
+        strategy.token()
     );
     assert!(
-        p95 <= 3.0 * 0.05,
-        "Fig. 7 (§11.2): 95th-pct misalignment {p95:.4} rad is outside the \
-         quick-mode band (paper: 0.05 rad)"
+        p95 <= p95_cap,
+        "Fig. 7 (§11.2): {} 95th-pct misalignment {p95:.4} rad is outside \
+         its band (cap {p95_cap} rad)",
+        strategy.token()
     );
 }
 
@@ -100,20 +138,31 @@ fn fig7_misalignment_matches_paper_band() {
 /// the single-designated-AP 802.11 baseline: positive gain, and no more
 /// than the ideal coherent array gain `20·log10(N)` dB plus slack for the
 /// topology draw (per-AP link strengths differ).
+///
+/// Reciprocity's noisier implicit estimates cost coherence, so its
+/// envelope only requires the combiner not to turn destructive (gain
+/// above −3 dB); the upper window is shared.
 #[test]
 fn fig11_joint_snr_within_array_gain_window_of_baseline() {
+    let strategy = sync_strategy();
     let n_aps = 4usize;
-    let cfg = FastConfig::default_with(n_aps, 1, vec![25.0], master_seed());
+    let mut cfg = FastConfig::default_with(n_aps, 1, vec![25.0], master_seed());
+    cfg.sync = strategy;
     let mut net = FastNet::new(cfg).expect("fastnet");
     net.run_measurement().expect("measurement");
     let baseline = mean(&net.baseline_snr_db(0));
     let joint = mean(&net.diversity_snr_db(0).expect("diversity probe"));
     let gain_db = joint - baseline;
     let ideal_db = 20.0 * (n_aps as f64).log10(); // ≈ 12 dB for N = 4
+    let floor_db = match strategy {
+        SyncStrategyId::JmbLeadSlave | SyncStrategyId::AirSyncPilot => 1.0,
+        SyncStrategyId::ReciprocityImplicit => -3.0,
+    };
     assert!(
-        gain_db > 1.0,
-        "Fig. 11 (§11.3): joint SNR {joint:.1} dB shows no array gain over \
-         the single-AP baseline {baseline:.1} dB"
+        gain_db > floor_db,
+        "Fig. 11 (§11.3): {} joint SNR {joint:.1} dB vs single-AP baseline \
+         {baseline:.1} dB — gain {gain_db:.1} dB under the {floor_db} dB floor",
+        strategy.token()
     );
     assert!(
         gain_db <= ideal_db + 6.0,
@@ -129,28 +178,49 @@ fn fig11_joint_snr_within_array_gain_window_of_baseline() {
 /// each run's *median* error and the sweep's pooled 95th percentile must
 /// stay inside that budget (single tail samples may spike on an unlucky
 /// noise draw — the budget is a statistical envelope, not a hard max).
+///
+/// The 0.35 rad budget binds the lead/slave resync and AirSync. The
+/// reciprocity envelope is wider on every axis — its 25 ms refresh
+/// cadence cannot hold phase across a 20 ms probe window, so an unlucky
+/// CFO draw dominates a whole run: per-run median under 2.0 rad, pooled
+/// median under 0.6 rad, pooled 95th percentile under 2.5 rad (measured
+/// headroom ≈ 2× over seeds 1–3; see the `sync_shootout` bench).
 #[test]
 fn phase_sync_error_stays_inside_budget_across_seed_sweep() {
+    let strategy = sync_strategy();
+    let (run_median_cap, pooled_median_cap, p95_cap) = match strategy {
+        SyncStrategyId::JmbLeadSlave | SyncStrategyId::AirSyncPilot => (0.35, 0.35, 0.35),
+        SyncStrategyId::ReciprocityImplicit => (2.0, 0.6, 2.5),
+    };
     let base = master_seed();
     let mut pooled = Vec::new();
     for i in 0..10u64 {
         let seed = base.wrapping_add(1000 * i);
-        let samples = misalignment_samples(1, 10, seed).expect("probe");
+        let samples = misalignment_samples_with(1, 10, seed, strategy).expect("probe");
         let mut sorted = samples.clone();
         sorted.sort_by(f64::total_cmp);
         let median = sorted[sorted.len() / 2];
         assert!(
-            median < 0.35,
-            "§8: run with seed {seed} has median phase error {median:.4} rad — \
-             outside the 0.35 rad sync budget"
+            median < run_median_cap,
+            "§8: {} run with seed {seed} has median phase error {median:.4} \
+             rad — outside its {run_median_cap} rad budget",
+            strategy.token()
         );
         pooled.extend(samples);
     }
     pooled.sort_by(f64::total_cmp);
+    let pooled_median = pooled[pooled.len() / 2];
     let p95 = pooled[(pooled.len() - 1) * 95 / 100];
     assert!(
-        p95 < 0.35,
-        "§8: pooled 95th-pct phase error {p95:.4} rad over the 10-run sweep — \
-         outside the 0.35 rad sync budget"
+        pooled_median < pooled_median_cap,
+        "§8: {} pooled median phase error {pooled_median:.4} rad over the \
+         10-run sweep — outside its {pooled_median_cap} rad budget",
+        strategy.token()
+    );
+    assert!(
+        p95 < p95_cap,
+        "§8: {} pooled 95th-pct phase error {p95:.4} rad over the 10-run \
+         sweep — outside its {p95_cap} rad budget",
+        strategy.token()
     );
 }
