@@ -1,0 +1,255 @@
+//! Adversarial schedule-perturbation determinism harness.
+//!
+//! The workspace's determinism contract (DESIGN.md §3.15) says every sweep
+//! artifact is byte-identical across runs, `--threads` settings, and — the
+//! part nothing exercised before this harness — the *order in which
+//! workers claim work*. `parallel_map` merges results by index, so claim
+//! order cannot change output through the merge; but shared global state
+//! (plan caches, thread-locals, lock contention paths) could still leak
+//! execution order into values. This harness falsifies that by
+//! construction: it re-runs the traffic, sync-shootout, and city quick
+//! sweeps under a matrix of adversarial [`SchedulePolicy`] claim orders ×
+//! thread counts and byte-compares every artifact — CSVs, the city trace
+//! JSONL, and the merged metrics registry — against the natural-order
+//! baseline.
+//!
+//! A deterministic race detector, in effect: a real race may or may not
+//! fire under the thread scheduler CI happens to get, but a claim-order
+//! dependence *always* shows up as a byte diff here.
+//!
+//! ```text
+//! det_harness [--quick] [--seed N] [--out DIR]
+//!             [--policies natural,reversed,random[,strided,starve]]
+//!             [--threads-list 1,4]
+//! ```
+//!
+//! Exit status: 0 all artifacts byte-identical, 1 any mismatch (diffs are
+//! written under `--out` for CI artifact upload), 2 invalid CLI.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use jmb_bench::sweeps::{self, SweepSettings};
+use jmb_city::Reuse;
+use jmb_core::experiment::SchedulePolicy;
+
+const USAGE: &str = "\
+det_harness: schedule-perturbation determinism harness
+
+USAGE:
+    det_harness [OPTIONS]
+
+OPTIONS:
+    --quick            small sweep dimensions (what CI runs)
+    --seed <N>         master seed (default 1)
+    --out <dir>        artifact directory (default results/det_harness)
+    --policies <list>  comma-separated claim-order policies
+                       (natural|reversed|strided[:K]|random[:SEED]|starve;
+                       default natural,reversed,random)
+    --threads-list <l> comma-separated worker counts (default 1,4)
+    -h, --help         this text";
+
+struct Opts {
+    quick: bool,
+    seed: u64,
+    out: PathBuf,
+    policies: Vec<SchedulePolicy>,
+    threads: Vec<usize>,
+}
+
+fn parse_opts() -> Result<Option<Opts>, String> {
+    let mut o = Opts {
+        quick: false,
+        seed: 1,
+        out: PathBuf::from("results/det_harness"),
+        policies: vec![
+            SchedulePolicy::Natural,
+            SchedulePolicy::Reversed,
+            SchedulePolicy::RandomPermutation(0x5EED),
+        ],
+        threads: vec![1, 4],
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => o.quick = true,
+            "--seed" => {
+                o.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed takes an integer")?;
+            }
+            "--out" => {
+                o.out = PathBuf::from(args.next().ok_or("--out takes a directory")?);
+            }
+            "--policies" => {
+                let spec = args.next().ok_or("--policies takes a list")?;
+                let parsed: Option<Vec<SchedulePolicy>> =
+                    spec.split(',').map(SchedulePolicy::from_token).collect();
+                o.policies = parsed
+                    .ok_or("--policies takes natural|reversed|strided[:K]|random[:SEED]|starve")?;
+                if o.policies.is_empty() {
+                    return Err("--policies needs at least one policy".into());
+                }
+            }
+            "--threads-list" => {
+                let spec = args.next().ok_or("--threads-list takes a list")?;
+                let parsed: Option<Vec<usize>> = spec.split(',').map(|t| t.parse().ok()).collect();
+                o.threads = parsed.ok_or("--threads-list takes integers")?;
+                if o.threads.is_empty() {
+                    return Err("--threads-list needs at least one count".into());
+                }
+            }
+            "-h" | "--help" => return Ok(None),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Some(o))
+}
+
+/// Every artifact one (policy, threads) combo produces, as bytes.
+struct ComboArtifacts {
+    /// `(file name, content)` — compared and written in this order.
+    files: Vec<(&'static str, String)>,
+}
+
+/// Render the merged city registry in row order — `Registry::rows()` is
+/// already deterministic (BTreeMap), so this is a pure formatting step.
+fn registry_text(reg: &jmb_obs::Registry) -> String {
+    let mut out = String::new();
+    for (name, label, value) in reg.rows() {
+        let _ = writeln!(out, "{name}|{label:?}|{value:?}");
+    }
+    out
+}
+
+fn run_combo(opts: &Opts, policy: SchedulePolicy, threads: usize, dir: &Path) -> ComboArtifacts {
+    let set = SweepSettings {
+        seed: opts.seed,
+        quick: opts.quick,
+        threads: Some(threads),
+        schedule: policy,
+    };
+
+    // Traffic quick sweep → one CSV.
+    let tr = sweeps::traffic_sweep(&set);
+    let traffic_csv = sweeps::csv_text(&tr.header, &tr.rows);
+
+    // Sync shootout → goodput CSV + phase CDF CSV.
+    let sh = sweeps::sync_shootout(&set).expect("sync_shootout");
+    let shootout_csv = sweeps::csv_text(&sh.header, &sh.rows);
+    let phase_csv = sweeps::csv_text(&sh.phase_header, &sh.phase_rows);
+
+    // City point (one reuse factor keeps the matrix affordable) → CSV +
+    // trace JSONL + merged registry dump.
+    let trace_path = dir.join("city_trace.jsonl");
+    let mut rows = Vec::new();
+    let report =
+        sweeps::city_point(&set, Reuse::Three, Some(&trace_path), &mut rows).expect("city_point");
+    let city_csv = sweeps::csv_text(&sweeps::city_header(), &rows);
+    let registry_txt = registry_text(&report.registry);
+    let trace_jsonl = std::fs::read_to_string(&trace_path).expect("read city trace");
+
+    ComboArtifacts {
+        files: vec![
+            ("traffic.csv", traffic_csv),
+            ("shootout.csv", shootout_csv),
+            ("shootout_phase.csv", phase_csv),
+            ("city.csv", city_csv),
+            ("city_trace.jsonl", trace_jsonl),
+            ("registry.txt", registry_txt),
+        ],
+    }
+}
+
+fn main() {
+    let opts = match parse_opts() {
+        Ok(Some(o)) => o,
+        Ok(None) => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let combos: Vec<(SchedulePolicy, usize)> = opts
+        .policies
+        .iter()
+        .flat_map(|&p| opts.threads.iter().map(move |&t| (p, t)))
+        .collect();
+    println!(
+        "det_harness: {} combo(s) — policies [{}] × threads {:?}{}",
+        combos.len(),
+        opts.policies
+            .iter()
+            .map(|p| p.token())
+            .collect::<Vec<_>>()
+            .join(","),
+        opts.threads,
+        if opts.quick { " (quick)" } else { "" }
+    );
+
+    let mut baseline: Option<(String, ComboArtifacts)> = None;
+    let mut mismatches: Vec<String> = Vec::new();
+    for (policy, threads) in combos {
+        let tag = format!("{}-t{}", policy.token(), threads);
+        let dir = opts.out.join(&tag);
+        std::fs::create_dir_all(&dir).expect("create artifact dir");
+        let art = run_combo(&opts, policy, threads, &dir);
+        for (name, content) in &art.files {
+            std::fs::write(dir.join(name), content).expect("write artifact");
+        }
+        match &baseline {
+            None => {
+                println!("  {tag}: baseline ({} artifacts)", art.files.len());
+                baseline = Some((tag, art));
+            }
+            Some((base_tag, base)) => {
+                let mut combo_ok = true;
+                for ((name, content), (_, base_content)) in art.files.iter().zip(base.files.iter())
+                {
+                    if content != base_content {
+                        combo_ok = false;
+                        let diff_lines = content
+                            .lines()
+                            .zip(base_content.lines())
+                            .filter(|(a, b)| a != b)
+                            .count()
+                            + content
+                                .lines()
+                                .count()
+                                .abs_diff(base_content.lines().count());
+                        mismatches.push(format!(
+                            "{tag}/{name}: differs from {base_tag}/{name} ({diff_lines} line(s))"
+                        ));
+                    }
+                }
+                println!(
+                    "  {tag}: {}",
+                    if combo_ok {
+                        "byte-identical to baseline"
+                    } else {
+                        "MISMATCH (see diff artifacts)"
+                    }
+                );
+            }
+        }
+    }
+
+    if mismatches.is_empty() {
+        println!("det_harness: PASS — every artifact byte-identical across the schedule matrix");
+    } else {
+        eprintln!("det_harness: FAIL — claim-order dependence detected:");
+        for m in &mismatches {
+            eprintln!("  {m}");
+        }
+        eprintln!(
+            "  artifacts for all combos are under {}",
+            opts.out.display()
+        );
+        std::process::exit(1);
+    }
+}

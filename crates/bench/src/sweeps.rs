@@ -11,7 +11,7 @@
 use crate::FigOpts;
 use jmb_city::{City, CityConfig, CityReport, Reuse};
 use jmb_core::error::JmbError;
-use jmb_core::experiment::{misalignment_samples_with, parallel_map, SweepConfig};
+use jmb_core::experiment::{misalignment_samples_with, parallel_map, SchedulePolicy, SweepConfig};
 use jmb_core::fastnet::FastConfig;
 use jmb_core::sync::SyncStrategyId;
 use jmb_sim::{FaultConfig, FaultSchedule, JsonLinesSink};
@@ -35,6 +35,9 @@ pub struct SweepSettings {
     pub quick: bool,
     /// Worker-thread override (`None` = all cores).
     pub threads: Option<usize>,
+    /// Claim-order policy for `parallel_map` — perturbed by `det_harness`,
+    /// `Natural` everywhere else.
+    pub schedule: SchedulePolicy,
 }
 
 impl SweepSettings {
@@ -44,6 +47,7 @@ impl SweepSettings {
             seed: opts.seed,
             quick: opts.quick,
             threads: opts.threads,
+            schedule: SchedulePolicy::Natural,
         }
     }
 
@@ -67,6 +71,7 @@ impl SweepSettings {
         let mut s = SweepConfig {
             n_topologies: points,
             seed: self.seed,
+            schedule: self.schedule,
             ..Default::default()
         };
         if let Some(t) = self.threads {
@@ -599,7 +604,8 @@ pub fn city_point(
     trace_out: Option<&Path>,
     rows: &mut Vec<Vec<String>>,
 ) -> Result<CityReport, JmbError> {
-    let cfg = city_config(set.quick, reuse, set.seed, set.threads);
+    let mut cfg = city_config(set.quick, reuse, set.seed, set.threads);
+    cfg.schedule = set.schedule;
     let mut city = City::new(cfg)?;
     // Events are emitted outside the cell shards, so tracing cannot
     // perturb the sweep rows.

@@ -65,6 +65,7 @@ fn quick_settings() -> SweepSettings {
         seed: 1,
         quick: true,
         threads: None,
+        schedule: jmb_core::experiment::SchedulePolicy::Natural,
     }
 }
 

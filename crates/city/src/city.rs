@@ -3,7 +3,7 @@
 use crate::grid::{Grid, Reuse};
 use jmb_channel::pathloss::PathLossModel;
 use jmb_core::error::JmbError;
-use jmb_core::experiment::{parallel_map, SweepConfig};
+use jmb_core::experiment::{parallel_map, SchedulePolicy, SweepConfig};
 use jmb_core::fastnet::FastConfig;
 use jmb_dsp::stats::{db_to_lin, lin_to_db};
 use jmb_obs::{EventKind, Registry, Trace};
@@ -56,6 +56,10 @@ pub struct CityConfig {
     /// Worker threads for the cell shards. Results are identical at every
     /// value (see the crate-level determinism contract).
     pub threads: usize,
+    /// Claim order for the cell shards — [`SchedulePolicy::Natural`] in
+    /// production; the determinism harness perturbs it to prove results
+    /// are claim-order independent.
+    pub schedule: SchedulePolicy,
 }
 
 impl CityConfig {
@@ -78,6 +82,7 @@ impl CityConfig {
             ref_dist_m: 10.0,
             seed,
             threads: 1,
+            schedule: SchedulePolicy::Natural,
         }
     }
 
@@ -278,6 +283,7 @@ impl City {
                 n_topologies: n,
                 seed: self.cfg.seed,
                 parallelism: self.cfg.threads,
+                schedule: self.cfg.schedule,
             };
             let cfg = &self.cfg;
             let ext_now = &ext;

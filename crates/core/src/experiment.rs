@@ -31,6 +31,11 @@ pub struct SweepConfig {
     pub seed: u64,
     /// Worker threads for the embarrassingly parallel topology loop.
     pub parallelism: usize,
+    /// Order in which workers claim topology indices. [`SchedulePolicy::
+    /// Natural`] in production; the adversarial policies exist so the
+    /// determinism harness (`det_harness`) can prove results do not depend
+    /// on claim order.
+    pub schedule: SchedulePolicy,
 }
 
 impl Default for SweepConfig {
@@ -41,6 +46,93 @@ impl Default for SweepConfig {
             parallelism: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            schedule: SchedulePolicy::Natural,
+        }
+    }
+}
+
+/// The order in which [`parallel_map`] workers claim work items.
+///
+/// Results are merged by item index, so **every** policy must produce
+/// byte-identical output; the adversarial policies exist to falsify that
+/// claim if any kernel leaks claim-order dependence through shared state
+/// (caches, thread-locals, FP accumulation into shared buffers). The
+/// determinism contract and the add-a-policy recipe live in DESIGN.md
+/// §3.15.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// Ascending claim order — the production default.
+    #[default]
+    Natural,
+    /// Descending claim order (late topologies first).
+    Reversed,
+    /// Residue-class order with stride `k`: all indices ≡ 0 (mod k),
+    /// then ≡ 1 (mod k), … — scatters neighbouring indices across time.
+    Strided(usize),
+    /// Seeded Fisher–Yates permutation of the claim order.
+    RandomPermutation(u64),
+    /// All work is claimed by worker 0 while the other spawned workers
+    /// exit immediately — worst-case imbalance, and every item runs on
+    /// one thread's locals even though `parallelism > 1`.
+    WorkerStarvation,
+}
+
+impl SchedulePolicy {
+    /// The claim-order permutation of `0..n` this policy induces.
+    pub fn claim_order(&self, n: usize) -> Vec<usize> {
+        match *self {
+            SchedulePolicy::Natural | SchedulePolicy::WorkerStarvation => (0..n).collect(),
+            SchedulePolicy::Reversed => (0..n).rev().collect(),
+            SchedulePolicy::Strided(k) => {
+                let k = k.max(1);
+                let mut order = Vec::with_capacity(n);
+                for r in 0..k.min(n.max(1)) {
+                    order.extend((r..n).step_by(k));
+                }
+                order
+            }
+            SchedulePolicy::RandomPermutation(seed) => {
+                let mut order: Vec<usize> = (0..n).collect();
+                let mut rng = derive_rng(seed, 0x5C4E_D001);
+                for i in (1..n).rev() {
+                    let j = (rng.gen::<u64>() % (i as u64 + 1)) as usize;
+                    order.swap(i, j);
+                }
+                order
+            }
+        }
+    }
+
+    /// Parse a CLI token: `natural`, `reversed`, `strided[:K]`,
+    /// `random[:SEED]`, `starve`.
+    pub fn from_token(s: &str) -> Option<SchedulePolicy> {
+        let (name, arg) = match s.split_once(':') {
+            Some((n, a)) => (n, Some(a)),
+            None => (s, None),
+        };
+        match name {
+            "natural" => Some(SchedulePolicy::Natural),
+            "reversed" => Some(SchedulePolicy::Reversed),
+            "strided" => Some(SchedulePolicy::Strided(
+                arg.map_or(Some(3), |a| a.parse().ok())?,
+            )),
+            "random" => Some(SchedulePolicy::RandomPermutation(
+                arg.map_or(Some(0x5EED), |a| a.parse().ok())?,
+            )),
+            "starve" => Some(SchedulePolicy::WorkerStarvation),
+            _ => None,
+        }
+    }
+
+    /// Stable token for file names and reports (inverse of
+    /// [`Self::from_token`] up to default arguments).
+    pub fn token(&self) -> String {
+        match *self {
+            SchedulePolicy::Natural => "natural".into(),
+            SchedulePolicy::Reversed => "reversed".into(),
+            SchedulePolicy::Strided(k) => format!("strided{k}"),
+            SchedulePolicy::RandomPermutation(s) => format!("random{s}"),
+            SchedulePolicy::WorkerStarvation => "starve".into(),
         }
     }
 }
@@ -57,27 +149,48 @@ impl Default for SweepConfig {
 /// too. A panicking worker is propagated (not swallowed): the remaining
 /// workers drain the counter and the panic is re-raised after the scope
 /// joins them, so callers see the original panic instead of a deadlock.
+///
+/// The claim counter indexes into the permutation given by
+/// `sweep.schedule` ([`SchedulePolicy`]), so the determinism harness can
+/// run the same sweep under adversarial claim orders; output order is by
+/// item index either way. The serial path follows the permutation too —
+/// *execution* order matters for shared global state (plan caches,
+/// thread-locals) even when one worker claims everything.
 pub fn parallel_map<T: Send>(sweep: &SweepConfig, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     let n = sweep.n_topologies;
+    let order = sweep.schedule.claim_order(n);
     let workers = sweep.parallelism.max(1).min(n.max(1));
     if workers <= 1 {
-        return (0..n).map(f).collect();
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for &i in &order {
+            out[i] = Some(f(i));
+        }
+        return out
+            .into_iter()
+            .map(|x| x.expect("claim_order is a permutation of 0..n"))
+            .collect();
     }
+    let starve = sweep.schedule == SchedulePolicy::WorkerStarvation;
     let next = AtomicUsize::new(0);
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
+            .map(|w| {
                 let f = &f;
                 let next = &next;
+                let order = &order;
                 s.spawn(move || {
                     let mut local = Vec::new();
+                    if starve && w != 0 {
+                        return local; // spawned, then starved of work
+                    }
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= n {
                             break;
                         }
+                        let i = order[c];
                         local.push((i, f(i)));
                     }
                     local
@@ -810,6 +923,7 @@ mod tests {
             n_topologies: n,
             seed: 7,
             parallelism: 2,
+            ..Default::default()
         }
     }
 
@@ -963,9 +1077,91 @@ mod tests {
             n_topologies: 17,
             seed: 0,
             parallelism: 4,
+            ..Default::default()
         };
         let out = parallel_map(&sweep, |i| i * 2);
         assert_eq!(out, (0..17).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn claim_order_is_a_permutation_for_every_policy() {
+        let policies = [
+            SchedulePolicy::Natural,
+            SchedulePolicy::Reversed,
+            SchedulePolicy::Strided(3),
+            SchedulePolicy::Strided(7),
+            SchedulePolicy::RandomPermutation(42),
+            SchedulePolicy::WorkerStarvation,
+        ];
+        for p in policies {
+            for n in [0usize, 1, 2, 13, 64] {
+                let mut order = p.claim_order(n);
+                assert_eq!(order.len(), n, "{p:?} n={n}");
+                order.sort_unstable();
+                assert_eq!(order, (0..n).collect::<Vec<_>>(), "{p:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_identical_across_schedule_policies() {
+        let baseline: Vec<f64> = {
+            let sweep = SweepConfig {
+                n_topologies: 19,
+                seed: 5,
+                parallelism: 4,
+                schedule: SchedulePolicy::Natural,
+            };
+            parallel_map(&sweep, |i| derive_rng(5, i as u64).gen::<f64>())
+        };
+        for schedule in [
+            SchedulePolicy::Reversed,
+            SchedulePolicy::Strided(3),
+            SchedulePolicy::RandomPermutation(99),
+            SchedulePolicy::WorkerStarvation,
+        ] {
+            for parallelism in [1usize, 4] {
+                let sweep = SweepConfig {
+                    n_topologies: 19,
+                    seed: 5,
+                    parallelism,
+                    schedule,
+                };
+                let out = parallel_map(&sweep, |i| derive_rng(5, i as u64).gen::<f64>());
+                assert_eq!(out, baseline, "{schedule:?} x{parallelism}");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_starvation_runs_everything_on_one_thread() {
+        let sweep = SweepConfig {
+            n_topologies: 9,
+            seed: 0,
+            parallelism: 4,
+            schedule: SchedulePolicy::WorkerStarvation,
+        };
+        let ids = parallel_map(&sweep, |_| std::thread::current().id());
+        assert!(ids.iter().all(|id| *id == ids[0]));
+    }
+
+    #[test]
+    fn schedule_tokens_round_trip() {
+        for (tok, policy) in [
+            ("natural", SchedulePolicy::Natural),
+            ("reversed", SchedulePolicy::Reversed),
+            ("strided:5", SchedulePolicy::Strided(5)),
+            ("random:7", SchedulePolicy::RandomPermutation(7)),
+            ("starve", SchedulePolicy::WorkerStarvation),
+        ] {
+            assert_eq!(SchedulePolicy::from_token(tok), Some(policy));
+        }
+        assert_eq!(
+            SchedulePolicy::from_token("strided"),
+            Some(SchedulePolicy::Strided(3))
+        );
+        assert!(SchedulePolicy::from_token("chaotic").is_none());
+        assert!(SchedulePolicy::from_token("strided:x").is_none());
     }
 
     #[test]
@@ -977,6 +1173,7 @@ mod tests {
                 n_topologies: 23,
                 seed: 11,
                 parallelism,
+                ..Default::default()
             };
             parallel_map(&sweep, |i| {
                 let mut rng = derive_rng(sweep.seed, i as u64);
@@ -1002,6 +1199,7 @@ mod tests {
             n_topologies: 12,
             seed: 0,
             parallelism: 4,
+            ..Default::default()
         };
         let out = parallel_map(&sweep, |i| {
             if i < 3 {
@@ -1021,6 +1219,7 @@ mod tests {
                 n_topologies: 16,
                 seed: 0,
                 parallelism: 4,
+                ..Default::default()
             };
             parallel_map(&sweep, |i| {
                 if i == 7 {

@@ -145,6 +145,11 @@ impl FftPlan {
 }
 
 /// Process-wide plan cache: one [`FftPlan`] per size, shared across threads.
+///
+/// Determinism audit (`no-unordered-iteration`): this `HashMap` is only
+/// ever accessed by key (`entry(n)`) — it is never iterated, drained, or
+/// collected from — so its nondeterministic bucket order cannot reach any
+/// emitted value. The plans themselves are pure functions of `n`.
 static GLOBAL_PLANS: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
 
 thread_local! {

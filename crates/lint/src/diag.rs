@@ -88,6 +88,26 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
     out
 }
 
+/// Render a diagnostic batch as paste-ready `jmb-allow` suppression lines
+/// (`--fix-allow`): one line per finding, giving the file:line anchor and
+/// the exact comment to put above it, with a reason stub the author must
+/// replace. Allow-hygiene findings (`allow-syntax`, `unused-allow`) are
+/// about suppression comments themselves and are skipped — suppressing a
+/// suppression is never the fix.
+pub fn render_fix_allow(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        if d.lint == "allow-syntax" || d.lint == "unused-allow" {
+            continue;
+        }
+        out.push_str(&format!(
+            "{}:{}: // jmb-allow({}): TODO(audit) — {}\n",
+            d.file, d.line, d.lint, d.message
+        ));
+    }
+    out
+}
+
 /// Escape a string for JSON output.
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);

@@ -8,6 +8,7 @@ use std::path::{Path, PathBuf};
 use crate::diag::{Diagnostic, Severity};
 use crate::lints;
 use crate::source::SourceFile;
+use crate::symbols::SymbolIndex;
 
 /// Directory names never scanned, wherever they appear.
 const SKIP_DIRS: &[&str] = &["target", "vendor", ".git"];
@@ -68,14 +69,21 @@ pub fn load(root: &Path) -> std::io::Result<Vec<SourceFile>> {
 /// rendering, tests and golden fixtures call it directly.
 pub fn run(files: &[SourceFile]) -> Vec<Diagnostic> {
     let mut raw: Vec<Diagnostic> = Vec::new();
+    // The cross-file symbol pass runs once; every container lint resolves
+    // names against it.
+    let index = SymbolIndex::build(files);
     for f in files {
         lints::no_panic_hot_path(f, &mut raw);
         lints::no_wallclock_in_sim(f, &mut raw);
         lints::seeded_rng_only(f, &mut raw);
         lints::safety_comment(f, &mut raw);
         lints::doc_public_items(f, &mut raw);
+        lints::no_unordered_iteration(f, &index, &mut raw);
+        lints::float_reduction_order(f, &index, &mut raw);
+        lints::no_ambient_parallelism(f, &mut raw);
     }
     lints::trace_taxonomy_complete(files, &mut raw);
+    lints::ordered_merge(files, &mut raw);
 
     // Apply suppressions: an allow matches diagnostics of its lint on its
     // target line. Malformed allows never suppress.

@@ -531,4 +531,36 @@ mod tests {
         let toks = lex("let s = \"never closed");
         assert_eq!(toks.last().unwrap().kind, TokenKind::StrLit);
     }
+
+    #[test]
+    fn turbofish_lexes_as_colon_colon_angle_sequence() {
+        // The chain analysis in `symbols` back-walks `.sum::<f64>()`
+        // expecting exactly `sum : : < f64 > ( )` — `::` is two single
+        // colons, never a fused token, and `<`/`>` stay plain puncts.
+        let toks = kinds("xs.iter().sum::<f64>()");
+        let tail: Vec<&str> = toks.iter().map(|(_, s)| s.as_str()).collect();
+        let sum_at = tail.iter().position(|&s| s == "sum").unwrap();
+        assert_eq!(
+            &tail[sum_at..],
+            &["sum", ":", ":", "<", "f64", ">", "(", ")"]
+        );
+        assert!(toks[sum_at].0 == TokenKind::Ident);
+        assert!(toks[sum_at + 4].0 == TokenKind::Ident); // f64 is an ident
+    }
+
+    #[test]
+    fn method_chain_spans_point_at_each_method() {
+        // Diagnostics anchor on the method ident, so every segment of a
+        // multi-line chain must carry its own line/col.
+        let src = "m.keys()\n    .copied()\n    .collect()";
+        let toks = lex(src);
+        let at = |name: &str| {
+            toks.iter()
+                .find(|t| t.kind == TokenKind::Ident && t.text(src) == name)
+                .unwrap()
+        };
+        assert_eq!((at("keys").line, at("keys").col), (1, 3));
+        assert_eq!((at("copied").line, at("copied").col), (2, 6));
+        assert_eq!((at("collect").line, at("collect").col), (3, 6));
+    }
 }

@@ -33,6 +33,7 @@ pub mod engine;
 pub mod lexer;
 pub mod lints;
 pub mod source;
+pub mod symbols;
 
-pub use diag::{render_json, Diagnostic, Severity};
+pub use diag::{render_fix_allow, render_json, Diagnostic, Severity};
 pub use source::SourceFile;

@@ -8,6 +8,9 @@
 use crate::diag::{Diagnostic, Severity};
 use crate::lexer::TokenKind;
 use crate::source::SourceFile;
+use crate::symbols::{
+    analyze_chain, forward_ordering_adapter, local_unordered_bindings, SymbolIndex,
+};
 
 /// Catalogue entry for one lint.
 pub struct LintInfo {
@@ -57,6 +60,33 @@ pub const LINTS: &[LintInfo] = &[
         name: "doc-public-items",
         severity: Severity::Deny,
         description: "every public item in jmb-core and jmb-obs must have a doc comment",
+    },
+    LintInfo {
+        name: "no-unordered-iteration",
+        severity: Severity::Deny,
+        description: "forbid iterating/draining/collecting-from HashMap/HashSet (including \
+                      re-exports, aliases, and fields resolved cross-file) in result-producing \
+                      code of jmb-core/sim/traffic/city/obs/dsp unless routed through a sorted \
+                      adapter or key-sorted loop",
+    },
+    LintInfo {
+        name: "float-reduction-order",
+        severity: Severity::Deny,
+        description: "forbid .sum()/.product()/.fold() over unordered containers — \
+                      floating-point reduction order must be pinned for byte-identical CSVs",
+    },
+    LintInfo {
+        name: "no-ambient-parallelism",
+        severity: Severity::Deny,
+        description: "available_parallelism/JMB_THREADS may steer scheduling (SweepConfig \
+                      defaults, bench CLIs) but must not flow into emitted values — forbidden \
+                      outside crates/bench and the SweepConfig default",
+    },
+    LintInfo {
+        name: "ordered-merge",
+        severity: Severity::Deny,
+        description: "every public `merge` fn on report/registry types must document its key \
+                      order and be exercised by a test in its own crate",
     },
     LintInfo {
         name: "allow-syntax",
@@ -582,6 +612,390 @@ fn has_eventkind_ref(file: &SourceFile, variant: &str, include_test: bool) -> bo
     })
 }
 
+/// Files whose computation can reach emitted results (CSVs, traces,
+/// registries): the container-determinism lints apply here and nowhere
+/// else. Bench harnesses format results but draw them from these crates.
+fn is_result_producing(rel: &str) -> bool {
+    const SCOPES: &[&str] = &[
+        "crates/core/src/",
+        "crates/sim/src/",
+        "crates/traffic/src/",
+        "crates/city/src/",
+        "crates/obs/src/",
+        "crates/dsp/src/",
+    ];
+    SCOPES.iter().any(|s| rel.starts_with(s))
+}
+
+/// Methods that observe a container in iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// `no-unordered-iteration`: iterating a `HashMap`/`HashSet` (resolved
+/// through the cross-file [`SymbolIndex`] — re-exports, type aliases, and
+/// struct fields included) in result-producing code is a finding unless
+/// the values are routed through an ordering adapter (`sort*`,
+/// `collect::<BTree…>`) within the same expression.
+pub fn no_unordered_iteration(file: &SourceFile, index: &SymbolIndex, out: &mut Vec<Diagnostic>) {
+    if !is_result_producing(&file.rel) || file.is_test_file() {
+        return;
+    }
+    let locals = local_unordered_bindings(file, index);
+    let toks = &file.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if file.in_test[i] || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = file.text(tok);
+        // Method-call form: `<chain>.iter()` / `.drain(..)` / `.keys()`.
+        if ITER_METHODS.contains(&name) {
+            let called = file
+                .next_significant(i)
+                .is_some_and(|j| toks[j].is_punct(b'(') || toks[j].is_punct(b':'));
+            let dotted = file
+                .prev_significant(i)
+                .is_some_and(|j| toks[j].is_punct(b'.'));
+            if !(called && dotted) {
+                continue;
+            }
+            let info = analyze_chain(file, i, index, &locals);
+            if info.unordered && !info.ordered_adapter && !forward_ordering_adapter(file, i) {
+                out.push(Diagnostic {
+                    lint: "no-unordered-iteration",
+                    severity: severity_of("no-unordered-iteration"),
+                    file: file.rel.clone(),
+                    line: tok.line,
+                    col: tok.col,
+                    message: format!(
+                        "`.{name}()` on an unordered container — iteration order can reach \
+                         emitted results"
+                    ),
+                    suggestion: "switch the container to BTreeMap/BTreeSet, sort the keys \
+                                 before iterating, or — if order provably never reaches \
+                                 output — annotate with \
+                                 `// jmb-allow(no-unordered-iteration): <why>`"
+                        .into(),
+                });
+            }
+            continue;
+        }
+        // `for pat in <field path>` loop form (method-call receivers are
+        // caught above; this covers bare `for k in self.index` sugar).
+        if name == "for" {
+            // `impl Trait for Type` and `for<'a>` are not loops.
+            if file
+                .next_significant(i)
+                .is_some_and(|j| toks[j].is_punct(b'<'))
+            {
+                continue;
+            }
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut in_idx = None;
+            while j < toks.len() {
+                match toks[j].kind {
+                    TokenKind::Punct(b'(') | TokenKind::Punct(b'[') => depth += 1,
+                    TokenKind::Punct(b')') | TokenKind::Punct(b']') => depth -= 1,
+                    TokenKind::Punct(b'{') | TokenKind::Punct(b';') if depth == 0 => break,
+                    TokenKind::Ident if depth == 0 && toks[j].is_ident(&file.src, "in") => {
+                        in_idx = Some(j);
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let Some(in_idx) = in_idx else { continue };
+            // Iterated expression: tokens to the loop-body `{`. Only the
+            // bare path form (`&map`, `self.field`) is handled here.
+            let mut expr: Vec<usize> = Vec::new();
+            let mut k = in_idx + 1;
+            let mut bare = true;
+            while k < toks.len() {
+                match toks[k].kind {
+                    TokenKind::Punct(b'{') => break,
+                    TokenKind::Punct(b'&') | TokenKind::Comment { .. } => {}
+                    TokenKind::Ident if file.text(&toks[k]) == "mut" => {}
+                    TokenKind::Ident => expr.push(k),
+                    TokenKind::Punct(b'.') => {}
+                    _ => {
+                        bare = false;
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            if !bare || expr.is_empty() {
+                continue;
+            }
+            let hit = expr.iter().any(|&e| {
+                let n = file.text(&toks[e]);
+                n != "self" && (locals.contains(n) || index.unordered_fields.contains(n))
+            });
+            if hit {
+                let t0 = &toks[in_idx];
+                out.push(Diagnostic {
+                    lint: "no-unordered-iteration",
+                    severity: severity_of("no-unordered-iteration"),
+                    file: file.rel.clone(),
+                    line: t0.line,
+                    col: t0.col,
+                    message: "`for` loop over an unordered container — iteration order can \
+                              reach emitted results"
+                        .into(),
+                    suggestion: "iterate a sorted key list (`let mut ks: Vec<_> = …; \
+                                 ks.sort();`), switch to BTreeMap/BTreeSet, or annotate with \
+                                 `// jmb-allow(no-unordered-iteration): <why>`"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+/// `float-reduction-order`: a floating-point `.sum()` / `.product()` /
+/// `.fold()` whose chain originates in an unordered container accumulates
+/// in nondeterministic order — the one FP hazard CSV byte-compares only
+/// catch probabilistically.
+pub fn float_reduction_order(file: &SourceFile, index: &SymbolIndex, out: &mut Vec<Diagnostic>) {
+    if !is_result_producing(&file.rel) || file.is_test_file() {
+        return;
+    }
+    const REDUCERS: &[&str] = &["sum", "product", "fold"];
+    let locals = local_unordered_bindings(file, index);
+    let toks = &file.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if file.in_test[i] || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = file.text(tok);
+        if !REDUCERS.contains(&name) {
+            continue;
+        }
+        let called = file
+            .next_significant(i)
+            .is_some_and(|j| toks[j].is_punct(b'(') || toks[j].is_punct(b':'));
+        let dotted = file
+            .prev_significant(i)
+            .is_some_and(|j| toks[j].is_punct(b'.'));
+        if !(called && dotted) {
+            continue;
+        }
+        let info = analyze_chain(file, i, index, &locals);
+        if info.unordered && !info.ordered_adapter {
+            out.push(Diagnostic {
+                lint: "float-reduction-order",
+                severity: severity_of("float-reduction-order"),
+                file: file.rel.clone(),
+                line: tok.line,
+                col: tok.col,
+                message: format!(
+                    "`.{name}()` over an unordered container — floating-point accumulation \
+                     order is nondeterministic"
+                ),
+                suggestion: "collect into a sorted container first (or sort a key list and \
+                             index), so the reduction visits values in a pinned order"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// `no-ambient-parallelism`: host parallelism may pick worker counts (the
+/// `SweepConfig` default, bench CLIs) but must never flow into emitted
+/// values. Everywhere else, reading `available_parallelism` or a
+/// `JMB_THREADS`-style env knob is a finding.
+pub fn no_ambient_parallelism(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    // crates/bench: CLIs may default worker counts from the host.
+    // experiment.rs: the one sanctioned `SweepConfig` default.
+    // crates/lint: this tool necessarily spells the banned tokens.
+    if file.rel.starts_with("crates/bench/")
+        || file.rel.starts_with("crates/lint/")
+        || file.rel == "crates/core/src/experiment.rs"
+    {
+        return;
+    }
+    if file.is_test_file() {
+        return;
+    }
+    for (i, tok) in file.tokens.iter().enumerate() {
+        if file.in_test[i] {
+            continue;
+        }
+        let flagged = match tok.kind {
+            TokenKind::Ident => file.text(tok) == "available_parallelism",
+            TokenKind::StrLit => file.text(tok).contains("JMB_THREADS"),
+            _ => false,
+        };
+        if flagged {
+            out.push(Diagnostic {
+                lint: "no-ambient-parallelism",
+                severity: severity_of("no-ambient-parallelism"),
+                file: file.rel.clone(),
+                line: tok.line,
+                col: tok.col,
+                message: "ambient parallelism read outside the scheduling layer — host core \
+                          counts must not influence emitted values"
+                    .into(),
+                suggestion: "take the worker count from `SweepConfig.parallelism` (or a CLI \
+                             `--threads` flag plumbed through it); results must be identical \
+                             at every parallelism level"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// `ordered-merge` (cross-file): every public `merge` fn on the
+/// report/registry crates must say in its doc comment what order it
+/// combines shards in, and be exercised by at least one test in its own
+/// crate — merge order is exactly where cross-shard FP nondeterminism
+/// hides.
+pub fn ordered_merge(files: &[SourceFile], out: &mut Vec<Diagnostic>) {
+    const MERGE_SCOPES: &[&str] = &[
+        "crates/obs/src/",
+        "crates/traffic/src/",
+        "crates/city/src/",
+        "crates/core/src/",
+    ];
+    for file in files {
+        if !MERGE_SCOPES.iter().any(|s| file.rel.starts_with(s)) || file.is_test_file() {
+            continue;
+        }
+        let toks = &file.tokens;
+        for (i, tok) in toks.iter().enumerate() {
+            if file.in_test[i] || !tok.is_ident(&file.src, "fn") {
+                continue;
+            }
+            let Some(name_idx) = file.next_significant(i) else {
+                continue;
+            };
+            if !toks[name_idx].is_ident(&file.src, "merge") {
+                continue;
+            }
+            // Public API only: `pub fn merge` (not `pub(crate)`, not
+            // private — those cannot leak unordered shards to callers).
+            let Some(vis) = file.prev_significant(i) else {
+                continue;
+            };
+            if !toks[vis].is_ident(&file.src, "pub") {
+                continue;
+            }
+            let mtok = &toks[name_idx];
+            if !merge_doc_mentions_order(file, vis) {
+                out.push(Diagnostic {
+                    lint: "ordered-merge",
+                    severity: severity_of("ordered-merge"),
+                    file: file.rel.clone(),
+                    line: mtok.line,
+                    col: mtok.col,
+                    message: "public `merge` does not document its combination order".into(),
+                    suggestion: "state the order in the doc comment (e.g. \"shards are \
+                                 combined in key order\" / \"runs are pooled in slice \
+                                 order\") — merge order is part of the determinism contract"
+                        .into(),
+                });
+            }
+            if !merge_tested_in_crate(files, &file.rel) {
+                out.push(Diagnostic {
+                    lint: "ordered-merge",
+                    severity: severity_of("ordered-merge"),
+                    file: file.rel.clone(),
+                    line: mtok.line,
+                    col: mtok.col,
+                    message: "public `merge` is never exercised by a test in its crate".into(),
+                    suggestion: "add a test that merges shards in two different orders and \
+                                 asserts identical output (see \
+                                 `Registry::merge_is_deterministic_pooling`)"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+/// Walk back from the item's first token (`pub`) over attributes and
+/// comments; true if a doc comment exists and mentions "order".
+fn merge_doc_mentions_order(file: &SourceFile, item_start: usize) -> bool {
+    let toks = &file.tokens;
+    let mut j = item_start;
+    let mut doc = String::new();
+    while let Some(prev) = j.checked_sub(1) {
+        match toks[prev].kind {
+            TokenKind::Comment { doc: true, .. } => {
+                doc.push_str(file.text(&toks[prev]));
+                doc.push('\n');
+                j = prev;
+            }
+            TokenKind::Comment { doc: false, .. } => j = prev,
+            TokenKind::Punct(b']') => {
+                // Skip an attribute `#[…]` backwards.
+                let mut depth = 0i32;
+                let mut k = prev;
+                loop {
+                    match toks[k].kind {
+                        TokenKind::Punct(b']') => depth += 1,
+                        TokenKind::Punct(b'[') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    let Some(k2) = k.checked_sub(1) else { break };
+                    k = k2;
+                }
+                j = k.saturating_sub(1);
+                if !toks.get(j).is_some_and(|t| t.is_punct(b'#')) {
+                    j = k;
+                }
+            }
+            _ => break,
+        }
+    }
+    !doc.is_empty() && doc.to_lowercase().contains("order")
+}
+
+/// Is a `merge` call (`.merge(` or `::merge(`) present in test code of the
+/// same crate as `rel` (its `#[cfg(test)]` regions, its `tests/` tree, or
+/// the workspace-level `tests/` directory)?
+fn merge_tested_in_crate(files: &[SourceFile], rel: &str) -> bool {
+    let crate_prefix = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .map(|c| format!("crates/{c}/"));
+    files.iter().any(|f| {
+        let same_crate = match &crate_prefix {
+            Some(p) => f.rel.starts_with(p.as_str()),
+            None => false,
+        };
+        let workspace_tests = f.rel.starts_with("tests/");
+        if !(same_crate || workspace_tests) {
+            return false;
+        }
+        let whole_file = f.is_test_file();
+        f.tokens.iter().enumerate().any(|(i, t)| {
+            (whole_file || f.in_test[i])
+                && t.is_ident(&f.src, "merge")
+                && f.prev_significant(i)
+                    .is_some_and(|j| f.tokens[j].is_punct(b'.') || f.tokens[j].is_punct(b':'))
+                && f.next_significant(i)
+                    .is_some_and(|j| f.tokens[j].is_punct(b'('))
+        })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -702,6 +1116,116 @@ mod tests {
         // `Used` is emitted and tested; `Orphan` is neither → 2 findings.
         assert_eq!(out.len(), 2);
         assert!(out.iter().all(|d| d.message.contains("Orphan")));
+    }
+
+    fn container_diags(rel: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new(rel.into(), src.into());
+        let idx = SymbolIndex::build(std::slice::from_ref(&f));
+        let mut out = Vec::new();
+        no_unordered_iteration(&f, &idx, &mut out);
+        float_reduction_order(&f, &idx, &mut out);
+        out
+    }
+
+    #[test]
+    fn hashmap_iteration_flagged_in_result_scope_only() {
+        let src = "fn f(m: &HashMap<u32, f64>) { for (k, v) in m.iter() { emit(*k, *v); } }";
+        assert_eq!(container_diags("crates/traffic/src/sim.rs", src).len(), 1);
+        assert!(container_diags("crates/bench/src/sweeps.rs", src).is_empty());
+        assert!(container_diags("crates/traffic/tests/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sorted_adapter_and_btreemap_are_clean() {
+        let sorted = "fn f(m: &HashMap<u32, f64>) -> Vec<u32> { let mut ks: Vec<u32> = \
+                      m.keys().copied().collect::<BTreeSet<_>>().into_iter().collect(); ks }";
+        assert!(container_diags("crates/core/src/net.rs", sorted).is_empty());
+        let btree = "fn f(m: &BTreeMap<u32, f64>) -> f64 { m.values().sum() }";
+        assert!(container_diags("crates/core/src/net.rs", btree).is_empty());
+    }
+
+    #[test]
+    fn float_sum_over_hashset_flagged_with_turbofish() {
+        let src = "fn f(s: &HashSet<u64>) -> f64 { s.iter().map(|x| *x as f64).sum::<f64>() }";
+        let d = container_diags("crates/city/src/city.rs", src);
+        // `.iter()` and `.sum::<f64>()` both fire.
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().any(|d| d.lint == "float-reduction-order"));
+    }
+
+    #[test]
+    fn for_loop_over_unordered_field_flagged() {
+        let src = "struct S { idx: HashMap<u32, u32> }\n\
+                   impl S { fn f(&self) { for k in &self.idx { emit(k); } } }";
+        let d = container_diags("crates/obs/src/registry.rs", src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("for"));
+    }
+
+    #[test]
+    fn keyed_access_without_iteration_is_clean() {
+        let src = "fn f(m: &mut HashMap<u64, f64>, k: u64) -> Option<f64> { \
+                   m.insert(k, 1.0); m.remove(&k) }";
+        assert!(container_diags("crates/traffic/src/sim.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ambient_parallelism_flagged_outside_scheduling_layer() {
+        let src = "fn f() -> usize { std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) }";
+        let mut out = Vec::new();
+        no_ambient_parallelism(
+            &SourceFile::new("crates/traffic/src/sim.rs".into(), src.into()),
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        out.clear();
+        no_ambient_parallelism(
+            &SourceFile::new("crates/core/src/experiment.rs".into(), src.into()),
+            &mut out,
+        );
+        assert!(out.is_empty());
+        out.clear();
+        no_ambient_parallelism(
+            &SourceFile::new("crates/bench/src/sweeps.rs".into(), src.into()),
+            &mut out,
+        );
+        assert!(out.is_empty());
+        let env = "fn f() -> String { std::env::var(\"JMB_THREADS\").unwrap_or_default() }";
+        out.clear();
+        no_ambient_parallelism(
+            &SourceFile::new("crates/city/src/city.rs".into(), env.into()),
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn ordered_merge_requires_doc_order_and_same_crate_test() {
+        let undocumented = SourceFile::new(
+            "crates/city/src/report.rs".into(),
+            "/// Pools shard reports.\npub struct R;\nimpl R {\n    /// Pools counters.\n    pub fn merge(&mut self, o: &R) {}\n}\n".into(),
+        );
+        let good = SourceFile::new(
+            "crates/obs/src/reg2.rs".into(),
+            "/// Registry.\npub struct G;\nimpl G {\n    /// Combines shards in key order.\n    pub fn merge(&mut self, o: &G) {}\n}\n\
+             #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let mut g = super::G; g.merge(&super::G); }\n}\n".into(),
+        );
+        let mut out = Vec::new();
+        ordered_merge(&[undocumented, good], &mut out);
+        // report.rs: doc lacks "order" AND no test in crates/city → 2.
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|d| d.file == "crates/city/src/report.rs"));
+    }
+
+    #[test]
+    fn private_merge_is_exempt() {
+        let f = SourceFile::new(
+            "crates/obs/src/h.rs".into(),
+            "struct H;\nimpl H {\n    fn merge(&mut self, o: &H) {}\n}\n".into(),
+        );
+        let mut out = Vec::new();
+        ordered_merge(std::slice::from_ref(&f), &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

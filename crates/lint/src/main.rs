@@ -12,7 +12,7 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use jmb_lint::{engine, lints, render_json};
+use jmb_lint::{engine, lints, render_fix_allow, render_json};
 
 /// Print to stdout, treating a closed pipe (`jmb-lint --list | head`) as a
 /// clean early exit rather than a panic.
@@ -31,6 +31,9 @@ USAGE:
 OPTIONS:
     --deny             promote warnings to deny (CI mode); exit 1 on any finding
     --format <fmt>     output format: human (default) | json
+    --fix-allow        dry-run burn-down helper: print one paste-ready
+                       `jmb-allow` suppression line per finding instead of
+                       diagnostics (reason stub included; same exit status)
     --root <dir>       workspace root (default: walk up from cwd to the
                        directory whose Cargo.toml declares [workspace])
     --list             print the lint catalogue and exit
@@ -41,12 +44,14 @@ line above. The reason is mandatory; stale allows are reported.";
 
 fn main() -> ExitCode {
     let mut deny = false;
+    let mut fix_allow = false;
     let mut format = String::from("human");
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny" => deny = true,
+            "--fix-allow" => fix_allow = true,
             "--format" => match args.next() {
                 Some(f) if f == "human" || f == "json" => format = f,
                 _ => return usage_error("--format takes `human` or `json`"),
@@ -96,7 +101,12 @@ fn main() -> ExitCode {
         engine::promote(&mut diags);
     }
 
-    if format == "json" {
+    if fix_allow {
+        let text = render_fix_allow(&diags);
+        if !text.is_empty() {
+            out(format_args!("{}", text.trim_end()));
+        }
+    } else if format == "json" {
         out(format_args!("{}", render_json(&diags)));
     } else {
         for d in &diags {

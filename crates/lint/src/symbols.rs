@@ -1,0 +1,707 @@
+//! Cross-file symbol resolution for the determinism lints.
+//!
+//! The per-file token lints in [`crate::lints`] can see `HashMap` spelled
+//! out, but not a re-export (`pub use std::collections::HashMap as
+//! FastMap`), a type alias (`type PlanCache = HashMap<usize, Plan>`), or a
+//! struct field declared with an unordered type in another file and
+//! iterated via `self.field`. [`SymbolIndex`] closes that gap: it is built
+//! once per engine run over the whole workspace token stream and records
+//! every name that denotes an unordered container, plus every struct field
+//! whose declared type is one. The container lints
+//! (`no-unordered-iteration`, `float-reduction-order`) then resolve method
+//! chains against the index instead of against literal token text.
+//!
+//! The index is deliberately an over-approximation: it matches by *name*,
+//! not by type-checked path, so a field named `meta` declared as a
+//! `HashMap` anywhere marks every `self.meta` in the workspace. That is
+//! the right trade for a determinism ratchet — false positives are
+//! silenced with an audited `jmb-allow` reason, while a false negative
+//! would let nondeterministic iteration reach a CSV.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Workspace-wide name facts, built once per engine run.
+pub struct SymbolIndex {
+    /// Type names that denote an unordered container: the std seeds
+    /// (`HashMap`, `HashSet`) closed over `use … as` renames, `pub use`
+    /// re-exports, and `type X = …` aliases (to a fixpoint, so alias
+    /// chains resolve).
+    pub unordered_types: BTreeSet<String>,
+    /// Struct field names declared with an unordered type anywhere in the
+    /// workspace; lets chain analysis flag `self.field.iter()` across
+    /// files.
+    pub unordered_fields: BTreeSet<String>,
+}
+
+impl SymbolIndex {
+    /// Build the index over all workspace sources.
+    pub fn build(files: &[SourceFile]) -> SymbolIndex {
+        let mut types: BTreeSet<String> = ["HashMap", "HashSet"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        // Close aliases and re-exports to a fixpoint: `type A = HashMap<…>`
+        // then `type B = A` both land in the set regardless of file order.
+        loop {
+            let before = types.len();
+            for f in files {
+                collect_aliases(f, &mut types);
+            }
+            if types.len() == before {
+                break;
+            }
+        }
+        let mut fields = BTreeSet::new();
+        for f in files {
+            collect_struct_fields(f, &types, &mut fields);
+        }
+        SymbolIndex {
+            unordered_types: types,
+            unordered_fields: fields,
+        }
+    }
+
+    /// Is `name` a known unordered container type (or alias of one)?
+    pub fn is_unordered_type(&self, name: &str) -> bool {
+        self.unordered_types.contains(name)
+    }
+}
+
+/// Add to `types` every name aliased to a known unordered type in `f`:
+/// `use … X as Y;` (including `pub use` re-exports) and `type Y = …X…;`.
+fn collect_aliases(f: &SourceFile, types: &mut BTreeSet<String>) {
+    let toks = &f.tokens;
+    let mut added: Vec<String> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let text = f.text(t);
+        // `<unordered> as <new-name>` — covers `use` renames and re-exports.
+        if types.contains(text) {
+            if let Some(j) = f.next_significant(i) {
+                if toks[j].is_ident(&f.src, "as") {
+                    if let Some(k) = f.next_significant(j) {
+                        if toks[k].kind == TokenKind::Ident {
+                            added.push(f.text(&toks[k]).to_string());
+                        }
+                    }
+                }
+            }
+        }
+        // `type <new-name> … = <rhs containing an unordered name> ;`
+        if text == "type" {
+            let Some(name_idx) = f.next_significant(i) else {
+                continue;
+            };
+            if toks[name_idx].kind != TokenKind::Ident {
+                continue;
+            }
+            // Scan forward to the `=` (skipping generic params), then the
+            // RHS until `;`.
+            let mut j = name_idx + 1;
+            let mut saw_eq = false;
+            let mut rhs_unordered = false;
+            while j < toks.len() {
+                match toks[j].kind {
+                    TokenKind::Punct(b';') | TokenKind::Punct(b'{') | TokenKind::Punct(b'}') => {
+                        break
+                    }
+                    TokenKind::Punct(b'=') => saw_eq = true,
+                    TokenKind::Ident if saw_eq && types.contains(f.text(&toks[j])) => {
+                        rhs_unordered = true;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if rhs_unordered {
+                added.push(f.text(&toks[name_idx]).to_string());
+            }
+        }
+    }
+    types.extend(added);
+}
+
+/// Add to `fields` every named struct field in `f` whose declared type
+/// mentions an unordered container name. Tuple structs have no field
+/// names to resolve and are skipped.
+fn collect_struct_fields(f: &SourceFile, types: &BTreeSet<String>, fields: &mut BTreeSet<String>) {
+    let toks = &f.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident(&f.src, "struct") {
+            continue;
+        }
+        // Walk to the struct body `{` (the header — name, generics, where
+        // clause — contains no braces). A `;` or `(` first means a unit or
+        // tuple struct.
+        let mut j = i + 1;
+        let open = loop {
+            match toks.get(j).map(|t| &t.kind) {
+                Some(TokenKind::Punct(b'{')) => break Some(j),
+                Some(TokenKind::Punct(b';')) | Some(TokenKind::Punct(b'(')) | None => break None,
+                _ => j += 1,
+            }
+        };
+        let Some(open) = open else { continue };
+        // Scan the body at depth 1 for `name : TYPE ,` entries.
+        let mut depth = 1i32;
+        let mut k = open + 1;
+        while k < toks.len() && depth > 0 {
+            match toks[k].kind {
+                TokenKind::Punct(b'{') | TokenKind::Punct(b'(') | TokenKind::Punct(b'[') => {
+                    depth += 1
+                }
+                TokenKind::Punct(b'}') | TokenKind::Punct(b')') | TokenKind::Punct(b']') => {
+                    depth -= 1
+                }
+                TokenKind::Ident if depth == 1 => {
+                    // Field name must be followed by a single `:` (not `::`).
+                    let name = f.text(&toks[k]);
+                    if let Some(c) = f.next_significant(k) {
+                        let colon = toks[c].is_punct(b':')
+                            && !f
+                                .next_significant(c)
+                                .is_some_and(|c2| toks[c2].is_punct(b':') && c2 == c + 1);
+                        if colon && name != "pub" && name != "crate" {
+                            // Type region: tokens until `,` at depth 1 or
+                            // the closing `}`.
+                            let mut d2 = 0i32;
+                            let mut m = c + 1;
+                            let mut unordered = false;
+                            while m < toks.len() {
+                                match toks[m].kind {
+                                    TokenKind::Punct(b'(') | TokenKind::Punct(b'[') => d2 += 1,
+                                    TokenKind::Punct(b')') | TokenKind::Punct(b']') => d2 -= 1,
+                                    // `,` inside generic args still has
+                                    // d2 == 0 (we don't track `<>`), so
+                                    // only stop when not inside angles.
+                                    TokenKind::Punct(b',')
+                                        if d2 <= 0 && angle_depth(f, c + 1, m) == 0 =>
+                                    {
+                                        break;
+                                    }
+                                    TokenKind::Punct(b'}') if d2 <= 0 => break,
+                                    TokenKind::Ident if types.contains(f.text(&toks[m])) => {
+                                        unordered = true;
+                                    }
+                                    _ => {}
+                                }
+                                m += 1;
+                            }
+                            if unordered {
+                                fields.insert(name.to_string());
+                            }
+                            k = m;
+                            continue;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+}
+
+/// Net `<` minus `>` depth over `toks[from..to)` — crude but sufficient to
+/// tell a generic-argument comma from a field separator in type position,
+/// where shift operators cannot appear.
+fn angle_depth(f: &SourceFile, from: usize, to: usize) -> i32 {
+    let mut d = 0i32;
+    for t in &f.tokens[from..to] {
+        match t.kind {
+            TokenKind::Punct(b'<') => d += 1,
+            TokenKind::Punct(b'>') => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+/// Names bound to unordered containers *within* `file`: `let`/param/field
+/// annotations (`name: HashMap<…>`) and constructor bindings
+/// (`let name = HashMap::new()`). Used alongside the workspace-global
+/// field set when resolving a method chain's receiver.
+pub fn local_unordered_bindings(file: &SourceFile, index: &SymbolIndex) -> BTreeSet<String> {
+    let toks = &file.tokens;
+    let mut locals = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        // `let [mut] name = <Unordered>::…` constructor binding.
+        if file.text(t) == "let" {
+            let mut j = file.next_significant(i);
+            if j.is_some_and(|j| toks[j].is_ident(&file.src, "mut")) {
+                j = file.next_significant(j.unwrap());
+            }
+            let Some(name_idx) = j else { continue };
+            if toks[name_idx].kind != TokenKind::Ident {
+                continue;
+            }
+            let Some(after) = file.next_significant(name_idx) else {
+                continue;
+            };
+            if toks[after].is_punct(b'=') {
+                if let Some(rhs) = file.next_significant(after) {
+                    if toks[rhs].kind == TokenKind::Ident
+                        && index.is_unordered_type(file.text(&toks[rhs]))
+                    {
+                        locals.insert(file.text(&toks[name_idx]).to_string());
+                    }
+                }
+            }
+            continue;
+        }
+        // Generic `name : TYPE` annotation (let-with-type, fn params,
+        // struct-literal init from a constructor). Require a single `:`.
+        let Some(c) = file.next_significant(i) else {
+            continue;
+        };
+        if !toks[c].is_punct(b':') {
+            continue;
+        }
+        if toks.get(c + 1).is_some_and(|n| n.is_punct(b':')) {
+            continue; // `::` path, not an annotation
+        }
+        if file
+            .prev_significant(i)
+            .is_some_and(|p| toks[p].is_punct(b':'))
+        {
+            continue; // second segment of a `::` path
+        }
+        // Scan the annotation region until a terminator at depth 0.
+        let mut d = 0i32;
+        let mut angles = 0i32;
+        let mut m = c + 1;
+        while m < toks.len() {
+            match toks[m].kind {
+                TokenKind::Punct(b'(') | TokenKind::Punct(b'[') => d += 1,
+                TokenKind::Punct(b')') | TokenKind::Punct(b']') | TokenKind::Punct(b'}') => {
+                    if d == 0 {
+                        break;
+                    }
+                    d -= 1;
+                }
+                TokenKind::Punct(b'<') => angles += 1,
+                TokenKind::Punct(b'>') => angles -= 1,
+                TokenKind::Punct(b',') | TokenKind::Punct(b';') | TokenKind::Punct(b'=')
+                    if d == 0 && angles <= 0 =>
+                {
+                    break
+                }
+                TokenKind::Punct(b'{') if d == 0 => break,
+                TokenKind::Ident if index.is_unordered_type(file.text(&toks[m])) => {
+                    locals.insert(file.text(t).to_string());
+                }
+                _ => {}
+            }
+            m += 1;
+        }
+    }
+    locals
+}
+
+/// What a backwards walk over a method chain learned about its receiver.
+pub struct ChainInfo {
+    /// Some value segment (root binding, path type, or struct field)
+    /// resolved to an unordered container.
+    pub unordered: bool,
+    /// The chain passed through an ordering adapter (`sort*`, `BTree*`),
+    /// so iteration order is deterministic even if the root is unordered.
+    pub ordered_adapter: bool,
+}
+
+/// Is `name` an identifier that imposes a deterministic order on whatever
+/// flows through it (`sort`, `sort_by_key`, `sorted_rows`, `BTreeMap` in a
+/// `collect` turbofish, …)?
+pub fn is_ordering_ident(name: &str) -> bool {
+    name.starts_with("sort") || name.starts_with("Sorted") || name.starts_with("BTree")
+}
+
+/// Walk the method chain ending at `method_idx` (an identifier preceded by
+/// `.`) backwards to its receiver, resolving value segments against the
+/// index and `locals`. Handles nested call arguments, turbofish generics,
+/// `?`, and `::` paths.
+pub fn analyze_chain(
+    file: &SourceFile,
+    method_idx: usize,
+    index: &SymbolIndex,
+    locals: &BTreeSet<String>,
+) -> ChainInfo {
+    let toks = &file.tokens;
+    let mut info = ChainInfo {
+        unordered: false,
+        ordered_adapter: false,
+    };
+    let Some(dot) = file.prev_significant(method_idx) else {
+        return info;
+    };
+    if !toks[dot].is_punct(b'.') {
+        return info;
+    }
+    let Some(mut cur) = file.prev_significant(dot) else {
+        return info;
+    };
+    // `just_closed` — the ident we are about to classify sits before a
+    // call/turbofish we already skipped, i.e. it is a method name, not a
+    // value segment.
+    let mut just_closed = false;
+    for _ in 0..512 {
+        match toks[cur].kind {
+            TokenKind::Punct(b')') | TokenKind::Punct(b']') => {
+                let Some(open) = skip_back_matched(file, cur, &mut info) else {
+                    return info;
+                };
+                let Some(p) = file.prev_significant(open) else {
+                    return info;
+                };
+                cur = p;
+                just_closed = true;
+            }
+            TokenKind::Punct(b'>') => {
+                // Turbofish / generic args: skip to the matching `<`,
+                // scanning the region for ordering idents
+                // (`collect::<BTreeMap<_, _>>()`).
+                let mut d = 0i32;
+                let mut k = cur;
+                loop {
+                    match toks[k].kind {
+                        TokenKind::Punct(b'>') => d += 1,
+                        TokenKind::Punct(b'<') => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        TokenKind::Ident => {
+                            let name = file.text(&toks[k]);
+                            if is_ordering_ident(name) {
+                                info.ordered_adapter = true;
+                            }
+                            if index.is_unordered_type(name) {
+                                info.unordered = true;
+                            }
+                        }
+                        _ => {}
+                    }
+                    let Some(k2) = k.checked_sub(1) else {
+                        return info;
+                    };
+                    k = k2;
+                }
+                // Expect `::` before the `<`; land on the method ident.
+                let p1 = file.prev_significant(k);
+                let p0 = p1.and_then(|j| file.prev_significant(j));
+                match (p0, p1) {
+                    (Some(a), Some(b)) if toks[a].is_punct(b':') && toks[b].is_punct(b':') => {
+                        let Some(m) = file.prev_significant(a) else {
+                            return info;
+                        };
+                        cur = m;
+                        just_closed = true;
+                    }
+                    _ => {
+                        let Some(m) = p1 else { return info };
+                        cur = m;
+                    }
+                }
+            }
+            TokenKind::Punct(b'?') => {
+                let Some(p) = file.prev_significant(cur) else {
+                    return info;
+                };
+                cur = p;
+            }
+            TokenKind::Ident => {
+                let name = file.text(&toks[cur]);
+                if is_ordering_ident(name) {
+                    info.ordered_adapter = true;
+                }
+                let prev = file.prev_significant(cur);
+                // `::` path segment(s): resolve every segment as a type name.
+                let is_path = matches!(prev, Some(p) if toks[p].is_punct(b':')
+                    && file.prev_significant(p).is_some_and(|q| toks[q].is_punct(b':')));
+                if is_path {
+                    let mut seg = cur;
+                    loop {
+                        let segname = file.text(&toks[seg]);
+                        if index.is_unordered_type(segname) {
+                            info.unordered = true;
+                        }
+                        if is_ordering_ident(segname) {
+                            info.ordered_adapter = true;
+                        }
+                        // Step to the previous path segment over `::`,
+                        // skipping `::<…>` generic-argument groups
+                        // (`HashMap::<u32, u32>::new`).
+                        let p1 = file.prev_significant(seg);
+                        let p0 = p1.and_then(|j| file.prev_significant(j));
+                        let (Some(b), Some(c)) = (p0, p1) else { break };
+                        if !(toks[b].is_punct(b':') && toks[c].is_punct(b':')) {
+                            break;
+                        }
+                        let Some(mut a) = file.prev_significant(b) else {
+                            break;
+                        };
+                        if toks[a].is_punct(b'>') {
+                            let mut d = 0i32;
+                            let mut k = a;
+                            let open = loop {
+                                match toks[k].kind {
+                                    TokenKind::Punct(b'>') => d += 1,
+                                    TokenKind::Punct(b'<') => {
+                                        d -= 1;
+                                        if d == 0 {
+                                            break Some(k);
+                                        }
+                                    }
+                                    TokenKind::Ident => {
+                                        let n = file.text(&toks[k]);
+                                        if index.is_unordered_type(n) {
+                                            info.unordered = true;
+                                        }
+                                        if is_ordering_ident(n) {
+                                            info.ordered_adapter = true;
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                                match k.checked_sub(1) {
+                                    Some(k2) => k = k2,
+                                    None => break None,
+                                }
+                            };
+                            let Some(open) = open else { break };
+                            let q1 = file.prev_significant(open);
+                            let q0 = q1.and_then(|j| file.prev_significant(j));
+                            match (q0, q1) {
+                                (Some(x), Some(y))
+                                    if toks[x].is_punct(b':') && toks[y].is_punct(b':') =>
+                                {
+                                    match file.prev_significant(x) {
+                                        Some(z) => a = z,
+                                        None => break,
+                                    }
+                                }
+                                _ => break,
+                            }
+                        }
+                        if toks[a].kind == TokenKind::Ident {
+                            seg = a;
+                        } else {
+                            break;
+                        }
+                    }
+                    return info;
+                }
+                if !just_closed {
+                    // Value segment (field or root binding).
+                    if locals.contains(name)
+                        || index.unordered_fields.contains(name)
+                        || index.is_unordered_type(name)
+                    {
+                        info.unordered = true;
+                        return info;
+                    }
+                }
+                match prev {
+                    Some(p) if toks[p].is_punct(b'.') => {
+                        let Some(q) = file.prev_significant(p) else {
+                            return info;
+                        };
+                        cur = q;
+                        just_closed = false;
+                    }
+                    _ => return info, // chain root reached
+                }
+            }
+            _ => return info,
+        }
+    }
+    info
+}
+
+/// Skip backwards from a closing `)`/`]` at `close` to its matching open
+/// bracket, recording ordering idents seen inside (e.g.
+/// `.sort_by_key(…)` arguments). Returns the index of the open bracket.
+fn skip_back_matched(file: &SourceFile, close: usize, info: &mut ChainInfo) -> Option<usize> {
+    let toks = &file.tokens;
+    let mut d = 0i32;
+    let mut k = close;
+    loop {
+        match toks[k].kind {
+            TokenKind::Punct(b')') | TokenKind::Punct(b']') => d += 1,
+            TokenKind::Punct(b'(') | TokenKind::Punct(b'[') => {
+                d -= 1;
+                if d == 0 {
+                    return Some(k);
+                }
+            }
+            TokenKind::Ident if is_ordering_ident(file.text(&toks[k])) => {
+                info.ordered_adapter = true;
+            }
+            _ => {}
+        }
+        k = k.checked_sub(1)?;
+    }
+}
+
+/// Scan forward from `from` to the end of the enclosing expression
+/// (a `;`, a `{`, or an unbalanced closer at depth 0) looking for an
+/// ordering adapter downstream of a flagged call —
+/// `map.keys().collect::<BTreeSet<_>>()` is deterministic even though
+/// `.keys()` itself is not.
+pub fn forward_ordering_adapter(file: &SourceFile, from: usize) -> bool {
+    let toks = &file.tokens;
+    let mut d = 0i32;
+    for t in toks.iter().skip(from) {
+        match t.kind {
+            TokenKind::Punct(b'(') | TokenKind::Punct(b'[') => d += 1,
+            TokenKind::Punct(b')') | TokenKind::Punct(b']') => {
+                if d == 0 {
+                    return false;
+                }
+                d -= 1;
+            }
+            // `}` too: without it the scan would walk out of the enclosing
+            // function and match ordering idents in unrelated code below.
+            TokenKind::Punct(b';') | TokenKind::Punct(b'{') | TokenKind::Punct(b'}') if d == 0 => {
+                return false
+            }
+            TokenKind::Ident if is_ordering_ident(t.text(&file.src)) => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile::new(rel.into(), src.into())
+    }
+
+    #[test]
+    fn seeds_and_use_renames_resolve() {
+        let f = file(
+            "crates/core/src/a.rs",
+            "pub use std::collections::HashMap as FastMap;\n",
+        );
+        let idx = SymbolIndex::build(&[f]);
+        assert!(idx.is_unordered_type("HashMap"));
+        assert!(idx.is_unordered_type("FastMap"));
+        assert!(!idx.is_unordered_type("BTreeMap"));
+    }
+
+    #[test]
+    fn type_alias_chains_resolve_across_files() {
+        let a = file(
+            "crates/core/src/a.rs",
+            "type PlanCache = std::collections::HashMap<usize, Plan>;\n",
+        );
+        // Defined in a *different* file, aliasing the alias — the fixpoint
+        // must close the chain regardless of file order.
+        let b = file("crates/core/src/b.rs", "type Cache2 = PlanCache;\n");
+        let idx = SymbolIndex::build(&[b, a]);
+        assert!(idx.is_unordered_type("PlanCache"));
+        assert!(idx.is_unordered_type("Cache2"));
+    }
+
+    #[test]
+    fn struct_fields_with_unordered_types_are_indexed() {
+        let f = file(
+            "crates/traffic/src/a.rs",
+            "struct S { pub meta: HashMap<u64, (f64, usize)>, n: usize, tags: Vec<String> }\n",
+        );
+        let idx = SymbolIndex::build(&[f]);
+        assert!(idx.unordered_fields.contains("meta"));
+        assert!(!idx.unordered_fields.contains("n"));
+        assert!(!idx.unordered_fields.contains("tags"));
+    }
+
+    #[test]
+    fn generic_field_commas_do_not_split_the_type() {
+        let f = file(
+            "crates/core/src/a.rs",
+            "struct S { a: BTreeMap<u32, u32>, b: HashSet<u8> }\n",
+        );
+        let idx = SymbolIndex::build(&[f]);
+        assert!(!idx.unordered_fields.contains("a"));
+        assert!(idx.unordered_fields.contains("b"));
+    }
+
+    #[test]
+    fn local_bindings_from_annotations_and_constructors() {
+        let f = file(
+            "crates/core/src/a.rs",
+            "fn f(seen: &HashSet<u32>) { let mut m = HashMap::new(); let v: Vec<u8> = vec![]; }\n",
+        );
+        let idx = SymbolIndex::build(&[]);
+        let locals = local_unordered_bindings(&f, &idx);
+        assert!(locals.contains("seen"));
+        assert!(locals.contains("m"));
+        assert!(!locals.contains("v"));
+    }
+
+    #[test]
+    fn chain_resolves_root_field_and_adapter() {
+        let src = "fn f(&self) { let x: f64 = self.meta.values().map(|v| v.0).sum(); }";
+        let f = file("crates/traffic/src/a.rs", src);
+        let decl = file(
+            "crates/traffic/src/b.rs",
+            "struct S { meta: HashMap<u64, (f64, usize)> }",
+        );
+        let idx = SymbolIndex::build(&[decl]);
+        let locals = local_unordered_bindings(&f, &idx);
+        let sum_idx = f
+            .tokens
+            .iter()
+            .position(|t| t.is_ident(&f.src, "sum"))
+            .unwrap();
+        let info = analyze_chain(&f, sum_idx, &idx, &locals);
+        assert!(info.unordered);
+        assert!(!info.ordered_adapter);
+    }
+
+    #[test]
+    fn sorted_adapter_in_chain_clears_the_finding() {
+        let src = "fn f(m: &HashMap<u32, f64>) -> Vec<u32> { m.keys().copied().collect::<BTreeSet<_>>().into_iter().collect() }";
+        let f = file("crates/core/src/a.rs", src);
+        let idx = SymbolIndex::build(&[]);
+        let locals = local_unordered_bindings(&f, &idx);
+        let into_iter = f
+            .tokens
+            .iter()
+            .position(|t| t.is_ident(&f.src, "into_iter"))
+            .unwrap();
+        let info = analyze_chain(&f, into_iter, &idx, &locals);
+        assert!(info.ordered_adapter);
+        let keys = f
+            .tokens
+            .iter()
+            .position(|t| t.is_ident(&f.src, "keys"))
+            .unwrap();
+        assert!(forward_ordering_adapter(&f, keys));
+    }
+
+    #[test]
+    fn path_constructor_receiver_resolves() {
+        let src = "fn f() { for k in std::collections::HashMap::<u32, u32>::new().keys() {} }";
+        let f = file("crates/core/src/a.rs", src);
+        let idx = SymbolIndex::build(&[]);
+        let keys = f
+            .tokens
+            .iter()
+            .position(|t| t.is_ident(&f.src, "keys"))
+            .unwrap();
+        let info = analyze_chain(&f, keys, &idx, &BTreeSet::new());
+        assert!(info.unordered);
+    }
+}

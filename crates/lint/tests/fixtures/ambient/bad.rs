@@ -1,0 +1,11 @@
+//@path crates/traffic/src/workers.rs
+// Thread-count decisions belong to the scheduling layer (SweepConfig /
+// jmb-bench CLI), never to simulation crates.
+fn pick_workers() -> usize {
+    if let Ok(v) = std::env::var("JMB_THREADS") {
+        if let Ok(n) = v.parse() {
+            return n;
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}

@@ -1,0 +1,22 @@
+//@path crates/dsp/src/power.rs
+// Floating-point reductions: `+` is not associative, so a sum over an
+// unordered container changes bytes when the iteration order changes.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+fn sum_over_map_values(m: &HashMap<u32, f64>) -> f64 {
+    m.values().sum::<f64>()
+}
+
+fn fold_over_set(s: &HashSet<u64>) -> f64 {
+    s.iter().fold(0.0, |acc, &x| acc + x as f64)
+}
+
+fn product_over_slice_is_fine(xs: &[f64]) -> f64 {
+    xs.iter().product()
+}
+
+// `b`, not `m`: bindings resolve by name file-wide, and `m` is already
+// classified unordered by `sum_over_map_values` above.
+fn sum_over_btree_is_fine(b: &BTreeMap<u32, f64>) -> f64 {
+    b.values().sum()
+}

@@ -1,0 +1,24 @@
+//@path crates/obs/src/tally.rs
+/// Cross-shard tally with a pinned pooling order.
+pub struct Tally {
+    /// Accumulated value.
+    pub total: f64,
+}
+
+impl Tally {
+    /// Pools `other` into `self`. Callers pool shards in **slice order**
+    /// (cell index order), so the float sum is bit-identical run to run.
+    pub fn merge(&mut self, other: &Tally) {
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn merge_is_order_pinned() {
+        let mut a = super::Tally { total: 1.0 };
+        a.merge(&super::Tally { total: 2.0 });
+        assert!((a.total - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,16 @@
+//@path crates/city/src/shard_report.rs
+/// Per-shard tally pooled across cells.
+pub struct ShardTally {
+    /// Frames delivered by this shard.
+    pub delivered: u64,
+}
+
+impl ShardTally {
+    /// Pools another shard's counters into this one.
+    //
+    // Doc never states the pooling order, and no test in crates/city
+    // calls it: ordered-merge fires twice.
+    pub fn merge(&mut self, other: &ShardTally) {
+        self.delivered += other.delivered;
+    }
+}

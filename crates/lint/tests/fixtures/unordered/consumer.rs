@@ -1,0 +1,40 @@
+//@path crates/traffic/src/consumer.rs
+// Consuming module: every unordered container below arrived via a rename
+// or alias declared in types.rs, never by its std name.
+use crate::types::{FastMap, FlowTable, NodeSet};
+
+fn renamed_map_iteration(m: &FastMap<u64, f64>) -> f64 {
+    let mut acc = 0.0;
+    for (_, v) in m.iter() {
+        acc += v;
+    }
+    acc
+}
+
+fn aliased_set_for_loop(s: &NodeSet) -> u64 {
+    let mut acc = 0u64;
+    for id in s {
+        acc = acc.wrapping_add(u64::from(*id));
+    }
+    acc
+}
+
+fn struct_field_drain(t: &mut FlowTable) -> usize {
+    t.flows.drain().count()
+}
+
+fn sorted_adapter_is_fine(m: &FastMap<u64, f64>) -> Vec<u64> {
+    use std::collections::BTreeSet;
+    m.keys().copied().collect::<BTreeSet<_>>().into_iter().collect()
+}
+
+fn keyed_access_is_fine(m: &FastMap<u64, f64>, k: u64) -> f64 {
+    m.get(&k).copied().unwrap_or(0.0)
+}
+
+// Named `b`, not `m`: binding resolution is name-based and file-wide (the
+// documented over-approximation), so reusing `m` here would inherit the
+// FastMap classification from the functions above.
+fn ordered_container_is_fine(b: &std::collections::BTreeMap<u64, f64>) -> f64 {
+    b.values().sum()
+}

@@ -1,0 +1,11 @@
+//@path crates/traffic/src/types.rs
+// Exporting module: the unordered types reach consumers only through
+// renames, so the lint must resolve aliases cross-file.
+pub use std::collections::HashMap as FastMap;
+
+pub type NodeSet = std::collections::HashSet<u32>;
+
+pub struct FlowTable {
+    pub flows: FastMap<u64, f64>,
+    pub order: Vec<u64>,
+}

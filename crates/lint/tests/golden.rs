@@ -7,7 +7,7 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use jmb_lint::{engine, render_json, Diagnostic, SourceFile};
+use jmb_lint::{engine, render_fix_allow, render_json, Diagnostic, SourceFile};
 
 fn fixtures_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
@@ -104,6 +104,64 @@ fn golden_taxonomy_cross_file() {
         .collect();
     files.sort_by(|a, b| a.rel.cmp(&b.rel));
     check_golden("taxonomy.expected", &render(&engine::run(&files)));
+}
+
+/// Load every fixture in a subdirectory, sorted by pretend path — the
+/// shape cross-file lints (symbol resolution, ordered-merge) need.
+fn run_dir(sub: &str, names: &[&str]) -> Vec<Diagnostic> {
+    let dir = fixtures_dir().join(sub);
+    let mut files: Vec<SourceFile> = names.iter().map(|n| load_fixture(&dir.join(n))).collect();
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    engine::run(&files)
+}
+
+#[test]
+fn golden_unordered_iteration_cross_file() {
+    // The unordered types reach consumer.rs only through a `pub use … as`
+    // rename and a `type` alias — exercises SymbolIndex's fixpoint closure.
+    check_golden(
+        "unordered.expected",
+        &render(&run_dir("unordered", &["types.rs", "consumer.rs"])),
+    );
+}
+
+#[test]
+fn golden_float_reduction() {
+    check_golden(
+        "float_reduction.expected",
+        &render(&run_single("float_reduction.rs")),
+    );
+}
+
+#[test]
+fn golden_ambient_parallelism() {
+    // bad.rs (crates/traffic) is flagged; ok.rs (crates/bench) makes the
+    // same calls from the scheduling layer and stays clean.
+    check_golden(
+        "ambient.expected",
+        &render(&run_dir("ambient", &["bad.rs", "ok.rs"])),
+    );
+}
+
+#[test]
+fn golden_ordered_merge() {
+    check_golden(
+        "ordered_merge.expected",
+        &render(&run_dir(
+            "ordered_merge",
+            &["undocumented.rs", "documented.rs"],
+        )),
+    );
+}
+
+#[test]
+fn golden_fix_allow() {
+    // `--fix-allow` output is a CI-facing contract too: one paste-ready
+    // suppression line per finding, hygiene lints skipped.
+    check_golden(
+        "fix_allow.expected",
+        &render_fix_allow(&run_dir("ambient", &["bad.rs", "ok.rs"])),
+    );
 }
 
 #[test]

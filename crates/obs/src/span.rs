@@ -14,6 +14,9 @@ use std::time::Instant;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
+// Determinism audit (`no-unordered-iteration`): the span table is a
+// `BTreeMap` so `snapshot()` reports in name order — already-ordered, and
+// wall-clock data never reaches traces/CSVs regardless.
 fn table() -> &'static Mutex<BTreeMap<&'static str, SpanStat>> {
     static TABLE: OnceLock<Mutex<BTreeMap<&'static str, SpanStat>>> = OnceLock::new();
     TABLE.get_or_init(|| Mutex::new(BTreeMap::new()))

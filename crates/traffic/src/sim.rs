@@ -29,7 +29,7 @@ use jmb_obs::Registry;
 use jmb_sim::{DropCause, EventKind as TraceKind, StopCause, Trace};
 use rand::Rng;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// One client's offered load.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -246,7 +246,12 @@ pub struct TrafficSim<B: TransmitBackend> {
     arrivals: Vec<ArrivalGen>,
     backoff_rng: JmbRng,
     /// Enqueue time + true (unpadded) size per in-queue packet id.
-    meta: HashMap<u64, (f64, usize)>,
+    ///
+    /// `BTreeMap` by the determinism contract (DESIGN.md §3.15): access is
+    /// keyed-only today, but an ordered map keeps any future iteration
+    /// (queue inspection, draining on teardown) deterministic by
+    /// construction instead of by audit.
+    meta: BTreeMap<u64, (f64, usize)>,
     in_flight: Option<InFlight>,
     /// Sim time up to which the backend clock has been advanced.
     phy_t: f64,
@@ -321,7 +326,7 @@ impl<B: TransmitBackend> TrafficSim<B> {
             seq: 0,
             arrivals,
             backoff_rng,
-            meta: HashMap::new(),
+            meta: BTreeMap::new(),
             in_flight: None,
             phy_t: cfg.start_s,
             trace: Trace::new(),

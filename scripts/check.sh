@@ -4,6 +4,12 @@
 # The jmb-* packages must be clippy- and rustfmt-clean; the vendored
 # stand-in crates under vendor/ (rand, proptest, criterion) are kept
 # byte-comparable to their upstreams and are exempt from formatting.
+#
+# The jmb-lint deny pass at the end includes the determinism lints
+# (no-unordered-iteration, float-reduction-order, no-ambient-parallelism,
+# ordered-merge). Their dynamic counterpart — the schedule-perturbation
+# harness — is CI's det-matrix job; run it locally with
+#   cargo run --release -p jmb-bench --bin det_harness -- --quick
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

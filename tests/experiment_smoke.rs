@@ -10,6 +10,7 @@ fn sweep(n: usize) -> SweepConfig {
         n_topologies: n,
         seed: 11,
         parallelism: 4,
+        ..Default::default()
     }
 }
 

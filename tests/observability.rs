@@ -45,6 +45,7 @@ fn sweep_traces(parallelism: usize) -> Vec<(String, Vec<String>)> {
         n_topologies: 4,
         seed: 9,
         parallelism,
+        ..Default::default()
     };
     parallel_map(&sweep, |i| {
         let mut sim = storm_sim(100 + i as u64);
@@ -163,6 +164,7 @@ fn merged_metrics_deterministic_across_thread_counts() {
             n_topologies: 4,
             seed: 3,
             parallelism,
+            ..Default::default()
         };
         let ms = parallel_map(&sweep, |i| storm_sim(200 + i as u64).run());
         TrafficMetrics::merge(&ms).csv_row()
